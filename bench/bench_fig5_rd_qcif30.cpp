@@ -1,0 +1,15 @@
+// Reproduces Figure 5 of the paper: rate–distortion curves (PSNR-Y in dB vs
+// kbit/s) for the Carphone, Foreman, Miss America and Table sequences at
+// QCIF @ 30 fps, comparing ACBM (α=1000, β=8, γ=¼), FSBM (p=15) and PBM.
+//
+// Expected shape (paper): ACBM tracks or slightly beats FSBM on every
+// sequence; PBM trails, worst on textured/erratic content (Foreman, Table).
+
+#include "bench_support.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = acbm::bench::parse_bench_options(
+      argc, argv, "bench_fig5_rd_qcif30");
+  acbm::bench::run_rd_figure_bench("Figure 5", /*fps=*/30, options);
+  return 0;
+}

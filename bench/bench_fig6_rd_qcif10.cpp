@@ -1,0 +1,14 @@
+// Reproduces Figure 6 of the paper: the Figure-5 experiment at 10 fps.
+//
+// Expected shape (paper): the PBM-vs-ACBM gap widens relative to 30 fps —
+// at low frame rates the motion field no longer varies slowly in time, so
+// predictive search degrades while ACBM's fallback holds quality.
+
+#include "bench_support.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = acbm::bench::parse_bench_options(
+      argc, argv, "bench_fig6_rd_qcif10");
+  acbm::bench::run_rd_figure_bench("Figure 6", /*fps=*/10, options);
+  return 0;
+}

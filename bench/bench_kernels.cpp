@@ -1,0 +1,169 @@
+// Engineering microbenchmarks (google-benchmark): the kernels the paper's
+// complexity argument counts — SAD variants, half-pel interpolation, the
+// search algorithms per block, DCT, and whole-encoder throughput. Not a
+// paper artefact; used to sanity-check that the position counts in Table 1
+// translate into real time.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "analysis/rd_sweep.hpp"
+#include "codec/dct.hpp"
+#include "codec/encoder.hpp"
+#include "core/acbm.hpp"
+#include "me/decimation.hpp"
+#include "me/full_search.hpp"
+#include "me/pbm.hpp"
+#include "me/sad.hpp"
+#include "synth/sequences.hpp"
+#include "util/rng.hpp"
+#include "video/interp.hpp"
+
+namespace {
+
+using namespace acbm;
+
+video::Plane bench_plane(int w, int h, std::uint64_t seed) {
+  video::Plane p(w, h);
+  util::Rng rng(seed);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      p.set(x, y, static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+  }
+  p.extend_border();
+  return p;
+}
+
+void BM_Sad16x16(benchmark::State& state) {
+  const video::Plane a = bench_plane(176, 144, 1);
+  const video::Plane b = bench_plane(176, 144, 2);
+  int offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        me::sad_block(a, 32, 32, b, 32 + (offset & 7), 32, 16, 16));
+    ++offset;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_Sad16x16);
+
+void BM_Sad16x16EarlyExit(benchmark::State& state) {
+  const video::Plane a = bench_plane(176, 144, 3);
+  const video::Plane b = bench_plane(176, 144, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(me::sad_block(a, 32, 32, b, 36, 34, 16, 16,
+                                           /*early_exit=*/500));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sad16x16EarlyExit);
+
+void BM_SadDecimatedQuincunx(benchmark::State& state) {
+  const video::Plane a = bench_plane(176, 144, 5);
+  const video::Plane b = bench_plane(176, 144, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(me::sad_block_decimated(
+        a, 32, 32, b, 36, 34, 16, 16, me::DecimationPattern::kQuincunx4to1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SadDecimatedQuincunx);
+
+void BM_IntraSad16x16(benchmark::State& state) {
+  const video::Plane a = bench_plane(176, 144, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(me::intra_sad(a, 32, 32, 16, 16));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntraSad16x16);
+
+void BM_HalfpelPlanesQcif(benchmark::State& state) {
+  const video::Plane src = bench_plane(176, 144, 8);
+  for (auto _ : state) {
+    video::HalfpelPlanes hp(src);
+    benchmark::DoNotOptimize(hp);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HalfpelPlanesQcif);
+
+template <typename Estimator>
+void run_search_benchmark(benchmark::State& state, int range) {
+  const video::Plane ref = bench_plane(176, 144, 9);
+  const video::Plane cur = bench_plane(176, 144, 10);
+  const video::HalfpelPlanes hp(ref);
+  Estimator estimator;
+  me::BlockContext ctx;
+  ctx.cur = &cur;
+  ctx.ref = &hp;
+  ctx.x = 80;
+  ctx.y = 64;
+  ctx.window = me::unrestricted_window(range);
+  std::uint64_t positions = 0;
+  for (auto _ : state) {
+    const me::EstimateResult r = estimator.estimate(ctx);
+    positions += r.positions;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["positions/block"] = benchmark::Counter(
+      static_cast<double>(positions) / static_cast<double>(state.iterations()));
+}
+
+void BM_FullSearchP15(benchmark::State& state) {
+  run_search_benchmark<me::FullSearch>(state, 15);
+}
+BENCHMARK(BM_FullSearchP15)->Unit(benchmark::kMicrosecond);
+
+void BM_PbmP15(benchmark::State& state) {
+  run_search_benchmark<me::Pbm>(state, 15);
+}
+BENCHMARK(BM_PbmP15)->Unit(benchmark::kMicrosecond);
+
+void BM_AcbmP15(benchmark::State& state) {
+  run_search_benchmark<core::Acbm>(state, 15);
+}
+BENCHMARK(BM_AcbmP15)->Unit(benchmark::kMicrosecond);
+
+void BM_ForwardDct8x8(benchmark::State& state) {
+  std::int16_t in[codec::kDctSamples];
+  util::Rng rng(11);
+  for (auto& v : in) {
+    v = static_cast<std::int16_t>(rng.next_in_range(-255, 255));
+  }
+  double out[codec::kDctSamples];
+  for (auto _ : state) {
+    codec::forward_dct8x8(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardDct8x8);
+
+void BM_EncodeQcifFrame(benchmark::State& state) {
+  // Whole-encoder throughput with ACBM at the paper's operating point.
+  synth::SequenceRequest req;
+  req.name = "carphone";
+  req.frame_count = 2;
+  const auto frames = synth::make_sequence(req);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Acbm acbm;
+    codec::EncoderConfig cfg;
+    cfg.qp = 16;
+    codec::Encoder enc(video::kQcif, cfg, acbm);
+    (void)enc.encode_frame(frames[0]);  // intra frame excluded from timing
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(enc.encode_frame(frames[1]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeQcifFrame)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,207 @@
+#pragma once
+// Shared plumbing for the paper-reproduction bench binaries: sequence
+// construction, RD-curve rendering in the paper's layout, and CSV output.
+//
+// Every bench prints a human-readable table on stdout (mirroring the paper's
+// rows) and writes a CSV into the current working directory for plotting.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/rd_sweep.hpp"
+#include "synth/sequences.hpp"
+#include "util/args.hpp"
+#include "util/csv.hpp"
+#include "util/timer.hpp"
+#include "video/frame.hpp"
+
+namespace acbm::bench {
+
+/// Standard command-line options shared by the reproduction benches.
+struct BenchOptions {
+  int frames = 40;          ///< frames per sequence (after decimation)
+  int search_range = 15;    ///< the paper's p
+  std::vector<int> qps = {16, 18, 20, 22, 24, 26, 28, 30};
+  video::PictureSize size = video::kQcif;  ///< --size cif for 352×288
+  std::string size_label = "QCIF";
+  std::string csv_prefix;   ///< output file prefix (binary name)
+  bool quick = false;       ///< reduced workload for smoke runs
+};
+
+inline BenchOptions parse_bench_options(int argc, const char* const* argv,
+                                        const std::string& name) {
+  util::ArgParser parser;
+  parser.add_option("frames", "frames per sequence", "40");
+  parser.add_option("search-range", "FSBM search range p", "15");
+  parser.add_option("qps", "comma-separated quantiser list",
+                    "16,18,20,22,24,26,28,30");
+  parser.add_option("size", "picture size: qcif or cif (the paper uses both)",
+                    "qcif");
+  parser.add_flag("quick", "reduced workload (fewer frames and Qp values)");
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << '\n' << parser.usage(name);
+    std::exit(2);
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.usage(name);
+    std::exit(0);
+  }
+  BenchOptions options;
+  options.frames = static_cast<int>(parser.get_int("frames"));
+  options.search_range = static_cast<int>(parser.get_int("search-range"));
+  options.qps.clear();
+  for (const std::string& tok : util::split_csv_list(parser.get("qps"))) {
+    options.qps.push_back(std::stoi(tok));
+  }
+  if (parser.get("size") == "cif") {
+    options.size = video::kCif;
+    options.size_label = "CIF";
+  } else if (parser.get("size") != "qcif") {
+    std::cerr << "unknown --size (use qcif or cif)\n";
+    std::exit(2);
+  }
+  options.csv_prefix = name;
+  options.quick = parser.get_flag("quick");
+  if (options.quick) {
+    options.frames = std::min(options.frames, 12);
+    options.qps = {16, 22, 30};
+  }
+  return options;
+}
+
+/// Builds the named sequence at `fps` (QCIF unless overridden).
+inline std::vector<video::Frame> qcif_sequence(
+    const std::string& name, int frames, int fps,
+    video::PictureSize size = video::kQcif) {
+  synth::SequenceRequest req;
+  req.name = name;
+  req.size = size;
+  req.frame_count = frames;
+  req.fps = fps;
+  return synth::make_sequence(req);
+}
+
+/// Opens `<prefix>_<suffix>.csv` in the working directory.
+inline std::ofstream open_csv(const std::string& prefix,
+                              const std::string& suffix) {
+  const std::string path =
+      util::sanitize_filename(prefix + "_" + suffix) + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  std::cout << "[csv] " << path << '\n';
+  return out;
+}
+
+/// Prints one sequence's RD curves in the paper's figure layout: one row per
+/// Qp, one (rate, PSNR) column pair per algorithm.
+inline void print_rd_figure(std::ostream& out, const std::string& sequence,
+                            int fps,
+                            const std::vector<analysis::RdCurve>& curves,
+                            const std::string& size_label = "QCIF") {
+  out << "\n-- " << sequence << " sequence (" << size_label << " @ " << fps
+      << " fps) --\n";
+  std::vector<std::string> header = {"Qp"};
+  for (const auto& curve : curves) {
+    header.push_back(curve.algorithm + " kbit/s");
+    header.push_back(curve.algorithm + " PSNR-Y dB");
+  }
+  util::TablePrinter table(header);
+  if (curves.empty()) {
+    return;
+  }
+  for (std::size_t i = 0; i < curves[0].points.size(); ++i) {
+    std::vector<std::string> row = {
+        std::to_string(curves[0].points[i].qp)};
+    for (const auto& curve : curves) {
+      row.push_back(util::CsvWriter::num(curve.points[i].kbps, 2));
+      row.push_back(util::CsvWriter::num(curve.points[i].psnr_y, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+}
+
+/// Appends a set of curves to a long-format CSV
+/// (sequence,fps,algorithm,qp,kbps,psnr_y,psnr_yuv,positions,...).
+inline void write_rd_csv_header(util::CsvWriter& csv) {
+  csv.row({"sequence", "fps", "algorithm", "qp", "kbps", "psnr_y", "psnr_yuv",
+           "avg_positions_per_mb", "full_search_fraction", "skip_fraction",
+           "mv_bits_share", "me_field_smoothness"});
+}
+
+inline void write_rd_csv_rows(util::CsvWriter& csv,
+                              const analysis::RdCurve& curve) {
+  for (const auto& p : curve.points) {
+    csv.row({curve.sequence, std::to_string(curve.fps), curve.algorithm,
+             std::to_string(p.qp), util::CsvWriter::num(p.kbps, 3),
+             util::CsvWriter::num(p.psnr_y, 3),
+             util::CsvWriter::num(p.psnr_yuv, 3),
+             util::CsvWriter::num(p.avg_positions, 2),
+             util::CsvWriter::num(p.full_search_fraction, 4),
+             util::CsvWriter::num(p.skip_fraction, 4),
+             util::CsvWriter::num(p.mv_bits_share, 4),
+             util::CsvWriter::num(p.field_smoothness, 3)});
+  }
+}
+
+/// Runs the Fig. 5/6 experiment at one frame rate: the paper's four
+/// sequences × {ACBM, FSBM, PBM} swept over Qp. Prints four figure panels
+/// and writes the CSV.
+inline void run_rd_figure_bench(const std::string& bench_name, int fps,
+                                const BenchOptions& options) {
+  util::Timer timer;
+  analysis::SweepConfig sweep;
+  sweep.qps = options.qps;
+  sweep.search_range = options.search_range;
+
+  auto csv_stream = open_csv(options.csv_prefix, "rd");
+  util::CsvWriter csv(csv_stream);
+  write_rd_csv_header(csv);
+
+  const std::vector<analysis::Algorithm> algorithms = {
+      analysis::Algorithm::kAcbm, analysis::Algorithm::kFsbm,
+      analysis::Algorithm::kPbm};
+
+  std::cout << bench_name << ": " << options.size_label << " @ " << fps
+            << " fps, " << options.frames
+            << " frames, p = " << options.search_range
+            << ", ACBM(alpha=1000, beta=8, gamma=0.25)\n";
+
+  for (const auto& name : synth::standard_sequence_names()) {
+    const auto frames =
+        qcif_sequence(name, options.frames, fps, options.size);
+    std::vector<analysis::RdCurve> curves;
+    for (analysis::Algorithm algo : algorithms) {
+      curves.push_back(
+          analysis::run_rd_sweep(frames, fps, algo, sweep, name));
+      write_rd_csv_rows(csv, curves.back());
+    }
+    print_rd_figure(std::cout, name, fps, curves, options.size_label);
+
+    // Shape check mirroring the paper's text: ACBM ≈ FSBM quality with a
+    // fraction of the positions; PBM cheapest but weakest on hard content.
+    const auto& acbm = curves[0].points;
+    const auto& fsbm = curves[1].points;
+    double worst_gap = 0.0;
+    double positions_ratio = 0.0;
+    for (std::size_t i = 0; i < acbm.size(); ++i) {
+      worst_gap = std::max(worst_gap, fsbm[i].psnr_y - acbm[i].psnr_y);
+      positions_ratio += acbm[i].avg_positions / fsbm[i].avg_positions;
+    }
+    positions_ratio /= static_cast<double>(acbm.size());
+    std::cout << "   shape: worst ACBM-vs-FSBM PSNR gap "
+              << util::CsvWriter::num(worst_gap, 2) << " dB; ACBM cost "
+              << util::CsvWriter::num(100.0 * positions_ratio, 1)
+              << "% of FSBM positions\n";
+  }
+  std::cout << "\n[done] " << bench_name << " in "
+            << util::CsvWriter::num(timer.seconds(), 1) << " s\n";
+}
+
+}  // namespace acbm::bench

@@ -1,0 +1,53 @@
+// acbm_dec — command-line decoder for ACV1 bitstreams produced by acbm_enc
+// (or any codec::Encoder user). Writes YUV4MPEG2 for direct playback.
+//
+// Example:
+//   ./acbm_dec --input foreman.acv --out foreman_dec.y4m
+
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "codec/decoder.hpp"
+#include "util/args.hpp"
+#include "video/y4m_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acbm;
+  util::ArgParser parser;
+  parser.add_option("input", "ACV1 bitstream", "");
+  parser.add_option("out", "output .y4m path", "decoded.y4m");
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << '\n' << parser.usage("acbm_dec");
+    return 2;
+  }
+  if (parser.help_requested() || parser.get("input").empty()) {
+    std::cout << parser.usage("acbm_dec");
+    return parser.help_requested() ? 0 : 2;
+  }
+
+  try {
+    std::ifstream in(parser.get("input"), std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("cannot open " + parser.get("input"));
+    }
+    const std::vector<std::uint8_t> data(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+
+    codec::Decoder decoder(data);
+    video::Y4mVideo video;
+    video.size = decoder.size();
+    video.rate = decoder.rate();
+    video.frames = decoder.decode_all();
+    video::write_y4m(parser.get("out"), video);
+
+    std::cout << "decoded " << video.frames.size() << " frames ("
+              << video.size.width << "x" << video.size.height << " @ "
+              << video.rate.fps() << " fps) -> " << parser.get("out") << '\n';
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "acbm_dec: " << e.what() << '\n';
+    return 1;
+  }
+}

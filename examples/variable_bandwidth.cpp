@@ -1,0 +1,135 @@
+// Variable-bandwidth channel: the scenario from the paper's conclusions
+// ("our algorithm is self-adapted to different frame rates, and hence, it
+// is suitable for variable bandwidth channel conditions").
+//
+// A clip is streamed over a channel whose rate drops by a third mid-call
+// and recovers near the end. The rate controller raises Qp to track the
+// channel; because ACBM's acceptance threshold is α + β·Qp², its search
+// effort *automatically falls exactly when bits get scarce* — the
+// self-adaptation claim, measured.
+//
+// Usage: ./examples/variable_bandwidth [--sequence NAME] [--frames N]
+
+#include <iostream>
+
+#include "analysis/rd_sweep.hpp"
+#include "codec/encoder.hpp"
+#include "codec/rate_control.hpp"
+#include "core/acbm.hpp"
+#include "synth/sequences.hpp"
+#include "util/args.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace acbm;
+  util::ArgParser parser;
+  parser.add_option("sequence", "carphone|foreman|miss_america|table",
+                    "foreman");
+  parser.add_option("frames", "frames to stream", "90");
+  if (!parser.parse(argc, argv)) {
+    std::cerr << parser.error() << '\n'
+              << parser.usage("variable_bandwidth");
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.usage("variable_bandwidth");
+    return 0;
+  }
+
+  synth::SequenceRequest request;
+  request.name = parser.get("sequence");
+  request.frame_count = static_cast<int>(parser.get_int("frames"));
+  const auto frames = synth::make_sequence(request);
+  const int fps = 30;
+
+  core::Acbm acbm;
+  codec::EncoderConfig cfg;
+  cfg.qp = 14;
+  cfg.fps_num = fps;
+  codec::Encoder encoder(video::kQcif, cfg, acbm);
+
+  const double high_kbps = 72.0;
+  const double low_kbps = 50.0;  // above the content's Qp-31 floor
+  codec::RateController::Config rc;
+  rc.target_kbps = high_kbps;
+  rc.fps = fps;
+  rc.initial_qp = cfg.qp;
+  codec::RateController rate(rc);
+
+  std::cout << "Streaming '" << request.name << "' over a channel: "
+            << high_kbps << " kbit/s -> " << low_kbps << " kbit/s (frame "
+            << frames.size() / 3 << ") -> " << high_kbps
+            << " kbit/s (frame " << 2 * frames.size() / 3 << ")\n\n";
+
+  util::TablePrinter table({"frames", "channel kbit/s", "actual kbit/s",
+                            "mean Qp", "PSNR-Y dB", "pos/MB",
+                            "critical %"});
+  std::uint64_t window_bits = 0;
+  double window_psnr = 0.0;
+  double window_qp = 0.0;
+  std::uint64_t window_positions = 0;
+  std::uint64_t window_critical = 0;
+  int window_frames = 0;
+  int window_start = 0;
+  double channel = high_kbps;
+
+  auto flush_window = [&](int end_frame) {
+    if (window_frames == 0) {
+      return;
+    }
+    const double n = window_frames;
+    table.add_row(
+        {std::to_string(window_start) + "-" + std::to_string(end_frame - 1),
+         util::CsvWriter::num(channel, 0),
+         util::CsvWriter::num(
+             static_cast<double>(window_bits) * fps / n / 1000.0, 1),
+         util::CsvWriter::num(window_qp / n, 1),
+         util::CsvWriter::num(window_psnr / n, 2),
+         util::CsvWriter::num(
+             static_cast<double>(window_positions) / (n * 99.0), 1),
+         util::CsvWriter::num(
+             100.0 * static_cast<double>(window_critical) / (n * 99.0), 1)});
+    window_bits = 0;
+    window_psnr = 0.0;
+    window_qp = 0.0;
+    window_positions = 0;
+    window_critical = 0;
+    window_frames = 0;
+    window_start = end_frame;
+  };
+
+  const int third = static_cast<int>(frames.size()) / 3;
+  for (int i = 0; i < static_cast<int>(frames.size()); ++i) {
+    if (i == third) {
+      flush_window(i);
+      channel = low_kbps;
+      rate.set_target_kbps(channel);
+    } else if (i == 2 * third) {
+      flush_window(i);
+      channel = high_kbps;
+      rate.set_target_kbps(channel);
+    }
+    encoder.set_qp(rate.next_qp());
+    const codec::FrameReport r =
+        encoder.encode_frame(frames[static_cast<std::size_t>(i)]);
+    rate.frame_encoded(r.bits);
+
+    window_bits += r.bits;
+    window_psnr += r.psnr_y;
+    window_qp += rate.next_qp();
+    if (!r.intra) {
+      window_positions += r.me_positions;
+      window_critical += r.full_search_blocks;
+    }
+    ++window_frames;
+  }
+  flush_window(static_cast<int>(frames.size()));
+  table.print(std::cout);
+
+  std::cout << "\nReading: when the channel narrows, the controller raises "
+               "Qp; ACBM's\nthreshold alpha + beta*Qp^2 widens, so search "
+               "positions per macroblock drop\nprecisely when the device "
+               "has the least bit budget — the paper's\nself-adaptation "
+               "property.\n";
+  return 0;
+}

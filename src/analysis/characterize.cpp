@@ -1,0 +1,131 @@
+#include "analysis/characterize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "me/full_search.hpp"
+#include "me/sad.hpp"
+#include "video/interp.hpp"
+#include "video/pad.hpp"
+
+namespace acbm::analysis {
+
+TruthSequence make_truth_sequence(const video::Plane& source,
+                                  video::PictureSize size,
+                                  const std::vector<me::Mv>& motions,
+                                  int margin) {
+  if (source.width() < size.width + 2 * margin ||
+      source.height() < size.height + 2 * margin) {
+    throw std::invalid_argument("truth sequence: source image too small");
+  }
+  TruthSequence seq;
+  seq.motions = motions;
+
+  // Frames carry genuine source content in their borders (crop_with_context)
+  // so unrestricted ±p search near the picture edge compares against the
+  // real scene, exactly as in the paper's global-motion setup.
+  int off_x = margin;
+  int off_y = margin;
+  seq.frames.push_back(video::crop_with_context(source, off_x, off_y,
+                                                size.width, size.height));
+  for (const me::Mv& m : motions) {
+    if (!m.is_integer()) {
+      throw std::invalid_argument("truth sequence: motions must be integer");
+    }
+    // motions[] are ground-truth *motion vectors* (current block → its match
+    // in the reference frame): advancing the sampling window by +v makes the
+    // new frame's content at x equal the previous frame's content at x+v,
+    // i.e. FSBM's best match sits at displacement +v.
+    off_x += m.x / 2;
+    off_y += m.y / 2;
+    if (off_x < 0 || off_y < 0 ||
+        off_x + size.width > source.width() ||
+        off_y + size.height > source.height()) {
+      throw std::invalid_argument(
+          "truth sequence: cumulative motion leaves the source margin");
+    }
+    seq.frames.push_back(video::crop_with_context(source, off_x, off_y,
+                                                  size.width, size.height));
+  }
+  return seq;
+}
+
+std::vector<me::Mv> paper_truth_motions() {
+  // Nine global motions, mixed magnitude and direction, all inside p = 15.
+  // Half-pel units (all integer-pel): {2,0}=+1 sample right.
+  return {
+      me::mv_from_fullpel(1, 0),    me::mv_from_fullpel(-2, 1),
+      me::mv_from_fullpel(3, -3),   me::mv_from_fullpel(0, 4),
+      me::mv_from_fullpel(-5, -2),  me::mv_from_fullpel(7, 5),
+      me::mv_from_fullpel(-9, 6),   me::mv_from_fullpel(11, -8),
+      me::mv_from_fullpel(-13, 13),
+  };
+}
+
+std::vector<BlockObservation> characterize(const TruthSequence& sequence,
+                                           int search_range) {
+  std::vector<BlockObservation> observations;
+  if (sequence.frames.size() < 2) {
+    return observations;
+  }
+  const int w = sequence.frames[0].width();
+  const int h = sequence.frames[0].height();
+  const int mbs_x = w / me::kBlockSize;
+  const int mbs_y = h / me::kBlockSize;
+  observations.reserve(sequence.motions.size() *
+                       static_cast<std::size_t>(mbs_x * mbs_y));
+
+  const me::FullSearch fsbm;
+  for (std::size_t t = 0; t < sequence.motions.size(); ++t) {
+    const video::Plane& ref = sequence.frames[t];
+    const video::Plane& cur = sequence.frames[t + 1];
+    const video::HalfpelPlanes ref_half(ref);
+    const me::Mv truth = sequence.motions[t];
+
+    for (int by = 0; by < mbs_y; ++by) {
+      for (int bx = 0; bx < mbs_x; ++bx) {
+        me::BlockContext ctx;
+        ctx.cur = &cur;
+        ctx.ref = &ref_half;
+        ctx.x = bx * me::kBlockSize;
+        ctx.y = by * me::kBlockSize;
+        ctx.bx = bx;
+        ctx.by = by;
+        ctx.window = me::unrestricted_window(search_range);
+        ctx.half_pel = false;  // error classes are integer-pel (§3.1)
+
+        const me::FullSearchResult full = fsbm.search_full(ctx);
+
+        BlockObservation obs;
+        obs.frame = static_cast<int>(t);
+        obs.bx = bx;
+        obs.by = by;
+        obs.error = (full.best_integer_mv - truth).linf() / 2;
+        obs.intra_sad = me::intra_sad(cur, ctx.x, ctx.y, ctx.bw, ctx.bh);
+        obs.sad_deviation = full.sad_deviation();
+        obs.sad_min = full.best_integer_sad;
+        observations.push_back(obs);
+      }
+    }
+  }
+  return observations;
+}
+
+std::vector<ErrorClassSummary> summarize_by_error(
+    const std::vector<BlockObservation>& observations) {
+  std::vector<ErrorClassSummary> summaries(6);
+  for (int c = 0; c < 6; ++c) {
+    summaries[static_cast<std::size_t>(c)].error_class = c;
+  }
+  for (const BlockObservation& obs : observations) {
+    const int c = std::min(obs.error, 5);
+    ErrorClassSummary& s = summaries[static_cast<std::size_t>(c)];
+    ++s.blocks;
+    s.intra_sad.add(obs.intra_sad);
+    s.sad_deviation.add(static_cast<double>(obs.sad_deviation));
+    s.sad_min.add(obs.sad_min);
+  }
+  return summaries;
+}
+
+}  // namespace acbm::analysis

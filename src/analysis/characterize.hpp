@@ -1,0 +1,70 @@
+#pragma once
+// The §3.1 experimental setup ("MOVE → FSBM → count MV errors", Fig. 3) and
+// the Intra_SAD × SAD_deviation scatter data behind Fig. 4.
+//
+// A known-truth sequence is built by windowing a large still image at
+// perfectly known global displacements; FSBM then runs frame-to-frame and
+// each block's found vector is compared with the introduced one. Blocks are
+// bucketed by MV error (0, 1, 2, 3, 4, ≥5 integer samples, L∞) and their
+// texture/ambiguity statistics collected.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "me/types.hpp"
+#include "util/stats.hpp"
+#include "video/frame.hpp"
+#include "video/plane.hpp"
+
+namespace acbm::analysis {
+
+/// A sequence with per-transition ground-truth global motion.
+struct TruthSequence {
+  std::vector<video::Plane> frames;  ///< luma only; ME is luma-only
+  std::vector<me::Mv> motions;       ///< motions[k]: frame k → k+1, half-pel
+};
+
+/// Builds the paper's ten-frame truth sequence: `source` must be at least
+/// (size + 2·margin) in each dimension; frame k is the window at the
+/// cumulative displacement of `motions[0..k)`. Throws std::invalid_argument
+/// if the cumulative path leaves the margin or any motion is not integer.
+TruthSequence make_truth_sequence(const video::Plane& source,
+                                  video::PictureSize size,
+                                  const std::vector<me::Mv>& motions,
+                                  int margin);
+
+/// The paper's nine test displacements: a mix of small/medium/large moves in
+/// all quadrants, all within the p = 15 window.
+[[nodiscard]] std::vector<me::Mv> paper_truth_motions();
+
+/// One block's characterization record.
+struct BlockObservation {
+  int frame = 0;  ///< transition index (current frame = frame+1)
+  int bx = 0;
+  int by = 0;
+  int error = 0;  ///< |found − truth|∞ in integer samples
+  std::uint32_t intra_sad = 0;
+  std::uint64_t sad_deviation = 0;
+  std::uint32_t sad_min = 0;
+};
+
+/// Runs integer-pel FSBM over every transition of the sequence and records
+/// each block's error class and statistics.
+std::vector<BlockObservation> characterize(const TruthSequence& sequence,
+                                           int search_range);
+
+/// Fig.-4 style summary for one error class.
+struct ErrorClassSummary {
+  int error_class = 0;  ///< 0..4, 5 meaning ≥5
+  std::size_t blocks = 0;
+  util::RunningStats intra_sad;
+  util::RunningStats sad_deviation;
+  util::RunningStats sad_min;
+};
+
+/// Buckets observations into classes 0..4 and ≥5 (the paper's six graphs).
+std::vector<ErrorClassSummary> summarize_by_error(
+    const std::vector<BlockObservation>& observations);
+
+}  // namespace acbm::analysis

@@ -1,0 +1,172 @@
+#include "analysis/rd_sweep.hpp"
+
+#include <stdexcept>
+
+#include "core/acbm.hpp"
+#include "me/cds.hpp"
+#include "me/decimation.hpp"
+#include "me/ds.hpp"
+#include "me/fss.hpp"
+#include "me/hexbs.hpp"
+#include "me/full_search.hpp"
+#include "me/ntss.hpp"
+#include "me/pbm.hpp"
+#include "me/tss.hpp"
+
+namespace acbm::analysis {
+
+std::string algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kFsbm:
+      return "FSBM";
+    case Algorithm::kPbm:
+      return "PBM";
+    case Algorithm::kAcbm:
+      return "ACBM";
+    case Algorithm::kTss:
+      return "TSS";
+    case Algorithm::kNtss:
+      return "NTSS";
+    case Algorithm::kFss:
+      return "4SS";
+    case Algorithm::kDs:
+      return "DS";
+    case Algorithm::kHexbs:
+      return "HEXBS";
+    case Algorithm::kCds:
+      return "CDS";
+    case Algorithm::kFsbmAdaptiveDecimation:
+      return "FSBM-adec";
+    case Algorithm::kFsbmSubsampled:
+      return "FSBM-sub";
+  }
+  return "?";
+}
+
+const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> algorithms = {
+      Algorithm::kAcbm, Algorithm::kFsbm, Algorithm::kPbm,
+      Algorithm::kTss,  Algorithm::kNtss, Algorithm::kFss,
+      Algorithm::kDs,   Algorithm::kHexbs, Algorithm::kCds,
+      Algorithm::kFsbmAdaptiveDecimation, Algorithm::kFsbmSubsampled};
+  return algorithms;
+}
+
+std::unique_ptr<me::MotionEstimator> make_estimator(Algorithm algorithm,
+                                                    core::AcbmParams params) {
+  switch (algorithm) {
+    case Algorithm::kFsbm:
+      return std::make_unique<me::FullSearch>();
+    case Algorithm::kPbm:
+      return std::make_unique<me::Pbm>();
+    case Algorithm::kAcbm:
+      return std::make_unique<core::Acbm>(params);
+    case Algorithm::kTss:
+      return std::make_unique<me::Tss>();
+    case Algorithm::kNtss:
+      return std::make_unique<me::Ntss>();
+    case Algorithm::kFss:
+      return std::make_unique<me::Fss>();
+    case Algorithm::kDs:
+      return std::make_unique<me::DiamondSearch>();
+    case Algorithm::kHexbs:
+      return std::make_unique<me::HexagonSearch>();
+    case Algorithm::kCds:
+      return std::make_unique<me::CrossDiamondSearch>();
+    case Algorithm::kFsbmAdaptiveDecimation:
+      return std::make_unique<me::AdaptiveDecimationSearch>();
+    case Algorithm::kFsbmSubsampled:
+      return std::make_unique<me::SubsampledFullSearch>();
+  }
+  throw std::invalid_argument("unknown algorithm");
+}
+
+RdPoint run_rd_point(const std::vector<video::Frame>& frames, int fps,
+                     me::MotionEstimator& estimator, int qp,
+                     const SweepConfig& config) {
+  if (frames.empty()) {
+    throw std::invalid_argument("rd sweep: no frames");
+  }
+  estimator.reset();
+
+  codec::EncoderConfig ec;
+  ec.qp = qp;
+  ec.search_range = config.search_range;
+  ec.half_pel = config.half_pel;
+  ec.me_lambda = config.me_lambda;
+  ec.mode_decision = config.mode_decision;
+  ec.deblock = config.deblock;
+  ec.fps_num = fps;
+  ec.fps_den = 1;
+
+  const video::PictureSize size{frames[0].width(), frames[0].height()};
+  codec::Encoder encoder(size, ec, estimator);
+
+  double psnr_y_sum = 0.0;
+  double psnr_yuv_sum = 0.0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t mv_bits = 0;
+  std::uint64_t me_positions = 0;
+  std::uint64_t fs_blocks = 0;
+  std::uint64_t p_mbs = 0;
+  std::uint64_t skip_mbs = 0;
+  double smoothness_sum = 0.0;
+  int p_frames = 0;
+
+  const int mbs_per_frame =
+      (size.width / me::kBlockSize) * (size.height / me::kBlockSize);
+
+  for (const video::Frame& frame : frames) {
+    const codec::FrameReport r = encoder.encode_frame(frame);
+    psnr_y_sum += r.psnr_y;
+    psnr_yuv_sum += r.psnr_yuv;
+    total_bits += r.bits;
+    mv_bits += r.mv_bits;
+    if (!r.intra) {
+      me_positions += r.me_positions;
+      fs_blocks += r.full_search_blocks;
+      p_mbs += static_cast<std::uint64_t>(mbs_per_frame);
+      skip_mbs += static_cast<std::uint64_t>(r.skip_mbs);
+      smoothness_sum += r.me_field_smoothness;
+      ++p_frames;
+    }
+  }
+
+  const double n = static_cast<double>(frames.size());
+  RdPoint point;
+  point.qp = qp;
+  point.psnr_y = psnr_y_sum / n;
+  point.psnr_yuv = psnr_yuv_sum / n;
+  point.kbps = static_cast<double>(total_bits) * fps / n / 1000.0;
+  if (p_mbs > 0) {
+    point.avg_positions =
+        static_cast<double>(me_positions) / static_cast<double>(p_mbs);
+    point.full_search_fraction =
+        static_cast<double>(fs_blocks) / static_cast<double>(p_mbs);
+    point.skip_fraction =
+        static_cast<double>(skip_mbs) / static_cast<double>(p_mbs);
+  }
+  point.mv_bits_share =
+      total_bits > 0
+          ? static_cast<double>(mv_bits) / static_cast<double>(total_bits)
+          : 0.0;
+  point.field_smoothness = p_frames > 0 ? smoothness_sum / p_frames : 0.0;
+  return point;
+}
+
+RdCurve run_rd_sweep(const std::vector<video::Frame>& frames, int fps,
+                     Algorithm algorithm, const SweepConfig& config,
+                     const std::string& sequence_name) {
+  RdCurve curve;
+  curve.sequence = sequence_name;
+  curve.algorithm = algorithm_name(algorithm);
+  curve.fps = fps;
+  const auto estimator = make_estimator(algorithm, config.acbm);
+  for (int qp : config.qps) {
+    curve.points.push_back(
+        run_rd_point(frames, fps, *estimator, qp, config));
+  }
+  return curve;
+}
+
+}  // namespace acbm::analysis

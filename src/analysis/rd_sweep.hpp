@@ -1,0 +1,90 @@
+#pragma once
+// The rate–distortion sweep driver behind Figs. 5/6 and Table 1.
+//
+// One function encodes a sequence at a series of quantiser values with a
+// chosen motion-estimation algorithm and reports, per Qp: average luma PSNR,
+// bitrate in kbit/s, and the average number of candidate positions searched
+// per macroblock — exactly the three quantities the paper plots/tabulates.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codec/encoder.hpp"
+#include "core/params.hpp"
+#include "me/estimator.hpp"
+#include "video/frame.hpp"
+
+namespace acbm::analysis {
+
+/// The algorithms compared in the paper's §4 plus the classical baselines
+/// this library adds: candidate-reduction searches (TSS/NTSS/4SS/DS/CDS,
+/// the paper's refs [3–5] family) and pixel-decimation searches
+/// (kFsbmAdaptiveDecimation / kFsbmSubsampled, the refs [6–8] family).
+enum class Algorithm {
+  kFsbm,
+  kPbm,
+  kAcbm,
+  kTss,
+  kNtss,
+  kFss,
+  kDs,
+  kHexbs,
+  kCds,
+  kFsbmAdaptiveDecimation,
+  kFsbmSubsampled,
+};
+
+/// Display name matching the paper's legends ("FSBM", "PBM", "ACBM", ...).
+[[nodiscard]] std::string algorithm_name(Algorithm algorithm);
+
+/// All algorithms, paper's three first.
+[[nodiscard]] const std::vector<Algorithm>& all_algorithms();
+
+/// Instantiates an estimator. ACBM takes its parameters; others ignore them.
+[[nodiscard]] std::unique_ptr<me::MotionEstimator> make_estimator(
+    Algorithm algorithm,
+    core::AcbmParams params = core::AcbmParams::paper_defaults());
+
+/// One Qp's aggregated results.
+struct RdPoint {
+  int qp = 0;
+  double kbps = 0.0;           ///< total_bits · fps / frames / 1000
+  double psnr_y = 0.0;         ///< mean luma PSNR over all frames
+  double psnr_yuv = 0.0;
+  double avg_positions = 0.0;  ///< SAD evaluations per P-frame macroblock
+  double full_search_fraction = 0.0;  ///< P-frame blocks where FSBM ran
+  double skip_fraction = 0.0;
+  double mv_bits_share = 0.0;  ///< fraction of bits spent on vectors
+  double field_smoothness = 0.0;  ///< mean ME-field smoothness (half-pel L1)
+};
+
+struct RdCurve {
+  std::string sequence;
+  std::string algorithm;
+  int fps = 30;
+  std::vector<RdPoint> points;
+};
+
+/// Sweep parameters.
+struct SweepConfig {
+  std::vector<int> qps = {16, 18, 20, 22, 24, 26, 28, 30};  ///< Table 1 set
+  int search_range = 15;
+  bool half_pel = true;
+  double me_lambda = 0.0;  ///< paper: pure-SAD search
+  core::AcbmParams acbm = core::AcbmParams::paper_defaults();
+  codec::ModeDecision mode_decision = codec::ModeDecision::kHeuristic;
+  bool deblock = false;    ///< in-loop Annex-J filter
+};
+
+/// Encodes `frames` (already at the target fps) once per Qp.
+RdCurve run_rd_sweep(const std::vector<video::Frame>& frames, int fps,
+                     Algorithm algorithm, const SweepConfig& config,
+                     const std::string& sequence_name);
+
+/// Single-Qp convenience used by Table 1 and the ablation bench.
+RdPoint run_rd_point(const std::vector<video::Frame>& frames, int fps,
+                     me::MotionEstimator& estimator, int qp,
+                     const SweepConfig& config);
+
+}  // namespace acbm::analysis

@@ -1,0 +1,149 @@
+#include "analysis/visualize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace acbm::analysis {
+
+RgbImage RgbImage::solid(int w, int h, std::uint8_t r, std::uint8_t g,
+                         std::uint8_t b) {
+  RgbImage image;
+  image.width = w;
+  image.height = h;
+  image.rgb.resize(static_cast<std::size_t>(w) * h * 3);
+  for (std::size_t i = 0; i < image.rgb.size(); i += 3) {
+    image.rgb[i] = r;
+    image.rgb[i + 1] = g;
+    image.rgb[i + 2] = b;
+  }
+  return image;
+}
+
+void RgbImage::set(int x, int y, std::uint8_t r, std::uint8_t g,
+                   std::uint8_t b) {
+  assert(x >= 0 && x < width && y >= 0 && y < height);
+  const std::size_t i =
+      (static_cast<std::size_t>(y) * width + static_cast<std::size_t>(x)) * 3;
+  rgb[i] = r;
+  rgb[i + 1] = g;
+  rgb[i + 2] = b;
+}
+
+void write_pgm(const std::string& path, const video::Plane& plane) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("visualize: cannot open " + path);
+  }
+  out << "P5\n" << plane.width() << ' ' << plane.height() << "\n255\n";
+  for (int y = 0; y < plane.height(); ++y) {
+    out.write(reinterpret_cast<const char*>(plane.row(y)), plane.width());
+  }
+  if (!out) {
+    throw std::runtime_error("visualize: write failure on " + path);
+  }
+}
+
+void write_ppm(const std::string& path, const RgbImage& image) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("visualize: cannot open " + path);
+  }
+  out << "P6\n" << image.width << ' ' << image.height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.rgb.data()),
+            static_cast<std::streamsize>(image.rgb.size()));
+  if (!out) {
+    throw std::runtime_error("visualize: write failure on " + path);
+  }
+}
+
+namespace {
+
+/// Direction (radians) → RGB on a simple 6-segment hue wheel at the given
+/// saturation in [0,1].
+void hue_to_rgb(double angle, double saturation, std::uint8_t rgb[3]) {
+  const double pi = 3.14159265358979323846;
+  double h = std::fmod(angle + 2.0 * pi, 2.0 * pi) / (2.0 * pi) * 6.0;
+  const int seg = static_cast<int>(h) % 6;
+  const double f = h - std::floor(h);
+  const double v = 1.0;
+  const double p = 1.0 - saturation;
+  const double q = 1.0 - saturation * f;
+  const double t = 1.0 - saturation * (1.0 - f);
+  double r = v, g = v, b = v;
+  switch (seg) {
+    case 0: r = v; g = t; b = p; break;
+    case 1: r = q; g = v; b = p; break;
+    case 2: r = p; g = v; b = t; break;
+    case 3: r = p; g = q; b = v; break;
+    case 4: r = t; g = p; b = v; break;
+    case 5: r = v; g = p; b = q; break;
+    default: break;
+  }
+  rgb[0] = static_cast<std::uint8_t>(std::lround(255.0 * r));
+  rgb[1] = static_cast<std::uint8_t>(std::lround(255.0 * g));
+  rgb[2] = static_cast<std::uint8_t>(std::lround(255.0 * b));
+}
+
+}  // namespace
+
+RgbImage render_mv_field(const me::MvField& field, int scale,
+                         int max_halfpel) {
+  assert(scale > 0 && max_halfpel > 0);
+  RgbImage image = RgbImage::solid(field.mbs_x() * scale,
+                                   field.mbs_y() * scale, 0, 0, 0);
+  for (int by = 0; by < field.mbs_y(); ++by) {
+    for (int bx = 0; bx < field.mbs_x(); ++bx) {
+      const me::Mv mv = field.at(bx, by);
+      std::uint8_t rgb[3] = {128, 128, 128};  // zero vector: gray
+      if (mv.x != 0 || mv.y != 0) {
+        const double magnitude =
+            std::min(1.0, std::hypot(mv.x, mv.y) / max_halfpel);
+        hue_to_rgb(std::atan2(static_cast<double>(mv.y),
+                              static_cast<double>(mv.x)),
+                   magnitude, rgb);
+      }
+      for (int py = 0; py < scale; ++py) {
+        for (int px = 0; px < scale; ++px) {
+          image.set(bx * scale + px, by * scale + py, rgb[0], rgb[1],
+                    rgb[2]);
+        }
+      }
+    }
+  }
+  return image;
+}
+
+RgbImage render_decision_map(const std::vector<core::BlockDecision>& decisions,
+                             int mbs_x, int mbs_y, int scale) {
+  assert(scale > 0);
+  RgbImage image = RgbImage::solid(mbs_x * scale, mbs_y * scale, 0, 0, 0);
+  for (const core::BlockDecision& d : decisions) {
+    if (d.bx < 0 || d.bx >= mbs_x || d.by < 0 || d.by >= mbs_y) {
+      continue;
+    }
+    std::uint8_t r = 0, g = 0, b = 0;
+    switch (d.outcome) {
+      case core::AcbmOutcome::kAcceptLowActivity:
+        g = 200;
+        break;
+      case core::AcbmOutcome::kAcceptGoodMatch:
+        b = 220;
+        g = 80;
+        break;
+      case core::AcbmOutcome::kCritical:
+        r = 220;
+        break;
+    }
+    for (int py = 0; py < scale; ++py) {
+      for (int px = 0; px < scale; ++px) {
+        image.set(d.bx * scale + px, d.by * scale + py, r, g, b);
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace acbm::analysis

@@ -1,0 +1,48 @@
+#pragma once
+// Visualisation dumps: portable graymap/pixmap (PGM/PPM) writers plus
+// renderers for the structures this library computes — luma planes, motion
+// fields and ACBM decision maps. PGM/PPM are header-plus-raster formats any
+// image viewer opens, so the tools stay dependency-free.
+
+#include <string>
+#include <vector>
+
+#include "core/decision.hpp"
+#include "me/mv_field.hpp"
+#include "video/plane.hpp"
+
+namespace acbm::analysis {
+
+/// An 8-bit RGB raster.
+struct RgbImage {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> rgb;  ///< 3 bytes per pixel, row-major
+
+  [[nodiscard]] static RgbImage solid(int w, int h, std::uint8_t r,
+                                      std::uint8_t g, std::uint8_t b);
+  void set(int x, int y, std::uint8_t r, std::uint8_t g, std::uint8_t b);
+};
+
+/// Writes the visible area of a plane as binary PGM (P5).
+void write_pgm(const std::string& path, const video::Plane& plane);
+
+/// Writes an RGB image as binary PPM (P6).
+void write_ppm(const std::string& path, const RgbImage& image);
+
+/// Renders a motion field as an RGB image at `scale` pixels per macroblock:
+/// hue from direction, saturation from magnitude (zero vectors render gray).
+/// Useful for eyeballing the paper's "coherent vs incoherent field" claim.
+[[nodiscard]] RgbImage render_mv_field(const me::MvField& field,
+                                       int scale = 16,
+                                       int max_halfpel = 30);
+
+/// Renders ACBM's per-block outcomes over a field-sized grid:
+/// green = accepted by T1 (low activity), blue = accepted by T2 (good
+/// match), red = critical (FSBM ran). Blocks absent from the log render
+/// black.
+[[nodiscard]] RgbImage render_decision_map(
+    const std::vector<core::BlockDecision>& decisions, int mbs_x, int mbs_y,
+    int scale = 16);
+
+}  // namespace acbm::analysis

@@ -1,0 +1,95 @@
+#include "codec/coeff_coding.hpp"
+
+#include "codec/zigzag.hpp"
+#include "util/expgolomb.hpp"
+
+namespace acbm::codec {
+
+namespace {
+
+/// Iterates (run, level) events of the zig-zagged block, invoking
+/// fn(run, level) for each nonzero coefficient. Returns the event count.
+template <typename Fn>
+int for_each_event(const std::int16_t levels[kDctSamples], bool skip_dc,
+                   Fn&& fn) {
+  std::int16_t scanned[kDctSamples];
+  zigzag_scan(levels, scanned);
+  int events = 0;
+  std::uint32_t run = 0;
+  for (int k = skip_dc ? 1 : 0; k < kDctSamples; ++k) {
+    if (scanned[k] == 0) {
+      ++run;
+      continue;
+    }
+    fn(run, scanned[k]);
+    ++events;
+    run = 0;
+  }
+  return events;
+}
+
+}  // namespace
+
+void encode_block_coeffs(util::BitWriter& bw,
+                         const std::int16_t levels[kDctSamples],
+                         bool skip_dc) {
+  for_each_event(levels, skip_dc, [&bw](std::uint32_t run, std::int16_t level) {
+    util::put_ue(bw, run);
+    util::put_se(bw, level);
+  });
+  util::put_ue(bw, kEob);
+}
+
+bool decode_block_coeffs(util::BitReader& br,
+                         std::int16_t levels[kDctSamples], bool skip_dc) {
+  std::int16_t scanned[kDctSamples] = {};
+  int k = skip_dc ? 1 : 0;
+  while (true) {
+    const std::uint32_t run = util::get_ue(br);
+    if (br.exhausted()) {
+      return false;
+    }
+    if (run == kEob) {
+      break;
+    }
+    if (run > 63) {
+      return false;
+    }
+    const std::int32_t level = util::get_se(br);
+    if (br.exhausted() || level == 0) {
+      return false;
+    }
+    k += static_cast<int>(run);
+    if (k >= kDctSamples) {
+      return false;
+    }
+    scanned[k] = static_cast<std::int16_t>(level);
+    ++k;
+  }
+  zigzag_unscan(scanned, levels);
+  return true;
+}
+
+std::uint32_t block_coeff_bits(const std::int16_t levels[kDctSamples],
+                               bool skip_dc) {
+  std::uint32_t bits = 0;
+  for_each_event(levels, skip_dc,
+                 [&bits](std::uint32_t run, std::int16_t level) {
+                   bits += static_cast<std::uint32_t>(util::ue_bit_length(run));
+                   bits += static_cast<std::uint32_t>(util::se_bit_length(level));
+                 });
+  bits += static_cast<std::uint32_t>(util::ue_bit_length(kEob));
+  return bits;
+}
+
+bool block_has_coeffs(const std::int16_t levels[kDctSamples], bool skip_dc) {
+  for (int i = skip_dc ? 1 : 0; i < kDctSamples; ++i) {
+    // Raster index 0 is the DC in both scans, so skip_dc maps cleanly.
+    if (levels[i] != 0 && !(skip_dc && i == 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace acbm::codec

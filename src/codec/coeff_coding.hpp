@@ -1,0 +1,41 @@
+#pragma once
+// Run/level entropy coding of quantized 8×8 blocks.
+//
+// Zig-zag order, events of (zero-run, nonzero level) coded as
+// ue(run) + se(level), terminated by the reserved run value kEob = 64.
+// A structured universal code replaces TMN's Huffman tables (DESIGN.md §4):
+// it preserves the monotone rate-in-(run, |level|) behaviour the paper's
+// R term depends on, and unlike a table import it is trivially prefix-free
+// and decodable by construction.
+
+#include <cstdint>
+
+#include "codec/dct.hpp"
+#include "util/bitstream.hpp"
+
+namespace acbm::codec {
+
+/// Reserved ue() value marking end-of-block (valid runs are 0..63).
+inline constexpr std::uint32_t kEob = 64;
+
+/// Encodes the block (raster-order levels). When `skip_dc` is set, index 0
+/// is excluded from the scan (intra blocks code DC out of band).
+void encode_block_coeffs(util::BitWriter& bw,
+                         const std::int16_t levels[kDctSamples],
+                         bool skip_dc = false);
+
+/// Decodes into raster-order levels (zero-filled first). Returns false on a
+/// malformed stream (bad run, zero level, or reader exhaustion).
+[[nodiscard]] bool decode_block_coeffs(util::BitReader& br,
+                                       std::int16_t levels[kDctSamples],
+                                       bool skip_dc = false);
+
+/// Exact bit count encode_block_coeffs would produce.
+[[nodiscard]] std::uint32_t block_coeff_bits(
+    const std::int16_t levels[kDctSamples], bool skip_dc = false);
+
+/// True when any codable coefficient is nonzero (respecting skip_dc).
+[[nodiscard]] bool block_has_coeffs(const std::int16_t levels[kDctSamples],
+                                    bool skip_dc = false);
+
+}  // namespace acbm::codec

@@ -1,0 +1,78 @@
+#include "codec/deblock.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace acbm::codec {
+
+int deblock_strength(int qp) {
+  // H.263 Annex J, Table J.2.
+  static constexpr int kStrength[32] = {
+      0,  1, 1, 2, 2, 3, 3, 4, 4, 4, 5, 5, 6,  6,  7,  7,
+      7,  8, 8, 8, 9, 9, 9, 10, 10, 10, 11, 11, 11, 12, 12, 12};
+  return kStrength[std::clamp(qp, 1, 31)];
+}
+
+namespace {
+
+std::uint8_t clip_sample(int v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+}
+
+int up_down_ramp(int x, int strength) {
+  const int ax = std::abs(x);
+  const int value = std::max(0, ax - std::max(0, 2 * (ax - strength)));
+  return x >= 0 ? value : -value;
+}
+
+}  // namespace
+
+void deblock_edge(std::uint8_t& a, std::uint8_t& b, std::uint8_t& c,
+                  std::uint8_t& d, int strength) {
+  const int ia = a;
+  const int ib = b;
+  const int ic = c;
+  const int id = d;
+  const int diff = (ia - 4 * ib + 4 * ic - id) / 8;
+  const int d1 = up_down_ramp(diff, strength);
+  const int half = std::abs(d1) / 2;
+  const int d2 = std::clamp((ia - id) / 4, -half, half);
+  a = clip_sample(ia - d2);
+  b = clip_sample(ib + d1);
+  c = clip_sample(ic - d1);
+  d = clip_sample(id + d2);
+}
+
+void deblock_plane(video::Plane& plane, int qp, int block) {
+  const int strength = deblock_strength(qp);
+  if (strength == 0 || plane.empty()) {
+    return;
+  }
+  // Horizontal edges (filtering vertically across row boundaries).
+  for (int edge = block; edge < plane.height(); edge += block) {
+    std::uint8_t* r0 = plane.row(edge - 2);
+    std::uint8_t* r1 = plane.row(edge - 1);
+    std::uint8_t* r2 = plane.row(edge);
+    std::uint8_t* r3 = plane.row(edge + 1);
+    for (int x = 0; x < plane.width(); ++x) {
+      deblock_edge(r0[x], r1[x], r2[x], r3[x], strength);
+    }
+  }
+  // Vertical edges (filtering horizontally across column boundaries).
+  for (int y = 0; y < plane.height(); ++y) {
+    std::uint8_t* row = plane.row(y);
+    for (int edge = block; edge < plane.width(); edge += block) {
+      deblock_edge(row[edge - 2], row[edge - 1], row[edge], row[edge + 1],
+                   strength);
+    }
+  }
+}
+
+void deblock_frame(video::Frame& frame, int qp) {
+  deblock_plane(frame.y(), qp);
+  deblock_plane(frame.cb(), qp);
+  deblock_plane(frame.cr(), qp);
+  frame.extend_borders();
+}
+
+}  // namespace acbm::codec

@@ -1,0 +1,39 @@
+#pragma once
+// In-loop deblocking filter (H.263 Annex J).
+//
+// Block-based DCT coding at coarse quantisers leaves visible discontinuities
+// on the 8×8 grid; the Annex-J filter smooths one sample each side of every
+// interior block edge with a quantiser-dependent strength, inside the coding
+// loop (encoder and decoder run the identical filter on the reconstruction,
+// so prediction references stay in sync — the same parity discipline as the
+// rest of this codec).
+//
+// Edge operator on samples A B | C D straddling a boundary:
+//   d  = (A − 4B + 4C − D) / 8
+//   d1 = UpDownRamp(d, S) = sign(d)·max(0, |d| − max(0, 2(|d| − S)))
+//   d2 = clamp((A − D) / 4, −|d1|/2, |d1|/2)
+//   B += d1, C −= d1, A −= d2, D += d2   (B, C clamped to [0, 255])
+// with S the Annex-J strength for the frame quantiser.
+
+#include "video/frame.hpp"
+#include "video/plane.hpp"
+
+namespace acbm::codec {
+
+/// Annex J Table J.2 filter strength for qp in [1, 31].
+[[nodiscard]] int deblock_strength(int qp);
+
+/// Filters one edge quad in place (exposed for tests).
+void deblock_edge(std::uint8_t& a, std::uint8_t& b, std::uint8_t& c,
+                  std::uint8_t& d, int strength);
+
+/// Filters all interior `block`-grid edges of the plane: horizontal edges
+/// first, then vertical (both encoder and decoder must call this exact
+/// function for reconstruction parity).
+void deblock_plane(video::Plane& plane, int qp, int block = 8);
+
+/// Filters luma and both chroma planes on their 8×8 grids and re-extends
+/// the borders.
+void deblock_frame(video::Frame& frame, int qp);
+
+}  // namespace acbm::codec

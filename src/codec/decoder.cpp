@@ -1,0 +1,208 @@
+#include "codec/decoder.hpp"
+
+#include "codec/block_codec.hpp"
+#include "codec/coeff_coding.hpp"
+#include "codec/deblock.hpp"
+#include "codec/mc.hpp"
+#include "codec/mv_coding.hpp"
+#include "codec/quant.hpp"
+#include "me/types.hpp"
+
+namespace acbm::codec {
+
+namespace {
+
+constexpr int kMb = me::kBlockSize;
+constexpr int kLumaBlockOffsets[4][2] = {{0, 0}, {8, 0}, {0, 8}, {8, 8}};
+// Local mirrors of the encoder's constants (encoder.hpp is not included to
+// keep the decoder linkable without the encoder's dependencies).
+constexpr std::uint32_t kMagic = 0x41435631;
+constexpr std::uint32_t kSync = 0x7E5A;
+
+}  // namespace
+
+Decoder::Decoder(std::span<const std::uint8_t> data)
+    : data_(data.begin(), data.end()), reader_(data_) {
+  if (reader_.get_bits(32) != kMagic || reader_.exhausted()) {
+    throw DecodeError("decoder: missing ACV1 magic");
+  }
+  size_.width = static_cast<int>(reader_.get_bits(16));
+  size_.height = static_cast<int>(reader_.get_bits(16));
+  rate_.num = static_cast<int>(reader_.get_bits(16));
+  rate_.den = static_cast<int>(reader_.get_bits(16));
+  // 4096×4096 comfortably covers any realistic use of this codec and keeps
+  // a corrupted header from demanding gigabyte allocations.
+  constexpr int kMaxDimension = 4096;
+  if (reader_.exhausted() || size_.width <= 0 || size_.height <= 0 ||
+      size_.width % kMb != 0 || size_.height % kMb != 0 ||
+      size_.width > kMaxDimension || size_.height > kMaxDimension) {
+    throw DecodeError("decoder: invalid sequence header");
+  }
+  ref_ = video::Frame(size_);
+  coded_field_ = me::MvField::for_picture(size_.width, size_.height);
+}
+
+std::optional<video::Frame> Decoder::decode_frame() {
+  reader_.align();
+  if (reader_.bits_left() < 16 + 1 + 5 + 1) {
+    return std::nullopt;  // clean end of stream
+  }
+  if (reader_.get_bits(16) != kSync) {
+    throw DecodeError("decoder: lost frame sync");
+  }
+  const bool inter_frame = reader_.get_bit();
+  const int qp = static_cast<int>(reader_.get_bits(5));
+  const bool deblock = reader_.get_bit();
+  if (qp < kMinQp || qp > kMaxQp) {
+    throw DecodeError("decoder: qp out of range");
+  }
+  if (first_frame_ && inter_frame) {
+    throw DecodeError("decoder: first frame must be intra");
+  }
+
+  video::Frame out(size_);
+  coded_field_ = me::MvField::for_picture(size_.width, size_.height);
+  if (inter_frame) {
+    ref_half_ = video::HalfpelPlanes(ref_.y());
+  }
+
+  const int mbs_x = size_.width / kMb;
+  const int mbs_y = size_.height / kMb;
+  for (int by = 0; by < mbs_y; ++by) {
+    for (int bx = 0; bx < mbs_x; ++bx) {
+      if (!inter_frame) {
+        decode_intra_mb(out, bx, by, qp);
+        continue;
+      }
+      const bool skip = reader_.get_bit();  // COD
+      if (skip) {
+        copy_skip_mb(out, bx, by);
+        coded_field_.set(bx, by, {0, 0});
+        continue;
+      }
+      const bool intra = reader_.get_bit();
+      if (intra) {
+        decode_intra_mb(out, bx, by, qp);
+        continue;
+      }
+      const me::Mv mv =
+          decode_mvd(reader_, coded_field_.median_predictor(bx, by));
+      decode_inter_mb(out, bx, by, qp, mv);
+      coded_field_.set(bx, by, mv);
+      if (reader_.exhausted()) {
+        throw DecodeError("decoder: truncated macroblock data");
+      }
+    }
+  }
+  if (reader_.exhausted()) {
+    throw DecodeError("decoder: truncated frame");
+  }
+
+  if (deblock) {
+    deblock_frame(out, qp);
+  }
+  out.extend_borders();
+  ref_ = out;
+  ref_.extend_borders();
+  first_frame_ = false;
+  return out;
+}
+
+std::vector<video::Frame> Decoder::decode_all() {
+  std::vector<video::Frame> frames;
+  while (auto frame = decode_frame()) {
+    frames.push_back(std::move(*frame));
+  }
+  return frames;
+}
+
+void Decoder::decode_intra_mb(video::Frame& out, int bx, int by, int qp) {
+  const int x = bx * kMb;
+  const int y = by * kMb;
+
+  std::uint8_t dc[6];
+  for (auto& d : dc) {
+    d = static_cast<std::uint8_t>(reader_.get_bits(8));
+  }
+  const std::uint32_t cbp = static_cast<std::uint32_t>(reader_.get_bits(6));
+
+  std::int16_t levels[6][kDctSamples] = {};
+  for (int b = 0; b < 6; ++b) {
+    if ((cbp >> b) & 1u) {
+      if (!decode_block_coeffs(reader_, levels[b], /*skip_dc=*/true)) {
+        throw DecodeError("decoder: bad intra coefficients");
+      }
+    }
+  }
+
+  for (int b = 0; b < 4; ++b) {
+    const int ox = kLumaBlockOffsets[b][0];
+    const int oy = kLumaBlockOffsets[b][1];
+    reconstruct_intra_block(levels[b], dc[b], qp, out.y().row(y + oy) + x + ox,
+                            out.y().stride());
+  }
+  reconstruct_intra_block(levels[4], dc[4], qp, out.cb().row(y / 2) + x / 2,
+                          out.cb().stride());
+  reconstruct_intra_block(levels[5], dc[5], qp, out.cr().row(y / 2) + x / 2,
+                          out.cr().stride());
+  coded_field_.set(bx, by, {0, 0});
+}
+
+void Decoder::decode_inter_mb(video::Frame& out, int bx, int by, int qp,
+                              me::Mv mv) {
+  const int x = bx * kMb;
+  const int y = by * kMb;
+
+  const std::uint32_t cbp = static_cast<std::uint32_t>(reader_.get_bits(6));
+  std::int16_t levels[6][kDctSamples] = {};
+  for (int b = 0; b < 6; ++b) {
+    if ((cbp >> b) & 1u) {
+      if (!decode_block_coeffs(reader_, levels[b])) {
+        throw DecodeError("decoder: bad inter coefficients");
+      }
+    }
+  }
+
+  std::uint8_t pred_y[kMb * kMb];
+  predict_luma(ref_half_, x, y, mv, kMb, kMb, pred_y, kMb);
+  const me::Mv cmv = derive_chroma_mv(mv);
+  std::uint8_t pred_cb[8 * 8];
+  std::uint8_t pred_cr[8 * 8];
+  predict_chroma(ref_.cb(), x / 2, y / 2, cmv, 8, 8, pred_cb, 8);
+  predict_chroma(ref_.cr(), x / 2, y / 2, cmv, 8, 8, pred_cr, 8);
+
+  for (int b = 0; b < 4; ++b) {
+    const int ox = kLumaBlockOffsets[b][0];
+    const int oy = kLumaBlockOffsets[b][1];
+    reconstruct_inter_block(levels[b], pred_y + oy * kMb + ox, kMb, qp,
+                            out.y().row(y + oy) + x + ox, out.y().stride());
+  }
+  reconstruct_inter_block(levels[4], pred_cb, 8, qp,
+                          out.cb().row(y / 2) + x / 2, out.cb().stride());
+  reconstruct_inter_block(levels[5], pred_cr, 8, qp,
+                          out.cr().row(y / 2) + x / 2, out.cr().stride());
+}
+
+void Decoder::copy_skip_mb(video::Frame& out, int bx, int by) {
+  const int x = bx * kMb;
+  const int y = by * kMb;
+  for (int row = 0; row < kMb; ++row) {
+    std::uint8_t* dst = out.y().row(y + row) + x;
+    const std::uint8_t* src = ref_.y().row(y + row) + x;
+    for (int col = 0; col < kMb; ++col) {
+      dst[col] = src[col];
+    }
+  }
+  for (int row = 0; row < kMb / 2; ++row) {
+    std::uint8_t* dcb = out.cb().row(y / 2 + row) + x / 2;
+    const std::uint8_t* scb = ref_.cb().row(y / 2 + row) + x / 2;
+    std::uint8_t* dcr = out.cr().row(y / 2 + row) + x / 2;
+    const std::uint8_t* scr = ref_.cr().row(y / 2 + row) + x / 2;
+    for (int col = 0; col < kMb / 2; ++col) {
+      dcb[col] = scb[col];
+      dcr[col] = scr[col];
+    }
+  }
+}
+
+}  // namespace acbm::codec

@@ -1,0 +1,60 @@
+#pragma once
+// Decoder for the ACV1 bitstream produced by codec::Encoder.
+//
+// The paper never decodes (PSNR is measured against the encoder's
+// reconstruction loop); we ship a decoder anyway because round-trip parity
+// — decoder output bit-exact against Encoder::last_recon() — is the
+// strongest available correctness check on the whole codec substrate.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "me/mv_field.hpp"
+#include "util/bitstream.hpp"
+#include "video/frame.hpp"
+#include "video/interp.hpp"
+#include "video/y4m_io.hpp"
+
+namespace acbm::codec {
+
+/// Raised on malformed bitstreams.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Decoder {
+ public:
+  /// Parses the sequence header; throws DecodeError when the data is not an
+  /// ACV1 stream. The buffer is copied so the decoder owns its input.
+  explicit Decoder(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] video::PictureSize size() const { return size_; }
+  [[nodiscard]] video::FrameRate rate() const { return rate_; }
+
+  /// Decodes the next frame; std::nullopt at clean end-of-stream. Throws
+  /// DecodeError on corruption.
+  std::optional<video::Frame> decode_frame();
+
+  /// Decodes every remaining frame.
+  std::vector<video::Frame> decode_all();
+
+ private:
+  void decode_intra_mb(video::Frame& out, int bx, int by, int qp);
+  void decode_inter_mb(video::Frame& out, int bx, int by, int qp, me::Mv mv);
+  void copy_skip_mb(video::Frame& out, int bx, int by);
+
+  std::vector<std::uint8_t> data_;
+  util::BitReader reader_;
+  video::PictureSize size_{};
+  video::FrameRate rate_{};
+  video::Frame ref_;
+  video::HalfpelPlanes ref_half_;
+  me::MvField coded_field_;
+  bool first_frame_ = true;
+};
+
+}  // namespace acbm::codec

@@ -1,0 +1,552 @@
+#include "codec/encoder.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "codec/block_codec.hpp"
+#include "codec/coeff_coding.hpp"
+#include "codec/deblock.hpp"
+#include "codec/mc.hpp"
+#include "codec/mv_coding.hpp"
+#include "codec/quant.hpp"
+#include "me/sad.hpp"
+#include "video/psnr.hpp"
+
+namespace acbm::codec {
+
+namespace {
+
+constexpr int kMb = me::kBlockSize;  // 16
+
+/// Offsets of the four 8×8 luma blocks inside a macroblock, coding order.
+constexpr int kLumaBlockOffsets[4][2] = {{0, 0}, {8, 0}, {0, 8}, {8, 8}};
+
+/// λ for SSD-domain mode decision (TMN-10 convention: 0.85·Qp²).
+double mode_lambda(int qp) { return 0.85 * qp * qp; }
+
+}  // namespace
+
+struct Encoder::MbBitCounters {
+  std::uint64_t mv = 0;
+  std::uint64_t coeff = 0;
+  std::uint64_t header = 0;
+};
+
+/// A fully transformed INTRA macroblock, not yet written or reconstructed.
+struct Encoder::IntraPlan {
+  std::int16_t levels[6][kDctSamples];
+  std::uint8_t dc[6];
+  std::uint32_t cbp = 0;
+
+  /// Exact payload bits (DCs + CBP + coefficients; excludes COD/mode bits).
+  [[nodiscard]] std::uint32_t payload_bits() const {
+    std::uint32_t bits = 6 * 8 + 6;
+    for (int b = 0; b < 6; ++b) {
+      if ((cbp >> b) & 1u) {
+        bits += block_coeff_bits(levels[b], /*skip_dc=*/true);
+      }
+    }
+    return bits;
+  }
+
+  /// Reconstructs into 16×16 luma + two 8×8 chroma scratch buffers.
+  void reconstruct(int qp, std::uint8_t* y16, std::uint8_t* cb8,
+                   std::uint8_t* cr8) const {
+    for (int b = 0; b < 4; ++b) {
+      const int ox = kLumaBlockOffsets[b][0];
+      const int oy = kLumaBlockOffsets[b][1];
+      reconstruct_intra_block(levels[b], dc[b], qp, y16 + oy * kMb + ox, kMb);
+    }
+    reconstruct_intra_block(levels[4], dc[4], qp, cb8, 8);
+    reconstruct_intra_block(levels[5], dc[5], qp, cr8, 8);
+  }
+};
+
+/// A fully predicted+transformed INTER macroblock.
+struct Encoder::InterPlan {
+  me::Mv mv;
+  std::uint8_t pred_y[kMb * kMb];
+  std::uint8_t pred_cb[8 * 8];
+  std::uint8_t pred_cr[8 * 8];
+  std::int16_t levels[6][kDctSamples];
+  std::uint32_t cbp = 0;
+
+  [[nodiscard]] bool skippable() const {
+    return mv == me::Mv{0, 0} && cbp == 0;
+  }
+
+  /// Payload bits given the differential predictor (MVD + CBP + coeffs;
+  /// excludes COD/mode bits).
+  [[nodiscard]] std::uint32_t payload_bits(me::Mv predictor) const {
+    std::uint32_t bits = mvd_bits(mv, predictor) + 6;
+    for (int b = 0; b < 6; ++b) {
+      if ((cbp >> b) & 1u) {
+        bits += block_coeff_bits(levels[b]);
+      }
+    }
+    return bits;
+  }
+
+  void reconstruct(int qp, std::uint8_t* y16, std::uint8_t* cb8,
+                   std::uint8_t* cr8) const {
+    for (int b = 0; b < 4; ++b) {
+      const int ox = kLumaBlockOffsets[b][0];
+      const int oy = kLumaBlockOffsets[b][1];
+      reconstruct_inter_block(levels[b], pred_y + oy * kMb + ox, kMb, qp,
+                              y16 + oy * kMb + ox, kMb);
+    }
+    reconstruct_inter_block(levels[4], pred_cb, 8, qp, cb8, 8);
+    reconstruct_inter_block(levels[5], pred_cr, 8, qp, cr8, 8);
+  }
+};
+
+Encoder::Encoder(video::PictureSize size, const EncoderConfig& config,
+                 me::MotionEstimator& estimator)
+    : size_(size), config_(config), estimator_(&estimator),
+      recon_(size), ref_(size),
+      me_field_(me::MvField::for_picture(size.width, size.height)),
+      prev_me_field_(me_field_), coded_field_(me_field_) {
+  if (size.width % kMb != 0 || size.height % kMb != 0) {
+    throw std::invalid_argument(
+        "encoder: picture dimensions must be multiples of 16");
+  }
+  if (config.qp < kMinQp || config.qp > kMaxQp) {
+    throw std::invalid_argument("encoder: qp out of range 1..31");
+  }
+  write_sequence_header();
+}
+
+void Encoder::write_sequence_header() {
+  writer_.put_bits(kSequenceMagic, 32);
+  writer_.put_bits(static_cast<std::uint32_t>(size_.width), 16);
+  writer_.put_bits(static_cast<std::uint32_t>(size_.height), 16);
+  writer_.put_bits(static_cast<std::uint32_t>(config_.fps_num), 16);
+  writer_.put_bits(static_cast<std::uint32_t>(config_.fps_den), 16);
+}
+
+FrameReport Encoder::encode_frame(const video::Frame& src) {
+  assert(!finished_);
+  assert(src.width() == size_.width && src.height() == size_.height);
+
+  const bool intra_frame =
+      frame_index_ == 0 ||
+      (config_.intra_period > 0 && frame_index_ % config_.intra_period == 0);
+
+  FrameReport report;
+  report.intra = intra_frame;
+  const std::uint64_t frame_start_bits = writer_.bit_count();
+
+  writer_.align();
+  writer_.put_bits(kFrameSync, 16);
+  writer_.put_bits(intra_frame ? 0 : 1, 1);
+  writer_.put_bits(static_cast<std::uint32_t>(config_.qp), 5);
+  writer_.put_bit(config_.deblock);
+
+  MbBitCounters counters;
+  counters.header = writer_.bit_count() - frame_start_bits;
+
+  if (!intra_frame) {
+    ref_half_ = video::HalfpelPlanes(ref_.y());
+  }
+  me_field_ = me::MvField::for_picture(size_.width, size_.height);
+  coded_field_ = me::MvField::for_picture(size_.width, size_.height);
+
+  const int mbs_x = size_.width / kMb;
+  const int mbs_y = size_.height / kMb;
+
+  for (int by = 0; by < mbs_y; ++by) {
+    for (int bx = 0; bx < mbs_x; ++bx) {
+      const int x = bx * kMb;
+      const int y = by * kMb;
+
+      if (intra_frame) {
+        encode_intra_mb(src, bx, by, counters);
+        ++report.intra_mbs;
+        continue;
+      }
+
+      // --- Motion estimation (pluggable; this is where FSBM/PBM/ACBM
+      // --- differ, everything after is identical for all algorithms).
+      me::BlockContext ctx;
+      ctx.cur = &src.y();
+      ctx.ref = &ref_half_;
+      ctx.x = x;
+      ctx.y = y;
+      ctx.bx = bx;
+      ctx.by = by;
+      ctx.window = me::unrestricted_window(config_.search_range);
+      ctx.cost = me::MotionCost(config_.me_lambda,
+                                coded_field_.median_predictor(bx, by));
+      ctx.half_pel = config_.half_pel;
+      ctx.cur_field = &me_field_;
+      ctx.prev_field = &prev_me_field_;
+      ctx.qp = config_.qp;
+
+      const me::EstimateResult er = estimator_->estimate(ctx);
+      me_field_.set(bx, by, er.mv);
+      report.me_positions += er.positions;
+      if (er.used_full_search) {
+        ++report.full_search_blocks;
+      }
+
+      if (config_.mode_decision == ModeDecision::kRateDistortion) {
+        encode_inter_mb_rd(src, bx, by, er.mv, counters, report);
+        continue;
+      }
+
+      // --- TMN5 heuristic INTRA/INTER decision (A < SAD_inter − bias).
+      const std::uint32_t activity = me::intra_sad(src.y(), x, y, kMb, kMb);
+      const bool use_intra =
+          static_cast<std::int64_t>(activity) + config_.intra_bias <
+          static_cast<std::int64_t>(er.sad);
+
+      if (use_intra) {
+        const std::uint64_t before = writer_.bit_count();
+        writer_.put_bit(false);  // COD = 0 (coded)
+        writer_.put_bit(true);   // intra
+        counters.header += writer_.bit_count() - before;
+        encode_intra_mb(src, bx, by, counters);
+        ++report.intra_mbs;
+        continue;
+      }
+
+      // encode_inter_mb degrades to SKIP internally when the zero-vector
+      // residual quantizes away; it tallies skip_count_this_frame_.
+      encode_inter_mb(src, bx, by, er.mv, counters);
+      ++report.inter_mbs;
+    }
+  }
+
+  writer_.align();
+
+  report.skip_mbs = skip_count_this_frame_;
+  report.inter_mbs -= report.skip_mbs;
+  skip_count_this_frame_ = 0;
+
+  report.bits = writer_.bit_count() - frame_start_bits;
+  report.mv_bits = counters.mv;
+  report.coeff_bits = counters.coeff;
+  report.header_bits = counters.header;
+
+  if (config_.deblock) {
+    deblock_frame(recon_, config_.qp);
+  }
+  recon_.extend_borders();
+  report.psnr_y = video::psnr_luma(src, recon_);
+  report.psnr_yuv = video::psnr_yuv(src, recon_);
+  report.me_field_smoothness = me_field_.smoothness_l1();
+
+  // Advance reference state.
+  ref_ = recon_;
+  ref_.extend_borders();
+  prev_me_field_ = me_field_;
+  ++frame_index_;
+  return report;
+}
+
+// ---------------------------------------------------------------- planning
+
+Encoder::IntraPlan Encoder::plan_intra_mb(const video::Frame& src, int bx,
+                                          int by) const {
+  const int x = bx * kMb;
+  const int y = by * kMb;
+  IntraPlan plan;
+  for (int b = 0; b < 4; ++b) {
+    const int sx = x + kLumaBlockOffsets[b][0];
+    const int sy = y + kLumaBlockOffsets[b][1];
+    plan.dc[b] = encode_intra_block(src.y().row(sy) + sx, src.y().stride(),
+                                    plan.levels[b], config_.qp);
+  }
+  plan.dc[4] = encode_intra_block(src.cb().row(y / 2) + x / 2,
+                                  src.cb().stride(), plan.levels[4],
+                                  config_.qp);
+  plan.dc[5] = encode_intra_block(src.cr().row(y / 2) + x / 2,
+                                  src.cr().stride(), plan.levels[5],
+                                  config_.qp);
+  for (int b = 0; b < 6; ++b) {
+    if (block_has_coeffs(plan.levels[b], /*skip_dc=*/true)) {
+      plan.cbp |= 1u << b;
+    }
+  }
+  return plan;
+}
+
+Encoder::InterPlan Encoder::plan_inter_mb(const video::Frame& src, int bx,
+                                          int by, me::Mv mv) const {
+  const int x = bx * kMb;
+  const int y = by * kMb;
+  InterPlan plan;
+  plan.mv = mv;
+  predict_luma(ref_half_, x, y, mv, kMb, kMb, plan.pred_y, kMb);
+  const me::Mv cmv = derive_chroma_mv(mv);
+  predict_chroma(ref_.cb(), x / 2, y / 2, cmv, 8, 8, plan.pred_cb, 8);
+  predict_chroma(ref_.cr(), x / 2, y / 2, cmv, 8, 8, plan.pred_cr, 8);
+
+  for (int b = 0; b < 4; ++b) {
+    const int ox = kLumaBlockOffsets[b][0];
+    const int oy = kLumaBlockOffsets[b][1];
+    encode_inter_block(src.y().row(y + oy) + x + ox, src.y().stride(),
+                       plan.pred_y + oy * kMb + ox, kMb, plan.levels[b],
+                       config_.qp);
+  }
+  encode_inter_block(src.cb().row(y / 2) + x / 2, src.cb().stride(),
+                     plan.pred_cb, 8, plan.levels[4], config_.qp);
+  encode_inter_block(src.cr().row(y / 2) + x / 2, src.cr().stride(),
+                     plan.pred_cr, 8, plan.levels[5], config_.qp);
+  for (int b = 0; b < 6; ++b) {
+    if (block_has_coeffs(plan.levels[b])) {
+      plan.cbp |= 1u << b;
+    }
+  }
+  return plan;
+}
+
+// ----------------------------------------------------------------- writing
+
+void Encoder::write_intra_plan(const IntraPlan& plan,
+                               MbBitCounters& counters) {
+  const std::uint64_t before = writer_.bit_count();
+  for (int b = 0; b < 6; ++b) {
+    writer_.put_bits(plan.dc[b], 8);
+  }
+  writer_.put_bits(plan.cbp, 6);
+  for (int b = 0; b < 6; ++b) {
+    if ((plan.cbp >> b) & 1u) {
+      encode_block_coeffs(writer_, plan.levels[b], /*skip_dc=*/true);
+    }
+  }
+  counters.coeff += writer_.bit_count() - before;
+}
+
+// ---------------------------------------------------------- reconstruction
+
+void Encoder::reconstruct_intra_plan(const IntraPlan& plan, int bx, int by) {
+  const int x = bx * kMb;
+  const int y = by * kMb;
+  for (int b = 0; b < 4; ++b) {
+    const int ox = kLumaBlockOffsets[b][0];
+    const int oy = kLumaBlockOffsets[b][1];
+    reconstruct_intra_block(plan.levels[b], plan.dc[b], config_.qp,
+                            recon_.y().row(y + oy) + x + ox,
+                            recon_.y().stride());
+  }
+  reconstruct_intra_block(plan.levels[4], plan.dc[4], config_.qp,
+                          recon_.cb().row(y / 2) + x / 2,
+                          recon_.cb().stride());
+  reconstruct_intra_block(plan.levels[5], plan.dc[5], config_.qp,
+                          recon_.cr().row(y / 2) + x / 2,
+                          recon_.cr().stride());
+}
+
+void Encoder::reconstruct_inter_plan(const InterPlan& plan, int bx, int by) {
+  const int x = bx * kMb;
+  const int y = by * kMb;
+  for (int b = 0; b < 4; ++b) {
+    const int ox = kLumaBlockOffsets[b][0];
+    const int oy = kLumaBlockOffsets[b][1];
+    reconstruct_inter_block(plan.levels[b], plan.pred_y + oy * kMb + ox, kMb,
+                            config_.qp, recon_.y().row(y + oy) + x + ox,
+                            recon_.y().stride());
+  }
+  reconstruct_inter_block(plan.levels[4], plan.pred_cb, 8, config_.qp,
+                          recon_.cb().row(y / 2) + x / 2,
+                          recon_.cb().stride());
+  reconstruct_inter_block(plan.levels[5], plan.pred_cr, 8, config_.qp,
+                          recon_.cr().row(y / 2) + x / 2,
+                          recon_.cr().stride());
+}
+
+void Encoder::reconstruct_skip_mb(int bx, int by) {
+  const int x = bx * kMb;
+  const int y = by * kMb;
+  for (int row = 0; row < kMb; ++row) {
+    std::memcpy(recon_.y().row(y + row) + x, ref_.y().row(y + row) + x, kMb);
+  }
+  for (int row = 0; row < kMb / 2; ++row) {
+    std::memcpy(recon_.cb().row(y / 2 + row) + x / 2,
+                ref_.cb().row(y / 2 + row) + x / 2, kMb / 2);
+    std::memcpy(recon_.cr().row(y / 2 + row) + x / 2,
+                ref_.cr().row(y / 2 + row) + x / 2, kMb / 2);
+  }
+}
+
+std::uint64_t Encoder::mb_ssd(const video::Frame& src, int bx, int by,
+                              const std::uint8_t* y16, const std::uint8_t* cb8,
+                              const std::uint8_t* cr8) const {
+  const int x = bx * kMb;
+  const int y = by * kMb;
+  std::uint64_t ssd = 0;
+  for (int row = 0; row < kMb; ++row) {
+    const std::uint8_t* s = src.y().row(y + row) + x;
+    const std::uint8_t* r = y16 + row * kMb;
+    for (int col = 0; col < kMb; ++col) {
+      const int d = int(s[col]) - int(r[col]);
+      ssd += static_cast<std::uint64_t>(d * d);
+    }
+  }
+  for (int row = 0; row < 8; ++row) {
+    const std::uint8_t* scb = src.cb().row(y / 2 + row) + x / 2;
+    const std::uint8_t* scr = src.cr().row(y / 2 + row) + x / 2;
+    for (int col = 0; col < 8; ++col) {
+      const int dcb = int(scb[col]) - int(cb8[row * 8 + col]);
+      const int dcr = int(scr[col]) - int(cr8[row * 8 + col]);
+      ssd += static_cast<std::uint64_t>(dcb * dcb + dcr * dcr);
+    }
+  }
+  return ssd;
+}
+
+// ------------------------------------------------------- macroblock coding
+
+void Encoder::encode_intra_mb(const video::Frame& src, int bx, int by,
+                              MbBitCounters& counters) {
+  const IntraPlan plan = plan_intra_mb(src, bx, by);
+  write_intra_plan(plan, counters);
+  reconstruct_intra_plan(plan, bx, by);
+  coded_field_.set(bx, by, {0, 0});
+}
+
+void Encoder::encode_inter_mb(const video::Frame& src, int bx, int by,
+                              me::Mv mv, MbBitCounters& counters) {
+  const InterPlan plan = plan_inter_mb(src, bx, by, mv);
+
+  if (config_.allow_skip && plan.skippable()) {
+    const std::uint64_t before = writer_.bit_count();
+    writer_.put_bit(true);  // COD = 1
+    counters.header += writer_.bit_count() - before;
+    reconstruct_skip_mb(bx, by);
+    coded_field_.set(bx, by, {0, 0});
+    ++skip_count_this_frame_;
+    return;
+  }
+
+  const std::uint64_t header_start = writer_.bit_count();
+  writer_.put_bit(false);  // COD = 0
+  writer_.put_bit(false);  // inter
+  counters.header += writer_.bit_count() - header_start;
+
+  const std::uint64_t mv_start = writer_.bit_count();
+  encode_mvd(writer_, plan.mv, coded_field_.median_predictor(bx, by));
+  counters.mv += writer_.bit_count() - mv_start;
+
+  const std::uint64_t coeff_start = writer_.bit_count();
+  writer_.put_bits(plan.cbp, 6);
+  for (int b = 0; b < 6; ++b) {
+    if ((plan.cbp >> b) & 1u) {
+      encode_block_coeffs(writer_, plan.levels[b]);
+    }
+  }
+  counters.coeff += writer_.bit_count() - coeff_start;
+
+  reconstruct_inter_plan(plan, bx, by);
+  coded_field_.set(bx, by, plan.mv);
+}
+
+void Encoder::encode_inter_mb_rd(const video::Frame& src, int bx, int by,
+                                 me::Mv mv, MbBitCounters& counters,
+                                 FrameReport& report) {
+  const double lambda = mode_lambda(config_.qp);
+  const me::Mv predictor = coded_field_.median_predictor(bx, by);
+
+  // Candidate 1: INTER with the estimated vector.
+  const InterPlan inter = plan_inter_mb(src, bx, by, mv);
+  std::uint8_t inter_y[kMb * kMb];
+  std::uint8_t inter_cb[64];
+  std::uint8_t inter_cr[64];
+  inter.reconstruct(config_.qp, inter_y, inter_cb, inter_cr);
+  const double j_inter =
+      static_cast<double>(mb_ssd(src, bx, by, inter_y, inter_cb, inter_cr)) +
+      lambda * (2.0 + inter.payload_bits(predictor));
+
+  // Candidate 2: INTRA.
+  const IntraPlan intra = plan_intra_mb(src, bx, by);
+  std::uint8_t intra_y[kMb * kMb];
+  std::uint8_t intra_cb[64];
+  std::uint8_t intra_cr[64];
+  intra.reconstruct(config_.qp, intra_y, intra_cb, intra_cr);
+  const double j_intra =
+      static_cast<double>(mb_ssd(src, bx, by, intra_y, intra_cb, intra_cr)) +
+      lambda * (2.0 + intra.payload_bits());
+
+  // Candidate 3: SKIP (copy of the reference at zero motion, 1 bit).
+  double j_skip = std::numeric_limits<double>::infinity();
+  if (config_.allow_skip) {
+    const int x = bx * kMb;
+    const int y = by * kMb;
+    std::uint8_t skip_y[kMb * kMb];
+    std::uint8_t skip_cb[64];
+    std::uint8_t skip_cr[64];
+    for (int row = 0; row < kMb; ++row) {
+      std::memcpy(skip_y + row * kMb, ref_.y().row(y + row) + x, kMb);
+    }
+    for (int row = 0; row < 8; ++row) {
+      std::memcpy(skip_cb + row * 8, ref_.cb().row(y / 2 + row) + x / 2, 8);
+      std::memcpy(skip_cr + row * 8, ref_.cr().row(y / 2 + row) + x / 2, 8);
+    }
+    j_skip =
+        static_cast<double>(mb_ssd(src, bx, by, skip_y, skip_cb, skip_cr)) +
+        lambda * 1.0;
+  }
+
+  if (j_skip <= j_inter && j_skip <= j_intra) {
+    const std::uint64_t before = writer_.bit_count();
+    writer_.put_bit(true);  // COD = 1
+    counters.header += writer_.bit_count() - before;
+    reconstruct_skip_mb(bx, by);
+    coded_field_.set(bx, by, {0, 0});
+    ++skip_count_this_frame_;
+    ++report.inter_mbs;  // rebalanced against skip_mbs at frame end
+    return;
+  }
+
+  if (j_intra < j_inter) {
+    const std::uint64_t before = writer_.bit_count();
+    writer_.put_bit(false);  // COD = 0
+    writer_.put_bit(true);   // intra
+    counters.header += writer_.bit_count() - before;
+    write_intra_plan(intra, counters);
+    reconstruct_intra_plan(intra, bx, by);
+    coded_field_.set(bx, by, {0, 0});
+    ++report.intra_mbs;
+    return;
+  }
+
+  const std::uint64_t header_start = writer_.bit_count();
+  writer_.put_bit(false);  // COD = 0
+  writer_.put_bit(false);  // inter
+  counters.header += writer_.bit_count() - header_start;
+
+  const std::uint64_t mv_start = writer_.bit_count();
+  encode_mvd(writer_, inter.mv, predictor);
+  counters.mv += writer_.bit_count() - mv_start;
+
+  const std::uint64_t coeff_start = writer_.bit_count();
+  writer_.put_bits(inter.cbp, 6);
+  for (int b = 0; b < 6; ++b) {
+    if ((inter.cbp >> b) & 1u) {
+      encode_block_coeffs(writer_, inter.levels[b]);
+    }
+  }
+  counters.coeff += writer_.bit_count() - coeff_start;
+
+  reconstruct_inter_plan(inter, bx, by);
+  coded_field_.set(bx, by, inter.mv);
+  ++report.inter_mbs;
+}
+
+std::vector<std::uint8_t> Encoder::finish() {
+  assert(!finished_);
+  finished_ = true;
+  return writer_.take();
+}
+
+void Encoder::set_qp(int qp) {
+  if (qp < kMinQp || qp > kMaxQp) {
+    throw std::invalid_argument("encoder: qp out of range 1..31");
+  }
+  config_.qp = qp;
+}
+
+}  // namespace acbm::codec

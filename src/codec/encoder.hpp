@@ -1,0 +1,167 @@
+#pragma once
+// The H.263-style hybrid encoder substrate (paper §4: "an H.263 encoder with
+// half pixel precision [12]").
+//
+// Structure per P-frame macroblock:
+//   motion estimation (pluggable MotionEstimator) → INTRA/INTER decision
+//   (TMN rule) → SKIP detection → DCT/quantize → entropy coding →
+//   bit-exact reconstruction for the next frame's reference.
+//
+// The bitstream ("ACV1") is fully decodable by codec::Decoder; tests verify
+// that decoder output is sample-identical to the encoder's reconstruction.
+//
+// Bitstream layout (all codes defined in this repository):
+//   sequence header : 32-bit magic "ACV1", u16 width, u16 height,
+//                     u16 fps_num, u16 fps_den                (byte aligned)
+//   frame           : u16 sync 0x7E5A, 1-bit type (0=I,1=P), 5-bit qp,
+//                     1-bit deblock flag, macroblocks raster order,
+//                     byte-align at end
+//   I macroblock    : 6× u8 intra DC, 6-bit CBP, AC run/level per set block
+//   P macroblock    : COD bit (1 = skip);
+//                     coded: 1-bit intra flag;
+//                       intra: as I macroblock
+//                       inter: MVD (se×2 vs median predictor), 6-bit CBP,
+//                              run/level per set block
+//   block order     : Y00 Y10 Y01 Y11 Cb Cr
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "me/estimator.hpp"
+#include "me/mv_field.hpp"
+#include "util/bitstream.hpp"
+#include "video/frame.hpp"
+#include "video/interp.hpp"
+
+namespace acbm::codec {
+
+/// Magic and sync constants of the ACV1 bitstream.
+inline constexpr std::uint32_t kSequenceMagic = 0x41435631;  // "ACV1"
+inline constexpr std::uint32_t kFrameSync = 0x7E5A;
+
+/// How the encoder chooses each P-frame macroblock's mode.
+enum class ModeDecision {
+  /// TMN5 heuristic: INTRA if Intra_SAD < SAD_inter − bias; SKIP if the
+  /// zero-vector residual quantises away. What the paper's encoder [12] does.
+  kHeuristic,
+  /// Full Lagrangian decision: J = SSD + λ_mode·bits evaluated for SKIP,
+  /// INTER and INTRA and the minimum transmitted — the cost function of the
+  /// paper's §2.1 applied to mode selection (λ_mode = 0.85·Qp²).
+  kRateDistortion,
+};
+
+struct EncoderConfig {
+  int qp = 16;              ///< quantiser, 1..31
+  int search_range = 15;    ///< ±p integer samples (paper: 15)
+  bool half_pel = true;     ///< half-pel refinement + compensation
+  int intra_period = 0;     ///< 0 = only frame 0 is intra; else every Nth
+  double me_lambda = 0.0;   ///< λ for rate-aware ME (0 = pure SAD, paper)
+  int intra_bias = 500;     ///< TMN INTRA decision: intra if A < SAD − bias
+  bool allow_skip = true;   ///< emit COD=1 for zero-MV zero-CBP macroblocks
+  bool deblock = false;     ///< in-loop Annex-J deblocking filter
+  ModeDecision mode_decision = ModeDecision::kHeuristic;
+  int fps_num = 30;         ///< sequence header only
+  int fps_den = 1;
+};
+
+/// Per-frame outcome: everything the paper's figures/tables are built from.
+struct FrameReport {
+  bool intra = false;
+  std::uint64_t bits = 0;          ///< total bits for this frame
+  double psnr_y = 0.0;             ///< reconstruction vs source, luma
+  double psnr_yuv = 0.0;
+  int intra_mbs = 0;
+  int inter_mbs = 0;
+  int skip_mbs = 0;
+  std::uint64_t me_positions = 0;  ///< SAD evaluations this frame
+  std::uint64_t full_search_blocks = 0;  ///< blocks where FSBM ran
+  std::uint64_t mv_bits = 0;
+  std::uint64_t coeff_bits = 0;
+  std::uint64_t header_bits = 0;   ///< sync + mode/COD/CBP bits
+  double me_field_smoothness = 0.0;  ///< MvField::smoothness_l1 of ME field
+};
+
+/// Streaming one-reference hybrid encoder. Feed frames in display order;
+/// call finish() once to obtain the bitstream.
+class Encoder {
+ public:
+  /// `estimator` is borrowed and must outlive the encoder — callers keep it
+  /// to read algorithm-specific statistics (e.g. core::Acbm::stats()).
+  Encoder(video::PictureSize size, const EncoderConfig& config,
+          me::MotionEstimator& estimator);
+
+  /// Encodes one frame and returns its report.
+  FrameReport encode_frame(const video::Frame& src);
+
+  /// Byte-aligns and returns the complete bitstream; the encoder must not
+  /// be used afterwards.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  /// Changes the quantiser for subsequent frames (rate control). The frame
+  /// header carries Qp, so the stream stays decodable across changes.
+  /// Throws std::invalid_argument outside [1, 31].
+  void set_qp(int qp);
+
+  /// Reconstruction of the most recently encoded frame (the decoder's
+  /// reference) — what the paper's PSNR is measured on.
+  [[nodiscard]] const video::Frame& last_recon() const { return recon_; }
+
+  /// Motion field found by the estimator for the last P-frame.
+  [[nodiscard]] const me::MvField& last_me_field() const { return me_field_; }
+
+  /// Motion field as actually coded (zeros for intra/skip macroblocks).
+  [[nodiscard]] const me::MvField& last_coded_field() const {
+    return coded_field_;
+  }
+
+  [[nodiscard]] std::uint64_t total_bits() const { return writer_.bit_count(); }
+  [[nodiscard]] const EncoderConfig& config() const { return config_; }
+  [[nodiscard]] video::PictureSize size() const { return size_; }
+
+ private:
+  struct MbBitCounters;
+  struct IntraPlan;
+  struct InterPlan;
+
+  void write_sequence_header();
+
+  IntraPlan plan_intra_mb(const video::Frame& src, int bx, int by) const;
+  InterPlan plan_inter_mb(const video::Frame& src, int bx, int by,
+                          me::Mv mv) const;
+
+  void encode_intra_mb(const video::Frame& src, int bx, int by,
+                       MbBitCounters& counters);
+  void encode_inter_mb(const video::Frame& src, int bx, int by, me::Mv mv,
+                       MbBitCounters& counters);
+  void encode_inter_mb_rd(const video::Frame& src, int bx, int by, me::Mv mv,
+                          MbBitCounters& counters, FrameReport& report);
+
+  void write_intra_plan(const IntraPlan& plan, MbBitCounters& counters);
+  void reconstruct_intra_plan(const IntraPlan& plan, int bx, int by);
+  void reconstruct_inter_plan(const InterPlan& plan, int bx, int by);
+  void reconstruct_skip_mb(int bx, int by);
+
+  /// SSD between the source macroblock and a candidate reconstruction
+  /// produced into scratch buffers.
+  std::uint64_t mb_ssd(const video::Frame& src, int bx, int by,
+                       const std::uint8_t* y16, const std::uint8_t* cb8,
+                       const std::uint8_t* cr8) const;
+
+  video::PictureSize size_;
+  EncoderConfig config_;
+  me::MotionEstimator* estimator_;
+  util::BitWriter writer_;
+
+  video::Frame recon_;            ///< reconstruction of the current frame
+  video::Frame ref_;              ///< previous reconstruction (reference)
+  video::HalfpelPlanes ref_half_; ///< interpolated reference luma
+  me::MvField me_field_;          ///< estimator output, current frame
+  me::MvField prev_me_field_;     ///< estimator output, previous frame
+  me::MvField coded_field_;       ///< transmitted vectors, current frame
+  int frame_index_ = 0;
+  int skip_count_this_frame_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace acbm::codec

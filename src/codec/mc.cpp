@@ -1,0 +1,46 @@
+#include "codec/mc.hpp"
+
+namespace acbm::codec {
+
+void predict_luma(const video::HalfpelPlanes& ref, int x, int y, me::Mv mv,
+                  int bw, int bh, std::uint8_t* dst, int stride) {
+  const int phase_h = mv.x & 1;
+  const int phase_v = mv.y & 1;
+  const video::Plane& plane = ref.plane(phase_h, phase_v);
+  const int rx = x + ((mv.x - phase_h) >> 1);
+  const int ry = y + ((mv.y - phase_v) >> 1);
+  for (int row = 0; row < bh; ++row) {
+    const std::uint8_t* src = plane.row(ry + row) + rx;
+    std::uint8_t* out = dst + static_cast<std::ptrdiff_t>(row) * stride;
+    for (int col = 0; col < bw; ++col) {
+      out[col] = src[col];
+    }
+  }
+}
+
+me::Mv derive_chroma_mv(me::Mv luma_mv) {
+  // luma_mv is in luma half-pels; the true chroma displacement is
+  // luma_mv / 2 chroma half-pels. H.263 rounds fractional chroma positions
+  // (luma_mv mod 4 ∈ {1,2,3} → half-sample) toward the half-pel grid.
+  auto round_component = [](int v) {
+    const int sign = v < 0 ? -1 : 1;
+    const int a = v < 0 ? -v : v;
+    const int whole = a >> 2;          // full chroma samples
+    const int frac = a & 3;            // quarters of a chroma sample
+    return sign * (whole * 2 + (frac != 0 ? 1 : 0));
+  };
+  return {round_component(luma_mv.x), round_component(luma_mv.y)};
+}
+
+void predict_chroma(const video::Plane& ref_chroma, int cx, int cy, me::Mv cmv,
+                    int bw, int bh, std::uint8_t* dst, int stride) {
+  for (int row = 0; row < bh; ++row) {
+    std::uint8_t* out = dst + static_cast<std::ptrdiff_t>(row) * stride;
+    for (int col = 0; col < bw; ++col) {
+      out[col] = video::sample_halfpel(ref_chroma, (cx + col) * 2 + cmv.x,
+                                       (cy + row) * 2 + cmv.y);
+    }
+  }
+}
+
+}  // namespace acbm::codec

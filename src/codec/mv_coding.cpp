@@ -1,0 +1,24 @@
+#include "codec/mv_coding.hpp"
+
+#include "me/cost.hpp"
+#include "util/expgolomb.hpp"
+
+namespace acbm::codec {
+
+void encode_mvd(util::BitWriter& bw, me::Mv mv, me::Mv pred) {
+  const me::Mv d = mv - pred;
+  util::put_se(bw, d.x);
+  util::put_se(bw, d.y);
+}
+
+me::Mv decode_mvd(util::BitReader& br, me::Mv pred) {
+  const std::int32_t dx = util::get_se(br);
+  const std::int32_t dy = util::get_se(br);
+  return {pred.x + dx, pred.y + dy};
+}
+
+std::uint32_t mvd_bits(me::Mv mv, me::Mv pred) {
+  return me::mv_rate_bits(mv, pred);
+}
+
+}  // namespace acbm::codec

@@ -1,0 +1,27 @@
+#pragma once
+// Differential motion-vector coding.
+//
+// Vectors are coded as MVD = mv − median_predictor, one signed exp-Golomb
+// code per component (DESIGN.md §4 documents the substitution for H.263's
+// MVD VLC table — both are prefix codes monotone in |MVD|, which is the
+// property the paper's R(mv) term and the PBM-fields-are-cheap argument
+// rely on). The same bit-length function backs me::mv_rate_bits, so the
+// search-side rate model is exact, not an estimate.
+
+#include <cstdint>
+
+#include "me/types.hpp"
+#include "util/bitstream.hpp"
+
+namespace acbm::codec {
+
+/// Writes mv (half-pel units) differentially against `pred`.
+void encode_mvd(util::BitWriter& bw, me::Mv mv, me::Mv pred);
+
+/// Reads a vector coded against `pred`.
+[[nodiscard]] me::Mv decode_mvd(util::BitReader& br, me::Mv pred);
+
+/// Exact bit count encode_mvd would produce.
+[[nodiscard]] std::uint32_t mvd_bits(me::Mv mv, me::Mv pred);
+
+}  // namespace acbm::codec

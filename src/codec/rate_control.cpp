@@ -1,0 +1,59 @@
+#include "codec/rate_control.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace acbm::codec {
+
+RateController::RateController(const Config& config)
+    : config_(config),
+      target_bits_per_frame_(config.target_kbps * 1000.0 / config.fps),
+      qp_(config.initial_qp) {
+  assert(config.fps > 0.0);
+  assert(config.target_kbps > 0.0);
+  assert(config.min_qp >= 1 && config.max_qp <= 31);
+  assert(config.min_qp <= config.initial_qp &&
+         config.initial_qp <= config.max_qp);
+}
+
+void RateController::frame_encoded(std::uint64_t bits) {
+  buffer_bits_ += static_cast<double>(bits) - target_bits_per_frame_;
+  // Leaky-bucket semantics on both sides: an idle channel cannot bank more
+  // than one second of credit, and a bucket more than two seconds over-full
+  // has already overflowed (a real system would be dropping frames), so the
+  // controller does not owe debt beyond that horizon.
+  const double min_buffer = -config_.fps * target_bits_per_frame_;
+  const double max_buffer = 2.0 * config_.fps * target_bits_per_frame_;
+  buffer_bits_ = std::clamp(buffer_bits_, min_buffer, max_buffer);
+
+  const double backlog = backlog_frames();
+  int step = 0;
+  if (backlog > 4.0) {
+    step = 2;
+  } else if (backlog > config_.upper_deadband) {
+    step = 1;
+  } else if (backlog < 4.0 * config_.lower_deadband) {
+    step = -2;
+  } else if (backlog < config_.lower_deadband) {
+    step = -1;
+  }
+  qp_ = std::clamp(qp_ + step, config_.min_qp, config_.max_qp);
+}
+
+void RateController::set_target_kbps(double kbps) {
+  assert(kbps > 0.0);
+  config_.target_kbps = kbps;
+  target_bits_per_frame_ = kbps * 1000.0 / config_.fps;
+  // Channel renegotiation flushes most of the old backlog: carrying many
+  // frames' worth of debt measured at the old rate into the new one would
+  // pin Qp at the ceiling long after the channel recovered.
+  const double cap = 2.0 * target_bits_per_frame_;
+  buffer_bits_ = std::clamp(buffer_bits_, -cap, cap);
+}
+
+double RateController::backlog_frames() const {
+  return target_bits_per_frame_ > 0.0 ? buffer_bits_ / target_bits_per_frame_
+                                      : 0.0;
+}
+
+}  // namespace acbm::codec

@@ -1,0 +1,64 @@
+#pragma once
+// Frame-level rate control (TMN-style virtual buffer).
+//
+// The paper's conclusions claim ACBM "is suitable for variable bandwidth
+// channel conditions" because its complexity and quality self-adapt through
+// the Qp-dependent threshold. This controller supplies the missing loop:
+// it picks a per-frame quantiser that tracks a (possibly time-varying)
+// target bitrate, so the variable-bandwidth experiment in
+// examples/variable_bandwidth.cpp can exercise that claim end to end.
+//
+// Model: a virtual channel buffer drains at target_bits_per_frame every
+// frame and fills with the actual coded bits. The quantiser steps up when
+// the backlog exceeds dead-band thresholds and down when the buffer runs
+// dry, with the per-frame step clamped to ±2 (H.263's DQUANT discipline
+// keeps quality from oscillating).
+
+#include <cstdint>
+
+namespace acbm::codec {
+
+class RateController {
+ public:
+  struct Config {
+    double target_kbps = 48.0;  ///< channel rate the buffer drains at
+    double fps = 30.0;          ///< frame rate (drain interval)
+    int initial_qp = 16;
+    int min_qp = 2;
+    int max_qp = 31;
+    /// Backlog (in frames' worth of bits) at which Qp starts increasing.
+    double upper_deadband = 0.5;
+    /// Buffer deficit (frames' worth) at which Qp starts decreasing.
+    double lower_deadband = -0.5;
+  };
+
+  explicit RateController(const Config& config);
+
+  /// Quantiser to use for the next frame.
+  [[nodiscard]] int next_qp() const { return qp_; }
+
+  /// Feed back the actual size of the frame just encoded.
+  void frame_encoded(std::uint64_t bits);
+
+  /// Changes the channel rate mid-stream (variable-bandwidth scenario).
+  /// The buffer state carries over, so the controller reacts smoothly.
+  void set_target_kbps(double kbps);
+
+  /// Signed backlog in bits (positive = over budget).
+  [[nodiscard]] double buffer_bits() const { return buffer_bits_; }
+
+  /// Backlog expressed in frames' worth of target bits.
+  [[nodiscard]] double backlog_frames() const;
+
+  [[nodiscard]] double target_bits_per_frame() const {
+    return target_bits_per_frame_;
+  }
+
+ private:
+  Config config_;
+  double target_bits_per_frame_;
+  double buffer_bits_ = 0.0;
+  int qp_;
+};
+
+}  // namespace acbm::codec

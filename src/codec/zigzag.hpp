@@ -1,0 +1,24 @@
+#pragma once
+// The standard 8×8 zig-zag scan (H.263 Figure 14 / JPEG order): orders
+// coefficients by increasing spatial frequency so quantized blocks end in
+// long zero runs, which the run/level coder exploits.
+
+#include <array>
+#include <cstdint>
+
+#include "codec/dct.hpp"
+
+namespace acbm::codec {
+
+/// kZigzagOrder[k] = raster index of the k-th scanned coefficient.
+extern const std::array<std::uint8_t, kDctSamples> kZigzagOrder;
+
+/// Raster-order block → zig-zag order.
+void zigzag_scan(const std::int16_t in[kDctSamples],
+                 std::int16_t out[kDctSamples]);
+
+/// Zig-zag order → raster-order block.
+void zigzag_unscan(const std::int16_t in[kDctSamples],
+                   std::int16_t out[kDctSamples]);
+
+}  // namespace acbm::codec

@@ -1,0 +1,76 @@
+#include "core/acbm.hpp"
+
+#include "me/sad.hpp"
+
+namespace acbm::core {
+
+Acbm::Acbm(AcbmParams params) : params_(params) {}
+
+me::EstimateResult Acbm::estimate(const me::BlockContext& ctx) {
+  // Step 1: texture statistic of the current block. This costs one
+  // block-sized pass, the same arithmetic as one SAD; it is charged to the
+  // position counter so Table 1's comparison against FSBM's 969 is fair.
+  const std::uint32_t texture =
+      me::intra_sad(*ctx.cur, ctx.x, ctx.y, ctx.bw, ctx.bh);
+
+  // Step 2: predictive search.
+  const me::EstimateResult pbm = pbm_.estimate(ctx);
+
+  BlockDecision decision;
+  decision.bx = ctx.bx;
+  decision.by = ctx.by;
+  decision.intra_sad = texture;
+  decision.pbm_sad = pbm.sad;
+  decision.pbm_mv = pbm.mv;
+
+  me::EstimateResult result = pbm;
+  result.positions += 1;  // the Intra_SAD pass
+
+  // Step 3: the two acceptance tests (T1 then T2, as in §3.2).
+  const double t1 = static_cast<double>(texture) + pbm.sad;
+  if (t1 < params_.threshold(ctx.qp)) {
+    decision.outcome = AcbmOutcome::kAcceptLowActivity;
+  } else if (static_cast<double>(pbm.sad) <
+             params_.gamma * static_cast<double>(texture)) {
+    decision.outcome = AcbmOutcome::kAcceptGoodMatch;
+  } else {
+    // Step 4: critical block — full search, keep the better of the two
+    // matches (PBM's half-pel point can undercut FSBM's refinement basin).
+    decision.outcome = AcbmOutcome::kCritical;
+    me::EstimateResult full = full_search_.estimate(ctx);
+    const std::uint32_t combined_positions = result.positions + full.positions;
+    if (full.sad <= pbm.sad) {
+      result = full;
+    }
+    result.positions = combined_positions;
+    result.used_full_search = true;
+  }
+
+  decision.final_mv = result.mv;
+  decision.positions = result.positions;
+
+  ++stats_.blocks;
+  stats_.total_positions += result.positions;
+  switch (decision.outcome) {
+    case AcbmOutcome::kAcceptLowActivity:
+      ++stats_.accepted_low_activity;
+      break;
+    case AcbmOutcome::kAcceptGoodMatch:
+      ++stats_.accepted_good_match;
+      break;
+    case AcbmOutcome::kCritical:
+      ++stats_.critical;
+      break;
+  }
+  if (record_log_) {
+    decision_log_.push_back(decision);
+  }
+  return result;
+}
+
+void Acbm::reset() {
+  stats_ = AcbmStats{};
+  decision_log_.clear();
+}
+
+}  // namespace acbm::core

@@ -1,0 +1,40 @@
+#pragma once
+// ACBM tuning parameters (paper §3.2 and §4).
+
+namespace acbm::core {
+
+/// The three knobs of the ACBM criticality test:
+///
+///   accept PBM when  Intra_SAD + SAD_PBM < α + β·Qp²          (T1)
+///   or when          SAD_PBM < γ·Intra_SAD                    (T2)
+///   otherwise the block is critical and FSBM runs.
+///
+/// Larger α/β/γ avoid more full searches (lower cost, lower quality);
+/// α = β = γ = 0 forces FSBM everywhere; γ → ∞ disables it entirely.
+struct AcbmParams {
+  double alpha = 1000.0;  ///< paper's chosen value
+  double beta = 8.0;      ///< paper's chosen value
+  double gamma = 0.25;    ///< paper's chosen value (¼)
+
+  /// The T1 acceptance threshold at quantiser `qp`.
+  [[nodiscard]] double threshold(int qp) const {
+    return alpha + beta * static_cast<double>(qp) * static_cast<double>(qp);
+  }
+
+  /// The paper's tuned configuration (α=1000, β=8, γ=¼): quality matched to
+  /// FSBM at a fraction of its cost.
+  [[nodiscard]] static AcbmParams paper_defaults() { return {}; }
+
+  /// Degenerate configuration that always runs FSBM — useful as a sanity
+  /// anchor in tests (ACBM(always_full) must equal FSBM quality).
+  [[nodiscard]] static AcbmParams always_full_search() {
+    return {0.0, 0.0, 0.0};
+  }
+
+  /// Degenerate configuration that never runs FSBM (pure PBM behaviour).
+  [[nodiscard]] static AcbmParams never_full_search() {
+    return {1e18, 0.0, 1e18};
+  }
+};
+
+}  // namespace acbm::core

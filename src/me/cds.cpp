@@ -1,0 +1,70 @@
+#include "me/cds.hpp"
+
+#include "me/halfpel.hpp"
+#include "me/search_support.hpp"
+
+namespace acbm::me {
+
+namespace {
+
+// Half-pel offsets. The small cross probes the four axis neighbours at one
+// integer sample; the large cross extends to two samples.
+constexpr Mv kSmallCross[] = {{0, -2}, {-2, 0}, {2, 0}, {0, 2}};
+constexpr Mv kLargeCross[] = {{0, -4}, {-4, 0}, {4, 0}, {0, 4}};
+constexpr Mv kLdsp[] = {{0, -4}, {-2, -2}, {2, -2}, {-4, 0}, {4, 0},
+                        {-2, 2}, {2, 2},  {0, 4}};
+constexpr Mv kSdsp[] = {{0, -2}, {-2, 0}, {2, 0}, {0, 2}};
+
+}  // namespace
+
+EstimateResult CrossDiamondSearch::estimate(const BlockContext& ctx) {
+  SearchState state(ctx, /*track_visited=*/true);
+
+  // Stage 1: cross search around zero.
+  state.try_candidate({0, 0});
+  for (const Mv& offset : kSmallCross) {
+    state.try_candidate(offset);
+  }
+  // First halfway-stop: stationary block.
+  if (state.best_mv() == Mv{0, 0}) {
+    refine_halfpel(state);
+    return state.result();
+  }
+  for (const Mv& offset : kLargeCross) {
+    state.try_candidate(offset);
+  }
+  // Second halfway-stop: quasi-stationary (best on the small cross).
+  const Mv after_cross = state.best_mv();
+  if (after_cross.linf() <= 2) {
+    const Mv center = after_cross;
+    for (const Mv& offset : kSdsp) {
+      state.try_candidate({center.x + offset.x, center.y + offset.y});
+    }
+    refine_halfpel(state);
+    return state.result();
+  }
+
+  // Stage 2: diamond recentring as in DS.
+  const int max_moves =
+      (ctx.window.max_x - ctx.window.min_x + ctx.window.max_y -
+       ctx.window.min_y) / 2 + 2;
+  for (int move = 0; move < max_moves; ++move) {
+    const Mv center = state.best_mv();
+    bool moved = false;
+    for (const Mv& offset : kLdsp) {
+      moved |= state.try_candidate({center.x + offset.x, center.y + offset.y});
+    }
+    if (!moved) {
+      break;
+    }
+  }
+  const Mv center = state.best_mv();
+  for (const Mv& offset : kSdsp) {
+    state.try_candidate({center.x + offset.x, center.y + offset.y});
+  }
+
+  refine_halfpel(state);
+  return state.result();
+}
+
+}  // namespace acbm::me

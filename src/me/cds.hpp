@@ -1,0 +1,20 @@
+#pragma once
+// CDS — cross-diamond search (Cheung & Po [5] of the paper's references).
+//
+// Exploits the cross-centre-biased distribution of real motion vectors:
+// a 9-point cross pattern first (with a halfway-stop for stationary and
+// quasi-stationary blocks), then diamond stages as in DS. Cited by the
+// paper as representative of the candidate-reduction family.
+
+#include "me/estimator.hpp"
+
+namespace acbm::me {
+
+class CrossDiamondSearch final : public MotionEstimator {
+ public:
+  EstimateResult estimate(const BlockContext& ctx) override;
+
+  [[nodiscard]] std::string_view name() const override { return "CDS"; }
+};
+
+}  // namespace acbm::me

@@ -1,0 +1,13 @@
+#include "me/cost.hpp"
+
+#include "util/expgolomb.hpp"
+
+namespace acbm::me {
+
+std::uint32_t mv_rate_bits(Mv mv, Mv pred) {
+  const Mv d = mv - pred;
+  return static_cast<std::uint32_t>(util::se_bit_length(d.x) +
+                                    util::se_bit_length(d.y));
+}
+
+}  // namespace acbm::me

@@ -1,0 +1,153 @@
+#include "me/decimation.hpp"
+
+#include <cstdlib>
+
+#include "me/halfpel.hpp"
+#include "me/sad.hpp"
+#include "me/search_support.hpp"
+
+namespace acbm::me {
+
+int decimated_sample_count(DecimationPattern pattern, int bw, int bh) {
+  switch (pattern) {
+    case DecimationPattern::kNone:
+      return bw * bh;
+    case DecimationPattern::kQuincunx4to1:
+      return bw * bh / 4;
+    case DecimationPattern::kRowSkip2to1:
+      return bw * (bh / 2) + (bh % 2) * bw;
+  }
+  return bw * bh;
+}
+
+std::uint32_t sad_block_decimated(const video::Plane& cur, int cx, int cy,
+                                  const video::Plane& ref, int rx, int ry,
+                                  int bw, int bh, DecimationPattern pattern) {
+  std::uint32_t total = 0;
+  switch (pattern) {
+    case DecimationPattern::kNone:
+      return sad_block(cur, cx, cy, ref, rx, ry, bw, bh);
+    case DecimationPattern::kQuincunx4to1:
+      // One sample per 2×2 cell (every other column of every other row),
+      // with the column phase alternating between sampled rows so the kept
+      // samples form a quincunx lattice (Liu–Zaccarin pattern A).
+      for (int y = 0; y < bh; y += 2) {
+        const int phase = (y >> 1) & 1;
+        const std::uint8_t* a = cur.row(cy + y) + cx;
+        const std::uint8_t* b = ref.row(ry + y) + rx;
+        for (int x = phase; x < bw; x += 2) {
+          total += static_cast<std::uint32_t>(
+              std::abs(static_cast<int>(a[x]) - static_cast<int>(b[x])));
+        }
+      }
+      return total;
+    case DecimationPattern::kRowSkip2to1:
+      for (int y = 0; y < bh; y += 2) {
+        const std::uint8_t* a = cur.row(cy + y) + cx;
+        const std::uint8_t* b = ref.row(ry + y) + rx;
+        for (int x = 0; x < bw; ++x) {
+          total += static_cast<std::uint32_t>(
+              std::abs(static_cast<int>(a[x]) - static_cast<int>(b[x])));
+        }
+      }
+      return total;
+  }
+  return total;
+}
+
+DecimationPattern AdaptiveDecimationSearch::pattern_for(
+    std::uint32_t intra_sad, int bw, int bh) const {
+  // Thresholds are calibrated for 16×16; rescale by area for other sizes.
+  const double area_scale = static_cast<double>(bw * bh) / (16.0 * 16.0);
+  const double texture = static_cast<double>(intra_sad) / area_scale;
+  if (texture < thresholds_.quarter_below) {
+    return DecimationPattern::kQuincunx4to1;
+  }
+  if (texture < thresholds_.half_below) {
+    return DecimationPattern::kRowSkip2to1;
+  }
+  return DecimationPattern::kNone;
+}
+
+EstimateResult AdaptiveDecimationSearch::estimate(const BlockContext& ctx) {
+  const std::uint32_t texture =
+      intra_sad(*ctx.cur, ctx.x, ctx.y, ctx.bw, ctx.bh);
+  const DecimationPattern pattern = pattern_for(texture, ctx.bw, ctx.bh);
+  EstimateResult result = estimate_decimated_full_search(ctx, pattern);
+  result.positions += 1;  // the Intra_SAD pass that chose the pattern
+  return result;
+}
+
+EstimateResult SubsampledFullSearch::estimate(const BlockContext& ctx) {
+  const video::Plane& ref_int = ctx.ref->plane(0, 0);
+  Mv best{};
+  std::uint32_t best_dec = ~std::uint32_t{0};
+  std::uint32_t positions = 0;
+  const int min_x = ctx.window.min_x + (ctx.window.min_x & 1);
+  const int min_y = ctx.window.min_y + (ctx.window.min_y & 1);
+  // 2:1 checkerboard of integer candidates: skip positions where
+  // (ix + iy) is odd (ix, iy in integer-pel units).
+  for (int my = min_y; my <= ctx.window.max_y; my += 2) {
+    for (int mx = min_x; mx <= ctx.window.max_x; mx += 2) {
+      if ((((mx >> 1) + (my >> 1)) & 1) != 0) {
+        continue;
+      }
+      const std::uint32_t dec = sad_block_decimated(
+          *ctx.cur, ctx.x, ctx.y, ref_int, ctx.x + mx / 2, ctx.y + my / 2,
+          ctx.bw, ctx.bh, DecimationPattern::kQuincunx4to1);
+      ++positions;
+      if (dec < best_dec) {
+        best_dec = dec;
+        best = {mx, my};
+      }
+    }
+  }
+  // Exact SAD over the winner's full integer neighbourhood (recovers the
+  // skipped checkerboard positions), then half-pel refinement.
+  SearchState state(ctx, /*track_visited=*/true);
+  state.try_candidate(best);
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) {
+        continue;
+      }
+      state.try_candidate({best.x + dx * 2, best.y + dy * 2});
+    }
+  }
+  refine_halfpel(state);
+  EstimateResult result = state.result();
+  result.positions += positions;
+  return result;
+}
+
+EstimateResult estimate_decimated_full_search(const BlockContext& ctx,
+                                              DecimationPattern pattern) {
+  const video::Plane& ref_int = ctx.ref->plane(0, 0);
+  Mv best{};
+  std::uint32_t best_dec = ~std::uint32_t{0};
+  std::uint32_t positions = 0;
+  const int min_x = ctx.window.min_x + (ctx.window.min_x & 1);
+  const int min_y = ctx.window.min_y + (ctx.window.min_y & 1);
+  for (int my = min_y; my <= ctx.window.max_y; my += 2) {
+    for (int mx = min_x; mx <= ctx.window.max_x; mx += 2) {
+      const std::uint32_t dec = sad_block_decimated(
+          *ctx.cur, ctx.x, ctx.y, ref_int, ctx.x + mx / 2, ctx.y + my / 2,
+          ctx.bw, ctx.bh, pattern);
+      ++positions;
+      if (dec < best_dec) {
+        best_dec = dec;
+        best = {mx, my};
+      }
+    }
+  }
+  // Exact SAD at the decimated winner, then ordinary half-pel refinement.
+  SearchState state(ctx);
+  state.try_candidate(best);
+  refine_halfpel(state);
+  EstimateResult result = state.result();
+  result.positions += positions;
+  result.used_full_search = true;
+  return result;
+}
+
+}  // namespace acbm::me

@@ -1,0 +1,44 @@
+#include "me/ds.hpp"
+
+#include "me/halfpel.hpp"
+#include "me/search_support.hpp"
+
+namespace acbm::me {
+
+namespace {
+
+// Offsets in half-pel units (integer grid ×2).
+constexpr Mv kLdsp[] = {{0, -4}, {-2, -2}, {2, -2}, {-4, 0}, {4, 0},
+                        {-2, 2}, {2, 2},  {0, 4}};
+constexpr Mv kSdsp[] = {{0, -2}, {-2, 0}, {2, 0}, {0, 2}};
+
+}  // namespace
+
+EstimateResult DiamondSearch::estimate(const BlockContext& ctx) {
+  SearchState state(ctx, /*track_visited=*/true);
+  state.try_candidate({0, 0});
+
+  const int max_moves =
+      (ctx.window.max_x - ctx.window.min_x + ctx.window.max_y -
+       ctx.window.min_y) / 2 + 2;
+  for (int move = 0; move < max_moves; ++move) {
+    const Mv center = state.best_mv();
+    bool moved = false;
+    for (const Mv& offset : kLdsp) {
+      moved |= state.try_candidate({center.x + offset.x, center.y + offset.y});
+    }
+    if (!moved) {
+      break;
+    }
+  }
+
+  const Mv center = state.best_mv();
+  for (const Mv& offset : kSdsp) {
+    state.try_candidate({center.x + offset.x, center.y + offset.y});
+  }
+
+  refine_halfpel(state);
+  return state.result();
+}
+
+}  // namespace acbm::me

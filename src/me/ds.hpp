@@ -1,0 +1,20 @@
+#pragma once
+// DS — diamond search (Zhu & Ma), the de-facto standard fast search and the
+// basis of the cross-diamond variant the paper cites as [5].
+//
+// A large diamond (LDSP, 9 points at L1 distance ≤ 2) recentres until its
+// minimum is the centre, then a small diamond (SDSP, 4 points at distance 1)
+// polishes, then half-pel refinement.
+
+#include "me/estimator.hpp"
+
+namespace acbm::me {
+
+class DiamondSearch final : public MotionEstimator {
+ public:
+  EstimateResult estimate(const BlockContext& ctx) override;
+
+  [[nodiscard]] std::string_view name() const override { return "DS"; }
+};
+
+}  // namespace acbm::me

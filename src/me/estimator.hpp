@@ -1,0 +1,61 @@
+#pragma once
+// The common interface every motion-search algorithm implements.
+//
+// The encoder, the benches and the characterization harness are all written
+// against MotionEstimator, so FSBM / PBM / ACBM / TSS / 4SS / DS / CDS are
+// interchangeable — exactly the comparison structure of the paper's §4.
+
+#include <string_view>
+
+#include "me/cost.hpp"
+#include "me/mv_field.hpp"
+#include "me/types.hpp"
+#include "me/window.hpp"
+#include "video/interp.hpp"
+#include "video/plane.hpp"
+
+namespace acbm::me {
+
+/// Everything an algorithm may consult to estimate one block's vector.
+/// Pointers reference caller-owned data and must outlive the call.
+struct BlockContext {
+  const video::Plane* cur = nullptr;          ///< current luma plane
+  const video::HalfpelPlanes* ref = nullptr;  ///< interpolated reference
+  int x = 0;                ///< block top-left, samples
+  int y = 0;
+  int bx = 0;               ///< macroblock index
+  int by = 0;
+  int bw = kBlockSize;
+  int bh = kBlockSize;
+  SearchWindow window;      ///< allowed MV range (half-pel units)
+  /// Cost model. The paper's FSBM/PBM select by pure SAD, so the default
+  /// λ = 0 makes cost ≡ SAD; callers may enable rate-aware search by
+  /// supplying a λ > 0 model.
+  MotionCost cost{0.0};
+  bool half_pel = true;     ///< perform the final half-pel refinement
+  /// Spatial predictors: the current frame's field, filled up to but not
+  /// including this block (raster order). May be null (no spatial preds).
+  const MvField* cur_field = nullptr;
+  /// Temporal predictors: the previous frame's complete field. May be null.
+  const MvField* prev_field = nullptr;
+  int qp = 16;              ///< quantiser, consulted by adaptive algorithms
+};
+
+class MotionEstimator {
+ public:
+  virtual ~MotionEstimator() = default;
+
+  /// Estimates the motion vector for one block. Implementations must count
+  /// every SAD evaluation in EstimateResult::positions — Table 1 of the
+  /// paper is regenerated from these counters.
+  virtual EstimateResult estimate(const BlockContext& ctx) = 0;
+
+  /// Stable identifier used in bench output ("FSBM", "PBM", "ACBM", ...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Clears any cross-frame state (ACBM statistics, etc.). Called between
+  /// sequences.
+  virtual void reset() {}
+};
+
+}  // namespace acbm::me

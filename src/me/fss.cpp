@@ -1,0 +1,52 @@
+#include "me/fss.hpp"
+
+#include "me/halfpel.hpp"
+#include "me/search_support.hpp"
+
+namespace acbm::me {
+
+EstimateResult Fss::estimate(const BlockContext& ctx) {
+  SearchState state(ctx, /*track_visited=*/true);
+  state.try_candidate({0, 0});
+
+  // Recentring phase: 9-point ±2-integer pattern (±4 half-pel). The visited
+  // set makes re-probed points free, matching the algorithm's "evaluate only
+  // the new points" accounting.
+  const int kStep = 4;  // half-pel units = 2 integer samples
+  // Bounded by the worst case of walking across the whole window.
+  const int max_moves =
+      (ctx.window.max_x - ctx.window.min_x) / kStep +
+      (ctx.window.max_y - ctx.window.min_y) / kStep + 2;
+  for (int move = 0; move < max_moves; ++move) {
+    const Mv center = state.best_mv();
+    bool moved = false;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) {
+          continue;
+        }
+        moved |= state.try_candidate(
+            {center.x + dx * kStep, center.y + dy * kStep});
+      }
+    }
+    if (!moved) {
+      break;  // minimum is at the pattern centre — shrink
+    }
+  }
+
+  // Final stage: 3×3 at ±1 integer around the centre.
+  const Mv center = state.best_mv();
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) {
+        continue;
+      }
+      state.try_candidate({center.x + dx * 2, center.y + dy * 2});
+    }
+  }
+
+  refine_halfpel(state);
+  return state.result();
+}
+
+}  // namespace acbm::me

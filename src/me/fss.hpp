@@ -1,0 +1,20 @@
+#pragma once
+// 4SS — four-step search (Po & Ma [4] of the paper's references).
+//
+// A 5×5 (±2 integer) 9-point pattern that recentres while the minimum sits
+// on the pattern boundary, then finishes with a 3×3 (±1) stage and half-pel
+// refinement. Converges in four stages for p = 7; for larger ranges the
+// recentring phase simply runs longer (bounded by the window).
+
+#include "me/estimator.hpp"
+
+namespace acbm::me {
+
+class Fss final : public MotionEstimator {
+ public:
+  EstimateResult estimate(const BlockContext& ctx) override;
+
+  [[nodiscard]] std::string_view name() const override { return "4SS"; }
+};
+
+}  // namespace acbm::me

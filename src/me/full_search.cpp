@@ -1,0 +1,53 @@
+#include "me/full_search.hpp"
+
+#include "me/halfpel.hpp"
+#include "me/search_support.hpp"
+
+namespace acbm::me {
+
+namespace {
+
+/// Runs the integer raster scan; leaves `state` positioned at the best
+/// integer candidate.
+void integer_scan(SearchState& state, const BlockContext& ctx) {
+  // Even half-pel coordinates are the integer grid.
+  const int min_x = ctx.window.min_x + (ctx.window.min_x & 1);
+  const int min_y = ctx.window.min_y + (ctx.window.min_y & 1);
+  for (int my = min_y; my <= ctx.window.max_y; my += 2) {
+    for (int mx = min_x; mx <= ctx.window.max_x; mx += 2) {
+      state.try_candidate({mx, my});
+    }
+  }
+}
+
+}  // namespace
+
+EstimateResult FullSearch::estimate(const BlockContext& ctx) {
+  if (pattern_ != DecimationPattern::kNone) {
+    return estimate_decimated_full_search(ctx, pattern_);
+  }
+  SearchState state(ctx);
+  integer_scan(state, ctx);
+  refine_halfpel(state);
+  EstimateResult result = state.result();
+  result.used_full_search = true;
+  return result;
+}
+
+FullSearchResult FullSearch::search_full(const BlockContext& ctx) const {
+  SearchState state(ctx);
+  integer_scan(state, ctx);
+
+  FullSearchResult full;
+  full.best_integer_mv = state.best_mv();
+  full.best_integer_sad = state.best_sad();
+  full.integer_positions = state.positions();
+  full.integer_sad_sum = state.sad_sum();
+
+  refine_halfpel(state);
+  full.best = state.result();
+  full.best.used_full_search = true;
+  return full;
+}
+
+}  // namespace acbm::me

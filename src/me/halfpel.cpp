@@ -1,0 +1,39 @@
+#include "me/halfpel.hpp"
+
+namespace acbm::me {
+
+void refine_halfpel(SearchState& state) {
+  if (!state.ctx().half_pel) {
+    return;
+  }
+  const Mv center = state.best_mv();
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) {
+        continue;
+      }
+      state.try_candidate({center.x + dx, center.y + dy});
+    }
+  }
+}
+
+void descend(SearchState& state, int step_halfpel, int max_iterations) {
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    const Mv center = state.best_mv();
+    bool improved = false;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) {
+          continue;
+        }
+        improved |= state.try_candidate(
+            {center.x + dx * step_halfpel, center.y + dy * step_halfpel});
+      }
+    }
+    if (!improved) {
+      return;
+    }
+  }
+}
+
+}  // namespace acbm::me

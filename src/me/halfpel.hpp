@@ -1,0 +1,23 @@
+#pragma once
+// Half-pel refinement shared by every search algorithm.
+//
+// H.263 half-pel precision: after the integer-pel minimum is found, the 8
+// surrounding half-pel positions are probed (paper §2.3: "the FSBM considers
+// 8 additional half pixel candidates around the position pointed by the
+// integer pixel motion vector").
+
+#include "me/search_support.hpp"
+
+namespace acbm::me {
+
+/// Probes the 8 half-pel neighbours of the current best vector in `state`.
+/// No-op when the context disables half-pel.
+void refine_halfpel(SearchState& state);
+
+/// Iterative integer-pel descent: repeatedly probes the 8 integer-grid
+/// neighbours (step = `step_halfpel` half-pel units) of the current best and
+/// recentres while it improves, up to `max_iterations`. Used by PBM's local
+/// refinement and by the gradient phases of the fast searches.
+void descend(SearchState& state, int step_halfpel, int max_iterations);
+
+}  // namespace acbm::me

@@ -1,0 +1,49 @@
+#include "me/hexbs.hpp"
+
+#include "me/halfpel.hpp"
+#include "me/search_support.hpp"
+
+namespace acbm::me {
+
+namespace {
+
+// Half-pel offsets (integer grid ×2): hexagon with horizontal long axis.
+constexpr Mv kLargeHexagon[] = {{-4, 0}, {4, 0},  {-2, -4},
+                                {2, -4}, {-2, 4}, {2, 4}};
+// Final refinement: the 8-point square rather than the original 4-point
+// diamond — the diamond cannot reach diagonally-adjacent integer positions,
+// a known HEXBS weakness; production implementations (e.g. x264's hex)
+// finish with the square for exactly this reason.
+constexpr Mv kSquare[] = {{-2, -2}, {0, -2}, {2, -2}, {-2, 0},
+                          {2, 0},   {-2, 2}, {0, 2},  {2, 2}};
+
+}  // namespace
+
+EstimateResult HexagonSearch::estimate(const BlockContext& ctx) {
+  SearchState state(ctx, /*track_visited=*/true);
+  state.try_candidate({0, 0});
+
+  const int max_moves =
+      (ctx.window.max_x - ctx.window.min_x + ctx.window.max_y -
+       ctx.window.min_y) / 2 + 2;
+  for (int move = 0; move < max_moves; ++move) {
+    const Mv center = state.best_mv();
+    bool moved = false;
+    for (const Mv& offset : kLargeHexagon) {
+      moved |= state.try_candidate({center.x + offset.x, center.y + offset.y});
+    }
+    if (!moved) {
+      break;
+    }
+  }
+
+  const Mv center = state.best_mv();
+  for (const Mv& offset : kSquare) {
+    state.try_candidate({center.x + offset.x, center.y + offset.y});
+  }
+
+  refine_halfpel(state);
+  return state.result();
+}
+
+}  // namespace acbm::me

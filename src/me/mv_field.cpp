@@ -1,0 +1,87 @@
+#include "me/mv_field.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "me/cost.hpp"
+
+namespace acbm::me {
+
+MvField::MvField(int mbs_x, int mbs_y)
+    : mbs_x_(mbs_x), mbs_y_(mbs_y),
+      mvs_(static_cast<std::size_t>(mbs_x) * static_cast<std::size_t>(mbs_y)) {
+  assert(mbs_x >= 0 && mbs_y >= 0);
+}
+
+MvField MvField::for_picture(int pic_w, int pic_h, int block) {
+  assert(block > 0);
+  return MvField((pic_w + block - 1) / block, (pic_h + block - 1) / block);
+}
+
+Mv MvField::at(int bx, int by) const {
+  assert(valid(bx, by));
+  return mvs_[static_cast<std::size_t>(by) * mbs_x_ + bx];
+}
+
+void MvField::set(int bx, int by, Mv mv) {
+  assert(valid(bx, by));
+  mvs_[static_cast<std::size_t>(by) * mbs_x_ + bx] = mv;
+}
+
+Mv MvField::at_or(int bx, int by, Mv fallback) const {
+  return valid(bx, by) ? at(bx, by) : fallback;
+}
+
+Mv MvField::median_predictor(int bx, int by) const {
+  // H.263 §6.1.1: candidates are left, above, above-right. Outside-picture
+  // candidates are zero, except that in the first row the left candidate is
+  // used directly.
+  const Mv left = at_or(bx - 1, by);
+  if (by == 0) {
+    return left;
+  }
+  const Mv above = at_or(bx, by - 1);
+  const Mv above_right = at_or(bx + 1, by - 1);
+  auto median3 = [](int a, int b, int c) {
+    return std::max(std::min(a, b), std::min(std::max(a, b), c));
+  };
+  return {median3(left.x, above.x, above_right.x),
+          median3(left.y, above.y, above_right.y)};
+}
+
+double MvField::smoothness_l1() const {
+  std::uint64_t total = 0;
+  std::uint64_t pairs = 0;
+  for (int by = 0; by < mbs_y_; ++by) {
+    for (int bx = 0; bx < mbs_x_; ++bx) {
+      const Mv v = at(bx, by);
+      if (bx + 1 < mbs_x_) {
+        const Mv r = at(bx + 1, by);
+        total += static_cast<std::uint64_t>(std::abs(v.x - r.x) +
+                                            std::abs(v.y - r.y));
+        ++pairs;
+      }
+      if (by + 1 < mbs_y_) {
+        const Mv d = at(bx, by + 1);
+        total += static_cast<std::uint64_t>(std::abs(v.x - d.x) +
+                                            std::abs(v.y - d.y));
+        ++pairs;
+      }
+    }
+  }
+  return pairs > 0 ? static_cast<double>(total) / static_cast<double>(pairs)
+                   : 0.0;
+}
+
+std::uint64_t MvField::total_rate_bits() const {
+  std::uint64_t bits = 0;
+  for (int by = 0; by < mbs_y_; ++by) {
+    for (int bx = 0; bx < mbs_x_; ++bx) {
+      bits += mv_rate_bits(at(bx, by), median_predictor(bx, by));
+    }
+  }
+  return bits;
+}
+
+}  // namespace acbm::me

@@ -1,0 +1,62 @@
+#pragma once
+// Per-frame motion-vector field with the spatial/temporal accessors the PBM
+// predictor logic (paper Fig. 2) and the codec's differential MV coding need.
+
+#include <cstdint>
+#include <vector>
+
+#include "me/types.hpp"
+
+namespace acbm::me {
+
+class MvField {
+ public:
+  MvField() = default;
+
+  /// Field of `mbs_x` × `mbs_y` macroblock vectors, all zero-initialised.
+  MvField(int mbs_x, int mbs_y);
+
+  /// Builds the field sized for a picture of pic_w×pic_h with 16×16 blocks.
+  [[nodiscard]] static MvField for_picture(int pic_w, int pic_h,
+                                           int block = kBlockSize);
+
+  [[nodiscard]] int mbs_x() const { return mbs_x_; }
+  [[nodiscard]] int mbs_y() const { return mbs_y_; }
+  [[nodiscard]] bool empty() const { return mvs_.empty(); }
+
+  [[nodiscard]] Mv at(int bx, int by) const;
+  void set(int bx, int by, Mv mv);
+
+  /// True when (bx, by) lies inside the field.
+  [[nodiscard]] bool valid(int bx, int by) const {
+    return bx >= 0 && bx < mbs_x_ && by >= 0 && by < mbs_y_;
+  }
+
+  /// Vector at (bx, by), or `fallback` when outside the field. The paper's
+  /// predictor diagrams treat off-picture neighbours as unavailable; callers
+  /// pass {0,0} to match H.263's edge convention.
+  [[nodiscard]] Mv at_or(int bx, int by, Mv fallback = {}) const;
+
+  /// H.263 median predictor for the block at (bx, by): componentwise median
+  /// of left, above and above-right neighbours (with the standard edge
+  /// substitutions). This is the `pred` used for differential MV coding.
+  [[nodiscard]] Mv median_predictor(int bx, int by) const;
+
+  /// Field smoothness: mean L1 difference between horizontally and
+  /// vertically adjacent vectors, in half-pel units. PBM fields measure
+  /// smoother (smaller) than FSBM fields — §2.3's "incoherent field" claim,
+  /// quantified.
+  [[nodiscard]] double smoothness_l1() const;
+
+  /// Total differential rate of the field in bits (sum of exp-Golomb MVD
+  /// lengths against the median predictor, raster order). The R term of the
+  /// paper's cost function, aggregated.
+  [[nodiscard]] std::uint64_t total_rate_bits() const;
+
+ private:
+  int mbs_x_ = 0;
+  int mbs_y_ = 0;
+  std::vector<Mv> mvs_;
+};
+
+}  // namespace acbm::me

@@ -1,0 +1,71 @@
+#include "me/ntss.hpp"
+
+#include <algorithm>
+
+#include "me/halfpel.hpp"
+#include "me/search_support.hpp"
+
+namespace acbm::me {
+
+EstimateResult Ntss::estimate(const BlockContext& ctx) {
+  SearchState state(ctx, /*track_visited=*/true);
+  state.try_candidate({0, 0});
+
+  const int range = std::max(ctx.window.max_x, ctx.window.max_y) / 2;
+  int step = 1;
+  while (step * 2 <= (range + 1) / 2) {
+    step *= 2;
+  }
+
+  // First step: the step-s ring and the unit ring together.
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) {
+        continue;
+      }
+      state.try_candidate({dx * 2 * step, dy * 2 * step});
+      state.try_candidate({dx * 2, dy * 2});
+    }
+  }
+
+  const Mv first = state.best_mv();
+  if (first == Mv{0, 0}) {
+    // First halfway stop: stationary block, 17 positions paid.
+    refine_halfpel(state);
+    return state.result();
+  }
+  if (first.linf() <= 2) {
+    // Second halfway stop: minimum on the unit ring. Probe its own unit
+    // neighbours (the visited set skips the ones the first step already
+    // paid for — corners add 3 new points, edges add 5, as in the paper).
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) {
+          continue;
+        }
+        state.try_candidate({first.x + dx * 2, first.y + dy * 2});
+      }
+    }
+    refine_halfpel(state);
+    return state.result();
+  }
+
+  // Otherwise: classic TSS continuation from the step-s winner.
+  for (step /= 2; step >= 1; step /= 2) {
+    const Mv center = state.best_mv();
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) {
+          continue;
+        }
+        state.try_candidate(
+            {center.x + dx * 2 * step, center.y + dy * 2 * step});
+      }
+    }
+  }
+
+  refine_halfpel(state);
+  return state.result();
+}
+
+}  // namespace acbm::me

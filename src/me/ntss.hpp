@@ -1,0 +1,25 @@
+#pragma once
+// NTSS — new three-step search (Li, Zeng & Liou, 1994): the exact algorithm
+// the paper cites as [3].
+//
+// NTSS fixes classic TSS's weakness on small motion by making the first
+// step centre-biased: alongside the 8 step-s probes it also checks the 8
+// unit neighbours of the origin, and adds two halfway-stop rules:
+//   * minimum at the origin            → stop (stationary block);
+//   * minimum on the unit ring        → probe that point's 3–5 unprobed
+//                                        unit neighbours and stop;
+//   * minimum on the step-s ring      → continue as in TSS.
+// Half-pel refinement follows, as for every estimator in this library.
+
+#include "me/estimator.hpp"
+
+namespace acbm::me {
+
+class Ntss final : public MotionEstimator {
+ public:
+  EstimateResult estimate(const BlockContext& ctx) override;
+
+  [[nodiscard]] std::string_view name() const override { return "NTSS"; }
+};
+
+}  // namespace acbm::me

@@ -1,0 +1,52 @@
+#include "me/predictors.hpp"
+
+namespace acbm::me {
+
+void CandidateList::push_unique(Mv mv) {
+  if (size_ >= kCapacity) {
+    return;
+  }
+  for (int i = 0; i < size_; ++i) {
+    if (mvs_[i] == mv) {
+      return;
+    }
+  }
+  mvs_[size_++] = mv;
+}
+
+CandidateList pbm_candidates(const BlockContext& ctx) {
+  CandidateList list;
+  auto add = [&](Mv mv) { list.push_unique(ctx.window.clamp(mv)); };
+
+  add({0, 0});
+
+  if (ctx.cur_field != nullptr) {
+    const MvField& f = *ctx.cur_field;
+    if (f.valid(ctx.bx - 1, ctx.by)) {
+      add(f.at(ctx.bx - 1, ctx.by));  // left (mv4_t)
+    }
+    if (f.valid(ctx.bx, ctx.by - 1)) {
+      add(f.at(ctx.bx, ctx.by - 1));  // above (mv2_t)
+    }
+    if (f.valid(ctx.bx + 1, ctx.by - 1)) {
+      add(f.at(ctx.bx + 1, ctx.by - 1));  // above-right (mv3_t)
+    }
+  }
+
+  if (ctx.prev_field != nullptr) {
+    const MvField& f = *ctx.prev_field;
+    if (f.valid(ctx.bx, ctx.by)) {
+      add(f.at(ctx.bx, ctx.by));  // collocated (mv0_{t-1})
+    }
+    if (f.valid(ctx.bx + 1, ctx.by)) {
+      add(f.at(ctx.bx + 1, ctx.by));  // right of collocated (mv5_{t-1})
+    }
+    if (f.valid(ctx.bx, ctx.by + 1)) {
+      add(f.at(ctx.bx, ctx.by + 1));  // below collocated (mv7_{t-1})
+    }
+  }
+
+  return list;
+}
+
+}  // namespace acbm::me

@@ -1,0 +1,42 @@
+#pragma once
+// Spatio-temporal candidate predictors for PBM (paper §2.2, Fig. 2).
+//
+// For the shaded block mv0_t, the usable neighbours are the already-computed
+// current-frame vectors (left, above, above-right — mv5_t..mv8_t do not exist
+// yet) and the previous frame's field around the collocated position. The
+// zero vector is always included: it is the best predictor for static
+// content and costs nothing to transmit.
+
+#include <array>
+#include <cstdint>
+
+#include "me/estimator.hpp"
+#include "me/types.hpp"
+
+namespace acbm::me {
+
+/// Fixed-capacity candidate list (no heap traffic in the per-block path).
+class CandidateList {
+ public:
+  static constexpr int kCapacity = 8;
+
+  /// Appends `mv` unless it is a duplicate or the list is full.
+  void push_unique(Mv mv);
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] Mv operator[](int i) const { return mvs_[i]; }
+
+  [[nodiscard]] const Mv* begin() const { return mvs_.data(); }
+  [[nodiscard]] const Mv* end() const { return mvs_.data() + size_; }
+
+ private:
+  std::array<Mv, kCapacity> mvs_{};
+  int size_ = 0;
+};
+
+/// Assembles the PBM candidate set for the block in `ctx`:
+/// {0, spatial left/above/above-right, temporal collocated/right/below},
+/// deduplicated and clamped into the search window.
+[[nodiscard]] CandidateList pbm_candidates(const BlockContext& ctx);
+
+}  // namespace acbm::me

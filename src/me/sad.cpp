@@ -1,0 +1,80 @@
+#include "me/sad.hpp"
+
+#include <cstdlib>
+
+namespace acbm::me {
+
+std::uint32_t sad_block(const video::Plane& cur, int cx, int cy,
+                        const video::Plane& ref, int rx, int ry, int bw,
+                        int bh, std::uint32_t early_exit) {
+  std::uint32_t total = 0;
+  for (int y = 0; y < bh; ++y) {
+    const std::uint8_t* a = cur.row(cy + y) + cx;
+    const std::uint8_t* b = ref.row(ry + y) + rx;
+    std::uint32_t row_sum = 0;
+    for (int x = 0; x < bw; ++x) {
+      row_sum += static_cast<std::uint32_t>(
+          std::abs(static_cast<int>(a[x]) - static_cast<int>(b[x])));
+    }
+    total += row_sum;
+    if (total > early_exit) {
+      return total;
+    }
+  }
+  return total;
+}
+
+std::uint32_t sad_block_halfpel(const video::Plane& cur, int cx, int cy,
+                                const video::HalfpelPlanes& ref, int hx,
+                                int hy, int bw, int bh,
+                                std::uint32_t early_exit) {
+  const int phase_h = hx & 1;
+  const int phase_v = hy & 1;
+  const int rx = (hx - phase_h) >> 1;
+  const int ry = (hy - phase_v) >> 1;
+  return sad_block(cur, cx, cy, ref.plane(phase_h, phase_v), rx, ry, bw, bh,
+                   early_exit);
+}
+
+std::uint32_t block_mean(const video::Plane& cur, int cx, int cy, int bw,
+                         int bh) {
+  std::uint32_t sum = 0;
+  for (int y = 0; y < bh; ++y) {
+    const std::uint8_t* a = cur.row(cy + y) + cx;
+    for (int x = 0; x < bw; ++x) {
+      sum += a[x];
+    }
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(bw * bh);
+  return n > 0 ? (sum + n / 2) / n : 0;
+}
+
+std::uint32_t intra_sad(const video::Plane& cur, int cx, int cy, int bw,
+                        int bh) {
+  const int mu = static_cast<int>(block_mean(cur, cx, cy, bw, bh));
+  std::uint32_t total = 0;
+  for (int y = 0; y < bh; ++y) {
+    const std::uint8_t* a = cur.row(cy + y) + cx;
+    for (int x = 0; x < bw; ++x) {
+      total += static_cast<std::uint32_t>(std::abs(static_cast<int>(a[x]) - mu));
+    }
+  }
+  return total;
+}
+
+std::uint64_t ssd_block(const video::Plane& cur, int cx, int cy,
+                        const video::Plane& ref, int rx, int ry, int bw,
+                        int bh) {
+  std::uint64_t total = 0;
+  for (int y = 0; y < bh; ++y) {
+    const std::uint8_t* a = cur.row(cy + y) + cx;
+    const std::uint8_t* b = ref.row(ry + y) + rx;
+    for (int x = 0; x < bw; ++x) {
+      const int d = static_cast<int>(a[x]) - static_cast<int>(b[x]);
+      total += static_cast<std::uint64_t>(d * d);
+    }
+  }
+  return total;
+}
+
+}  // namespace acbm::me

@@ -1,0 +1,50 @@
+#pragma once
+// Sum-of-absolute-differences kernels plus the paper's two block statistics.
+//
+// Every matching metric in the repository funnels through these functions so
+// the complexity accounting (Table 1 counts SAD evaluations) has a single
+// source of truth.
+
+#include <cstdint>
+
+#include "video/interp.hpp"
+#include "video/plane.hpp"
+
+namespace acbm::me {
+
+/// Sentinel meaning "no early-exit bound".
+inline constexpr std::uint32_t kNoEarlyExit = 0xFFFFFFFFu;
+
+/// SAD between the `bw`×`bh` block of `cur` at (cx, cy) and the block of
+/// `ref` at (rx, ry). Reference coordinates may reach into the border.
+/// If the running sum exceeds `early_exit` the function returns a value
+/// > early_exit without finishing the block (safe for min-tracking loops).
+[[nodiscard]] std::uint32_t sad_block(const video::Plane& cur, int cx, int cy,
+                                      const video::Plane& ref, int rx, int ry,
+                                      int bw, int bh,
+                                      std::uint32_t early_exit = kNoEarlyExit);
+
+/// SAD against a half-pel reference position. (hx, hy) is the half-pel
+/// coordinate of the reference block origin: hx = 2·rx + phase.
+[[nodiscard]] std::uint32_t sad_block_halfpel(
+    const video::Plane& cur, int cx, int cy, const video::HalfpelPlanes& ref,
+    int hx, int hy, int bw, int bh,
+    std::uint32_t early_exit = kNoEarlyExit);
+
+/// The paper's Intra_SAD: Σ |p(i,j) − µ| over the block, with µ the block
+/// mean (rounded to nearest). High values identify textured blocks.
+[[nodiscard]] std::uint32_t intra_sad(const video::Plane& cur, int cx, int cy,
+                                      int bw, int bh);
+
+/// Block mean, rounded to nearest integer — exposed for tests and reuse by
+/// the codec's INTRA/INTER decision.
+[[nodiscard]] std::uint32_t block_mean(const video::Plane& cur, int cx, int cy,
+                                       int bw, int bh);
+
+/// Sum of squared differences (used by tests as an independent check and by
+/// the codec's mode decision experiments).
+[[nodiscard]] std::uint64_t ssd_block(const video::Plane& cur, int cx, int cy,
+                                      const video::Plane& ref, int rx, int ry,
+                                      int bw, int bh);
+
+}  // namespace acbm::me

@@ -1,0 +1,39 @@
+#include "me/tss.hpp"
+
+#include <algorithm>
+
+#include "me/halfpel.hpp"
+#include "me/search_support.hpp"
+
+namespace acbm::me {
+
+EstimateResult Tss::estimate(const BlockContext& ctx) {
+  SearchState state(ctx, /*track_visited=*/true);
+  state.try_candidate({0, 0});
+
+  // Initial step: largest power of two not exceeding half the range
+  // (in half-pel units the integer range is window.max_x / 2).
+  const int range = std::max(ctx.window.max_x, ctx.window.max_y) / 2;
+  int step = 1;
+  while (step * 2 <= (range + 1) / 2) {
+    step *= 2;
+  }
+
+  for (; step >= 1; step /= 2) {
+    const Mv center = state.best_mv();
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) {
+          continue;
+        }
+        state.try_candidate(
+            {center.x + dx * 2 * step, center.y + dy * 2 * step});
+      }
+    }
+  }
+
+  refine_halfpel(state);
+  return state.result();
+}
+
+}  // namespace acbm::me

@@ -1,0 +1,23 @@
+#pragma once
+// TSS — three-step search (Liu/Zeng/Liou [3] of the paper's references),
+// generalised to arbitrary search ranges.
+//
+// Starting from a step of roughly half the range, each stage probes the
+// centre's 8 neighbours at the current step, recentres on the minimum and
+// halves the step until it reaches one integer sample, then half-pel
+// refines. For p = 15 the steps are 8, 4, 2, 1 — the classic logarithmic
+// schedule. One of the candidate-reduction baselines ACBM is positioned
+// against in the paper's introduction.
+
+#include "me/estimator.hpp"
+
+namespace acbm::me {
+
+class Tss final : public MotionEstimator {
+ public:
+  EstimateResult estimate(const BlockContext& ctx) override;
+
+  [[nodiscard]] std::string_view name() const override { return "TSS"; }
+};
+
+}  // namespace acbm::me

@@ -1,0 +1,39 @@
+#include "me/window.hpp"
+
+#include <algorithm>
+
+namespace acbm::me {
+
+Mv SearchWindow::clamp(Mv mv) const {
+  return {std::clamp(mv.x, min_x, max_x), std::clamp(mv.y, min_y, max_y)};
+}
+
+int SearchWindow::fullpel_positions() const {
+  // Integer positions are the even half-pel coordinates within the bounds.
+  auto count_even = [](int lo, int hi) {
+    if (lo > hi) {
+      return 0;
+    }
+    const int first = lo + (lo & 1);        // round up to even
+    const int last = hi - (hi & 1);         // round down to even
+    return first > last ? 0 : (last - first) / 2 + 1;
+  };
+  return count_even(min_x, max_x) * count_even(min_y, max_y);
+}
+
+SearchWindow unrestricted_window(int range_p) {
+  return {-2 * range_p, 2 * range_p, -2 * range_p, 2 * range_p};
+}
+
+SearchWindow restricted_window(int range_p, int block_x, int block_y,
+                               int block_w, int block_h, int pic_w, int pic_h,
+                               int slack) {
+  SearchWindow w = unrestricted_window(range_p);
+  w.min_x = std::max(w.min_x, 2 * (-block_x - slack));
+  w.max_x = std::min(w.max_x, 2 * (pic_w - block_w - block_x + slack));
+  w.min_y = std::max(w.min_y, 2 * (-block_y - slack));
+  w.max_y = std::min(w.max_y, 2 * (pic_h - block_h - block_y + slack));
+  return w;
+}
+
+}  // namespace acbm::me

@@ -1,0 +1,45 @@
+#pragma once
+// Search-window handling.
+//
+// The paper uses p = 15 with border-extended reference pictures (so windows
+// never shrink at picture edges and FSBM always evaluates (2p+1)² = 961
+// integer positions — the 969-candidate count in §4 depends on this).
+// The window is expressed in half-pel units and clamping is still provided
+// for callers that want restricted vectors.
+
+#include "me/types.hpp"
+#include "video/plane.hpp"
+
+namespace acbm::me {
+
+/// Inclusive motion-vector bounds in half-pel units.
+struct SearchWindow {
+  int min_x = 0;
+  int max_x = 0;
+  int min_y = 0;
+  int max_y = 0;
+
+  [[nodiscard]] bool contains(Mv mv) const {
+    return mv.x >= min_x && mv.x <= max_x && mv.y >= min_y && mv.y <= max_y;
+  }
+
+  /// Clamps a vector componentwise into the window.
+  [[nodiscard]] Mv clamp(Mv mv) const;
+
+  /// Number of integer-pel positions inside the window.
+  [[nodiscard]] int fullpel_positions() const;
+};
+
+/// The paper's unrestricted window: ±p integer samples around (0,0),
+/// independent of block position (reference borders absorb the overhang).
+[[nodiscard]] SearchWindow unrestricted_window(int range_p);
+
+/// A window additionally clamped so that the reference block stays within
+/// the picture plus `slack` border samples. Used when emulating restricted
+/// MV modes and by tests.
+[[nodiscard]] SearchWindow restricted_window(int range_p, int block_x,
+                                             int block_y, int block_w,
+                                             int block_h, int pic_w, int pic_h,
+                                             int slack = 0);
+
+}  // namespace acbm::me

@@ -1,0 +1,84 @@
+#include "synth/motion_model.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace acbm::synth {
+
+SinusoidalSway::SinusoidalSway(double amplitude_x, double amplitude_y,
+                               double period_frames, double phase)
+    : ax_(amplitude_x), ay_(amplitude_y), period_(period_frames),
+      phase_(phase) {
+  assert(period_frames > 0.0);
+}
+
+Displacement SinusoidalSway::at(double t) const {
+  const double angle = 2.0 * std::numbers::pi * t / period_ + phase_;
+  // The y component runs at a slightly different rate so the sway traces a
+  // Lissajous-like path instead of a straight line (closer to real head
+  // movement, and it exercises both MV components).
+  const double angle_y =
+      2.0 * std::numbers::pi * t / (period_ * 0.73) + phase_ * 1.3;
+  return {ax_ * std::sin(angle), ay_ * std::sin(angle_y)};
+}
+
+RandomWalk::RandomWalk(std::uint64_t seed, int frames, double step_sigma) {
+  util::Rng rng(seed);
+  path_.reserve(static_cast<std::size_t>(frames) + 1);
+  Displacement pos;
+  path_.push_back(pos);
+  for (int i = 0; i < frames; ++i) {
+    pos.x += rng.next_gaussian() * step_sigma;
+    pos.y += rng.next_gaussian() * step_sigma;
+    path_.push_back(pos);
+  }
+}
+
+Displacement RandomWalk::at(int t) const {
+  if (path_.empty()) {
+    return {};
+  }
+  if (t < 0) {
+    t = 0;
+  }
+  const auto idx = std::min<std::size_t>(static_cast<std::size_t>(t),
+                                         path_.size() - 1);
+  return path_[idx];
+}
+
+BouncePath::BouncePath(double start_x, double start_y, double vx, double vy,
+                       double min_x, double max_x, double min_y, double max_y)
+    : start_x_(start_x), start_y_(start_y), vx_(vx), vy_(vy), min_x_(min_x),
+      max_x_(max_x), min_y_(min_y), max_y_(max_y) {
+  assert(max_x > min_x && max_y > min_y);
+}
+
+std::pair<double, double> BouncePath::position(int t) const {
+  assert(t >= 0);
+  double x = start_x_;
+  double y = start_y_;
+  double vx = vx_;
+  double vy = vy_;
+  for (int i = 0; i < t; ++i) {
+    x += vx;
+    y += vy;
+    if (x < min_x_) {
+      x = 2.0 * min_x_ - x;
+      vx = -vx;
+    } else if (x > max_x_) {
+      x = 2.0 * max_x_ - x;
+      vx = -vx;
+    }
+    if (y < min_y_) {
+      y = 2.0 * min_y_ - y;
+      vy = -vy;
+    } else if (y > max_y_) {
+      y = 2.0 * max_y_ - y;
+      vy = -vy;
+    }
+  }
+  return {x, y};
+}
+
+}  // namespace acbm::synth

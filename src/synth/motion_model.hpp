@@ -1,0 +1,86 @@
+#pragma once
+// Time-parameterised motion models for the synthetic scenes.
+//
+// Each model maps a frame index to a continuous 2-D displacement. The scene
+// compositor samples textures at these sub-pixel offsets, which is what makes
+// half-pel refinement (and the paper's half-pel RD gains) observable on the
+// synthetic material.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace acbm::synth {
+
+/// A continuous 2-D displacement in luma samples.
+struct Displacement {
+  double x = 0.0;
+  double y = 0.0;
+
+  Displacement operator+(const Displacement& o) const {
+    return {x + o.x, y + o.y};
+  }
+};
+
+/// Sinusoidal sway: amplitude_{x,y} · sin(2π·t/period + phase). Models the
+/// gentle head motion of videoconference clips (Miss America, Carphone).
+class SinusoidalSway {
+ public:
+  SinusoidalSway(double amplitude_x, double amplitude_y, double period_frames,
+                 double phase = 0.0);
+
+  [[nodiscard]] Displacement at(double t) const;
+
+ private:
+  double ax_;
+  double ay_;
+  double period_;
+  double phase_;
+};
+
+/// Constant-velocity pan: velocity · t. Models camera pans (Foreman).
+class LinearPan {
+ public:
+  LinearPan(double vx, double vy) : vx_(vx), vy_(vy) {}
+
+  [[nodiscard]] Displacement at(double t) const { return {vx_ * t, vy_ * t}; }
+
+ private:
+  double vx_;
+  double vy_;
+};
+
+/// Precomputed seeded random walk (camera shake). Per-frame Gaussian steps of
+/// stddev `step_sigma`, cumulative. Deterministic for a given seed.
+class RandomWalk {
+ public:
+  RandomWalk(std::uint64_t seed, int frames, double step_sigma);
+
+  /// Displacement at integer frame t (clamped to the precomputed range).
+  [[nodiscard]] Displacement at(int t) const;
+
+ private:
+  std::vector<Displacement> path_;
+};
+
+/// Piecewise-linear bounce inside a box: position advances by `velocity`
+/// per frame and reflects off [min_x, max_x] × [min_y, max_y]. Models the
+/// ball in the Table (table-tennis) sequence — fast motion with abrupt
+/// direction changes, the case where predictive search fails.
+class BouncePath {
+ public:
+  BouncePath(double start_x, double start_y, double vx, double vy,
+             double min_x, double max_x, double min_y, double max_y);
+
+  /// Exact position after t frames (computed iteratively; t small in
+  /// practice). t must be >= 0.
+  [[nodiscard]] std::pair<double, double> position(int t) const;
+
+ private:
+  double start_x_, start_y_, vx_, vy_;
+  double min_x_, max_x_, min_y_, max_y_;
+};
+
+}  // namespace acbm::synth

@@ -1,0 +1,65 @@
+#include "synth/noise.hpp"
+
+#include <cmath>
+
+namespace acbm::synth {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double smoothstep5(double t) {
+  // 6t^5 - 15t^4 + 10t^3
+  return t * t * t * (t * (t * 6.0 - 15.0) + 10.0);
+}
+
+}  // namespace
+
+double lattice_noise(std::uint64_t seed, std::int32_t xi, std::int32_t yi) {
+  std::uint64_t h = seed;
+  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(xi)) |
+                 (static_cast<std::uint64_t>(static_cast<std::uint32_t>(yi))
+                  << 32)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double smooth_noise(std::uint64_t seed, double x, double y) {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const auto xi = static_cast<std::int32_t>(fx);
+  const auto yi = static_cast<std::int32_t>(fy);
+  const double tx = smoothstep5(x - fx);
+  const double ty = smoothstep5(y - fy);
+  const double v00 = lattice_noise(seed, xi, yi);
+  const double v10 = lattice_noise(seed, xi + 1, yi);
+  const double v01 = lattice_noise(seed, xi, yi + 1);
+  const double v11 = lattice_noise(seed, xi + 1, yi + 1);
+  const double a = v00 + (v10 - v00) * tx;
+  const double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * ty;
+}
+
+double fbm(std::uint64_t seed, double x, double y, int octaves,
+           double lacunarity, double gain) {
+  double sum = 0.0;
+  double amplitude = 1.0;
+  double total_amplitude = 0.0;
+  double fx = x;
+  double fy = y;
+  for (int i = 0; i < octaves; ++i) {
+    sum += amplitude * smooth_noise(seed + static_cast<std::uint64_t>(i) *
+                                               0x9E3779B97F4A7C15ull,
+                                    fx, fy);
+    total_amplitude += amplitude;
+    amplitude *= gain;
+    fx *= lacunarity;
+    fy *= lacunarity;
+  }
+  return total_amplitude > 0.0 ? sum / total_amplitude : 0.0;
+}
+
+}  // namespace acbm::synth

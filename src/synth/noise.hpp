@@ -1,0 +1,27 @@
+#pragma once
+// Deterministic lattice value-noise and fractal Brownian motion.
+//
+// All synthetic textures derive from these functions; determinism (pure
+// functions of seed and coordinates, no global state) is what lets the
+// benches reproduce the paper's figures bit-exactly across runs.
+
+#include <cstdint>
+
+namespace acbm::synth {
+
+/// Hash-based lattice noise: uniform in [0, 1), pure function of
+/// (seed, xi, yi).
+[[nodiscard]] double lattice_noise(std::uint64_t seed, std::int32_t xi,
+                                   std::int32_t yi);
+
+/// Smoothly interpolated value noise at continuous coordinates, range [0,1).
+/// Uses quintic smoothstep so first and second derivatives are continuous
+/// (avoids visible lattice seams that would create artificial block texture).
+[[nodiscard]] double smooth_noise(std::uint64_t seed, double x, double y);
+
+/// Fractal Brownian motion: `octaves` layers of smooth_noise with frequency
+/// ratio `lacunarity` and amplitude ratio `gain`. Normalised to [0, 1).
+[[nodiscard]] double fbm(std::uint64_t seed, double x, double y, int octaves,
+                         double lacunarity = 2.0, double gain = 0.5);
+
+}  // namespace acbm::synth

@@ -1,0 +1,145 @@
+#include "synth/scene.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "synth/noise.hpp"
+#include "synth/texture.hpp"
+
+namespace acbm::synth {
+
+namespace {
+
+/// Coverage of a point inside a feathered rectangle [x0,x1]×[y0,y1].
+double rect_alpha(double x, double y, double x0, double y0, double x1,
+                  double y1, double feather) {
+  const double d =
+      std::min(std::min(x - x0, x1 - x), std::min(y - y0, y1 - y));
+  if (feather <= 0.0) {
+    return d >= 0.0 ? 1.0 : 0.0;
+  }
+  return std::clamp(d / feather + 0.5, 0.0, 1.0);
+}
+
+/// Signed distance (in samples, approximately) from the sprite boundary;
+/// positive inside.
+double sprite_distance(const Sprite& s, double x, double y) {
+  const double dx = x - s.cx;
+  const double dy = y - s.cy;
+  switch (s.shape) {
+    case Sprite::Shape::kEllipse: {
+      const double r = std::sqrt((dx / s.rx) * (dx / s.rx) +
+                                 (dy / s.ry) * (dy / s.ry));
+      return (1.0 - r) * std::min(s.rx, s.ry);
+    }
+    case Sprite::Shape::kRectangle:
+      return std::min(s.rx - std::abs(dx), s.ry - std::abs(dy));
+  }
+  return -1.0;
+}
+
+double sprite_alpha(const Sprite& s, double x, double y) {
+  const double d = sprite_distance(s, x, y);
+  if (s.feather <= 0.0) {
+    return d >= 0.0 ? 1.0 : 0.0;
+  }
+  return std::clamp(d / s.feather + 0.5, 0.0, 1.0);
+}
+
+double sprite_luma(const Sprite& s, double x, double y) {
+  if (s.texture_amp == 0.0) {
+    return s.luma;
+  }
+  const double lx = s.texture_tracks ? x - s.cx : x;
+  const double ly = s.texture_tracks ? y - s.cy : y;
+  const double n =
+      fbm(s.texture_seed, lx * s.texture_scale, ly * s.texture_scale, 3);
+  return s.luma + s.texture_amp * (2.0 * n - 1.0);
+}
+
+}  // namespace
+
+video::Frame render_scene(video::PictureSize size, const SceneFrame& scene,
+                          util::Rng& rng) {
+  assert(!scene.layers.empty());
+  assert(scene.layers[0].texture != nullptr);
+  const int w = size.width;
+  const int h = size.height;
+  video::Frame frame(size);
+
+  // Full-resolution chroma is accumulated here and box-filtered to 4:2:0.
+  std::vector<double> cb_full(static_cast<std::size_t>(w) * h);
+  std::vector<double> cr_full(static_cast<std::size_t>(w) * h);
+
+  for (int y = 0; y < h; ++y) {
+    std::uint8_t* yrow = frame.y().row(y);
+    for (int x = 0; x < w; ++x) {
+      const double fx = static_cast<double>(x);
+      const double fy = static_cast<double>(y);
+
+      // Base layer always covers the frame.
+      const Layer& base = scene.layers[0];
+      double luma = sample_bilinear(*base.texture, fx + base.offset.x,
+                                    fy + base.offset.y);
+      double cb = base.color.cb;
+      double cr = base.color.cr;
+
+      for (std::size_t li = 1; li < scene.layers.size(); ++li) {
+        const Layer& layer = scene.layers[li];
+        const double a =
+            rect_alpha(fx, fy, layer.x0, layer.y0, layer.x1, layer.y1,
+                       layer.feather);
+        if (a <= 0.0) {
+          continue;
+        }
+        const double src = sample_bilinear(
+            *layer.texture, fx + layer.offset.x, fy + layer.offset.y);
+        luma += a * (src - luma);
+        cb += a * (layer.color.cb - cb);
+        cr += a * (layer.color.cr - cr);
+      }
+
+      for (const Sprite& sprite : scene.sprites) {
+        const double a = sprite_alpha(sprite, fx, fy);
+        if (a <= 0.0) {
+          continue;
+        }
+        const double src = sprite_luma(sprite, fx, fy);
+        luma += a * (src - luma);
+        cb += a * (sprite.color.cb - cb);
+        cr += a * (sprite.color.cr - cr);
+      }
+
+      yrow[x] = to_sample(luma);
+      cb_full[static_cast<std::size_t>(y) * w + x] = cb;
+      cr_full[static_cast<std::size_t>(y) * w + x] = cr;
+    }
+  }
+
+  // 2×2 box filter down to 4:2:0.
+  for (int cy = 0; cy < h / 2; ++cy) {
+    std::uint8_t* cbrow = frame.cb().row(cy);
+    std::uint8_t* crrow = frame.cr().row(cy);
+    for (int cx = 0; cx < w / 2; ++cx) {
+      const std::size_t i00 = static_cast<std::size_t>(2 * cy) * w + 2 * cx;
+      const std::size_t i01 = i00 + 1;
+      const std::size_t i10 = i00 + static_cast<std::size_t>(w);
+      const std::size_t i11 = i10 + 1;
+      cbrow[cx] =
+          to_sample((cb_full[i00] + cb_full[i01] + cb_full[i10] +
+                     cb_full[i11]) / 4.0);
+      crrow[cx] =
+          to_sample((cr_full[i00] + cr_full[i01] + cr_full[i10] +
+                     cr_full[i11]) / 4.0);
+    }
+  }
+
+  if (scene.noise_sigma > 0.0) {
+    add_gaussian_noise(frame.y(), rng, scene.noise_sigma);
+  }
+  frame.extend_borders();
+  return frame;
+}
+
+}  // namespace acbm::synth

@@ -1,0 +1,75 @@
+#pragma once
+// Scene compositor: layered textures plus feathered sprites, rendered to a
+// YUV 4:2:0 frame with sub-pixel motion.
+//
+// The compositor is intentionally simple — alpha-blended layers and
+// distance-field sprites — but it controls exactly the two block statistics
+// the paper's algorithm keys on: per-block texture (via texture amplitude)
+// and motion-field coherence (via the motion models driving offsets).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "synth/motion_model.hpp"
+#include "util/rng.hpp"
+#include "video/frame.hpp"
+#include "video/plane.hpp"
+
+namespace acbm::synth {
+
+/// 4:2:0 chroma colour attached to a layer or sprite.
+struct ChromaColor {
+  std::uint8_t cb = 128;
+  std::uint8_t cr = 128;
+};
+
+/// A textured rectangular layer. The first layer of a scene must cover the
+/// whole frame (its rect is ignored); later layers composite over it.
+struct Layer {
+  const video::Plane* texture = nullptr;  ///< border-extended luma source
+  Displacement offset;   ///< sampling offset into the texture (sub-pixel)
+  double x0 = 0.0;       ///< destination rect, frame coordinates
+  double y0 = 0.0;
+  double x1 = 1e9;       ///< defaults larger than any frame = full coverage
+  double y1 = 1e9;
+  double feather = 0.0;  ///< edge softness in samples (0 = hard edge)
+  ChromaColor color;
+};
+
+/// A procedurally-shaded sprite with a feathered boundary.
+struct Sprite {
+  enum class Shape { kEllipse, kRectangle };
+
+  Shape shape = Shape::kEllipse;
+  double cx = 0.0;       ///< centre, frame coordinates
+  double cy = 0.0;
+  double rx = 8.0;       ///< radii (ellipse) or half-extents (rectangle)
+  double ry = 8.0;
+  double feather = 1.5;  ///< boundary softness in samples
+  double luma = 128.0;
+  /// Texture inside the sprite: amplitude 0 = flat shading. When
+  /// `texture_tracks` is true the texture is sampled in sprite-local
+  /// coordinates, so it moves rigidly with the sprite — this gives block
+  /// matching a true motion vector to find.
+  double texture_amp = 0.0;
+  std::uint64_t texture_seed = 7;
+  double texture_scale = 0.15;
+  bool texture_tracks = true;
+  ChromaColor color;
+};
+
+/// Full description of one frame's content.
+struct SceneFrame {
+  std::vector<Layer> layers;    ///< bottom-up; layers[0] covers the frame
+  std::vector<Sprite> sprites;  ///< composited over all layers, in order
+  double noise_sigma = 0.0;     ///< Gaussian sensor noise added to luma
+};
+
+/// Renders the scene to a frame of the given size. `rng` supplies sensor
+/// noise only (scene geometry must come from deterministic motion models).
+[[nodiscard]] video::Frame render_scene(video::PictureSize size,
+                                        const SceneFrame& scene,
+                                        util::Rng& rng);
+
+}  // namespace acbm::synth

@@ -1,0 +1,366 @@
+#include "synth/sequences.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "synth/motion_model.hpp"
+#include "synth/scene.hpp"
+#include "synth/texture.hpp"
+#include "util/rng.hpp"
+
+namespace acbm::synth {
+
+namespace {
+
+using video::Frame;
+using video::PictureSize;
+using video::Plane;
+
+/// Shared state for one sequence family: pre-built textures plus a function
+/// that assembles the scene for 30 fps frame index t.
+struct SceneScript {
+  std::vector<Plane> textures;
+  std::function<SceneFrame(int)> frame_at;
+};
+
+// ---------------------------------------------------------------- carphone
+
+SceneScript carphone_script(PictureSize size) {
+  const double w = size.width;
+  const double h = size.height;
+  SceneScript script;
+  script.textures.reserve(2);
+  // Car interior: moderate texture.
+  script.textures.push_back(make_noise_texture(
+      size.width, size.height,
+      TextureSpec{.seed = 101, .scale = 0.05, .octaves = 3, .base = 110.0,
+                  .amplitude = 16.0}));
+  // Scenery through the window: detailed and wide so it can scroll.
+  script.textures.push_back(make_noise_texture(
+      size.width * 3, size.height,
+      TextureSpec{.seed = 102, .scale = 0.06, .octaves = 4, .base = 150.0,
+                  .amplitude = 35.0}));
+
+  const Plane* interior = &script.textures[0];
+  const Plane* scenery = &script.textures[1];
+  script.frame_at = [=](int t) {
+    SceneFrame scene;
+    scene.noise_sigma = 1.0;
+
+    Layer base;
+    base.texture = interior;
+    base.color = {120, 130};
+    scene.layers.push_back(base);
+
+    // Window on the right; scenery scrolls left at 2.5 samples/frame.
+    Layer window;
+    window.texture = scenery;
+    window.offset = {40.0 + 2.5 * t, 0.0};
+    window.x0 = 0.72 * w;
+    window.y0 = 0.08 * h;
+    window.x1 = 0.98 * w;
+    window.y1 = 0.52 * h;
+    window.feather = 1.0;
+    window.color = {135, 118};
+    scene.layers.push_back(window);
+
+    const SinusoidalSway head_sway(2.5, 1.5, 25.0);
+    const Displacement head = head_sway.at(t);
+
+    Sprite shoulders;
+    shoulders.shape = Sprite::Shape::kRectangle;
+    shoulders.cx = 0.42 * w + head.x * 0.4;
+    shoulders.cy = 1.02 * h;
+    shoulders.rx = 0.30 * w;
+    shoulders.ry = 0.28 * h;
+    shoulders.feather = 2.0;
+    shoulders.luma = 70.0;
+    shoulders.texture_amp = 8.0;
+    shoulders.texture_seed = 103;
+    shoulders.color = {118, 124};
+    scene.sprites.push_back(shoulders);
+
+    Sprite face;
+    face.cx = 0.42 * w + head.x;
+    face.cy = 0.50 * h + head.y;
+    face.rx = 0.19 * w;
+    face.ry = 0.28 * h;
+    face.feather = 1.5;
+    face.luma = 140.0;
+    face.texture_amp = 10.0;
+    face.texture_seed = 104;
+    face.texture_scale = 0.12;
+    face.color = {110, 150};
+    scene.sprites.push_back(face);
+    return scene;
+  };
+  return script;
+}
+
+// ----------------------------------------------------------------- foreman
+
+SceneScript foreman_script(PictureSize size) {
+  const double w = size.width;
+  const double h = size.height;
+  SceneScript script;
+  script.textures.reserve(1);
+  // Construction-site detail: high amplitude, fine octaves; generated wider
+  // than the frame so the camera can pan across it.
+  script.textures.push_back(make_noise_texture(
+      size.width * 3, size.height + 32,
+      TextureSpec{.seed = 201, .scale = 0.035, .octaves = 4, .base = 120.0,
+                  .amplitude = 45.0}));
+
+  const Plane* site = &script.textures[0];
+  // Shared across frames so the shake path is one continuous walk.
+  const auto shake = std::make_shared<RandomWalk>(202, 400, 0.55);
+  script.frame_at = [=](int t) {
+    SceneFrame scene;
+    scene.noise_sigma = 1.2;
+
+    const LinearPan pan(0.8, 0.0);
+    const Displacement camera = pan.at(t) + shake->at(t);
+
+    Layer base;
+    base.texture = site;
+    base.offset = {10.0 + camera.x, 8.0 + camera.y};
+    base.color = {122, 136};
+    scene.layers.push_back(base);
+
+    const SinusoidalSway nod(2.0, 2.5, 18.0);
+    const Displacement head = nod.at(t);
+
+    Sprite face;
+    face.cx = 0.48 * w + head.x;
+    face.cy = 0.45 * h + head.y;
+    face.rx = 0.20 * w;
+    face.ry = 0.30 * h;
+    face.feather = 1.5;
+    face.luma = 150.0;
+    face.texture_amp = 20.0;
+    face.texture_seed = 203;
+    face.texture_scale = 0.12;
+    face.color = {108, 152};
+    scene.sprites.push_back(face);
+
+    Sprite helmet;
+    helmet.cx = face.cx;
+    helmet.cy = face.cy - 0.26 * h;
+    helmet.rx = 0.22 * w;
+    helmet.ry = 0.12 * h;
+    helmet.feather = 1.5;
+    helmet.luma = 200.0;
+    helmet.texture_amp = 6.0;
+    helmet.texture_seed = 204;
+    helmet.color = {128, 128};
+    scene.sprites.push_back(helmet);
+    return scene;
+  };
+  return script;
+}
+
+// ------------------------------------------------------------ miss_america
+
+SceneScript miss_america_script(PictureSize size) {
+  const double w = size.width;
+  const double h = size.height;
+  SceneScript script;
+  script.textures.reserve(1);
+  // Plain studio backdrop: a gentle gradient, essentially texture-free.
+  script.textures.push_back(
+      make_gradient(size.width, size.height, 60.0, 85.0));
+
+  const Plane* backdrop = &script.textures[0];
+  script.frame_at = [=](int t) {
+    SceneFrame scene;
+    scene.noise_sigma = 0.6;
+
+    Layer base;
+    base.texture = backdrop;
+    base.color = {125, 128};
+    scene.layers.push_back(base);
+
+    const SinusoidalSway sway(1.5, 0.8, 40.0);
+    const Displacement head = sway.at(t);
+
+    Sprite body;
+    body.shape = Sprite::Shape::kRectangle;
+    body.cx = 0.50 * w + head.x * 0.5;
+    body.cy = 1.00 * h;
+    body.rx = 0.34 * w;
+    body.ry = 0.30 * h;
+    body.feather = 3.0;
+    body.luma = 72.0;
+    body.texture_amp = 4.0;
+    body.texture_seed = 301;
+    body.texture_scale = 0.06;
+    body.color = {132, 120};
+    scene.sprites.push_back(body);
+
+    Sprite face;
+    face.cx = 0.50 * w + head.x;
+    face.cy = 0.40 * h + head.y;
+    face.rx = 0.17 * w;
+    face.ry = 0.26 * h;
+    face.feather = 2.0;
+    face.luma = 152.0;
+    face.texture_amp = 6.0;
+    face.texture_seed = 302;
+    face.texture_scale = 0.10;
+    face.color = {112, 148};
+    scene.sprites.push_back(face);
+
+    Sprite hair;
+    hair.cx = face.cx;
+    hair.cy = face.cy - 0.22 * h;
+    hair.rx = 0.20 * w;
+    hair.ry = 0.13 * h;
+    hair.feather = 2.0;
+    hair.luma = 50.0;
+    hair.texture_amp = 5.0;
+    hair.texture_seed = 303;
+    hair.color = {128, 130};
+    scene.sprites.push_back(hair);
+    return scene;
+  };
+  return script;
+}
+
+// ------------------------------------------------------------------- table
+
+SceneScript table_script(PictureSize size) {
+  const double w = size.width;
+  const double h = size.height;
+  SceneScript script;
+  script.textures.reserve(1);
+  // Table surface: mostly flat with faint grain.
+  script.textures.push_back(make_noise_texture(
+      size.width, size.height,
+      TextureSpec{.seed = 401, .scale = 0.04, .octaves = 2, .base = 118.0,
+                  .amplitude = 8.0}));
+
+  const Plane* surface = &script.textures[0];
+  script.frame_at = [=](int t) {
+    SceneFrame scene;
+    scene.noise_sigma = 0.8;
+
+    Layer base;
+    base.texture = surface;
+    base.color = {118, 135};
+    scene.layers.push_back(base);
+
+    // Net: static vertical stripe mid-table.
+    Sprite net;
+    net.shape = Sprite::Shape::kRectangle;
+    net.cx = 0.50 * w;
+    net.cy = 0.62 * h;
+    net.rx = 0.008 * w;
+    net.ry = 0.10 * h;
+    net.feather = 0.8;
+    net.luma = 210.0;
+    net.texture_amp = 0.0;
+    net.color = {128, 128};
+    scene.sprites.push_back(net);
+
+    // Ball: fast bounce — large, abruptly changing displacements.
+    const BouncePath ball_path(0.30 * w, 0.35 * h, 5.5, 3.5, 0.08 * w,
+                               0.92 * w, 0.15 * h, 0.80 * h);
+    const auto [bx, by] = ball_path.position(t);
+    Sprite ball;
+    ball.cx = bx;
+    ball.cy = by;
+    ball.rx = 0.035 * w;
+    ball.ry = 0.035 * w;
+    ball.feather = 1.0;
+    ball.luma = 235.0;
+    ball.color = {120, 140};
+    scene.sprites.push_back(ball);
+
+    // Paddle: reverses direction quickly.
+    const SinusoidalSway paddle_sway(6.0, 1.0, 14.0);
+    const Displacement pd = paddle_sway.at(t);
+    Sprite paddle;
+    paddle.shape = Sprite::Shape::kRectangle;
+    paddle.cx = 0.78 * w + pd.x;
+    paddle.cy = 0.55 * h + pd.y;
+    paddle.rx = 0.030 * w;
+    paddle.ry = 0.085 * h;
+    paddle.feather = 1.0;
+    paddle.luma = 60.0;
+    paddle.texture_amp = 5.0;
+    paddle.texture_seed = 402;
+    paddle.color = {115, 160};
+    scene.sprites.push_back(paddle);
+    return scene;
+  };
+  return script;
+}
+
+SceneScript make_script(const std::string& name, PictureSize size) {
+  if (name == "carphone") {
+    return carphone_script(size);
+  }
+  if (name == "foreman") {
+    return foreman_script(size);
+  }
+  if (name == "miss_america") {
+    return miss_america_script(size);
+  }
+  if (name == "table") {
+    return table_script(size);
+  }
+  throw std::invalid_argument("unknown synthetic sequence: " + name);
+}
+
+}  // namespace
+
+const std::vector<std::string>& standard_sequence_names() {
+  static const std::vector<std::string> names = {"carphone", "foreman",
+                                                 "miss_america", "table"};
+  return names;
+}
+
+bool is_known_sequence(const std::string& name) {
+  const auto& names = standard_sequence_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::vector<Frame> make_sequence(const SequenceRequest& request) {
+  if (request.fps <= 0 || 30 % request.fps != 0) {
+    throw std::invalid_argument("fps must divide 30");
+  }
+  if (request.frame_count <= 0) {
+    throw std::invalid_argument("frame_count must be positive");
+  }
+  const int factor = 30 / request.fps;
+  const int native_frames = request.frame_count * factor;
+
+  const SceneScript script = make_script(request.name, request.size);
+  util::Rng rng(request.seed);
+
+  std::vector<Frame> native;
+  native.reserve(static_cast<std::size_t>(native_frames));
+  for (int t = 0; t < native_frames; ++t) {
+    native.push_back(render_scene(request.size, script.frame_at(t), rng));
+  }
+  if (factor == 1) {
+    return native;
+  }
+  return decimate(native, factor);
+}
+
+std::vector<Frame> decimate(const std::vector<Frame>& frames, int factor) {
+  assert(factor >= 1);
+  std::vector<Frame> out;
+  out.reserve(frames.size() / static_cast<std::size_t>(factor) + 1);
+  for (std::size_t i = 0; i < frames.size();
+       i += static_cast<std::size_t>(factor)) {
+    out.push_back(frames[i]);
+  }
+  return out;
+}
+
+}  // namespace acbm::synth

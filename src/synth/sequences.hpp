@@ -1,0 +1,57 @@
+#pragma once
+// Named synthetic analogues of the paper's test clips.
+//
+// The paper evaluates on Carphone, Foreman, Miss America and Table (QCIF,
+// 30/15/10 fps). Those clips are not redistributable here, so each name maps
+// to a procedural scene whose *motion and texture statistics* match the
+// original's character (see DESIGN.md §4 for the substitution argument):
+//
+//   miss_america — static low-texture studio background, slow head sway.
+//                  Lowest Intra_SAD, smoothest motion field.
+//   carphone     — textured car interior, livelier head, fast-scrolling
+//                  scenery through the side window. Moderate everything.
+//   table        — flat table surface with a fast bouncing ball and abruptly
+//                  reversing paddle: low texture but erratic local motion.
+//   foreman      — high-detail background with camera pan + shake and a
+//                  nodding face. Highest Intra_SAD and the least coherent
+//                  motion field.
+//
+// All generators are deterministic in (name, size, frame budget, fps, seed).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "video/frame.hpp"
+
+namespace acbm::synth {
+
+/// Request for a named synthetic sequence.
+struct SequenceRequest {
+  std::string name;                       ///< one of standard_sequence_names()
+  video::PictureSize size = video::kQcif;
+  int frame_count = 60;                   ///< frames delivered after decimation
+  int fps = 30;                           ///< 30, 15 or 10 (divisors of 30)
+  std::uint64_t seed = 2005;              ///< sensor-noise seed
+};
+
+/// The four clip names used throughout the paper, in the paper's column
+/// order: carphone, foreman, miss_america, table.
+[[nodiscard]] const std::vector<std::string>& standard_sequence_names();
+
+/// True if `name` is one of the standard names.
+[[nodiscard]] bool is_known_sequence(const std::string& name);
+
+/// Builds the requested sequence. The scene is animated on the native 30 fps
+/// timeline and temporally decimated to the requested fps, exactly how the
+/// paper derives its 15/10 fps variants — inter-frame motion grows
+/// accordingly. Throws std::invalid_argument for unknown names or fps values
+/// that do not divide 30.
+[[nodiscard]] std::vector<video::Frame> make_sequence(
+    const SequenceRequest& request);
+
+/// Keeps every `factor`-th frame starting with the first.
+[[nodiscard]] std::vector<video::Frame> decimate(
+    const std::vector<video::Frame>& frames, int factor);
+
+}  // namespace acbm::synth

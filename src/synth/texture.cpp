@@ -1,0 +1,70 @@
+#include "synth/texture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/noise.hpp"
+
+namespace acbm::synth {
+
+video::Plane make_noise_texture(int w, int h, const TextureSpec& spec) {
+  video::Plane plane(w, h);
+  for (int y = 0; y < h; ++y) {
+    std::uint8_t* row = plane.row(y);
+    for (int x = 0; x < w; ++x) {
+      const double n =
+          fbm(spec.seed, x * spec.scale, y * spec.scale, spec.octaves);
+      row[x] = to_sample(spec.base + spec.amplitude * (2.0 * n - 1.0));
+    }
+  }
+  plane.extend_border();
+  return plane;
+}
+
+video::Plane make_gradient(int w, int h, double top_luma, double bottom_luma) {
+  video::Plane plane(w, h);
+  for (int y = 0; y < h; ++y) {
+    const double t = h > 1 ? static_cast<double>(y) / (h - 1) : 0.0;
+    const auto v = to_sample(top_luma + (bottom_luma - top_luma) * t);
+    std::uint8_t* row = plane.row(y);
+    std::fill(row, row + w, v);
+  }
+  plane.extend_border();
+  return plane;
+}
+
+void add_gaussian_noise(video::Plane& plane, util::Rng& rng, double sigma) {
+  if (sigma <= 0.0) {
+    return;
+  }
+  for (int y = 0; y < plane.height(); ++y) {
+    std::uint8_t* row = plane.row(y);
+    for (int x = 0; x < plane.width(); ++x) {
+      row[x] = to_sample(row[x] + rng.next_gaussian() * sigma);
+    }
+  }
+  plane.extend_border();
+}
+
+double sample_bilinear(const video::Plane& p, double x, double y) {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const int xi = static_cast<int>(fx);
+  const int yi = static_cast<int>(fy);
+  const double tx = x - fx;
+  const double ty = y - fy;
+  const double v00 = p.at(xi, yi);
+  const double v10 = p.at(xi + 1, yi);
+  const double v01 = p.at(xi, yi + 1);
+  const double v11 = p.at(xi + 1, yi + 1);
+  const double a = v00 + (v10 - v00) * tx;
+  const double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * ty;
+}
+
+std::uint8_t to_sample(double v) {
+  const double clamped = std::clamp(v, 0.0, 255.0);
+  return static_cast<std::uint8_t>(std::lround(clamped));
+}
+
+}  // namespace acbm::synth

@@ -1,0 +1,45 @@
+#pragma once
+// Texture-plane generators and float-coordinate sampling.
+//
+// The amount of texture a generator puts into a plane directly controls the
+// Intra_SAD statistic that drives the paper's ACBM decision rule, so the
+// parameters here (amplitude, octaves, scale) are the levers DESIGN.md §4
+// uses to match each test clip's character.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "video/plane.hpp"
+
+namespace acbm::synth {
+
+/// Parameters for a fractal-noise texture.
+struct TextureSpec {
+  std::uint64_t seed = 1;
+  double scale = 0.08;      ///< spatial frequency (cycles per sample)
+  int octaves = 3;          ///< fBm octaves; more octaves = finer detail
+  double base = 128.0;      ///< mean luma
+  double amplitude = 40.0;  ///< peak deviation from the mean
+};
+
+/// Generates a `w`×`h` plane of fractal noise per `spec`; border extended.
+[[nodiscard]] video::Plane make_noise_texture(int w, int h,
+                                              const TextureSpec& spec);
+
+/// Generates a smooth linear luma gradient from `top_luma` to `bottom_luma`;
+/// border extended. Minimal texture — models flat studio backgrounds.
+[[nodiscard]] video::Plane make_gradient(int w, int h, double top_luma,
+                                         double bottom_luma);
+
+/// Adds zero-mean Gaussian sensor noise (stddev `sigma`) to the visible area
+/// and re-extends the border. Clamps to [0, 255].
+void add_gaussian_noise(video::Plane& plane, util::Rng& rng, double sigma);
+
+/// Bilinear sample of `p` at continuous coordinates; (x, y) may reach into
+/// the border minus one sample.
+[[nodiscard]] double sample_bilinear(const video::Plane& p, double x, double y);
+
+/// Clamps a double to the 8-bit sample range with rounding.
+[[nodiscard]] std::uint8_t to_sample(double v);
+
+}  // namespace acbm::synth

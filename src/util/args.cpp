@@ -1,0 +1,124 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace acbm::util {
+
+void ArgParser::add_option(std::string name, std::string help,
+                           std::string def) {
+  options_[std::move(name)] = Option{std::move(help), std::move(def), false};
+}
+
+void ArgParser::add_flag(std::string name, std::string help) {
+  options_[std::move(name)] = Option{std::move(help), "", true};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (token.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: " + token;
+      return false;
+    }
+    token = token.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token.resize(eq);
+      has_value = true;
+    }
+    const auto it = options_.find(token);
+    if (it == options_.end()) {
+      error_ = "unknown option: --" + token;
+      return false;
+    }
+    if (it->second.is_flag) {
+      if (has_value) {
+        error_ = "flag --" + token + " does not take a value";
+        return false;
+      }
+      values_[token] = "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        error_ = "option --" + token + " requires a value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    values_[token] = value;
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end()) {
+    return it->second;
+  }
+  if (const auto it = options_.find(name); it != options_.end()) {
+    return it->second.def;
+  }
+  return {};
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it != values_.end() && it->second == "1";
+}
+
+std::string ArgParser::usage(const std::string& program) const {
+  std::ostringstream oss;
+  oss << "usage: " << program << " [options]\n";
+  for (const auto& [name, opt] : options_) {
+    oss << "  --" << name;
+    if (!opt.is_flag) {
+      oss << " <value>";
+    }
+    oss << "\n      " << opt.help;
+    if (!opt.def.empty()) {
+      oss << " (default: " << opt.def << ")";
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+std::vector<std::string> split_csv_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    // trim
+    std::size_t b = current.find_first_not_of(" \t");
+    std::size_t e = current.find_last_not_of(" \t");
+    if (b != std::string::npos) {
+      out.push_back(current.substr(b, e - b + 1));
+    }
+    current.clear();
+  };
+  for (char c : text) {
+    if (c == ',') {
+      flush();
+    } else {
+      current += c;
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace acbm::util

@@ -1,0 +1,54 @@
+#pragma once
+// Small command-line parser shared by the examples and bench binaries.
+//
+// Supports `--flag`, `--key value` and `--key=value`. Unknown options are an
+// error (typos in sweep parameters silently changing an experiment would be
+// worse than failing).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace acbm::util {
+
+class ArgParser {
+ public:
+  /// Registers an option with a help string; `def` is the textual default
+  /// shown in help and returned when the option is absent.
+  void add_option(std::string name, std::string help, std::string def);
+  /// Registers a boolean flag (present/absent).
+  void add_flag(std::string name, std::string help);
+
+  /// Parses argv. Returns false (and fills `error()`) on unknown options or
+  /// missing values. `--help` sets `help_requested()`.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Renders usage text for all registered options.
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string def;
+    bool is_flag = false;
+  };
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+/// Splits "a,b,c" into trimmed tokens; empty tokens are dropped.
+std::vector<std::string> split_csv_list(const std::string& text);
+
+}  // namespace acbm::util

@@ -1,0 +1,74 @@
+#include "util/bitstream.hpp"
+
+#include <cassert>
+
+namespace acbm::util {
+
+void BitWriter::put_bits(std::uint64_t value, int count) {
+  assert(count >= 0 && count <= 64);
+  if (count < 64) {
+    value &= (std::uint64_t{1} << count) - 1;
+  }
+  bit_count_ += static_cast<std::size_t>(count);
+  while (count > 0) {
+    const int room = 8 - partial_count_;
+    const int take = count < room ? count : room;
+    const std::uint64_t chunk = value >> (count - take);
+    partial_ = static_cast<std::uint8_t>(
+        (partial_ << take) | static_cast<std::uint8_t>(chunk & 0xFFu));
+    partial_count_ += take;
+    count -= take;
+    if (partial_count_ == 8) {
+      bytes_.push_back(partial_);
+      partial_ = 0;
+      partial_count_ = 0;
+    }
+  }
+}
+
+void BitWriter::align() {
+  if (partial_count_ != 0) {
+    put_bits(0, 8 - partial_count_);
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  align();
+  std::vector<std::uint8_t> out = std::move(bytes_);
+  reset();
+  return out;
+}
+
+void BitWriter::reset() {
+  bytes_.clear();
+  partial_ = 0;
+  partial_count_ = 0;
+  bit_count_ = 0;
+}
+
+std::uint64_t BitReader::get_bits(int count) {
+  assert(count >= 0 && count <= 64);
+  std::uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::size_t byte_index = bit_pos_ >> 3;
+    std::uint64_t bit = 0;
+    if (byte_index < data_.size()) {
+      const int shift = 7 - static_cast<int>(bit_pos_ & 7u);
+      bit = (data_[byte_index] >> shift) & 1u;
+      ++bit_pos_;
+    } else {
+      exhausted_ = true;
+    }
+    value = (value << 1) | bit;
+  }
+  return value;
+}
+
+void BitReader::align() {
+  bit_pos_ = (bit_pos_ + 7u) & ~std::size_t{7};
+  if (bit_pos_ > bit_size()) {
+    bit_pos_ = bit_size();
+  }
+}
+
+}  // namespace acbm::util

@@ -1,0 +1,93 @@
+#pragma once
+// Bit-oriented I/O used by the codec's entropy layer.
+//
+// BitWriter accumulates bits MSB-first into a byte buffer; BitReader consumes
+// the same layout. The pair is round-trip exact and is the only place in the
+// codebase that touches sub-byte layout, so every entropy code (exp-Golomb,
+// run/level, sign bits) is built on top of these two classes.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace acbm::util {
+
+/// Writes bits MSB-first into an internal byte buffer.
+///
+/// The writer never throws on normal operation; memory exhaustion propagates
+/// as std::bad_alloc from the underlying vector.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `count` bits of `value`, most-significant bit first.
+  /// `count` must be in [0, 64]; bits above `count` in `value` are ignored.
+  void put_bits(std::uint64_t value, int count);
+
+  /// Appends a single bit (0 or 1).
+  void put_bit(bool bit) { put_bits(bit ? 1u : 0u, 1); }
+
+  /// Pads the current partial byte with zero bits up to a byte boundary.
+  /// No-op when already aligned.
+  void align();
+
+  /// Number of bits written so far (including any partial byte).
+  [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
+
+  /// Finishes the stream (zero-pads to a byte boundary) and returns the
+  /// buffer. The writer is reset to an empty state.
+  [[nodiscard]] std::vector<std::uint8_t> take();
+
+  /// Read-only view of the bytes completed so far (excludes a partial byte).
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return bytes_; }
+
+  /// Discards all written data and returns the writer to the initial state.
+  void reset();
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t partial_ = 0;   // bits accumulated for the in-progress byte
+  int partial_count_ = 0;      // number of valid MSBs in partial_
+  std::size_t bit_count_ = 0;
+};
+
+/// Reads bits MSB-first from a byte buffer produced by BitWriter.
+///
+/// Reading past the end is reported via `exhausted()`; out-of-data reads
+/// return zero bits so a malformed stream degrades deterministically instead
+/// of invoking undefined behaviour.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Reads `count` bits (0..64) and returns them right-aligned.
+  [[nodiscard]] std::uint64_t get_bits(int count);
+
+  /// Reads a single bit.
+  [[nodiscard]] bool get_bit() { return get_bits(1) != 0; }
+
+  /// Skips forward to the next byte boundary.
+  void align();
+
+  /// Bits consumed so far.
+  [[nodiscard]] std::size_t bit_position() const { return bit_pos_; }
+
+  /// Total bits available in the underlying buffer.
+  [[nodiscard]] std::size_t bit_size() const { return data_.size() * 8; }
+
+  /// True once a read has requested bits beyond the end of the buffer.
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+
+  /// Bits remaining before the end of the buffer.
+  [[nodiscard]] std::size_t bits_left() const {
+    return bit_size() - bit_pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t bit_pos_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace acbm::util

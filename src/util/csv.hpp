@@ -1,0 +1,53 @@
+#pragma once
+// CSV emission and aligned console tables.
+//
+// Every bench writes two artefacts: a CSV next to the binary (for plotting)
+// and a human-readable table on stdout that mirrors the paper's row layout.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acbm::util {
+
+/// Minimal CSV writer. Quotes fields containing separators/quotes/newlines
+/// per RFC 4180 so downstream tooling parses the output unambiguously.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row; each cell is escaped as needed.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Fixed-layout console table with a header row, right-aligned numeric
+/// columns and column widths computed from contents.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders to the stream with single-space-padded columns and a rule
+  /// under the header.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Opens `path` for writing and returns the stream; throws std::runtime_error
+/// on failure (bench binaries treat an unwritable CSV as fatal).
+std::string sanitize_filename(std::string_view name);
+
+}  // namespace acbm::util

@@ -1,0 +1,84 @@
+#pragma once
+// Exponential-Golomb codes over BitWriter/BitReader.
+//
+// These universal prefix codes back the codec's motion-vector-difference and
+// coefficient escape coding (DESIGN.md §4 documents the substitution for the
+// TMN Huffman tables). ue(v) is the classic order-0 code:
+//   v=0 -> 1, v=1 -> 010, v=2 -> 011, v=3 -> 00100, ...
+// se(v) maps signed integers with the H.26x zig-zag convention
+// (0, 1, -1, 2, -2, ...), which keeps small-magnitude values cheap — the
+// property the paper's rate term R(mv) relies on.
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/bitstream.hpp"
+
+namespace acbm::util {
+
+/// Number of bits ue(v) occupies, without writing anything.
+[[nodiscard]] constexpr int ue_bit_length(std::uint32_t value) {
+  const std::uint64_t v = static_cast<std::uint64_t>(value) + 1;
+  int msb = 0;
+  for (std::uint64_t t = v; t > 1; t >>= 1) {
+    ++msb;
+  }
+  return 2 * msb + 1;
+}
+
+/// Number of bits se(v) occupies.
+[[nodiscard]] constexpr int se_bit_length(std::int32_t value) {
+  const std::uint32_t mapped =
+      value > 0 ? static_cast<std::uint32_t>(value) * 2 - 1
+                : static_cast<std::uint32_t>(-static_cast<std::int64_t>(value)) * 2;
+  return ue_bit_length(mapped);
+}
+
+/// Writes an unsigned exp-Golomb code.
+inline void put_ue(BitWriter& bw, std::uint32_t value) {
+  const std::uint64_t v = static_cast<std::uint64_t>(value) + 1;
+  int msb = 0;
+  for (std::uint64_t t = v; t > 1; t >>= 1) {
+    ++msb;
+  }
+  bw.put_bits(0, msb);       // leading zeros
+  bw.put_bits(v, msb + 1);   // value with its top bit acting as the stop bit
+}
+
+/// Writes a signed exp-Golomb code.
+inline void put_se(BitWriter& bw, std::int32_t value) {
+  const std::uint32_t mapped =
+      value > 0 ? static_cast<std::uint32_t>(value) * 2 - 1
+                : static_cast<std::uint32_t>(-static_cast<std::int64_t>(value)) * 2;
+  put_ue(bw, mapped);
+}
+
+/// Reads an unsigned exp-Golomb code.
+[[nodiscard]] inline std::uint32_t get_ue(BitReader& br) {
+  int zeros = 0;
+  while (!br.exhausted() && br.get_bits(1) == 0) {
+    ++zeros;
+    if (zeros > 32) {  // malformed stream guard
+      return 0;
+    }
+  }
+  if (br.exhausted()) {
+    return 0;  // ran off the end looking for the stop bit
+  }
+  const std::uint64_t rest = br.get_bits(zeros);
+  const std::uint64_t v = (std::uint64_t{1} << zeros) | rest;
+  return static_cast<std::uint32_t>(v - 1);
+}
+
+/// Reads a signed exp-Golomb code.
+[[nodiscard]] inline std::int32_t get_se(BitReader& br) {
+  const std::uint32_t mapped = get_ue(br);
+  if (mapped == 0) {
+    return 0;
+  }
+  const std::uint32_t half = (mapped + 1) / 2;
+  return (mapped & 1u) != 0 ? static_cast<std::int32_t>(half)
+                            : -static_cast<std::int32_t>(half);
+}
+
+}  // namespace acbm::util

@@ -1,0 +1,89 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace acbm::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint32_t Rng::next_below(std::uint32_t bound) {
+  assert(bound > 0);
+  // Lemire-style rejection on the top 32 bits.
+  while (true) {
+    const std::uint32_t x = static_cast<std::uint32_t>(next_u64() >> 32);
+    const std::uint64_t m = static_cast<std::uint64_t>(x) * bound;
+    const std::uint32_t low = static_cast<std::uint32_t>(m);
+    if (low >= bound) {
+      return static_cast<std::uint32_t>(m >> 32);
+    }
+    const std::uint32_t threshold = (0u - bound) % bound;
+    if (low >= threshold) {
+      return static_cast<std::uint32_t>(m >> 32);
+    }
+  }
+}
+
+std::int32_t Rng::next_in_range(std::int32_t lo, std::int32_t hi) {
+  assert(lo <= hi);
+  const std::uint32_t span =
+      static_cast<std::uint32_t>(static_cast<std::int64_t>(hi) - lo + 1);
+  return lo + static_cast<std::int32_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = next_double();
+  const double u2 = next_double();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+}  // namespace acbm::util

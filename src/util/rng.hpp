@@ -1,0 +1,41 @@
+#pragma once
+// Deterministic pseudo-random number generation for the synthetic-sequence
+// generators and the property-based tests.
+//
+// xoshiro256++ is used instead of std::mt19937 so that sequences are
+// identical across standard-library implementations — the benches assert
+// golden statistics on generated video and must reproduce bit-exactly.
+
+#include <cstdint>
+
+namespace acbm::util {
+
+/// xoshiro256++ PRNG (Blackman & Vigna). Deterministically seeded via
+/// splitmix64, so two Rng instances with the same seed always agree.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int32_t next_in_range(std::int32_t lo, std::int32_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Standard normal variate (Box–Muller; one value per call, cached pair).
+  double next_gaussian();
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace acbm::util

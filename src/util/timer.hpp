@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock timing for the complexity benches.
+
+#include <chrono>
+
+namespace acbm::util {
+
+/// Monotonic stopwatch. Construction starts it; `seconds()`/`millis()` read
+/// elapsed time without stopping.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace acbm::util

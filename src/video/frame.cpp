@@ -1,0 +1,4 @@
+#include "video/frame.hpp"
+
+// Frame is header-only today; this translation unit anchors the library and
+// keeps a stable home for future out-of-line members.

@@ -1,0 +1,69 @@
+#pragma once
+// A YUV 4:2:0 frame: full-resolution luma plus half-resolution chroma.
+//
+// The paper's encoder (H.263/TMN) operates on 4:2:0 material; motion
+// estimation uses luma only, motion compensation derives chroma vectors by
+// halving (and rounding) the luma vector.
+
+#include <cassert>
+
+#include "video/plane.hpp"
+
+namespace acbm::video {
+
+/// Standard picture sizes used throughout the paper.
+struct PictureSize {
+  int width = 0;
+  int height = 0;
+};
+
+inline constexpr PictureSize kQcif{176, 144};
+inline constexpr PictureSize kCif{352, 288};
+
+class Frame {
+ public:
+  Frame() = default;
+
+  /// Allocates Y at width×height and Cb/Cr at half resolution in each
+  /// dimension. Dimensions must be even (4:2:0 requirement).
+  Frame(int width, int height, int border = Plane::kDefaultBorder)
+      : y_(width, height, border),
+        cb_(width / 2, height / 2, border),
+        cr_(width / 2, height / 2, border) {
+    assert(width % 2 == 0 && height % 2 == 0);
+  }
+
+  explicit Frame(PictureSize size) : Frame(size.width, size.height) {}
+
+  [[nodiscard]] int width() const { return y_.width(); }
+  [[nodiscard]] int height() const { return y_.height(); }
+  [[nodiscard]] bool empty() const { return y_.empty(); }
+
+  [[nodiscard]] const Plane& y() const { return y_; }
+  [[nodiscard]] Plane& y() { return y_; }
+  [[nodiscard]] const Plane& cb() const { return cb_; }
+  [[nodiscard]] Plane& cb() { return cb_; }
+  [[nodiscard]] const Plane& cr() const { return cr_; }
+  [[nodiscard]] Plane& cr() { return cr_; }
+
+  /// Extends the borders of all three planes.
+  void extend_borders() {
+    y_.extend_border();
+    cb_.extend_border();
+    cr_.extend_border();
+  }
+
+  /// Fills Y with `luma` and both chroma planes with the neutral value 128.
+  void fill(std::uint8_t luma) {
+    y_.fill(luma);
+    cb_.fill(128);
+    cr_.fill(128);
+  }
+
+ private:
+  Plane y_;
+  Plane cb_;
+  Plane cr_;
+};
+
+}  // namespace acbm::video

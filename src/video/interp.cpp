@@ -1,0 +1,53 @@
+#include "video/interp.hpp"
+
+namespace acbm::video {
+
+std::uint8_t sample_halfpel(const Plane& p, int hx, int hy) {
+  const int phase_h = hx & 1;
+  const int phase_v = hy & 1;
+  const int x = (hx - phase_h) >> 1;
+  const int y = (hy - phase_v) >> 1;
+  if (phase_h == 0 && phase_v == 0) {
+    return p.at(x, y);
+  }
+  if (phase_v == 0) {
+    return static_cast<std::uint8_t>((p.at(x, y) + p.at(x + 1, y) + 1) >> 1);
+  }
+  if (phase_h == 0) {
+    return static_cast<std::uint8_t>((p.at(x, y) + p.at(x, y + 1) + 1) >> 1);
+  }
+  return static_cast<std::uint8_t>(
+      (p.at(x, y) + p.at(x + 1, y) + p.at(x, y + 1) + p.at(x + 1, y + 1) + 2) >>
+      2);
+}
+
+HalfpelPlanes::HalfpelPlanes(const Plane& src) {
+  const int w = src.width();
+  const int h = src.height();
+  // One sample is consumed on the +x/+y side for interpolation, so the phase
+  // planes carry one less border sample than the source.
+  const int b = src.border() > 0 ? src.border() - 1 : 0;
+  for (int phase = 0; phase < 4; ++phase) {
+    planes_[phase] = Plane(w, h, b);
+  }
+  for (int y = -b; y < h + b; ++y) {
+    std::uint8_t* r00 = planes_[0].row(y);
+    std::uint8_t* r10 = planes_[1].row(y);
+    std::uint8_t* r01 = planes_[2].row(y);
+    std::uint8_t* r11 = planes_[3].row(y);
+    const std::uint8_t* s0 = src.row(y);
+    const std::uint8_t* s1 = src.row(y + 1);
+    for (int x = -b; x < w + b; ++x) {
+      const int a = s0[x];
+      const int bb = s0[x + 1];
+      const int c = s1[x];
+      const int d = s1[x + 1];
+      r00[x] = static_cast<std::uint8_t>(a);
+      r10[x] = static_cast<std::uint8_t>((a + bb + 1) >> 1);
+      r01[x] = static_cast<std::uint8_t>((a + c + 1) >> 1);
+      r11[x] = static_cast<std::uint8_t>((a + bb + c + d + 2) >> 2);
+    }
+  }
+}
+
+}  // namespace acbm::video

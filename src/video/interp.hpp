@@ -1,0 +1,61 @@
+#pragma once
+// Half-pel bilinear interpolation (H.263 convention).
+//
+// Both the motion estimators (half-pel refinement) and the codec's motion
+// compensation sample reference pictures on a half-pel grid. Two access
+// styles are provided:
+//
+//  * `sample_halfpel()` — direct computation of one sample at half-pel
+//    coordinates; used by motion compensation where each block touches a
+//    single sub-pel phase.
+//  * `HalfpelPlanes` — the classic pre-interpolated {integer, H, V, HV}
+//    plane set; used by search loops that probe many half-pel candidates
+//    against the same reference.
+//
+// Rounding follows H.263: (a+b+1)>>1 and (a+b+c+d+2)>>2.
+
+#include <cstdint>
+
+#include "video/plane.hpp"
+
+namespace acbm::video {
+
+/// Returns the reference sample at half-pel position (hx, hy), where hx/hy
+/// are in half-pel units (integer position X maps to hx = 2X). Coordinates
+/// may extend into the plane border (minus one sample for interpolation).
+[[nodiscard]] std::uint8_t sample_halfpel(const Plane& p, int hx, int hy);
+
+/// Pre-interpolated half-pel planes. Each plane has the same visible size and
+/// border as the source; plane(h, v) selects the phase, e.g. plane(1, 0) is
+/// the horizontally-half-shifted picture.
+class HalfpelPlanes {
+ public:
+  HalfpelPlanes() = default;
+
+  /// Builds all four phase planes from `src` (whose border must already be
+  /// extended). Interpolation runs over the border region too, so search
+  /// windows may cross picture edges.
+  explicit HalfpelPlanes(const Plane& src);
+
+  /// phase_h, phase_v in {0,1}.
+  [[nodiscard]] const Plane& plane(int phase_h, int phase_v) const {
+    return planes_[phase_v * 2 + phase_h];
+  }
+
+  /// Convenience: sample at half-pel coordinates via the phase planes.
+  [[nodiscard]] std::uint8_t at(int hx, int hy) const {
+    const int phase_h = hx & 1;
+    const int phase_v = hy & 1;
+    // Floor-divide (valid for negatives) to the integer-sample cell.
+    const int x = (hx - phase_h) >> 1;
+    const int y = (hy - phase_v) >> 1;
+    return plane(phase_h, phase_v).at(x, y);
+  }
+
+  [[nodiscard]] bool empty() const { return planes_[0].empty(); }
+
+ private:
+  Plane planes_[4];
+};
+
+}  // namespace acbm::video

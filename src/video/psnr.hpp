@@ -1,0 +1,23 @@
+#pragma once
+// Distortion metrics between planes/frames. PSNR over luma is the quality
+// axis of the paper's Figs. 5 and 6.
+
+#include "video/frame.hpp"
+#include "video/plane.hpp"
+
+namespace acbm::video {
+
+/// Mean squared error over the visible areas; planes must match in size.
+[[nodiscard]] double mse(const Plane& a, const Plane& b);
+
+/// Peak signal-to-noise ratio in dB for 8-bit samples:
+/// 10·log10(255² / MSE). Identical planes return +infinity.
+[[nodiscard]] double psnr(const Plane& a, const Plane& b);
+
+/// Luma-only PSNR between two frames (the paper reports Y-PSNR).
+[[nodiscard]] double psnr_luma(const Frame& a, const Frame& b);
+
+/// Combined 4:2:0 PSNR weighting Y:Cb:Cr as 4:1:1 by sample count.
+[[nodiscard]] double psnr_yuv(const Frame& a, const Frame& b);
+
+}  // namespace acbm::video

@@ -1,0 +1,110 @@
+#include "video/y4m_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace acbm::video {
+
+namespace {
+
+void read_plane(std::istream& in, Plane& plane) {
+  std::vector<char> buffer(static_cast<std::size_t>(plane.width()));
+  for (int y = 0; y < plane.height(); ++y) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    if (!in) {
+      throw std::runtime_error("y4m_io: truncated frame");
+    }
+    std::memcpy(plane.row(y), buffer.data(), buffer.size());
+  }
+}
+
+}  // namespace
+
+Y4mVideo read_y4m(const std::string& path, std::size_t max_frames) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("y4m_io: cannot open " + path);
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    throw std::runtime_error("y4m_io: missing stream header");
+  }
+  if (header.rfind("YUV4MPEG2", 0) != 0) {
+    throw std::runtime_error("y4m_io: not a YUV4MPEG2 stream");
+  }
+  Y4mVideo video;
+  std::istringstream tokens(header.substr(9));
+  std::string tok;
+  while (tokens >> tok) {
+    if (tok.empty()) {
+      continue;
+    }
+    switch (tok[0]) {
+      case 'W':
+        video.size.width = std::stoi(tok.substr(1));
+        break;
+      case 'H':
+        video.size.height = std::stoi(tok.substr(1));
+        break;
+      case 'F': {
+        const auto colon = tok.find(':');
+        if (colon == std::string::npos) {
+          throw std::runtime_error("y4m_io: malformed frame rate");
+        }
+        video.rate.num = std::stoi(tok.substr(1, colon - 1));
+        video.rate.den = std::stoi(tok.substr(colon + 1));
+        break;
+      }
+      case 'C':
+        if (tok.rfind("C420", 0) != 0) {
+          throw std::runtime_error("y4m_io: only 4:2:0 chroma is supported");
+        }
+        break;
+      default:
+        break;  // interlacing/aspect tokens are accepted and ignored
+    }
+  }
+  if (video.size.width <= 0 || video.size.height <= 0) {
+    throw std::runtime_error("y4m_io: missing picture dimensions");
+  }
+  while (max_frames == 0 || video.frames.size() < max_frames) {
+    std::string frame_header;
+    if (!std::getline(in, frame_header)) {
+      break;  // clean EOF
+    }
+    if (frame_header.rfind("FRAME", 0) != 0) {
+      throw std::runtime_error("y4m_io: malformed FRAME marker");
+    }
+    Frame frame(video.size);
+    read_plane(in, frame.y());
+    read_plane(in, frame.cb());
+    read_plane(in, frame.cr());
+    frame.extend_borders();
+    video.frames.push_back(std::move(frame));
+  }
+  return video;
+}
+
+void write_y4m(const std::string& path, const Y4mVideo& video) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("y4m_io: cannot open " + path + " for writing");
+  }
+  out << "YUV4MPEG2 W" << video.size.width << " H" << video.size.height
+      << " F" << video.rate.num << ":" << video.rate.den << " Ip A1:1 C420jpeg\n";
+  for (const Frame& frame : video.frames) {
+    out << "FRAME\n";
+    for (const Plane* p : {&frame.y(), &frame.cb(), &frame.cr()}) {
+      for (int y = 0; y < p->height(); ++y) {
+        out.write(reinterpret_cast<const char*>(p->row(y)), p->width());
+      }
+    }
+  }
+  if (!out) {
+    throw std::runtime_error("y4m_io: write failure on " + path);
+  }
+}
+
+}  // namespace acbm::video

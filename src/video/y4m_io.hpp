@@ -1,0 +1,38 @@
+#pragma once
+// YUV4MPEG2 (.y4m) container I/O, 4:2:0 only.
+//
+// Y4M adds a self-describing header to raw YUV, which makes the example
+// binaries' output directly playable with standard tools (ffplay/mpv).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "video/frame.hpp"
+
+namespace acbm::video {
+
+/// Frame rate as an exact rational (Y4M encodes it as "F<num>:<den>").
+struct FrameRate {
+  int num = 30;
+  int den = 1;
+
+  [[nodiscard]] double fps() const {
+    return den != 0 ? static_cast<double>(num) / den : 0.0;
+  }
+};
+
+struct Y4mVideo {
+  PictureSize size;
+  FrameRate rate;
+  std::vector<Frame> frames;
+};
+
+/// Reads a 4:2:0 .y4m file. Throws std::runtime_error on malformed headers,
+/// unsupported chroma subsampling, or truncated frames.
+Y4mVideo read_y4m(const std::string& path, std::size_t max_frames = 0);
+
+/// Writes frames as YUV4MPEG2 with C420jpeg chroma siting.
+void write_y4m(const std::string& path, const Y4mVideo& video);
+
+}  // namespace acbm::video

@@ -1,0 +1,105 @@
+#include "video/yuv_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace acbm::video {
+
+namespace {
+
+std::size_t frame_bytes(PictureSize size) {
+  return static_cast<std::size_t>(size.width) * size.height * 3 / 2;
+}
+
+void read_plane(std::istream& in, Plane& plane) {
+  std::vector<char> buffer(static_cast<std::size_t>(plane.width()));
+  for (int y = 0; y < plane.height(); ++y) {
+    in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    if (!in) {
+      throw std::runtime_error("yuv_io: truncated frame");
+    }
+    std::memcpy(plane.row(y), buffer.data(), buffer.size());
+  }
+}
+
+void write_plane(std::ostream& out, const Plane& plane) {
+  for (int y = 0; y < plane.height(); ++y) {
+    out.write(reinterpret_cast<const char*>(plane.row(y)), plane.width());
+  }
+}
+
+}  // namespace
+
+std::vector<Frame> read_yuv420(const std::string& path, PictureSize size,
+                               std::size_t max_frames) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("yuv_io: cannot open " + path);
+  }
+  std::vector<Frame> frames;
+  while (max_frames == 0 || frames.size() < max_frames) {
+    // Peek to distinguish clean EOF from a truncated frame.
+    if (in.peek() == std::char_traits<char>::eof()) {
+      break;
+    }
+    Frame frame(size);
+    read_plane(in, frame.y());
+    read_plane(in, frame.cb());
+    read_plane(in, frame.cr());
+    frame.extend_borders();
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+void write_yuv420(const std::string& path, const std::vector<Frame>& frames) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("yuv_io: cannot open " + path + " for writing");
+  }
+  for (const Frame& frame : frames) {
+    write_plane(out, frame.y());
+    write_plane(out, frame.cb());
+    write_plane(out, frame.cr());
+  }
+  if (!out) {
+    throw std::runtime_error("yuv_io: write failure on " + path);
+  }
+}
+
+std::vector<std::uint8_t> pack_i420(const Frame& frame) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(frame_bytes({frame.width(), frame.height()}));
+  auto append = [&bytes](const Plane& p) {
+    for (int y = 0; y < p.height(); ++y) {
+      const std::uint8_t* r = p.row(y);
+      bytes.insert(bytes.end(), r, r + p.width());
+    }
+  };
+  append(frame.y());
+  append(frame.cb());
+  append(frame.cr());
+  return bytes;
+}
+
+Frame unpack_i420(const std::vector<std::uint8_t>& bytes, PictureSize size) {
+  if (bytes.size() != frame_bytes(size)) {
+    throw std::runtime_error("yuv_io: byte count does not match frame size");
+  }
+  Frame frame(size);
+  const std::uint8_t* src = bytes.data();
+  auto take = [&src](Plane& p) {
+    for (int y = 0; y < p.height(); ++y) {
+      std::memcpy(p.row(y), src, static_cast<std::size_t>(p.width()));
+      src += p.width();
+    }
+  };
+  take(frame.y());
+  take(frame.cb());
+  take(frame.cr());
+  frame.extend_borders();
+  return frame;
+}
+
+}  // namespace acbm::video

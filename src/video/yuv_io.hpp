@@ -1,0 +1,34 @@
+#pragma once
+// Raw planar YUV 4:2:0 ("I420") file I/O.
+//
+// The standard test clips the paper uses are distributed as headerless .yuv
+// files; these helpers let users run every tool in this repository on the
+// real Carphone/Foreman/... material when they have it, while the bundled
+// benches fall back to the synthetic analogues (DESIGN.md §4).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "video/frame.hpp"
+
+namespace acbm::video {
+
+/// Reads up to `max_frames` I420 frames of the given size from `path`
+/// (0 = all). Throws std::runtime_error on open failure or on a truncated
+/// frame.
+std::vector<Frame> read_yuv420(const std::string& path, PictureSize size,
+                               std::size_t max_frames = 0);
+
+/// Appends nothing; writes the frames as headerless I420 to `path`,
+/// overwriting any existing file. Throws std::runtime_error on failure.
+void write_yuv420(const std::string& path, const std::vector<Frame>& frames);
+
+/// Serialises one frame into a contiguous I420 byte vector (Y then Cb then
+/// Cr, no padding). Useful for in-memory round-trip tests.
+std::vector<std::uint8_t> pack_i420(const Frame& frame);
+
+/// Parses one I420 frame from `bytes` (must be exactly w*h*3/2 bytes).
+Frame unpack_i420(const std::vector<std::uint8_t>& bytes, PictureSize size);
+
+}  // namespace acbm::video

@@ -1,0 +1,156 @@
+// §3.1 characterization harness: truth sequences, FSBM error classes,
+// and the paper's two conclusions (textured blocks ⇒ true vectors with high
+// SAD_deviation).
+
+#include "analysis/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/texture.hpp"
+#include "test_support.hpp"
+
+namespace acbm::analysis {
+namespace {
+
+video::Plane textured_source(int w, int h, std::uint64_t seed) {
+  synth::TextureSpec spec;
+  spec.seed = seed;
+  spec.scale = 0.05;
+  spec.octaves = 4;
+  spec.amplitude = 40.0;
+  return synth::make_noise_texture(w, h, spec);
+}
+
+TEST(TruthSequence, GeometryAndFrameCount) {
+  const video::Plane src = textured_source(176, 144, 1);
+  const auto motions = paper_truth_motions();
+  const TruthSequence seq = make_truth_sequence(src, {64, 48}, motions, 40);
+  EXPECT_EQ(seq.frames.size(), 10u);  // the paper's ten-frame sequence
+  EXPECT_EQ(seq.motions.size(), 9u);
+  EXPECT_EQ(seq.frames[0].width(), 64);
+  EXPECT_EQ(seq.frames[0].height(), 48);
+}
+
+TEST(TruthSequence, FramesActuallyShifted) {
+  const video::Plane src = textured_source(176, 144, 2);
+  const std::vector<me::Mv> motions = {me::mv_from_fullpel(3, 2)};
+  const TruthSequence seq = make_truth_sequence(src, {64, 48}, motions, 30);
+  // Ground-truth MV (3,2): the current frame's content at x matches the
+  // previous frame at x + (3,2).
+  for (int y = 8; y < 40; ++y) {
+    for (int x = 8; x < 56; ++x) {
+      ASSERT_EQ(seq.frames[1].at(x, y), seq.frames[0].at(x + 3, y + 2));
+    }
+  }
+}
+
+TEST(TruthSequence, RejectsTooSmallSource) {
+  const video::Plane src = textured_source(80, 60, 3);
+  EXPECT_THROW(
+      make_truth_sequence(src, {64, 48}, paper_truth_motions(), 40),
+      std::invalid_argument);
+}
+
+TEST(TruthSequence, RejectsHalfPelMotions) {
+  const video::Plane src = textured_source(176, 144, 4);
+  EXPECT_THROW(make_truth_sequence(src, {64, 48}, {me::Mv{1, 0}}, 40),
+               std::invalid_argument);
+}
+
+TEST(TruthSequence, RejectsPathLeavingMargin) {
+  const video::Plane src = textured_source(176, 144, 5);
+  const std::vector<me::Mv> runaway(10, me::mv_from_fullpel(10, 0));
+  EXPECT_THROW(make_truth_sequence(src, {64, 48}, runaway, 16),
+               std::invalid_argument);
+}
+
+TEST(PaperTruthMotions, NineDistinctWithinWindow) {
+  const auto motions = paper_truth_motions();
+  ASSERT_EQ(motions.size(), 9u);
+  for (std::size_t i = 0; i < motions.size(); ++i) {
+    EXPECT_TRUE(motions[i].is_integer());
+    EXPECT_LE(motions[i].linf(), 30);  // inside ±15 integer
+    for (std::size_t j = i + 1; j < motions.size(); ++j) {
+      EXPECT_FALSE(motions[i] == motions[j]);
+    }
+  }
+}
+
+TEST(Characterize, TexturedContentYieldsZeroErrors) {
+  // Highly textured source + exact integer shifts: FSBM must recover every
+  // vector — the paper's "high textured blocks have true motion vectors".
+  const video::Plane src = textured_source(200, 160, 6);
+  const TruthSequence seq =
+      make_truth_sequence(src, {64, 48}, paper_truth_motions(), 40);
+  const auto observations = characterize(seq, 15);
+  ASSERT_EQ(observations.size(), 9u * (4u * 3u));
+  for (const auto& obs : observations) {
+    EXPECT_EQ(obs.error, 0) << "frame " << obs.frame << " block (" << obs.bx
+                            << "," << obs.by << ")";
+  }
+}
+
+TEST(Characterize, FlatContentYieldsAmbiguousVectors) {
+  // A constant image: every candidate matches, FSBM's tie-break picks the
+  // zero vector, so nonzero truths register as errors with ~zero
+  // Intra_SAD and ~zero SAD_deviation — the paper's "low textured blocks
+  // fail" quadrant of Fig. 4.
+  video::Plane flat(200, 160);
+  flat.fill(128);
+  flat.extend_border();
+  const std::vector<me::Mv> motions = {me::mv_from_fullpel(5, 5),
+                                       me::mv_from_fullpel(-7, 3)};
+  const TruthSequence seq = make_truth_sequence(flat, {64, 48}, motions, 40);
+  const auto observations = characterize(seq, 15);
+  for (const auto& obs : observations) {
+    EXPECT_GT(obs.error, 0);
+    EXPECT_EQ(obs.intra_sad, 0u);
+    EXPECT_EQ(obs.sad_deviation, 0u);
+  }
+}
+
+TEST(Characterize, StatisticsSeparateByTexture) {
+  // Mixed test: textured runs give error-0 blocks with high deviation;
+  // flat runs give error>0 blocks with low deviation. The summaries must
+  // reproduce the separation Fig. 4 shows.
+  const video::Plane textured = textured_source(200, 160, 7);
+  video::Plane flat(200, 160);
+  flat.fill(100);
+  flat.extend_border();
+  const std::vector<me::Mv> motions = {me::mv_from_fullpel(6, -4)};
+
+  auto tex_obs =
+      characterize(make_truth_sequence(textured, {64, 48}, motions, 40), 15);
+  const auto flat_obs =
+      characterize(make_truth_sequence(flat, {64, 48}, motions, 40), 15);
+  tex_obs.insert(tex_obs.end(), flat_obs.begin(), flat_obs.end());
+
+  const auto summaries = summarize_by_error(tex_obs);
+  ASSERT_EQ(summaries.size(), 6u);
+  EXPECT_GT(summaries[0].blocks, 0u);
+  EXPECT_GT(summaries[5].blocks, 0u);
+  // Error-0 population is the textured one: higher Intra_SAD and deviation.
+  EXPECT_GT(summaries[0].intra_sad.mean(),
+            10.0 * (summaries[5].intra_sad.mean() + 1.0));
+  EXPECT_GT(summaries[0].sad_deviation.mean(),
+            10.0 * (summaries[5].sad_deviation.mean() + 1.0));
+}
+
+TEST(Characterize, EmptySequenceGivesNoObservations) {
+  TruthSequence seq;
+  EXPECT_TRUE(characterize(seq, 15).empty());
+}
+
+TEST(SummarizeByError, BucketsAndClampsAtFive) {
+  std::vector<BlockObservation> obs(3);
+  obs[0].error = 0;
+  obs[1].error = 5;
+  obs[2].error = 12;  // clamps into the ≥5 bucket
+  const auto summaries = summarize_by_error(obs);
+  EXPECT_EQ(summaries[0].blocks, 1u);
+  EXPECT_EQ(summaries[5].blocks, 2u);
+  EXPECT_EQ(summaries[1].blocks, 0u);
+}
+
+}  // namespace
+}  // namespace acbm::analysis

@@ -1,0 +1,117 @@
+// Visualisation: PGM/PPM writers and the field/decision renderers.
+
+#include "analysis/visualize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "test_support.hpp"
+
+namespace acbm::analysis {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(RgbImage, SolidAndSet) {
+  RgbImage image = RgbImage::solid(4, 2, 10, 20, 30);
+  EXPECT_EQ(image.rgb.size(), 4u * 2u * 3u);
+  EXPECT_EQ(image.rgb[0], 10);
+  EXPECT_EQ(image.rgb[2], 30);
+  image.set(3, 1, 1, 2, 3);
+  const std::size_t i = (1 * 4 + 3) * 3;
+  EXPECT_EQ(image.rgb[i], 1);
+  EXPECT_EQ(image.rgb[i + 2], 3);
+}
+
+TEST(WritePgm, HeaderAndPayload) {
+  const video::Plane plane = acbm::test::random_plane(8, 4, 1);
+  const std::string path = temp_path("acbm_test.pgm");
+  write_pgm(path, plane);
+  const std::string data = read_file(path);
+  EXPECT_EQ(data.substr(0, 3), "P5\n");
+  EXPECT_NE(data.find("8 4\n255\n"), std::string::npos);
+  EXPECT_EQ(data.size(), data.find("255\n") + 4 + 8 * 4);
+  std::remove(path.c_str());
+}
+
+TEST(WritePpm, HeaderAndPayload) {
+  const RgbImage image = RgbImage::solid(5, 3, 1, 2, 3);
+  const std::string path = temp_path("acbm_test.ppm");
+  write_ppm(path, image);
+  const std::string data = read_file(path);
+  EXPECT_EQ(data.substr(0, 3), "P6\n");
+  EXPECT_EQ(data.size(), data.find("255\n") + 4 + 5 * 3 * 3);
+  std::remove(path.c_str());
+}
+
+TEST(WritePgm, UnwritablePathThrows) {
+  const video::Plane plane(4, 4);
+  EXPECT_THROW(write_pgm("/nonexistent/dir/x.pgm", plane),
+               std::runtime_error);
+}
+
+TEST(RenderMvField, GeometryAndZeroIsGray) {
+  me::MvField field(3, 2);
+  const RgbImage image = render_mv_field(field, 4);
+  EXPECT_EQ(image.width, 12);
+  EXPECT_EQ(image.height, 8);
+  // All vectors zero → every pixel gray.
+  for (std::size_t i = 0; i < image.rgb.size(); ++i) {
+    ASSERT_EQ(image.rgb[i], 128);
+  }
+}
+
+TEST(RenderMvField, DirectionChangesColour) {
+  me::MvField field(2, 1);
+  field.set(0, 0, {20, 0});    // east
+  field.set(1, 0, {-20, 0});   // west
+  const RgbImage image = render_mv_field(field, 2);
+  // Opposite directions must render clearly different colours.
+  const std::size_t left = 0;
+  const std::size_t right = (0 * 4 + 2) * 3;
+  int diff = 0;
+  for (int c = 0; c < 3; ++c) {
+    diff += std::abs(int(image.rgb[left + c]) - int(image.rgb[right + c]));
+  }
+  EXPECT_GT(diff, 100);
+}
+
+TEST(RenderDecisionMap, OutcomeColours) {
+  std::vector<core::BlockDecision> decisions(3);
+  decisions[0].bx = 0;
+  decisions[0].outcome = core::AcbmOutcome::kAcceptLowActivity;
+  decisions[1].bx = 1;
+  decisions[1].outcome = core::AcbmOutcome::kAcceptGoodMatch;
+  decisions[2].bx = 2;
+  decisions[2].outcome = core::AcbmOutcome::kCritical;
+  const RgbImage image = render_decision_map(decisions, 3, 1, 1);
+  // green / blue-ish / red pixels in order.
+  EXPECT_GT(image.rgb[1], 150);            // block 0: green channel
+  EXPECT_GT(image.rgb[3 + 2], 150);        // block 1: blue channel
+  EXPECT_GT(image.rgb[6 + 0], 150);        // block 2: red channel
+  EXPECT_EQ(image.rgb[0], 0);
+}
+
+TEST(RenderDecisionMap, OutOfRangeBlocksIgnored) {
+  std::vector<core::BlockDecision> decisions(1);
+  decisions[0].bx = 99;
+  decisions[0].by = 99;
+  const RgbImage image = render_decision_map(decisions, 2, 2, 2);
+  for (std::uint8_t v : image.rgb) {
+    ASSERT_EQ(v, 0);
+  }
+}
+
+}  // namespace
+}  // namespace acbm::analysis

@@ -1,0 +1,182 @@
+// Entropy layer: run/level block coding and differential MV coding.
+
+#include <gtest/gtest.h>
+
+#include "codec/coeff_coding.hpp"
+#include "codec/mv_coding.hpp"
+#include "me/cost.hpp"
+#include "util/bitstream.hpp"
+#include "util/expgolomb.hpp"
+#include "util/rng.hpp"
+
+namespace acbm::codec {
+namespace {
+
+void expect_blocks_equal(const std::int16_t a[kDctSamples],
+                         const std::int16_t b[kDctSamples]) {
+  for (int i = 0; i < kDctSamples; ++i) {
+    ASSERT_EQ(a[i], b[i]) << "coefficient " << i;
+  }
+}
+
+TEST(CoeffCoding, EmptyBlockIsJustEob) {
+  const std::int16_t levels[kDctSamples] = {};
+  util::BitWriter bw;
+  encode_block_coeffs(bw, levels);
+  EXPECT_EQ(bw.bit_count(),
+            static_cast<std::size_t>(util::ue_bit_length(kEob)));
+  const auto bytes = bw.take();
+  util::BitReader br(bytes);
+  std::int16_t out[kDctSamples];
+  ASSERT_TRUE(decode_block_coeffs(br, out));
+  expect_blocks_equal(levels, out);
+}
+
+TEST(CoeffCoding, SingleDcCoefficient) {
+  std::int16_t levels[kDctSamples] = {};
+  levels[0] = -5;
+  util::BitWriter bw;
+  encode_block_coeffs(bw, levels);
+  const auto bytes = bw.take();
+  util::BitReader br(bytes);
+  std::int16_t out[kDctSamples];
+  ASSERT_TRUE(decode_block_coeffs(br, out));
+  expect_blocks_equal(levels, out);
+}
+
+TEST(CoeffCoding, TrailingCoefficientPosition63) {
+  std::int16_t levels[kDctSamples] = {};
+  levels[63] = 3;  // last zig-zag position: run of 63 zeros
+  util::BitWriter bw;
+  encode_block_coeffs(bw, levels);
+  const auto bytes = bw.take();
+  util::BitReader br(bytes);
+  std::int16_t out[kDctSamples];
+  ASSERT_TRUE(decode_block_coeffs(br, out));
+  expect_blocks_equal(levels, out);
+}
+
+TEST(CoeffCoding, SkipDcExcludesIndexZero) {
+  std::int16_t levels[kDctSamples] = {};
+  levels[0] = 99;  // must be ignored under skip_dc
+  levels[1] = 2;
+  util::BitWriter bw;
+  encode_block_coeffs(bw, levels, /*skip_dc=*/true);
+  const auto bytes = bw.take();
+  util::BitReader br(bytes);
+  std::int16_t out[kDctSamples];
+  ASSERT_TRUE(decode_block_coeffs(br, out, /*skip_dc=*/true));
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 2);
+}
+
+TEST(CoeffCoding, BitCountMatchesEncoding) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::int16_t levels[kDctSamples] = {};
+    const int nonzero = static_cast<int>(rng.next_below(20));
+    for (int i = 0; i < nonzero; ++i) {
+      levels[rng.next_below(kDctSamples)] =
+          static_cast<std::int16_t>(rng.next_in_range(-127, 127));
+    }
+    for (bool skip_dc : {false, true}) {
+      util::BitWriter bw;
+      encode_block_coeffs(bw, levels, skip_dc);
+      EXPECT_EQ(bw.bit_count(), block_coeff_bits(levels, skip_dc));
+    }
+  }
+}
+
+TEST(CoeffCoding, RandomizedRoundTrip) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::int16_t levels[kDctSamples] = {};
+    const int nonzero = static_cast<int>(rng.next_below(30));
+    for (int i = 0; i < nonzero; ++i) {
+      std::int16_t v = static_cast<std::int16_t>(rng.next_in_range(-127, 127));
+      if (v == 0) {
+        v = 1;
+      }
+      levels[rng.next_below(kDctSamples)] = v;
+    }
+    util::BitWriter bw;
+    encode_block_coeffs(bw, levels);
+    const auto bytes = bw.take();
+    util::BitReader br(bytes);
+    std::int16_t out[kDctSamples];
+    ASSERT_TRUE(decode_block_coeffs(br, out));
+    expect_blocks_equal(levels, out);
+  }
+}
+
+TEST(CoeffCoding, SparseBlocksCheaperThanDense) {
+  std::int16_t sparse[kDctSamples] = {};
+  sparse[0] = 4;
+  sparse[1] = -2;
+  std::int16_t dense[kDctSamples];
+  for (int i = 0; i < kDctSamples; ++i) {
+    dense[i] = static_cast<std::int16_t>((i % 5) - 2);
+    if (dense[i] == 0) {
+      dense[i] = 1;
+    }
+  }
+  EXPECT_LT(block_coeff_bits(sparse), block_coeff_bits(dense) / 4);
+}
+
+TEST(CoeffCoding, BlockHasCoeffsRespectsSkipDc) {
+  std::int16_t levels[kDctSamples] = {};
+  EXPECT_FALSE(block_has_coeffs(levels));
+  levels[0] = 7;
+  EXPECT_TRUE(block_has_coeffs(levels));
+  EXPECT_FALSE(block_has_coeffs(levels, /*skip_dc=*/true));
+  levels[13] = -1;
+  EXPECT_TRUE(block_has_coeffs(levels, /*skip_dc=*/true));
+}
+
+TEST(CoeffCoding, DecodeRejectsTruncatedStream) {
+  std::int16_t levels[kDctSamples] = {};
+  levels[5] = 3;
+  util::BitWriter bw;
+  encode_block_coeffs(bw, levels);
+  auto bytes = bw.take();
+  bytes.resize(bytes.size() / 2);  // chop the stream
+  // Either decode fails outright or the reader reports exhaustion — a
+  // truncated block must never silently decode to valid data.
+  util::BitReader br(bytes);
+  std::int16_t out[kDctSamples];
+  const bool ok = decode_block_coeffs(br, out);
+  EXPECT_TRUE(!ok || br.exhausted());
+}
+
+TEST(MvCoding, RoundTripAgainstPredictors) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const me::Mv mv{rng.next_in_range(-30, 30), rng.next_in_range(-30, 30)};
+    const me::Mv pred{rng.next_in_range(-30, 30), rng.next_in_range(-30, 30)};
+    util::BitWriter bw;
+    encode_mvd(bw, mv, pred);
+    EXPECT_EQ(bw.bit_count(), mvd_bits(mv, pred));
+    const auto bytes = bw.take();
+    util::BitReader br(bytes);
+    EXPECT_EQ(decode_mvd(br, pred), mv);
+  }
+}
+
+TEST(MvCoding, PredictedVectorCostsTwoBits) {
+  const me::Mv mv{12, -8};
+  EXPECT_EQ(mvd_bits(mv, mv), 2u);
+}
+
+TEST(MvCoding, RateMatchesSearchSideModel) {
+  // codec::mvd_bits and me::mv_rate_bits must be the same function — the
+  // search optimises exactly what the encoder transmits.
+  for (int dx = -20; dx <= 20; dx += 3) {
+    for (int dy = -20; dy <= 20; dy += 3) {
+      EXPECT_EQ(mvd_bits({dx, dy}, {1, -1}),
+                me::mv_rate_bits({dx, dy}, {1, -1}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acbm::codec

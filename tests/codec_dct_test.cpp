@@ -1,0 +1,146 @@
+// 8×8 DCT: inversion, orthonormal scaling, energy preservation, basis shape.
+
+#include "codec/dct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace acbm::codec {
+namespace {
+
+void fill_random(std::int16_t block[kDctSamples], util::Rng& rng, int lo,
+                 int hi) {
+  for (int i = 0; i < kDctSamples; ++i) {
+    block[i] = static_cast<std::int16_t>(rng.next_in_range(lo, hi));
+  }
+}
+
+TEST(Dct, ForwardInverseIsIdentityWithinRounding) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::int16_t in[kDctSamples];
+    fill_random(in, rng, -255, 255);
+    double coeffs[kDctSamples];
+    double out[kDctSamples];
+    forward_dct8x8(in, coeffs);
+    inverse_dct8x8(coeffs, out);
+    for (int i = 0; i < kDctSamples; ++i) {
+      ASSERT_NEAR(out[i], in[i], 1e-9);
+    }
+  }
+}
+
+TEST(Dct, DcOfConstantBlockIsEightTimesMean) {
+  std::int16_t in[kDctSamples];
+  for (auto& v : in) {
+    v = 100;
+  }
+  double coeffs[kDctSamples];
+  forward_dct8x8(in, coeffs);
+  EXPECT_NEAR(coeffs[0], 800.0, 1e-9);  // orthonormal: DC = 8·mean
+  for (int i = 1; i < kDctSamples; ++i) {
+    ASSERT_NEAR(coeffs[i], 0.0, 1e-9);
+  }
+}
+
+TEST(Dct, MaximumDcFitsIntraDcRange) {
+  std::int16_t in[kDctSamples];
+  for (auto& v : in) {
+    v = 255;
+  }
+  double coeffs[kDctSamples];
+  forward_dct8x8(in, coeffs);
+  EXPECT_NEAR(coeffs[0], 2040.0, 1e-9);
+  EXPECT_LE(std::lround(coeffs[0] / 8.0), 255);  // quantizes into u8
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  util::Rng rng(2);
+  std::int16_t in[kDctSamples];
+  fill_random(in, rng, -200, 200);
+  double coeffs[kDctSamples];
+  forward_dct8x8(in, coeffs);
+  double spatial_energy = 0.0;
+  double coeff_energy = 0.0;
+  for (int i = 0; i < kDctSamples; ++i) {
+    spatial_energy += double(in[i]) * in[i];
+    coeff_energy += coeffs[i] * coeffs[i];
+  }
+  EXPECT_NEAR(coeff_energy, spatial_energy, spatial_energy * 1e-12 + 1e-6);
+}
+
+TEST(Dct, LinearInInput) {
+  util::Rng rng(3);
+  std::int16_t a[kDctSamples];
+  std::int16_t b[kDctSamples];
+  std::int16_t sum[kDctSamples];
+  fill_random(a, rng, -100, 100);
+  fill_random(b, rng, -100, 100);
+  for (int i = 0; i < kDctSamples; ++i) {
+    sum[i] = static_cast<std::int16_t>(a[i] + b[i]);
+  }
+  double ca[kDctSamples];
+  double cb[kDctSamples];
+  double cs[kDctSamples];
+  forward_dct8x8(a, ca);
+  forward_dct8x8(b, cb);
+  forward_dct8x8(sum, cs);
+  for (int i = 0; i < kDctSamples; ++i) {
+    ASSERT_NEAR(cs[i], ca[i] + cb[i], 1e-9);
+  }
+}
+
+TEST(Dct, HorizontalCosineHitsSingleCoefficient) {
+  // in(x,y) = cos((2x+1)·3π/16) → only coefficient (u=3, v=0) fires.
+  std::int16_t in[kDctSamples];
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      in[y * 8 + x] = static_cast<std::int16_t>(
+          std::lround(100.0 * std::cos((2 * x + 1) * 3.0 * M_PI / 16.0)));
+    }
+  }
+  double coeffs[kDctSamples];
+  forward_dct8x8(in, coeffs);
+  double max_other = 0.0;
+  for (int v = 0; v < 8; ++v) {
+    for (int u = 0; u < 8; ++u) {
+      if (u == 3 && v == 0) {
+        continue;
+      }
+      max_other = std::max(max_other, std::abs(coeffs[v * 8 + u]));
+    }
+  }
+  EXPECT_GT(std::abs(coeffs[3]), 390.0);  // ≈ 100·4 with rounding error
+  EXPECT_LT(max_other, 3.0);              // rounding leakage only
+}
+
+TEST(Dct, InverseToIntRoundsAndClamps) {
+  std::int16_t coeffs[kDctSamples] = {};
+  coeffs[0] = 2040;  // constant 255 block
+  std::int16_t out[kDctSamples];
+  inverse_dct8x8_to_int(coeffs, out, 512);
+  for (int i = 0; i < kDctSamples; ++i) {
+    ASSERT_EQ(out[i], 255);
+  }
+  coeffs[0] = 16000;  // absurd energy → clamp at the limit
+  inverse_dct8x8_to_int(coeffs, out, 512);
+  for (int i = 0; i < kDctSamples; ++i) {
+    ASSERT_EQ(out[i], 512);
+  }
+}
+
+TEST(Dct, InverseToIntNegativeClamp) {
+  std::int16_t coeffs[kDctSamples] = {};
+  coeffs[0] = -16000;
+  std::int16_t out[kDctSamples];
+  inverse_dct8x8_to_int(coeffs, out, 300);
+  for (int i = 0; i < kDctSamples; ++i) {
+    ASSERT_EQ(out[i], -300);
+  }
+}
+
+}  // namespace
+}  // namespace acbm::codec

@@ -1,0 +1,130 @@
+// Failure injection: the decoder must survive arbitrary corruption of a
+// valid stream — throwing DecodeError or returning fewer frames is fine,
+// crashing, hanging or reading out of bounds is not. Deterministic
+// "fuzzing": seeded bit flips, truncations, byte erasures.
+
+#include <gtest/gtest.h>
+
+#include "codec/decoder.hpp"
+#include "codec/encoder.hpp"
+#include "core/acbm.hpp"
+#include "synth/sequences.hpp"
+#include "util/rng.hpp"
+
+namespace acbm::codec {
+namespace {
+
+std::vector<std::uint8_t> valid_stream(int frames_count = 4) {
+  synth::SequenceRequest req;
+  req.name = "carphone";
+  req.size = {64, 48};
+  req.frame_count = frames_count;
+  const auto frames = synth::make_sequence(req);
+  core::Acbm acbm;
+  EncoderConfig cfg;
+  cfg.qp = 12;
+  cfg.search_range = 7;
+  Encoder encoder({64, 48}, cfg, acbm);
+  for (const auto& f : frames) {
+    (void)encoder.encode_frame(f);
+  }
+  return encoder.finish();
+}
+
+/// Decodes as much as possible; any DecodeError is acceptable, any other
+/// outcome than clean frames is a bug surfaced by ASAN/UBSAN or gtest.
+void expect_survives(const std::vector<std::uint8_t>& data) {
+  try {
+    Decoder decoder(data);
+    while (true) {
+      const auto frame = decoder.decode_frame();
+      if (!frame.has_value()) {
+        break;
+      }
+      // Decoded frames must have the advertised geometry.
+      ASSERT_EQ(frame->width(), decoder.size().width);
+      ASSERT_EQ(frame->height(), decoder.size().height);
+    }
+  } catch (const DecodeError&) {
+    // Detected corruption — the desired failure mode.
+  }
+}
+
+TEST(DecoderFuzz, SingleBitFlips) {
+  const auto stream = valid_stream();
+  util::Rng rng(1);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto corrupted = stream;
+    const std::size_t byte = rng.next_below(
+        static_cast<std::uint32_t>(corrupted.size()));
+    corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    expect_survives(corrupted);
+  }
+}
+
+TEST(DecoderFuzz, BurstCorruption) {
+  const auto stream = valid_stream();
+  util::Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto corrupted = stream;
+    const std::size_t start = rng.next_below(
+        static_cast<std::uint32_t>(corrupted.size()));
+    const std::size_t len =
+        std::min<std::size_t>(1 + rng.next_below(16), corrupted.size() - start);
+    for (std::size_t i = 0; i < len; ++i) {
+      corrupted[start + i] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    expect_survives(corrupted);
+  }
+}
+
+TEST(DecoderFuzz, AllTruncationLengths) {
+  const auto stream = valid_stream(2);
+  for (std::size_t len = 0; len <= stream.size(); ++len) {
+    std::vector<std::uint8_t> truncated(stream.begin(),
+                                        stream.begin() + static_cast<long>(len));
+    if (len < 12) {
+      // Shorter than the sequence header: constructor must throw.
+      EXPECT_THROW(Decoder d(truncated), DecodeError) << "len " << len;
+    } else {
+      expect_survives(truncated);
+    }
+  }
+}
+
+TEST(DecoderFuzz, RandomGarbageWithValidMagic) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> garbage(64 + rng.next_below(512));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    // Valid magic + plausible geometry so parsing reaches the MB layer.
+    garbage[0] = 'A';
+    garbage[1] = 'C';
+    garbage[2] = 'V';
+    garbage[3] = '1';
+    garbage[4] = 0;
+    garbage[5] = 64;
+    garbage[6] = 0;
+    garbage[7] = 48;
+    expect_survives(garbage);
+  }
+}
+
+TEST(DecoderFuzz, DuplicatedAndReorderedFrames) {
+  const auto stream = valid_stream(3);
+  // Appending a copy of the tail re-feeds P-frame data; the decoder must
+  // either decode it (it is syntactically valid) or flag an error.
+  auto doubled = stream;
+  doubled.insert(doubled.end(), stream.begin() + 12, stream.end());
+  expect_survives(doubled);
+}
+
+TEST(DecoderFuzz, EmptyAndTinyInputs) {
+  EXPECT_THROW(Decoder d(std::vector<std::uint8_t>{}), DecodeError);
+  EXPECT_THROW(Decoder d(std::vector<std::uint8_t>{0x41}), DecodeError);
+}
+
+}  // namespace
+}  // namespace acbm::codec

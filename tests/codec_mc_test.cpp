@@ -1,0 +1,178 @@
+// Motion compensation: luma half-pel prediction, chroma vector derivation
+// (H.263 rounding table), chroma interpolation, and the block-codec pipeline.
+
+#include "codec/mc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codec/block_codec.hpp"
+#include "test_support.hpp"
+
+namespace acbm::codec {
+namespace {
+
+TEST(PredictLuma, IntegerVectorCopiesBlock) {
+  const video::Plane ref = acbm::test::random_plane(64, 48, 1);
+  const video::HalfpelPlanes hp(ref);
+  std::uint8_t dst[16 * 16];
+  predict_luma(hp, 16, 16, me::mv_from_fullpel(3, -2), 16, 16, dst, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      ASSERT_EQ(dst[y * 16 + x], ref.at(16 + x + 3, 16 + y - 2));
+    }
+  }
+}
+
+TEST(PredictLuma, HalfpelVectorInterpolates) {
+  const video::Plane ref = acbm::test::random_plane(64, 48, 2);
+  const video::HalfpelPlanes hp(ref);
+  std::uint8_t dst[8 * 8];
+  predict_luma(hp, 24, 24, {5, 1}, 8, 8, dst, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      ASSERT_EQ(dst[y * 8 + x],
+                video::sample_halfpel(ref, (24 + x) * 2 + 5, (24 + y) * 2 + 1));
+    }
+  }
+}
+
+TEST(PredictLuma, NegativeVectorReadsBorder) {
+  video::Plane ref(32, 32);
+  ref.fill(77);
+  ref.extend_border();
+  const video::HalfpelPlanes hp(ref);
+  std::uint8_t dst[16 * 16];
+  predict_luma(hp, 0, 0, me::mv_from_fullpel(-15, -15), 16, 16, dst, 16);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(dst[i], 77);
+  }
+}
+
+TEST(DeriveChromaMv, H263RoundingTable) {
+  // luma half-pel → chroma half-pel: fraction {1,2,3}/4 all map to 1/2.
+  EXPECT_EQ(derive_chroma_mv({0, 0}), (me::Mv{0, 0}));
+  EXPECT_EQ(derive_chroma_mv({4, 0}), (me::Mv{2, 0}));   // +2 luma → +1 chroma
+  EXPECT_EQ(derive_chroma_mv({1, 0}), (me::Mv{1, 0}));   // ¼ → ½
+  EXPECT_EQ(derive_chroma_mv({2, 0}), (me::Mv{1, 0}));   // ½ → ½
+  EXPECT_EQ(derive_chroma_mv({3, 0}), (me::Mv{1, 0}));   // ¾ → ½
+  EXPECT_EQ(derive_chroma_mv({5, 0}), (me::Mv{3, 0}));   // 1¼ → 1½
+  EXPECT_EQ(derive_chroma_mv({0, -1}), (me::Mv{0, -1}));
+  EXPECT_EQ(derive_chroma_mv({0, -4}), (me::Mv{0, -2}));
+  EXPECT_EQ(derive_chroma_mv({-6, 7}), (me::Mv{-3, 3}));
+}
+
+TEST(DeriveChromaMv, OddSymmetry) {
+  for (int v = -30; v <= 30; ++v) {
+    EXPECT_EQ(derive_chroma_mv({v, 0}).x, -derive_chroma_mv({-v, 0}).x);
+  }
+}
+
+TEST(PredictChroma, IntegerChromaVectorCopies) {
+  const video::Plane ref = acbm::test::random_plane(32, 24, 3);
+  std::uint8_t dst[8 * 8];
+  predict_chroma(ref, 8, 8, {4, -2}, 8, 8, dst, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      ASSERT_EQ(dst[y * 8 + x], ref.at(8 + x + 2, 8 + y - 1));
+    }
+  }
+}
+
+TEST(PredictChroma, HalfSampleInterpolates) {
+  const video::Plane ref = acbm::test::random_plane(32, 24, 4);
+  std::uint8_t dst[4 * 4];
+  predict_chroma(ref, 8, 8, {1, 1}, 4, 4, dst, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      ASSERT_EQ(dst[y * 4 + x],
+                video::sample_halfpel(ref, (8 + x) * 2 + 1, (8 + y) * 2 + 1));
+    }
+  }
+}
+
+TEST(BlockCodec, IntraRoundTripCloseToSource) {
+  const video::Plane src = acbm::test::random_plane(16, 16, 5);
+  std::int16_t levels[kDctSamples];
+  const std::uint8_t dc = encode_intra_block(src.row(0), src.stride(),
+                                             levels, /*qp=*/4);
+  video::Plane rec(16, 16);
+  reconstruct_intra_block(levels, dc, 4, rec.row(0), rec.stride());
+  // Max per-sample error bounded by quantizer noise across 64 coefficients;
+  // at qp=4 a generous bound is ±32.
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      ASSERT_NEAR(int(rec.at(x, y)), int(src.at(x, y)), 32);
+    }
+  }
+}
+
+TEST(BlockCodec, IntraFlatBlockNearExact) {
+  video::Plane src(8, 8);
+  src.fill(137);
+  std::int16_t levels[kDctSamples];
+  const std::uint8_t dc =
+      encode_intra_block(src.row(0), src.stride(), levels, 8);
+  EXPECT_EQ(dc, 137);  // DC = 8·137/8
+  video::Plane rec(8, 8);
+  reconstruct_intra_block(levels, dc, 8, rec.row(0), rec.stride());
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      ASSERT_NEAR(int(rec.at(x, y)), 137, 1);
+    }
+  }
+}
+
+TEST(BlockCodec, InterZeroResidualGivesZeroLevels) {
+  const video::Plane src = acbm::test::random_plane(8, 8, 6);
+  std::int16_t levels[kDctSamples];
+  std::uint8_t pred[64];
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      pred[y * 8 + x] = src.at(x, y);
+    }
+  }
+  encode_inter_block(src.row(0), src.stride(), pred, 8, levels, 10);
+  for (int i = 0; i < kDctSamples; ++i) {
+    ASSERT_EQ(levels[i], 0);
+  }
+}
+
+TEST(BlockCodec, InterReconstructionImprovesOnPrediction) {
+  const video::Plane src = acbm::test::random_plane(8, 8, 7);
+  video::Plane pred_plane(8, 8);
+  pred_plane.fill(128);
+  std::uint8_t pred[64];
+  for (int i = 0; i < 64; ++i) {
+    pred[i] = 128;
+  }
+  std::int16_t levels[kDctSamples];
+  encode_inter_block(src.row(0), src.stride(), pred, 8, levels, 4);
+  video::Plane rec(8, 8);
+  reconstruct_inter_block(levels, pred, 8, 4, rec.row(0), rec.stride());
+  std::uint64_t err_pred = 0;
+  std::uint64_t err_rec = 0;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      err_pred += std::abs(int(src.at(x, y)) - 128);
+      err_rec += std::abs(int(src.at(x, y)) - int(rec.at(x, y)));
+    }
+  }
+  EXPECT_LT(err_rec, err_pred / 2);
+}
+
+TEST(BlockCodec, InterSkipEquivalence) {
+  // All-zero levels must reproduce the prediction exactly (the SKIP path).
+  std::uint8_t pred[64];
+  for (int i = 0; i < 64; ++i) {
+    pred[i] = static_cast<std::uint8_t>(i * 3);
+  }
+  const std::int16_t levels[kDctSamples] = {};
+  std::uint8_t dst[64];
+  reconstruct_inter_block(levels, pred, 8, 16, dst, 8);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(dst[i], pred[i]);
+  }
+}
+
+}  // namespace
+}  // namespace acbm::codec

@@ -1,0 +1,176 @@
+// H.263-style quantization and the zig-zag scan.
+
+#include <gtest/gtest.h>
+
+#include "codec/quant.hpp"
+#include "codec/zigzag.hpp"
+#include "util/rng.hpp"
+
+namespace acbm::codec {
+namespace {
+
+TEST(Quant, ZeroStaysZero) {
+  for (int qp = 1; qp <= 31; ++qp) {
+    EXPECT_EQ(quant_ac(0.0, qp, true), 0);
+    EXPECT_EQ(quant_ac(0.0, qp, false), 0);
+    EXPECT_EQ(dequant_ac(0, qp), 0);
+  }
+}
+
+TEST(Quant, InterDeadZoneSwallowsSmallCoefficients) {
+  // |coef| < 1.5·QP quantizes to zero in inter mode (dead zone).
+  EXPECT_EQ(quant_ac(20.0, 16, false), 0);
+  EXPECT_EQ(quant_ac(-30.0, 16, false), 0);
+  EXPECT_NE(quant_ac(60.0, 16, false), 0);
+}
+
+TEST(Quant, IntraHasNoDeadZoneBeyondStep) {
+  EXPECT_EQ(quant_ac(31.0, 16, true), 0);   // < 2·QP
+  EXPECT_EQ(quant_ac(33.0, 16, true), 1);   // ≥ 2·QP
+}
+
+TEST(Quant, SignPreserved) {
+  EXPECT_GT(quant_ac(200.0, 8, false), 0);
+  EXPECT_LT(quant_ac(-200.0, 8, false), 0);
+  EXPECT_EQ(quant_ac(-200.0, 8, false), -quant_ac(200.0, 8, false));
+  EXPECT_EQ(dequant_ac(-5, 8), -dequant_ac(5, 8));
+}
+
+TEST(Quant, ReconstructionErrorBoundedByStep) {
+  // |dequant(quant(c)) − c| ≤ 2.5·QP: 1.5·QP once a level fires, up to
+  // 2.5·QP inside the inter dead zone — the H.263 distortion bound that
+  // makes the paper's β·Qp² tolerance meaningful.
+  util::Rng rng(1);
+  for (int qp : {1, 4, 8, 16, 31}) {
+    // Stay below the ±127 level clamp: |c| ≤ 2·qp·120.
+    const int cmax = std::min(2000, 2 * qp * 120);
+    for (int trial = 0; trial < 400; ++trial) {
+      const double c = rng.next_in_range(-cmax, cmax);
+      for (bool intra : {false, true}) {
+        const std::int16_t level = quant_ac(c, qp, intra);
+        const double rec = dequant_ac(level, qp);
+        EXPECT_LE(std::abs(rec - c), 2.5 * qp + 1.0)
+            << "qp=" << qp << " c=" << c << " intra=" << intra;
+      }
+    }
+  }
+}
+
+TEST(Quant, LevelMagnitudeMonotoneInCoefficient) {
+  for (int qp : {2, 10, 25}) {
+    int prev = 0;
+    for (int c = 0; c <= 2000; c += 7) {
+      const int level = quant_ac(c, qp, false);
+      EXPECT_GE(level, prev);
+      prev = level;
+    }
+  }
+}
+
+TEST(Quant, DequantOddEvenQpRule) {
+  // qp odd: |rec| = qp(2|L|+1); qp even: qp(2|L|+1) − 1.
+  EXPECT_EQ(dequant_ac(3, 5), 5 * 7);
+  EXPECT_EQ(dequant_ac(3, 6), 6 * 7 - 1);
+  EXPECT_EQ(dequant_ac(-2, 4), -(4 * 5 - 1));
+}
+
+TEST(Quant, IntraDcFixedStepEight) {
+  EXPECT_EQ(quant_intra_dc(800.0), 100);
+  EXPECT_EQ(dequant_intra_dc(100), 800);
+  EXPECT_EQ(quant_intra_dc(804.0), 101);  // 100.5 rounds away from zero
+}
+
+TEST(Quant, IntraDcClampsToLegalRange) {
+  EXPECT_EQ(quant_intra_dc(0.0), 1);     // 0 illegal in H.263
+  EXPECT_EQ(quant_intra_dc(-100.0), 1);
+  EXPECT_EQ(quant_intra_dc(5000.0), 254);
+}
+
+TEST(Quant, BlockFormsRespectIntraDcConvention) {
+  double coeffs[kDctSamples] = {};
+  coeffs[0] = 800.0;
+  coeffs[1] = 100.0;
+  std::int16_t levels[kDctSamples];
+  quantize_block(coeffs, levels, 8, /*intra=*/true);
+  EXPECT_EQ(levels[0], 0);  // DC excluded from the AC path
+  EXPECT_EQ(levels[1], quant_ac(100.0, 8, true));
+
+  std::int16_t rec[kDctSamples];
+  dequantize_block(levels, rec, 8, /*intra=*/true);
+  EXPECT_EQ(rec[0], 0);  // caller injects the DC
+  EXPECT_EQ(rec[1], dequant_ac(levels[1], 8));
+}
+
+TEST(Quant, InterBlockRoundTripBounded) {
+  util::Rng rng(2);
+  double coeffs[kDctSamples];
+  for (auto& c : coeffs) {
+    c = rng.next_in_range(-500, 500);
+  }
+  std::int16_t levels[kDctSamples];
+  std::int16_t rec[kDctSamples];
+  quantize_block(coeffs, levels, 10, false);
+  dequantize_block(levels, rec, 10, false);
+  for (int i = 0; i < kDctSamples; ++i) {
+    EXPECT_LE(std::abs(rec[i] - coeffs[i]), 2.5 * 10 + 1.0);
+  }
+}
+
+TEST(Zigzag, IsAPermutation) {
+  bool seen[kDctSamples] = {};
+  for (int k = 0; k < kDctSamples; ++k) {
+    const int idx = kZigzagOrder[k];
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, kDctSamples);
+    ASSERT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(Zigzag, CanonicalPrefix) {
+  // First entries of the standard scan: 0, 1, 8, 16, 9, 2, 3, 10 and the
+  // last is 63.
+  EXPECT_EQ(kZigzagOrder[0], 0);
+  EXPECT_EQ(kZigzagOrder[1], 1);
+  EXPECT_EQ(kZigzagOrder[2], 8);
+  EXPECT_EQ(kZigzagOrder[3], 16);
+  EXPECT_EQ(kZigzagOrder[4], 9);
+  EXPECT_EQ(kZigzagOrder[63], 63);
+}
+
+TEST(Zigzag, ScanUnscanInverse) {
+  util::Rng rng(3);
+  std::int16_t block[kDctSamples];
+  for (auto& v : block) {
+    v = static_cast<std::int16_t>(rng.next_in_range(-1000, 1000));
+  }
+  std::int16_t scanned[kDctSamples];
+  std::int16_t back[kDctSamples];
+  zigzag_scan(block, scanned);
+  zigzag_unscan(scanned, back);
+  for (int i = 0; i < kDctSamples; ++i) {
+    ASSERT_EQ(back[i], block[i]);
+  }
+}
+
+TEST(Zigzag, FrequencyOrderingMovesEnergyForward) {
+  // A typical quantized block (energy in the top-left corner) must become
+  // front-loaded after the scan.
+  std::int16_t block[kDctSamples] = {};
+  block[0] = 50;
+  block[1] = 20;
+  block[8] = 18;
+  block[9] = 7;
+  std::int16_t scanned[kDctSamples];
+  zigzag_scan(block, scanned);
+  EXPECT_EQ(scanned[0], 50);
+  EXPECT_EQ(scanned[1], 20);
+  EXPECT_EQ(scanned[2], 18);
+  EXPECT_EQ(scanned[4], 7);
+  for (int k = 5; k < kDctSamples; ++k) {
+    ASSERT_EQ(scanned[k], 0);
+  }
+}
+
+}  // namespace
+}  // namespace acbm::codec

@@ -1,0 +1,124 @@
+// Motion cost model (J = D + λ·R) and search windows.
+
+#include <gtest/gtest.h>
+
+#include "me/cost.hpp"
+#include "me/window.hpp"
+#include "util/expgolomb.hpp"
+
+namespace acbm::me {
+namespace {
+
+TEST(MvRateBits, ZeroDifferenceIsCheapest) {
+  const Mv pred{4, -6};
+  const std::uint32_t base = mv_rate_bits(pred, pred);
+  EXPECT_EQ(base, 2u);  // se(0) twice
+  for (int dx = -4; dx <= 4; ++dx) {
+    for (int dy = -4; dy <= 4; ++dy) {
+      EXPECT_GE(mv_rate_bits({pred.x + dx, pred.y + dy}, pred), base);
+    }
+  }
+}
+
+TEST(MvRateBits, MonotoneInComponentMagnitude) {
+  for (int m = 0; m < 60; ++m) {
+    EXPECT_LE(mv_rate_bits({m, 0}, {}), mv_rate_bits({m + 1, 0}, {}));
+    EXPECT_LE(mv_rate_bits({0, -m}, {}), mv_rate_bits({0, -(m + 1)}, {}));
+  }
+}
+
+TEST(MvRateBits, MatchesExpGolombLengths) {
+  const Mv mv{7, -3};
+  const Mv pred{2, 1};
+  EXPECT_EQ(mv_rate_bits(mv, pred),
+            static_cast<std::uint32_t>(util::se_bit_length(5) +
+                                       util::se_bit_length(-4)));
+}
+
+TEST(MotionCost, LambdaZeroIsPureSad) {
+  const MotionCost cost(0.0, {0, 0});
+  EXPECT_DOUBLE_EQ(cost.cost(500, {30, 30}), 500.0);
+  EXPECT_EQ(cost.cost_fixed(500, {30, 30}), 500ull << 8);
+}
+
+TEST(MotionCost, RateTermPenalisesLongVectors) {
+  const MotionCost cost(10.0, {0, 0});
+  EXPECT_LT(cost.cost(100, {0, 0}), cost.cost(100, {20, 20}));
+  EXPECT_LT(cost.cost_fixed(100, {0, 0}), cost.cost_fixed(100, {20, 20}));
+}
+
+TEST(MotionCost, ForQpScalesLambda) {
+  const MotionCost c10 = MotionCost::for_qp(10);
+  const MotionCost c20 = MotionCost::for_qp(20);
+  EXPECT_DOUBLE_EQ(c10.lambda(), 0.92 * 10);
+  EXPECT_DOUBLE_EQ(c20.lambda(), 2 * c10.lambda());
+}
+
+TEST(MotionCost, FixedAndFloatAgreeOnOrdering) {
+  const MotionCost cost(3.7, {2, 2});
+  const Mv a{0, 0};
+  const Mv b{14, -9};
+  const bool float_order = cost.cost(200, a) < cost.cost(230, b);
+  const bool fixed_order = cost.cost_fixed(200, a) < cost.cost_fixed(230, b);
+  EXPECT_EQ(float_order, fixed_order);
+}
+
+TEST(SearchWindow, UnrestrictedBounds) {
+  const SearchWindow w = unrestricted_window(15);
+  EXPECT_EQ(w.min_x, -30);
+  EXPECT_EQ(w.max_x, 30);
+  EXPECT_TRUE(w.contains({30, -30}));
+  EXPECT_FALSE(w.contains({31, 0}));
+  EXPECT_FALSE(w.contains({0, -31}));
+}
+
+TEST(SearchWindow, FullpelPositionCountIsPaper961) {
+  EXPECT_EQ(unrestricted_window(15).fullpel_positions(), 961);
+  EXPECT_EQ(unrestricted_window(7).fullpel_positions(), 225);
+  EXPECT_EQ(unrestricted_window(1).fullpel_positions(), 9);
+}
+
+TEST(SearchWindow, ClampProjectsComponentwise) {
+  const SearchWindow w = unrestricted_window(4);
+  EXPECT_EQ(w.clamp({100, -3}), (Mv{8, -3}));
+  EXPECT_EQ(w.clamp({-100, 100}), (Mv{-8, 8}));
+  EXPECT_EQ(w.clamp({3, 3}), (Mv{3, 3}));
+}
+
+TEST(SearchWindow, RestrictedClampsAtPictureEdges) {
+  // Top-left block of a QCIF picture with p=15: negative displacements are
+  // cut to the picture (slack 0).
+  const SearchWindow w = restricted_window(15, 0, 0, 16, 16, 176, 144, 0);
+  EXPECT_EQ(w.min_x, 0);
+  EXPECT_EQ(w.min_y, 0);
+  EXPECT_EQ(w.max_x, 30);
+  EXPECT_EQ(w.max_y, 30);
+}
+
+TEST(SearchWindow, RestrictedInteriorBlockUnchanged) {
+  const SearchWindow w = restricted_window(7, 80, 64, 16, 16, 176, 144, 0);
+  EXPECT_EQ(w.min_x, -14);
+  EXPECT_EQ(w.max_x, 14);
+  EXPECT_EQ(w.min_y, -14);
+  EXPECT_EQ(w.max_y, 14);
+}
+
+TEST(SearchWindow, RestrictedBottomRightBlock) {
+  const SearchWindow w =
+      restricted_window(15, 160, 128, 16, 16, 176, 144, 0);
+  EXPECT_EQ(w.max_x, 0);
+  EXPECT_EQ(w.max_y, 0);
+  EXPECT_EQ(w.min_x, -30);
+}
+
+TEST(Mv, HelpersBehave) {
+  EXPECT_TRUE((Mv{4, -6}).is_integer());
+  EXPECT_FALSE((Mv{3, 0}).is_integer());
+  EXPECT_EQ((Mv{-7, 4}).linf(), 7);
+  EXPECT_EQ(mv_from_fullpel(3, -2), (Mv{6, -4}));
+  EXPECT_EQ((Mv{1, 2}) + (Mv{3, 4}), (Mv{4, 6}));
+  EXPECT_EQ((Mv{1, 2}) - (Mv{3, 4}), (Mv{-2, -2}));
+}
+
+}  // namespace
+}  // namespace acbm::me

@@ -1,0 +1,189 @@
+// Pixel-decimation SAD (the paper's second fast-ME family, refs [6–8]).
+
+#include "me/decimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "me/full_search.hpp"
+#include "me/sad.hpp"
+#include "test_support.hpp"
+
+namespace acbm::me {
+namespace {
+
+using acbm::test::SearchFixture;
+using acbm::test::shifted_pair;
+
+TEST(Decimation, SampleCounts) {
+  EXPECT_EQ(decimated_sample_count(DecimationPattern::kNone, 16, 16), 256);
+  EXPECT_EQ(decimated_sample_count(DecimationPattern::kQuincunx4to1, 16, 16),
+            64);
+  EXPECT_EQ(decimated_sample_count(DecimationPattern::kRowSkip2to1, 16, 16),
+            128);
+}
+
+TEST(Decimation, NonePatternEqualsPlainSad) {
+  const video::Plane a = acbm::test::random_plane(32, 32, 1);
+  const video::Plane b = acbm::test::random_plane(32, 32, 2);
+  EXPECT_EQ(sad_block_decimated(a, 4, 4, b, 6, 5, 16, 16,
+                                DecimationPattern::kNone),
+            sad_block(a, 4, 4, b, 6, 5, 16, 16));
+}
+
+TEST(Decimation, DecimatedSadIsLowerBoundOfFull) {
+  // Each pattern sums a subset of the |diff| terms, so it can never exceed
+  // the full SAD.
+  const video::Plane a = acbm::test::random_plane(32, 32, 3);
+  const video::Plane b = acbm::test::random_plane(32, 32, 4);
+  const std::uint32_t full = sad_block(a, 8, 8, b, 5, 9, 16, 16);
+  for (auto pattern : {DecimationPattern::kQuincunx4to1,
+                       DecimationPattern::kRowSkip2to1}) {
+    EXPECT_LE(sad_block_decimated(a, 8, 8, b, 5, 9, 16, 16, pattern), full);
+  }
+}
+
+TEST(Decimation, ZeroAtPerfectMatch) {
+  const video::Plane a = acbm::test::random_plane(32, 32, 5);
+  for (auto pattern : {DecimationPattern::kQuincunx4to1,
+                       DecimationPattern::kRowSkip2to1}) {
+    EXPECT_EQ(sad_block_decimated(a, 8, 8, a, 8, 8, 16, 16, pattern), 0u);
+  }
+}
+
+TEST(Decimation, QuincunxRoughlyQuarterOfFull) {
+  // On iid random content the subset mean tracks the full mean.
+  const video::Plane a = acbm::test::random_plane(64, 64, 6);
+  const video::Plane b = acbm::test::random_plane(64, 64, 7);
+  const double full = sad_block(a, 16, 16, b, 20, 18, 16, 16);
+  const double dec = sad_block_decimated(a, 16, 16, b, 20, 18, 16, 16,
+                                         DecimationPattern::kQuincunx4to1);
+  EXPECT_NEAR(dec / full, 0.25, 0.08);
+}
+
+TEST(DecimatedFullSearch, FindsExactShiftOnTexturedContent) {
+  auto [ref, cur] = shifted_pair(64, 48, 5, -4, 8);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  FullSearch fsbm(DecimationPattern::kQuincunx4to1);
+  const EstimateResult r = fsbm.estimate(fx.context(16, 16));
+  EXPECT_EQ(r.mv, mv_from_fullpel(5, -4));
+  EXPECT_EQ(r.sad, 0u);
+  EXPECT_TRUE(r.used_full_search);
+}
+
+TEST(DecimatedFullSearch, EvaluatesSameCandidateCount) {
+  auto [ref, cur] = shifted_pair(64, 48, 1, 1, 9);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  FullSearch plain;
+  FullSearch decimated(DecimationPattern::kQuincunx4to1);
+  const BlockContext ctx = fx.context(16, 16, 7);
+  // Decimation reduces per-candidate arithmetic, not candidate count; the
+  // decimated variant re-scores its winner exactly (+1).
+  EXPECT_EQ(decimated.estimate(ctx).positions,
+            plain.estimate(ctx).positions + 1);
+}
+
+TEST(DecimatedFullSearch, NameDistinguishesVariant) {
+  EXPECT_EQ(FullSearch(DecimationPattern::kQuincunx4to1).name(), "FSBM-dec");
+  EXPECT_EQ(FullSearch().name(), "FSBM");
+}
+
+TEST(AdaptiveDecimation, PatternSelectionByTexture) {
+  const AdaptiveDecimationSearch search;
+  EXPECT_EQ(search.pattern_for(500, 16, 16),
+            DecimationPattern::kQuincunx4to1);
+  EXPECT_EQ(search.pattern_for(2500, 16, 16),
+            DecimationPattern::kRowSkip2to1);
+  EXPECT_EQ(search.pattern_for(8000, 16, 16), DecimationPattern::kNone);
+}
+
+TEST(AdaptiveDecimation, ThresholdsScaleWithBlockArea) {
+  const AdaptiveDecimationSearch search;
+  // The same *per-sample* texture level must select the same pattern for an
+  // 8×8 block (area ratio 1/4): Intra_SAD 500 on 16×16 ≡ 125 on 8×8.
+  EXPECT_EQ(search.pattern_for(125, 8, 8), DecimationPattern::kQuincunx4to1);
+  EXPECT_EQ(search.pattern_for(1500, 8, 8), DecimationPattern::kNone);
+}
+
+TEST(AdaptiveDecimation, CustomThresholds) {
+  AdaptiveDecimationSearch::Thresholds t;
+  t.quarter_below = 10;
+  t.half_below = 20;
+  const AdaptiveDecimationSearch search(t);
+  EXPECT_EQ(search.pattern_for(15, 16, 16), DecimationPattern::kRowSkip2to1);
+  EXPECT_EQ(search.pattern_for(25, 16, 16), DecimationPattern::kNone);
+}
+
+TEST(AdaptiveDecimation, FindsExactShift) {
+  auto [ref, cur] = shifted_pair(64, 48, 3, 2, 20);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  AdaptiveDecimationSearch search;
+  const EstimateResult r = search.estimate(fx.context(16, 16));
+  EXPECT_EQ(r.mv, mv_from_fullpel(3, 2));
+  EXPECT_EQ(r.sad, 0u);
+}
+
+TEST(AdaptiveDecimation, NameDistinct) {
+  EXPECT_EQ(AdaptiveDecimationSearch().name(), "FSBM-adec");
+}
+
+TEST(SubsampledFullSearch, FindsEvenParityShiftOnAnyContent) {
+  // Even-parity shifts sit on the ranked checkerboard, so even white-noise
+  // content is found exactly.
+  auto [ref, cur] = shifted_pair(64, 48, 4, 2, 30);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  SubsampledFullSearch search;
+  const EstimateResult r = search.estimate(fx.context(16, 16));
+  EXPECT_EQ(r.mv, mv_from_fullpel(4, 2));
+  EXPECT_EQ(r.sad, 0u);
+}
+
+TEST(SubsampledFullSearch, FindsOddParityShiftOnNaturalContent) {
+  // Odd-parity shifts are recovered through the winner's 8-neighbourhood
+  // re-rank, which relies on the natural-image property that a
+  // one-sample-off match still ranks well (Yu/Zhou/Chen's premise) — so
+  // smooth content, not iid noise.
+  auto [ref, cur] = acbm::test::smooth_shifted_pair(64, 48, 3, 2, 31);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  SubsampledFullSearch search;
+  const EstimateResult r = search.estimate(fx.context(16, 16));
+  // On a gentle ramp, half-pel interpolation can reproduce a neighbouring
+  // row exactly, so several zero-SAD positions may exist; require a perfect
+  // match within half a sample of the truth.
+  EXPECT_EQ(r.sad, 0u);
+  EXPECT_LE((r.mv - mv_from_fullpel(3, 2)).linf(), 1);
+}
+
+TEST(SubsampledFullSearch, HalvesCandidateCount) {
+  auto [ref, cur] = shifted_pair(64, 48, 1, 1, 40);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  SubsampledFullSearch sub;
+  FullSearch full;
+  const BlockContext ctx = fx.context(16, 16, 15);
+  const std::uint32_t sub_positions = sub.estimate(ctx).positions;
+  const std::uint32_t full_positions = full.estimate(ctx).positions;
+  // Checkerboard ranks ~481 of 961 integer positions, plus ≤9 exact
+  // re-ranks and 8 half-pel probes.
+  EXPECT_LT(sub_positions, full_positions * 11 / 20);
+  EXPECT_GT(sub_positions, full_positions * 2 / 5);
+}
+
+TEST(SubsampledFullSearch, NameDistinct) {
+  EXPECT_EQ(SubsampledFullSearch().name(), "FSBM-sub");
+}
+
+TEST(Decimation, RowSkipIgnoresOddRows) {
+  video::Plane a(16, 16);
+  video::Plane b(16, 16);
+  // Put all the difference on odd rows: row-skip SAD must be zero.
+  for (int x = 0; x < 16; ++x) {
+    b.set(x, 1, 255);
+    b.set(x, 3, 255);
+  }
+  EXPECT_EQ(sad_block_decimated(a, 0, 0, b, 0, 0, 16, 16,
+                                DecimationPattern::kRowSkip2to1),
+            0u);
+  EXPECT_GT(sad_block(a, 0, 0, b, 0, 0, 16, 16), 0u);
+}
+
+}  // namespace
+}  // namespace acbm::me

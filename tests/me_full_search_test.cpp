@@ -1,0 +1,165 @@
+// FSBM: optimality, position counts (the paper's 969), half-pel refinement,
+// SAD_deviation bookkeeping, and half-pel recovery of true sub-pel motion.
+
+#include "me/full_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "me/sad.hpp"
+#include "test_support.hpp"
+
+namespace acbm::me {
+namespace {
+
+using acbm::test::SearchFixture;
+using acbm::test::shifted_pair;
+
+TEST(FullSearch, FindsExactIntegerShift) {
+  for (const auto& [dx, dy] : {std::pair{0, 0}, std::pair{3, -2},
+                               std::pair{-7, 5}, std::pair{15, -15}}) {
+    auto [ref, cur] = shifted_pair(64, 48, dx, dy, 100 + dx * 31 + dy);
+    const SearchFixture fx(std::move(ref), std::move(cur));
+    FullSearch fsbm;
+    const EstimateResult r = fsbm.estimate(fx.context(16, 16));
+    EXPECT_EQ(r.mv, mv_from_fullpel(dx, dy)) << dx << "," << dy;
+    EXPECT_EQ(r.sad, 0u);
+    EXPECT_TRUE(r.used_full_search);
+  }
+}
+
+TEST(FullSearch, PositionCountIsPaper969) {
+  auto [ref, cur] = shifted_pair(64, 48, 2, 1, 7);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  FullSearch fsbm;
+  const EstimateResult r = fsbm.estimate(fx.context(16, 16, 15));
+  EXPECT_EQ(r.positions, 969u);  // 31² integer + 8 half-pel
+}
+
+TEST(FullSearch, PositionCountScalesWithRange) {
+  auto [ref, cur] = shifted_pair(64, 48, 0, 0, 8);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  FullSearch fsbm;
+  EXPECT_EQ(fsbm.estimate(fx.context(16, 16, 7)).positions, 225u + 8u);
+  EXPECT_EQ(fsbm.estimate(fx.context(16, 16, 1)).positions, 9u + 8u);
+}
+
+TEST(FullSearch, NoHalfpelWhenDisabled) {
+  auto [ref, cur] = shifted_pair(64, 48, 1, 1, 9);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  FullSearch fsbm;
+  BlockContext ctx = fx.context(16, 16, 15);
+  ctx.half_pel = false;
+  const EstimateResult r = fsbm.estimate(ctx);
+  EXPECT_EQ(r.positions, 961u);
+  EXPECT_TRUE(r.mv.is_integer());
+}
+
+TEST(FullSearch, SadIsGlobalIntegerMinimum) {
+  // Verify against an exhaustive naive scan on textured content.
+  const SearchFixture fx(acbm::test::random_plane(64, 64, 10),
+                         acbm::test::random_plane(64, 64, 11));
+  BlockContext ctx = fx.context(32, 32, 7);
+  ctx.half_pel = false;
+  FullSearch fsbm;
+  const EstimateResult r = fsbm.estimate(ctx);
+  std::uint32_t best = ~0u;
+  for (int dy = -7; dy <= 7; ++dy) {
+    for (int dx = -7; dx <= 7; ++dx) {
+      best = std::min(best, sad_block(fx.cur, 32, 32, fx.ref, 32 + dx,
+                                      32 + dy, 16, 16));
+    }
+  }
+  EXPECT_EQ(r.sad, best);
+}
+
+TEST(FullSearch, HalfpelNeverWorseThanInteger) {
+  for (int seed = 0; seed < 6; ++seed) {
+    const SearchFixture fx(acbm::test::random_plane(64, 64, 20 + seed),
+                           acbm::test::random_plane(64, 64, 30 + seed));
+    FullSearch fsbm;
+    const FullSearchResult full = fsbm.search_full(fx.context(16, 16, 7));
+    EXPECT_LE(full.best.sad, full.best_integer_sad);
+  }
+}
+
+TEST(FullSearch, RecoversTrueHalfpelMotion) {
+  // Current frame = reference sampled half a pixel to the right (average of
+  // neighbours, H.263 rounding): the half-pel refinement must pick a
+  // non-integer vector with a much lower SAD than the best integer one.
+  const video::Plane ref = acbm::test::random_plane(64, 48, 40);
+  video::Plane cur(64, 48);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      cur.set(x, y, static_cast<std::uint8_t>(
+                        (ref.at(x, y) + ref.at(x + 1, y) + 1) >> 1));
+    }
+  }
+  cur.extend_border();
+  const SearchFixture fx(ref, cur);
+  FullSearch fsbm;
+  const FullSearchResult full = fsbm.search_full(fx.context(16, 16, 7));
+  EXPECT_EQ(full.best.mv, (Mv{1, 0}));
+  EXPECT_EQ(full.best.sad, 0u);
+  EXPECT_GT(full.best_integer_sad, 0u);
+}
+
+TEST(FullSearch, DeviationZeroOnConstantPicture) {
+  video::Plane flat_ref(48, 48);
+  flat_ref.fill(99);
+  flat_ref.extend_border();
+  video::Plane flat_cur = flat_ref;
+  const SearchFixture fx(std::move(flat_ref), std::move(flat_cur));
+  FullSearch fsbm;
+  const FullSearchResult full = fsbm.search_full(fx.context(16, 16, 7));
+  EXPECT_EQ(full.sad_deviation(), 0u);  // every candidate SAD identical (0)
+  EXPECT_EQ(full.best_integer_sad, 0u);
+}
+
+TEST(FullSearch, DeviationLargeOnTexturedPicture) {
+  auto [ref, cur] = shifted_pair(64, 48, 4, 4, 50);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  FullSearch fsbm;
+  const FullSearchResult full = fsbm.search_full(fx.context(16, 16, 7));
+  EXPECT_EQ(full.best_integer_sad, 0u);
+  // Random 8-bit content: off-positions average ≈85 per sample; the sum over
+  // 224 wrong candidates must be enormous compared with zero at the truth.
+  EXPECT_GT(full.sad_deviation(), 1000000u);
+  EXPECT_EQ(full.integer_positions, 225u);
+}
+
+TEST(FullSearch, TieBreakPrefersShorterVector) {
+  // Constant picture: every candidate has SAD 0 → the zero vector must win.
+  video::Plane ref(48, 48);
+  ref.fill(50);
+  ref.extend_border();
+  video::Plane cur = ref;
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  FullSearch fsbm;
+  const EstimateResult r = fsbm.estimate(fx.context(16, 16, 7));
+  EXPECT_EQ(r.mv, (Mv{0, 0}));
+}
+
+TEST(FullSearch, NameIsFsbm) {
+  FullSearch fsbm;
+  EXPECT_EQ(fsbm.name(), "FSBM");
+}
+
+class FullSearchRangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FullSearchRangeTest, IntegerPositionsMatchWindowFormula) {
+  const int p = GetParam();
+  auto [ref, cur] = shifted_pair(96, 96, 0, 0, 60 + p);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  FullSearch fsbm;
+  BlockContext ctx = fx.context(32, 32, p);
+  ctx.half_pel = false;
+  const EstimateResult r = fsbm.estimate(ctx);
+  EXPECT_EQ(r.positions,
+            static_cast<std::uint32_t>((2 * p + 1) * (2 * p + 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, FullSearchRangeTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 10, 15));
+
+}  // namespace
+}  // namespace acbm::me

@@ -1,0 +1,119 @@
+// MvField: storage, median predictor (H.263 rules), smoothness, rate.
+
+#include "me/mv_field.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acbm::me {
+namespace {
+
+TEST(MvField, GeometryFromPicture) {
+  const MvField f = MvField::for_picture(176, 144);
+  EXPECT_EQ(f.mbs_x(), 11);
+  EXPECT_EQ(f.mbs_y(), 9);
+  EXPECT_FALSE(f.empty());
+}
+
+TEST(MvField, DefaultIsEmptyAndZeroInitialised) {
+  const MvField empty;
+  EXPECT_TRUE(empty.empty());
+  const MvField f(3, 2);
+  EXPECT_EQ(f.at(2, 1), (Mv{0, 0}));
+}
+
+TEST(MvField, SetGetRoundTrip) {
+  MvField f(4, 3);
+  f.set(1, 2, {6, -8});
+  EXPECT_EQ(f.at(1, 2), (Mv{6, -8}));
+  EXPECT_EQ(f.at(0, 0), (Mv{0, 0}));
+}
+
+TEST(MvField, AtOrFallsBackOutside) {
+  MvField f(2, 2);
+  f.set(0, 0, {2, 2});
+  EXPECT_EQ(f.at_or(-1, 0, {9, 9}), (Mv{9, 9}));
+  EXPECT_EQ(f.at_or(0, 5), (Mv{0, 0}));
+  EXPECT_EQ(f.at_or(0, 0), (Mv{2, 2}));
+}
+
+TEST(MvField, MedianPredictorFirstRowUsesLeft) {
+  MvField f(4, 2);
+  f.set(0, 0, {10, 4});
+  EXPECT_EQ(f.median_predictor(1, 0), (Mv{10, 4}));
+  // First block of the first row: no left → zero.
+  EXPECT_EQ(f.median_predictor(0, 0), (Mv{0, 0}));
+}
+
+TEST(MvField, MedianPredictorInterior) {
+  MvField f(4, 3);
+  f.set(0, 1, {2, 0});   // left of (1,1)
+  f.set(1, 0, {4, 2});   // above
+  f.set(2, 0, {6, -2});  // above-right
+  EXPECT_EQ(f.median_predictor(1, 1), (Mv{4, 0}));
+}
+
+TEST(MvField, MedianPredictorComponentwise) {
+  MvField f(4, 3);
+  f.set(0, 1, {1, 30});
+  f.set(1, 0, {2, 10});
+  f.set(2, 0, {3, 20});
+  // Median of x: 2; median of y: 20 — from different neighbours.
+  EXPECT_EQ(f.median_predictor(1, 1), (Mv{2, 20}));
+}
+
+TEST(MvField, MedianPredictorLeftEdgeUsesZeroForLeft) {
+  MvField f(3, 3);
+  f.set(0, 0, {8, 8});
+  f.set(1, 0, {8, 8});
+  // Block (0,1): left is outside → 0; above = {8,8}; above-right = {8,8}.
+  EXPECT_EQ(f.median_predictor(0, 1), (Mv{8, 8}));
+}
+
+TEST(MvField, SmoothnessZeroForUniformField) {
+  MvField f(5, 5);
+  for (int by = 0; by < 5; ++by) {
+    for (int bx = 0; bx < 5; ++bx) {
+      f.set(bx, by, {6, -2});
+    }
+  }
+  EXPECT_DOUBLE_EQ(f.smoothness_l1(), 0.0);
+}
+
+TEST(MvField, SmoothnessDetectsIncoherence) {
+  MvField smooth(4, 4);
+  MvField rough(4, 4);
+  for (int by = 0; by < 4; ++by) {
+    for (int bx = 0; bx < 4; ++bx) {
+      smooth.set(bx, by, {bx, by});  // gentle gradient
+      rough.set(bx, by, {((bx + by) & 1) != 0 ? 20 : -20, 0});
+    }
+  }
+  EXPECT_GT(rough.smoothness_l1(), smooth.smoothness_l1() * 5.0);
+}
+
+TEST(MvField, SingleBlockFieldSmoothnessIsZero) {
+  MvField f(1, 1);
+  f.set(0, 0, {10, 10});
+  EXPECT_DOUBLE_EQ(f.smoothness_l1(), 0.0);
+}
+
+TEST(MvField, TotalRateLowerForCoherentField) {
+  MvField coherent(6, 6);
+  MvField scattered(6, 6);
+  for (int by = 0; by < 6; ++by) {
+    for (int bx = 0; bx < 6; ++bx) {
+      coherent.set(bx, by, {8, -4});
+      scattered.set(bx, by,
+                    {((bx * 7 + by * 3) % 29) - 14, ((bx * 5 + by * 11) % 29) - 14});
+    }
+  }
+  EXPECT_LT(coherent.total_rate_bits(), scattered.total_rate_bits());
+}
+
+TEST(MvField, ZeroFieldRateIsTwoBitsPerBlock) {
+  const MvField f(4, 4);
+  EXPECT_EQ(f.total_rate_bits(), 2u * 16u);  // se(0)+se(0) per block
+}
+
+}  // namespace
+}  // namespace acbm::me

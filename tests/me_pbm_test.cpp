@@ -1,0 +1,194 @@
+// PBM: predictor assembly (paper Fig. 2), local refinement, low complexity,
+// and the characteristic failure mode (local minimum on erratic content).
+
+#include "me/pbm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "me/full_search.hpp"
+#include "me/predictors.hpp"
+#include "test_support.hpp"
+
+namespace acbm::me {
+namespace {
+
+using acbm::test::SearchFixture;
+using acbm::test::shifted_pair;
+
+TEST(CandidateList, DeduplicatesAndCaps) {
+  CandidateList list;
+  list.push_unique({2, 2});
+  list.push_unique({2, 2});
+  list.push_unique({4, 4});
+  EXPECT_EQ(list.size(), 2);
+  for (int i = 0; i < 20; ++i) {
+    list.push_unique({i * 2, 0});
+  }
+  EXPECT_EQ(list.size(), CandidateList::kCapacity);
+}
+
+TEST(PbmCandidates, AlwaysContainsZero) {
+  auto [ref, cur] = shifted_pair(64, 48, 0, 0, 1);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  const BlockContext ctx = fx.context(16, 16);
+  const CandidateList list = pbm_candidates(ctx);
+  ASSERT_GE(list.size(), 1);
+  EXPECT_EQ(list[0], (Mv{0, 0}));
+}
+
+TEST(PbmCandidates, CollectsSpatialNeighbours) {
+  auto [ref, cur] = shifted_pair(64, 64, 0, 0, 2);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  MvField cur_field(4, 4);
+  cur_field.set(0, 1, {10, 2});   // left of (1,1)
+  cur_field.set(1, 0, {-4, 6});   // above
+  cur_field.set(2, 0, {8, -8});   // above-right
+  BlockContext ctx = fx.context(16, 16);
+  ctx.bx = 1;
+  ctx.by = 1;
+  ctx.cur_field = &cur_field;
+  const CandidateList list = pbm_candidates(ctx);
+  auto contains = [&](Mv mv) {
+    for (Mv c : list) {
+      if (c == mv) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains({10, 2}));
+  EXPECT_TRUE(contains({-4, 6}));
+  EXPECT_TRUE(contains({8, -8}));
+  EXPECT_TRUE(contains({0, 0}));
+}
+
+TEST(PbmCandidates, CollectsTemporalNeighbours) {
+  auto [ref, cur] = shifted_pair(64, 64, 0, 0, 3);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  MvField prev(4, 4);
+  prev.set(1, 1, {6, 6});   // collocated
+  prev.set(2, 1, {-2, 4});  // right of collocated
+  prev.set(1, 2, {2, -6});  // below collocated
+  BlockContext ctx = fx.context(16, 16);
+  ctx.bx = 1;
+  ctx.by = 1;
+  ctx.prev_field = &prev;
+  const CandidateList list = pbm_candidates(ctx);
+  EXPECT_EQ(list.size(), 4);  // zero + 3 temporal (spatial field absent)
+}
+
+TEST(PbmCandidates, ClampsToWindow) {
+  auto [ref, cur] = shifted_pair(64, 64, 0, 0, 4);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  MvField prev(4, 4);
+  prev.set(1, 1, {100, -100});  // far outside ±p
+  BlockContext ctx = fx.context(16, 16, 7);
+  ctx.bx = 1;
+  ctx.by = 1;
+  ctx.prev_field = &prev;
+  const CandidateList list = pbm_candidates(ctx);
+  for (Mv c : list) {
+    EXPECT_TRUE(ctx.window.contains(c));
+  }
+}
+
+TEST(Pbm, FindsZeroMotionInstantly) {
+  auto [ref, cur] = shifted_pair(64, 48, 0, 0, 5);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  Pbm pbm;
+  const EstimateResult r = pbm.estimate(fx.context(16, 16));
+  EXPECT_EQ(r.mv, (Mv{0, 0}));
+  EXPECT_EQ(r.sad, 0u);
+  EXPECT_FALSE(r.used_full_search);
+}
+
+TEST(Pbm, TracksAdjacentMotionViaDescent) {
+  // (1,−1) integer samples: one descent step from the zero predictor.
+  auto [ref, cur] = shifted_pair(64, 48, 1, -1, 6);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  Pbm pbm;
+  const EstimateResult r = pbm.estimate(fx.context(16, 16));
+  EXPECT_EQ(r.mv, mv_from_fullpel(1, -1));
+  EXPECT_EQ(r.sad, 0u);
+}
+
+TEST(Pbm, GoodPredictorUnlocksLargeMotion) {
+  // A ±13-sample shift is far beyond local descent from zero, but with the
+  // collocated predictor pointing at the truth PBM locks on immediately —
+  // the spatio-temporal-coherence hypothesis of §2.2.
+  auto [ref, cur] = shifted_pair(96, 96, 13, -11, 7);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  MvField prev(6, 6);
+  for (int by = 0; by < 6; ++by) {
+    for (int bx = 0; bx < 6; ++bx) {
+      prev.set(bx, by, mv_from_fullpel(13, -11));
+    }
+  }
+  BlockContext ctx = fx.context(32, 32);
+  ctx.bx = 2;
+  ctx.by = 2;
+  ctx.prev_field = &prev;
+  Pbm pbm;
+  const EstimateResult r = pbm.estimate(ctx);
+  EXPECT_EQ(r.mv, mv_from_fullpel(13, -11));
+  EXPECT_EQ(r.sad, 0u);
+}
+
+TEST(Pbm, ComplexityIsTensNotHundreds) {
+  auto [ref, cur] = shifted_pair(64, 48, 3, 2, 8);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  Pbm pbm;
+  const EstimateResult r = pbm.estimate(fx.context(16, 16));
+  EXPECT_LT(r.positions, 120u);   // orders of magnitude below FSBM's 969
+  EXPECT_GT(r.positions, 0u);
+}
+
+TEST(Pbm, MissesLargeMotionWithoutPredictors) {
+  // The documented failure mode: a large shift with no usable predictors —
+  // PBM's local descent stops at some local minimum, FSBM finds the truth.
+  auto [ref, cur] = shifted_pair(96, 96, 14, 14, 9);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  Pbm pbm;
+  FullSearch fsbm;
+  const BlockContext ctx = fx.context(32, 32);
+  const EstimateResult pr = pbm.estimate(ctx);
+  const EstimateResult fr = fsbm.estimate(ctx);
+  EXPECT_EQ(fr.sad, 0u);
+  EXPECT_GT(pr.sad, fr.sad);  // trapped (random content: any miss is huge)
+}
+
+TEST(Pbm, HalfpelRefinementCanGoSubInteger) {
+  // Reference blurred half a pixel: best match sits on an odd coordinate.
+  const video::Plane ref = acbm::test::random_plane(64, 48, 10);
+  video::Plane cur(64, 48);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      cur.set(x, y, static_cast<std::uint8_t>(
+                        (ref.at(x, y) + ref.at(x, y + 1) + 1) >> 1));
+    }
+  }
+  cur.extend_border();
+  const SearchFixture fx(ref, cur);
+  Pbm pbm;
+  const EstimateResult r = pbm.estimate(fx.context(16, 16));
+  EXPECT_EQ(r.mv, (Mv{0, 1}));
+  EXPECT_EQ(r.sad, 0u);
+}
+
+TEST(Pbm, RespectsHalfPelSwitch) {
+  auto [ref, cur] = shifted_pair(64, 48, 1, 1, 11);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  BlockContext ctx = fx.context(16, 16);
+  ctx.half_pel = false;
+  Pbm pbm;
+  const EstimateResult r = pbm.estimate(ctx);
+  EXPECT_TRUE(r.mv.is_integer());
+}
+
+TEST(Pbm, NameIsPbm) {
+  Pbm pbm;
+  EXPECT_EQ(pbm.name(), "PBM");
+}
+
+}  // namespace
+}  // namespace acbm::me

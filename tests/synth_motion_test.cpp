@@ -1,0 +1,115 @@
+// Motion models: periodicity, determinism, reflection physics.
+
+#include "synth/motion_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace acbm::synth {
+namespace {
+
+TEST(SinusoidalSway, ZeroAtOriginPhase) {
+  const SinusoidalSway sway(3.0, 2.0, 20.0);
+  const Displacement d = sway.at(0.0);
+  EXPECT_NEAR(d.x, 0.0, 1e-12);
+  EXPECT_NEAR(d.y, 0.0, 1e-12);
+}
+
+TEST(SinusoidalSway, BoundedByAmplitude) {
+  const SinusoidalSway sway(3.0, 2.0, 20.0);
+  for (int t = 0; t < 200; ++t) {
+    const Displacement d = sway.at(t);
+    EXPECT_LE(std::abs(d.x), 3.0 + 1e-9);
+    EXPECT_LE(std::abs(d.y), 2.0 + 1e-9);
+  }
+}
+
+TEST(SinusoidalSway, PeriodicInX) {
+  const SinusoidalSway sway(5.0, 0.0, 16.0);
+  for (int t = 0; t < 32; ++t) {
+    EXPECT_NEAR(sway.at(t).x, sway.at(t + 16).x, 1e-9);
+  }
+}
+
+TEST(SinusoidalSway, ReachesNearAmplitude) {
+  const SinusoidalSway sway(4.0, 0.0, 40.0);
+  double max_x = 0.0;
+  for (int t = 0; t < 40; ++t) {
+    max_x = std::max(max_x, std::abs(sway.at(t).x));
+  }
+  EXPECT_GT(max_x, 3.5);
+}
+
+TEST(LinearPan, ProportionalToTime) {
+  const LinearPan pan(0.8, -0.25);
+  EXPECT_DOUBLE_EQ(pan.at(0.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(pan.at(10.0).x, 8.0);
+  EXPECT_DOUBLE_EQ(pan.at(10.0).y, -2.5);
+}
+
+TEST(RandomWalk, DeterministicForSeed) {
+  const RandomWalk a(77, 100, 0.5);
+  const RandomWalk b(77, 100, 0.5);
+  for (int t = 0; t <= 100; ++t) {
+    EXPECT_EQ(a.at(t).x, b.at(t).x);
+    EXPECT_EQ(a.at(t).y, b.at(t).y);
+  }
+}
+
+TEST(RandomWalk, StartsAtOriginAndClampsRange) {
+  const RandomWalk w(3, 50, 1.0);
+  EXPECT_EQ(w.at(0).x, 0.0);
+  EXPECT_EQ(w.at(-5).x, 0.0);           // clamped below
+  EXPECT_EQ(w.at(999).x, w.at(50).x);   // clamped above
+}
+
+TEST(RandomWalk, StepScaleMatters) {
+  const RandomWalk small(9, 200, 0.1);
+  const RandomWalk large(9, 200, 2.0);
+  // Same seed → same direction sequence, scaled.
+  EXPECT_NEAR(large.at(200).x, small.at(200).x * 20.0, 1e-9);
+}
+
+TEST(BouncePath, StraightLineInsideBox) {
+  const BouncePath path(10.0, 10.0, 1.0, 2.0, 0.0, 100.0, 0.0, 100.0);
+  const auto [x, y] = path.position(5);
+  EXPECT_DOUBLE_EQ(x, 15.0);
+  EXPECT_DOUBLE_EQ(y, 20.0);
+}
+
+TEST(BouncePath, ReflectsOffWalls) {
+  // Start near the right wall moving right: must come back.
+  const BouncePath path(95.0, 50.0, 4.0, 0.0, 0.0, 100.0, 0.0, 100.0);
+  const auto [x1, y1] = path.position(1);  // 99
+  const auto [x2, y2] = path.position(2);  // 103 → reflect to 97
+  const auto [x3, y3] = path.position(3);  // 93 (moving left now)
+  EXPECT_DOUBLE_EQ(x1, 99.0);
+  EXPECT_DOUBLE_EQ(x2, 97.0);
+  EXPECT_DOUBLE_EQ(x3, 93.0);
+  EXPECT_DOUBLE_EQ(y1, 50.0);
+  (void)y2;
+  (void)y3;
+}
+
+TEST(BouncePath, StaysInsideBoxLongTerm) {
+  const BouncePath path(30.0, 40.0, 5.5, 3.5, 10.0, 90.0, 15.0, 85.0);
+  for (int t = 0; t < 500; ++t) {
+    const auto [x, y] = path.position(t);
+    EXPECT_GE(x, 10.0 - 1e-9);
+    EXPECT_LE(x, 90.0 + 1e-9);
+    EXPECT_GE(y, 15.0 - 1e-9);
+    EXPECT_LE(y, 85.0 + 1e-9);
+  }
+}
+
+TEST(Displacement, Addition) {
+  const Displacement a{1.5, -2.0};
+  const Displacement b{0.5, 3.0};
+  const Displacement c = a + b;
+  EXPECT_DOUBLE_EQ(c.x, 2.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);
+}
+
+}  // namespace
+}  // namespace acbm::synth

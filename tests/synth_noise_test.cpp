@@ -1,0 +1,184 @@
+// Noise and texture generators: determinism, ranges, texture statistics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "me/sad.hpp"
+#include "synth/noise.hpp"
+#include "synth/texture.hpp"
+
+namespace acbm::synth {
+namespace {
+
+TEST(LatticeNoise, DeterministicAndUniformRange) {
+  for (int i = 0; i < 100; ++i) {
+    const double v = lattice_noise(42, i * 13, -i * 7);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    EXPECT_EQ(v, lattice_noise(42, i * 13, -i * 7));
+  }
+}
+
+TEST(LatticeNoise, SeedChangesField) {
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (lattice_noise(1, i, 0) != lattice_noise(2, i, 0)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(SmoothNoise, InterpolatesLatticeValuesAtIntegers) {
+  for (int x = -5; x <= 5; ++x) {
+    for (int y = -5; y <= 5; ++y) {
+      EXPECT_NEAR(smooth_noise(9, x, y), lattice_noise(9, x, y), 1e-12);
+    }
+  }
+}
+
+TEST(SmoothNoise, ContinuousBetweenLatticePoints) {
+  // Sampling densely, adjacent samples must not jump (feature size ≫ step).
+  double prev = smooth_noise(5, 0.0, 0.5);
+  for (int i = 1; i <= 100; ++i) {
+    const double v = smooth_noise(5, i * 0.01, 0.5);
+    EXPECT_LT(std::abs(v - prev), 0.05);
+    prev = v;
+  }
+}
+
+TEST(Fbm, StaysNormalised) {
+  for (int i = 0; i < 200; ++i) {
+    const double v = fbm(3, i * 0.173, i * -0.091, 4);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Fbm, SingleOctaveEqualsSmoothNoise) {
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.173;
+    const double y = i * -0.091;
+    EXPECT_NEAR(fbm(11, x, y, 1), smooth_noise(11, x, y), 1e-12);
+  }
+}
+
+TEST(Fbm, MoreOctavesAddDetail) {
+  // Count local extrema along a line: higher octaves inject higher spatial
+  // frequencies, so the signal wiggles more often.
+  auto extrema = [](int octaves) {
+    int count = 0;
+    double prev = fbm(11, 0.0, 0.3, octaves);
+    double prev_delta = 0.0;
+    for (int i = 1; i < 400; ++i) {
+      const double v = fbm(11, i * 0.1, 0.3, octaves);
+      const double delta = v - prev;
+      if (delta * prev_delta < 0.0) {
+        ++count;
+      }
+      prev = v;
+      prev_delta = delta;
+    }
+    return count;
+  };
+  EXPECT_GT(extrema(4), extrema(1) * 3 / 2);
+}
+
+TEST(MakeNoiseTexture, RespectsBaseAndAmplitude) {
+  TextureSpec spec;
+  spec.base = 100.0;
+  spec.amplitude = 20.0;
+  const video::Plane p = make_noise_texture(64, 64, spec);
+  double sum = 0.0;
+  int lo = 255;
+  int hi = 0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      const int v = p.at(x, y);
+      sum += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  EXPECT_NEAR(sum / (64.0 * 64.0), 100.0, 8.0);
+  EXPECT_GE(lo, 80 - 1);
+  EXPECT_LE(hi, 120 + 1);
+  EXPECT_GT(hi - lo, 10);  // actually textured
+}
+
+TEST(MakeNoiseTexture, AmplitudeControlsIntraSad) {
+  TextureSpec lo_spec;
+  lo_spec.amplitude = 5.0;
+  TextureSpec hi_spec;
+  hi_spec.amplitude = 45.0;
+  const video::Plane lo = make_noise_texture(32, 32, lo_spec);
+  const video::Plane hi = make_noise_texture(32, 32, hi_spec);
+  EXPECT_GT(me::intra_sad(hi, 0, 0, 16, 16),
+            2 * me::intra_sad(lo, 0, 0, 16, 16));
+}
+
+TEST(MakeGradient, EndpointsAndMonotone) {
+  const video::Plane p = make_gradient(16, 32, 50.0, 90.0);
+  EXPECT_EQ(p.at(0, 0), 50);
+  EXPECT_EQ(p.at(0, 31), 90);
+  for (int y = 1; y < 32; ++y) {
+    EXPECT_GE(p.at(5, y), p.at(5, y - 1));
+  }
+  // Rows are constant.
+  for (int x = 1; x < 16; ++x) {
+    EXPECT_EQ(p.at(x, 10), p.at(0, 10));
+  }
+}
+
+TEST(AddGaussianNoise, ZeroSigmaIsIdentity) {
+  video::Plane p = make_gradient(16, 16, 0.0, 255.0);
+  const video::Plane before = p;
+  util::Rng rng(1);
+  add_gaussian_noise(p, rng, 0.0);
+  EXPECT_TRUE(p.visible_equals(before));
+}
+
+TEST(AddGaussianNoise, PerturbsRoughlyBySigma) {
+  video::Plane p(64, 64);
+  p.fill(128);
+  util::Rng rng(2);
+  add_gaussian_noise(p, rng, 3.0);
+  double sum_sq = 0.0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      const double d = p.at(x, y) - 128.0;
+      sum_sq += d * d;
+    }
+  }
+  const double measured_sigma = std::sqrt(sum_sq / (64.0 * 64.0));
+  EXPECT_NEAR(measured_sigma, 3.0, 0.4);
+}
+
+TEST(SampleBilinear, IntegerCoordinatesExact) {
+  const video::Plane p = make_gradient(8, 8, 10.0, 80.0);
+  EXPECT_DOUBLE_EQ(sample_bilinear(p, 3.0, 2.0), p.at(3, 2));
+}
+
+TEST(SampleBilinear, MidpointAveragesOnRamp) {
+  video::Plane p(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      p.set(x, y, static_cast<std::uint8_t>(20 * x));
+    }
+  }
+  p.extend_border();
+  EXPECT_DOUBLE_EQ(sample_bilinear(p, 2.5, 3.0), 50.0);
+  EXPECT_DOUBLE_EQ(sample_bilinear(p, 2.25, 3.0), 45.0);
+}
+
+TEST(ToSample, ClampsAndRounds) {
+  EXPECT_EQ(to_sample(-5.0), 0);
+  EXPECT_EQ(to_sample(300.0), 255);
+  EXPECT_EQ(to_sample(99.5), 100);
+  EXPECT_EQ(to_sample(99.4), 99);
+}
+
+}  // namespace
+}  // namespace acbm::synth

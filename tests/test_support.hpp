@@ -1,0 +1,96 @@
+#pragma once
+// Shared fixtures/builders for the test suite.
+
+#include <utility>
+
+#include "me/estimator.hpp"
+#include "synth/texture.hpp"
+#include "util/rng.hpp"
+#include "video/frame.hpp"
+#include "video/interp.hpp"
+#include "video/pad.hpp"
+#include "video/plane.hpp"
+
+namespace acbm::test {
+
+/// A plane filled with uniform random samples — maximally textured content,
+/// which makes block matches unique (good for optimality checks).
+inline video::Plane random_plane(int w, int h, std::uint64_t seed) {
+  video::Plane p(w, h);
+  util::Rng rng(seed);
+  for (int y = 0; y < h; ++y) {
+    std::uint8_t* row = p.row(y);
+    for (int x = 0; x < w; ++x) {
+      row[x] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+  }
+  p.extend_border();
+  return p;
+}
+
+/// A smooth low-texture plane (ramp + small sinusoid-free) for ambiguous-
+/// match scenarios.
+inline video::Plane smooth_plane(int w, int h, int base = 96) {
+  video::Plane p(w, h);
+  for (int y = 0; y < h; ++y) {
+    std::uint8_t* row = p.row(y);
+    for (int x = 0; x < w; ++x) {
+      row[x] = static_cast<std::uint8_t>((base + (x + y) / 8) & 0xFF);
+    }
+  }
+  p.extend_border();
+  return p;
+}
+
+/// Builds (reference, current) where current equals reference shifted by the
+/// integer displacement (dx, dy): block matching from current to reference
+/// should find mv = (2·dx, 2·dy) in half-pel units.
+inline std::pair<video::Plane, video::Plane> shifted_pair(
+    int w, int h, int dx, int dy, std::uint64_t seed, int margin = 24) {
+  const video::Plane big = random_plane(w + 2 * margin, h + 2 * margin, seed);
+  video::Plane ref = video::crop(big, margin, margin, w, h);
+  video::Plane cur = video::crop(big, margin + dx, margin + dy, w, h);
+  return {std::move(ref), std::move(cur)};
+}
+
+/// Like shifted_pair(), but over *smooth* fractal texture whose SAD landscape
+/// decreases monotonically toward the true displacement — the terrain the
+/// gradient-following fast searches (TSS/4SS/DS/CDS) are designed for.
+/// (On iid random content those algorithms legitimately get lost.)
+inline std::pair<video::Plane, video::Plane> smooth_shifted_pair(
+    int w, int h, int dx, int dy, std::uint64_t seed, int margin = 24) {
+  synth::TextureSpec spec;
+  spec.seed = seed;
+  spec.scale = 0.025;  // feature size ≫ search range: cone-shaped SAD
+  spec.octaves = 2;
+  spec.amplitude = 90.0;
+  const video::Plane big =
+      synth::make_noise_texture(w + 2 * margin, h + 2 * margin, spec);
+  video::Plane ref = video::crop(big, margin, margin, w, h);
+  video::Plane cur = video::crop(big, margin + dx, margin + dy, w, h);
+  return {std::move(ref), std::move(cur)};
+}
+
+/// Standard BlockContext for a block at (x, y) with a ±p window.
+struct SearchFixture {
+  video::Plane ref;
+  video::Plane cur;
+  video::HalfpelPlanes ref_half;
+
+  SearchFixture(video::Plane r, video::Plane c)
+      : ref(std::move(r)), cur(std::move(c)), ref_half(ref) {}
+
+  [[nodiscard]] me::BlockContext context(int x, int y, int range = 15) const {
+    me::BlockContext ctx;
+    ctx.cur = &cur;
+    ctx.ref = &ref_half;
+    ctx.x = x;
+    ctx.y = y;
+    ctx.bx = x / me::kBlockSize;
+    ctx.by = y / me::kBlockSize;
+    ctx.window = me::unrestricted_window(range);
+    return ctx;
+  }
+};
+
+}  // namespace acbm::test

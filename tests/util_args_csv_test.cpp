@@ -1,0 +1,143 @@
+// ArgParser, CSV escaping, TablePrinter.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/args.hpp"
+#include "util/csv.hpp"
+
+namespace acbm::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p;
+  p.add_option("qp", "quantiser", "16");
+  p.add_option("sequence", "sequence name", "foreman");
+  p.add_option("lambda", "lagrange multiplier", "0.92");
+  p.add_flag("verbose", "chatty output");
+  return p;
+}
+
+TEST(ArgParser, DefaultsWhenUnset) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get("qp"), "16");
+  EXPECT_EQ(p.get_int("qp"), 16);
+  EXPECT_DOUBLE_EQ(p.get_double("lambda"), 0.92);
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--qp", "28", "--sequence", "table"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.get_int("qp"), 28);
+  EXPECT_EQ(p.get("sequence"), "table");
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--qp=30", "--lambda=1.5"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_int("qp"), 30);
+  EXPECT_DOUBLE_EQ(p.get_double("lambda"), 1.5);
+}
+
+TEST(ArgParser, FlagPresence) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(ArgParser, UnknownOptionFails) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(p.parse(3, argv));
+  EXPECT_NE(p.error().find("bogus"), std::string::npos);
+}
+
+TEST(ArgParser, MissingValueFails) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--qp"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, FlagWithValueFails) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--verbose=1"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, PositionalArgumentFails) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, HelpRequested) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_TRUE(p.help_requested());
+  EXPECT_NE(p.usage("prog").find("--qp"), std::string::npos);
+}
+
+TEST(SplitCsvList, TrimsAndDropsEmpties) {
+  const auto items = split_csv_list(" a, b ,, c ,");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], "a");
+  EXPECT_EQ(items[1], "b");
+  EXPECT_EQ(items[2], "c");
+}
+
+TEST(CsvWriter, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(out.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(CsvWriter, NumFormatsFixedPrecision) {
+  EXPECT_EQ(CsvWriter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(CsvWriter::num(2.0, 3), "2.000");
+}
+
+TEST(TablePrinter, AlignsColumnsAndCountsRows) {
+  TablePrinter t({"Seq", "Qp", "PSNR"});
+  t.add_row({"foreman", "16", "33.2"});
+  t.add_row({"x", "8", "30.01"});
+  EXPECT_EQ(t.row_count(), 2u);
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Seq"), std::string::npos);
+  EXPECT_NE(text.find("foreman"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter t({"A", "B"});
+  t.add_row({"only-a"});
+  std::ostringstream out;
+  t.print(out);  // must not crash; second cell rendered empty
+  EXPECT_NE(out.str().find("only-a"), std::string::npos);
+}
+
+TEST(SanitizeFilename, ReplacesHostileCharacters) {
+  EXPECT_EQ(sanitize_filename("a/b c*d.csv"), "a_b_c_d.csv");
+  EXPECT_EQ(sanitize_filename("ok-name_1.txt"), "ok-name_1.txt");
+}
+
+}  // namespace
+}  // namespace acbm::util

@@ -1,0 +1,166 @@
+// BitWriter/BitReader: layout, alignment, exhaustion, and round-trips.
+
+#include "util/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace acbm::util {
+namespace {
+
+TEST(BitWriter, EmptyWriterProducesNoBytes) {
+  BitWriter bw;
+  EXPECT_EQ(bw.bit_count(), 0u);
+  EXPECT_TRUE(bw.take().empty());
+}
+
+TEST(BitWriter, SingleBitsPackMsbFirst) {
+  BitWriter bw;
+  // 1,0,1,1,0,0,1,0 -> 0b10110010 = 0xB2
+  for (bool b : {true, false, true, true, false, false, true, false}) {
+    bw.put_bit(b);
+  }
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0xB2);
+}
+
+TEST(BitWriter, MultiBitValueCrossesByteBoundary) {
+  BitWriter bw;
+  bw.put_bits(0x3, 2);      // 11
+  bw.put_bits(0x1AB, 10);   // 0110101011
+  // Stream: 11 0110101011 → bytes 11011010 | 1011(0000 pad)
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0b11011010);
+  EXPECT_EQ(bytes[1], 0b10110000);
+}
+
+TEST(BitWriter, ValueBitsAboveCountAreMasked) {
+  BitWriter bw;
+  bw.put_bits(0xFFFF, 4);  // only the low 4 bits (0xF) survive
+  bw.put_bits(0x0, 4);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0xF0);
+}
+
+TEST(BitWriter, AlignPadsWithZeros) {
+  BitWriter bw;
+  bw.put_bits(0b101, 3);
+  bw.align();
+  EXPECT_EQ(bw.bit_count(), 8u);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+TEST(BitWriter, AlignOnBoundaryIsNoOp) {
+  BitWriter bw;
+  bw.put_bits(0xAB, 8);
+  bw.align();
+  EXPECT_EQ(bw.bit_count(), 8u);
+}
+
+TEST(BitWriter, TakeResetsWriter) {
+  BitWriter bw;
+  bw.put_bits(0xFF, 8);
+  (void)bw.take();
+  EXPECT_EQ(bw.bit_count(), 0u);
+  bw.put_bits(0x1, 1);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x80);
+}
+
+TEST(BitWriter, SixtyFourBitValue) {
+  BitWriter bw;
+  const std::uint64_t v = 0x0123456789ABCDEFull;
+  bw.put_bits(v, 64);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 8u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[7], 0xEF);
+}
+
+TEST(BitReader, ReadsBackWrittenBits) {
+  BitWriter bw;
+  bw.put_bits(0b110, 3);
+  bw.put_bits(0x5A, 8);
+  bw.put_bits(0x12345, 20);
+  const auto bytes = bw.take();
+
+  BitReader br(bytes);
+  EXPECT_EQ(br.get_bits(3), 0b110u);
+  EXPECT_EQ(br.get_bits(8), 0x5Au);
+  EXPECT_EQ(br.get_bits(20), 0x12345u);
+  EXPECT_FALSE(br.exhausted());
+}
+
+TEST(BitReader, ZeroBitReadReturnsZero) {
+  const std::vector<std::uint8_t> data = {0xFF};
+  BitReader br(data);
+  EXPECT_EQ(br.get_bits(0), 0u);
+  EXPECT_EQ(br.bit_position(), 0u);
+}
+
+TEST(BitReader, ExhaustionFlagSetOnOverread) {
+  const std::vector<std::uint8_t> data = {0xAA};
+  BitReader br(data);
+  EXPECT_EQ(br.get_bits(8), 0xAAu);
+  EXPECT_FALSE(br.exhausted());
+  (void)br.get_bits(1);
+  EXPECT_TRUE(br.exhausted());
+}
+
+TEST(BitReader, OverreadReturnsZeroBits) {
+  const std::vector<std::uint8_t> data = {0xFF};
+  BitReader br(data);
+  (void)br.get_bits(4);
+  // 4 valid (1111) + 4 missing (0000)
+  EXPECT_EQ(br.get_bits(8), 0xF0u);
+  EXPECT_TRUE(br.exhausted());
+}
+
+TEST(BitReader, AlignSkipsToByteBoundary) {
+  const std::vector<std::uint8_t> data = {0xFF, 0x01};
+  BitReader br(data);
+  (void)br.get_bits(3);
+  br.align();
+  EXPECT_EQ(br.bit_position(), 8u);
+  EXPECT_EQ(br.get_bits(8), 0x01u);
+}
+
+TEST(BitReader, BitsLeftTracksConsumption) {
+  const std::vector<std::uint8_t> data = {0x00, 0x00, 0x00};
+  BitReader br(data);
+  EXPECT_EQ(br.bits_left(), 24u);
+  (void)br.get_bits(10);
+  EXPECT_EQ(br.bits_left(), 14u);
+}
+
+TEST(BitRoundTrip, RandomizedMixedWidths) {
+  util::Rng rng(42);
+  std::vector<std::pair<std::uint64_t, int>> tokens;
+  BitWriter bw;
+  for (int i = 0; i < 2000; ++i) {
+    const int width = 1 + static_cast<int>(rng.next_below(32));
+    const std::uint64_t value =
+        rng.next_u64() & ((width < 64) ? (1ull << width) - 1 : ~0ull);
+    tokens.emplace_back(value, width);
+    bw.put_bits(value, width);
+  }
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  for (const auto& [value, width] : tokens) {
+    EXPECT_EQ(br.get_bits(width), value);
+  }
+  EXPECT_FALSE(br.exhausted());
+}
+
+}  // namespace
+}  // namespace acbm::util

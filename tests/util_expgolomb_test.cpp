@@ -1,0 +1,138 @@
+// Exp-Golomb codes: canonical values, bit lengths, round-trips, monotonicity.
+
+#include "util/expgolomb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bitstream.hpp"
+#include "util/rng.hpp"
+
+namespace acbm::util {
+namespace {
+
+TEST(ExpGolombUe, CanonicalCodewords) {
+  // ue(0)=1, ue(1)=010, ue(2)=011, ue(3)=00100 ... (H.26x convention).
+  struct Case {
+    std::uint32_t value;
+    std::uint32_t bits;
+    int length;
+  };
+  const Case cases[] = {
+      {0, 0b1, 1},     {1, 0b010, 3},   {2, 0b011, 3},    {3, 0b00100, 5},
+      {4, 0b00101, 5}, {5, 0b00110, 5}, {6, 0b00111, 5},  {7, 0b0001000, 7},
+  };
+  for (const Case& c : cases) {
+    BitWriter bw;
+    put_ue(bw, c.value);
+    EXPECT_EQ(bw.bit_count(), static_cast<std::size_t>(c.length))
+        << "value " << c.value;
+    const auto bytes = bw.take();
+    BitReader br(bytes);
+    EXPECT_EQ(br.get_bits(c.length), c.bits) << "value " << c.value;
+  }
+}
+
+TEST(ExpGolombUe, BitLengthMatchesEncoding) {
+  for (std::uint32_t v : {0u, 1u, 2u, 3u, 7u, 8u, 63u, 64u, 255u, 1000u,
+                          65535u, 1000000u}) {
+    BitWriter bw;
+    put_ue(bw, v);
+    EXPECT_EQ(static_cast<int>(bw.bit_count()), ue_bit_length(v))
+        << "value " << v;
+  }
+}
+
+TEST(ExpGolombSe, ZigzagMapping) {
+  // se: 0→0, 1→+1, 2→−1, 3→+2, 4→−2 ...
+  struct Case {
+    std::int32_t value;
+    int length;
+  };
+  const Case cases[] = {{0, 1},  {1, 3},  {-1, 3}, {2, 5},
+                        {-2, 5}, {3, 5},  {-3, 5}, {4, 7}};
+  for (const Case& c : cases) {
+    BitWriter bw;
+    put_se(bw, c.value);
+    EXPECT_EQ(static_cast<int>(bw.bit_count()), c.length)
+        << "value " << c.value;
+    EXPECT_EQ(se_bit_length(c.value), c.length) << "value " << c.value;
+    const auto bytes = bw.take();
+    BitReader br(bytes);
+    EXPECT_EQ(get_se(br), c.value);
+  }
+}
+
+TEST(ExpGolombSe, PositiveShorterOrEqualToNegative) {
+  // The mapping gives positive values the (weakly) shorter code — relevant
+  // because MVDs are symmetric, so total rate is unaffected, but tests pin
+  // the convention.
+  for (int v = 1; v < 100; ++v) {
+    EXPECT_LE(se_bit_length(v), se_bit_length(-v));
+  }
+}
+
+TEST(ExpGolombUe, LengthIsMonotoneNonDecreasing) {
+  int prev = ue_bit_length(0);
+  for (std::uint32_t v = 1; v < 5000; ++v) {
+    const int len = ue_bit_length(v);
+    EXPECT_GE(len, prev) << "value " << v;
+    prev = len;
+  }
+}
+
+TEST(ExpGolombRoundTrip, UeRandomized) {
+  util::Rng rng(7);
+  BitWriter bw;
+  std::vector<std::uint32_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint32_t v = static_cast<std::uint32_t>(
+        rng.next_u64() >> (33 + rng.next_below(28)));
+    values.push_back(v);
+    put_ue(bw, v);
+  }
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  for (std::uint32_t v : values) {
+    EXPECT_EQ(get_ue(br), v);
+  }
+}
+
+TEST(ExpGolombRoundTrip, SeRandomized) {
+  util::Rng rng(8);
+  BitWriter bw;
+  std::vector<std::int32_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int32_t v = rng.next_in_range(-100000, 100000);
+    values.push_back(v);
+    put_se(bw, v);
+  }
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  for (std::int32_t v : values) {
+    EXPECT_EQ(get_se(br), v);
+  }
+}
+
+TEST(ExpGolombRoundTrip, InterleavedUeSeSurvivesAlignment) {
+  BitWriter bw;
+  put_ue(bw, 13);
+  put_se(bw, -7);
+  bw.align();
+  put_ue(bw, 64);  // the codec's EOB value
+  const auto bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(get_ue(br), 13u);
+  EXPECT_EQ(get_se(br), -7);
+  br.align();
+  EXPECT_EQ(get_ue(br), 64u);
+}
+
+TEST(ExpGolomb, DecodeOnEmptyStreamIsSafe) {
+  const std::vector<std::uint8_t> empty;
+  BitReader br(empty);
+  EXPECT_EQ(get_ue(br), 0u);
+  EXPECT_TRUE(br.exhausted());
+}
+
+}  // namespace
+}  // namespace acbm::util

@@ -1,0 +1,154 @@
+// Frame geometry plus raw-YUV and Y4M I/O round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "test_support.hpp"
+#include "video/frame.hpp"
+#include "video/y4m_io.hpp"
+#include "video/yuv_io.hpp"
+
+namespace acbm::video {
+namespace {
+
+Frame test_frame(int w, int h, std::uint64_t seed) {
+  Frame f(w, h);
+  f.y() = acbm::test::random_plane(w, h, seed);
+  f.cb() = acbm::test::random_plane(w / 2, h / 2, seed + 1);
+  f.cr() = acbm::test::random_plane(w / 2, h / 2, seed + 2);
+  return f;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Frame, ChromaIsHalfResolution) {
+  const Frame f(kQcif);
+  EXPECT_EQ(f.width(), 176);
+  EXPECT_EQ(f.height(), 144);
+  EXPECT_EQ(f.cb().width(), 88);
+  EXPECT_EQ(f.cb().height(), 72);
+  EXPECT_EQ(f.cr().width(), 88);
+}
+
+TEST(Frame, FillSetsNeutralChroma) {
+  Frame f(32, 32);
+  f.fill(200);
+  EXPECT_EQ(f.y().at(0, 0), 200);
+  EXPECT_EQ(f.cb().at(0, 0), 128);
+  EXPECT_EQ(f.cr().at(0, 0), 128);
+}
+
+TEST(PackI420, SizeAndLayout) {
+  const Frame f = test_frame(32, 16, 3);
+  const auto bytes = pack_i420(f);
+  EXPECT_EQ(bytes.size(), 32u * 16u * 3u / 2u);
+  EXPECT_EQ(bytes[0], f.y().at(0, 0));
+  EXPECT_EQ(bytes[32 * 16], f.cb().at(0, 0));
+  EXPECT_EQ(bytes[32 * 16 + 16 * 8], f.cr().at(0, 0));
+}
+
+TEST(PackI420, UnpackInverts) {
+  const Frame f = test_frame(32, 16, 4);
+  const Frame g = unpack_i420(pack_i420(f), {32, 16});
+  EXPECT_TRUE(g.y().visible_equals(f.y()));
+  EXPECT_TRUE(g.cb().visible_equals(f.cb()));
+  EXPECT_TRUE(g.cr().visible_equals(f.cr()));
+}
+
+TEST(PackI420, UnpackRejectsWrongSize) {
+  const std::vector<std::uint8_t> bytes(100);
+  EXPECT_THROW(unpack_i420(bytes, {32, 16}), std::runtime_error);
+}
+
+TEST(YuvIo, FileRoundTrip) {
+  const std::string path = temp_path("acbm_test_roundtrip.yuv");
+  std::vector<Frame> frames;
+  for (int i = 0; i < 3; ++i) {
+    frames.push_back(test_frame(32, 32, 10 + i));
+  }
+  write_yuv420(path, frames);
+  const auto back = read_yuv420(path, {32, 32});
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(back[i].y().visible_equals(frames[i].y()));
+    EXPECT_TRUE(back[i].cb().visible_equals(frames[i].cb()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(YuvIo, MaxFramesLimitsRead) {
+  const std::string path = temp_path("acbm_test_maxframes.yuv");
+  write_yuv420(path, {test_frame(16, 16, 1), test_frame(16, 16, 2),
+                      test_frame(16, 16, 3)});
+  EXPECT_EQ(read_yuv420(path, {16, 16}, 2).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(YuvIo, TruncatedFileThrows) {
+  const std::string path = temp_path("acbm_test_trunc.yuv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::string garbage(100, 'x');  // not a whole 16×16 frame (384 B)
+    out << garbage;
+  }
+  EXPECT_THROW(read_yuv420(path, {16, 16}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(YuvIo, MissingFileThrows) {
+  EXPECT_THROW(read_yuv420("/nonexistent/definitely.yuv", {16, 16}),
+               std::runtime_error);
+}
+
+TEST(Y4mIo, FileRoundTripWithRate) {
+  const std::string path = temp_path("acbm_test_roundtrip.y4m");
+  Y4mVideo video;
+  video.size = {32, 16};
+  video.rate = {30000, 1001};
+  video.frames.push_back(test_frame(32, 16, 20));
+  video.frames.push_back(test_frame(32, 16, 21));
+  write_y4m(path, video);
+
+  const Y4mVideo back = read_y4m(path);
+  EXPECT_EQ(back.size.width, 32);
+  EXPECT_EQ(back.size.height, 16);
+  EXPECT_EQ(back.rate.num, 30000);
+  EXPECT_EQ(back.rate.den, 1001);
+  ASSERT_EQ(back.frames.size(), 2u);
+  EXPECT_TRUE(back.frames[1].y().visible_equals(video.frames[1].y()));
+  std::remove(path.c_str());
+}
+
+TEST(Y4mIo, RejectsNonY4m) {
+  const std::string path = temp_path("acbm_test_bogus.y4m");
+  {
+    std::ofstream out(path);
+    out << "RIFFxxxx not a y4m\n";
+  }
+  EXPECT_THROW(read_y4m(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Y4mIo, Rejects422Chroma) {
+  const std::string path = temp_path("acbm_test_422.y4m");
+  {
+    std::ofstream out(path);
+    out << "YUV4MPEG2 W16 H16 F30:1 C422\n";
+  }
+  EXPECT_THROW(read_y4m(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Y4mIo, FrameRateFpsHelper) {
+  const FrameRate r{30000, 1001};
+  EXPECT_NEAR(r.fps(), 29.97, 0.001);
+}
+
+}  // namespace
+}  // namespace acbm::video

@@ -1,0 +1,122 @@
+// Half-pel interpolation: H.263 rounding, phase-plane consistency, borders.
+
+#include "video/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace acbm::video {
+namespace {
+
+TEST(SampleHalfpel, IntegerPhasePassesThrough) {
+  const Plane p = acbm::test::random_plane(16, 16, 1);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      ASSERT_EQ(sample_halfpel(p, 2 * x, 2 * y), p.at(x, y));
+    }
+  }
+}
+
+TEST(SampleHalfpel, HorizontalRounding) {
+  Plane p(4, 4, 4);
+  p.set(0, 0, 10);
+  p.set(1, 0, 11);
+  p.extend_border();
+  // (10+11+1)>>1 = 11 — H.263 rounds toward +∞ on .5.
+  EXPECT_EQ(sample_halfpel(p, 1, 0), 11);
+}
+
+TEST(SampleHalfpel, VerticalRounding) {
+  Plane p(4, 4, 4);
+  p.set(0, 0, 10);
+  p.set(0, 1, 13);
+  p.extend_border();
+  EXPECT_EQ(sample_halfpel(p, 0, 1), 12);  // (10+13+1)>>1
+}
+
+TEST(SampleHalfpel, CenterRounding) {
+  Plane p(4, 4, 4);
+  p.set(0, 0, 10);
+  p.set(1, 0, 11);
+  p.set(0, 1, 12);
+  p.set(1, 1, 13);
+  p.extend_border();
+  EXPECT_EQ(sample_halfpel(p, 1, 1), 12);  // (10+11+12+13+2)>>2 = 12
+}
+
+TEST(SampleHalfpel, NegativeHalfpelCoordinates) {
+  Plane p(4, 4, 4);
+  p.fill(50);
+  p.set(0, 0, 100);
+  p.extend_border();
+  // hx = −1 interpolates between border (replicates 100) and (0,0).
+  EXPECT_EQ(sample_halfpel(p, -1, 0), 100);
+  EXPECT_EQ(sample_halfpel(p, -2, 0), 100);  // pure border sample
+}
+
+TEST(HalfpelPlanes, Phase00MatchesSource) {
+  const Plane src = acbm::test::random_plane(32, 24, 2);
+  const HalfpelPlanes hp(src);
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      ASSERT_EQ(hp.plane(0, 0).at(x, y), src.at(x, y));
+    }
+  }
+}
+
+TEST(HalfpelPlanes, AllPhasesMatchDirectComputation) {
+  const Plane src = acbm::test::random_plane(32, 24, 3);
+  const HalfpelPlanes hp(src);
+  for (int hy = -10; hy < 58; ++hy) {
+    for (int hx = -10; hx < 74; ++hx) {
+      ASSERT_EQ(hp.at(hx, hy), sample_halfpel(src, hx, hy))
+          << "at (" << hx << "," << hy << ")";
+    }
+  }
+}
+
+TEST(HalfpelPlanes, BorderShrinksByOne) {
+  const Plane src = acbm::test::random_plane(16, 16, 4);
+  const HalfpelPlanes hp(src);
+  EXPECT_EQ(hp.plane(0, 0).border(), src.border() - 1);
+  EXPECT_EQ(hp.plane(1, 1).border(), src.border() - 1);
+}
+
+TEST(HalfpelPlanes, DefaultConstructedIsEmpty) {
+  const HalfpelPlanes hp;
+  EXPECT_TRUE(hp.empty());
+}
+
+TEST(HalfpelPlanes, ConstantPlaneStaysConstant) {
+  Plane src(16, 16);
+  src.fill(77);
+  src.extend_border();
+  const HalfpelPlanes hp(src);
+  for (int phase = 0; phase < 4; ++phase) {
+    const Plane& p = hp.plane(phase & 1, phase >> 1);
+    for (int y = -4; y < 20; ++y) {
+      for (int x = -4; x < 20; ++x) {
+        ASSERT_EQ(p.at(x, y), 77);
+      }
+    }
+  }
+}
+
+TEST(HalfpelPlanes, HalfShiftedContentInterpolatesExactly) {
+  // A plane holding a horizontal ramp: the H phase must be the midpoint.
+  Plane src(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      src.set(x, y, static_cast<std::uint8_t>(10 * x));
+    }
+  }
+  src.extend_border();
+  const HalfpelPlanes hp(src);
+  for (int x = 0; x < 15; ++x) {
+    EXPECT_EQ(hp.plane(1, 0).at(x, 5), 10 * x + 5);
+  }
+}
+
+}  // namespace
+}  // namespace acbm::video
