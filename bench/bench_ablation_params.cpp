@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
 
   analysis::SweepConfig sweep;
   sweep.search_range = options.search_range;
+  sweep.parallel.threads = options.threads;
 
   const auto frames =
       bench::qcif_sequence("foreman", options.frames, /*fps=*/30);

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
 
   analysis::SweepConfig sweep;
   sweep.search_range = options.search_range;
+  sweep.parallel.threads = options.threads;
 
   const std::vector<int> qps = options.quick ? std::vector<int>{16}
                                              : std::vector<int>{16, 30};

@@ -20,6 +20,10 @@ int main(int argc, char** argv) {
   const auto options = bench::parse_bench_options(
       argc, argv, "bench_fig4_characterization");
   util::Timer timer;
+  if (options.threads != 1) {
+    std::cout << "note: --threads has no effect here — characterization "
+                 "runs the analysis harness, not the encoder\n";
+  }
 
   // Several source images spanning the texture range of real material,
   // from near-flat (videoconference backdrops) to construction-site detail.

@@ -30,6 +30,8 @@ struct BenchOptions {
   std::string size_label = "QCIF";
   std::string csv_prefix;   ///< output file prefix (binary name)
   bool quick = false;       ///< reduced workload for smoke runs
+  int threads = 1;          ///< ME worker threads (0 = all cores);
+                            ///< results are bit-exact at any count
 };
 
 inline BenchOptions parse_bench_options(int argc, const char* const* argv,
@@ -41,6 +43,10 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
                     "16,18,20,22,24,26,28,30");
   parser.add_option("size", "picture size: qcif or cif (the paper uses both)",
                     "qcif");
+  parser.add_option("threads",
+                    "encoder ME worker threads (0 = all cores); output is "
+                    "bit-exact at any count",
+                    "1");
   parser.add_flag("quick", "reduced workload (fewer frames and Qp values)");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage(name);
@@ -65,6 +71,7 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
     std::exit(2);
   }
   options.csv_prefix = name;
+  options.threads = static_cast<int>(parser.get_int("threads"));
   options.quick = parser.get_flag("quick");
   if (options.quick) {
     options.frames = std::min(options.frames, 12);
@@ -159,6 +166,7 @@ inline void run_rd_figure_bench(const std::string& bench_name, int fps,
   analysis::SweepConfig sweep;
   sweep.qps = options.qps;
   sweep.search_range = options.search_range;
+  sweep.parallel.threads = options.threads;
 
   auto csv_stream = open_csv(options.csv_prefix, "rd");
   util::CsvWriter csv(csv_stream);

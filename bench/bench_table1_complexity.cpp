@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   analysis::SweepConfig sweep;
   sweep.qps = options.qps;
   sweep.search_range = options.search_range;
+  sweep.parallel.threads = options.threads;
   const double fsbm_positions =
       static_cast<double>((2 * options.search_range + 1) *
                           (2 * options.search_range + 1) + 8);

@@ -14,10 +14,9 @@
 #include <fstream>
 #include <iostream>
 
-#include "analysis/rd_sweep.hpp"
 #include "codec/encoder.hpp"
 #include "codec/rate_control.hpp"
-#include "core/acbm.hpp"
+#include "core/builtin_estimators.hpp"
 #include "synth/sequences.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
@@ -27,17 +26,6 @@
 namespace {
 
 using namespace acbm;
-
-analysis::Algorithm algorithm_from_name(const std::string& name) {
-  for (analysis::Algorithm algo : analysis::all_algorithms()) {
-    if (analysis::algorithm_name(algo) == name) {
-      return algo;
-    }
-  }
-  throw std::runtime_error("unknown algorithm: " + name +
-                           " (try ACBM, FSBM, PBM, TSS, NTSS, 4SS, DS, CDS,"
-                           " FSBM-adec, FSBM-sub)");
-}
 
 }  // namespace
 
@@ -59,6 +47,9 @@ int main(int argc, char** argv) {
   parser.add_option("search-range", "search range p", "15");
   parser.add_option("intra-period", "intra refresh period (0 = first only)",
                     "0");
+  parser.add_option("threads",
+                    "worker threads for motion estimation (0 = all cores)",
+                    "1");
   parser.add_option("out", "output bitstream path", "out.acv");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage("acbm_enc");
@@ -105,11 +96,12 @@ int main(int argc, char** argv) {
 
     // --- Encoder setup.
     const auto estimator =
-        analysis::make_estimator(algorithm_from_name(parser.get("algorithm")));
+        core::builtin_estimators().create(parser.get("algorithm"));
     codec::EncoderConfig cfg;
     cfg.qp = static_cast<int>(parser.get_int("qp"));
     cfg.search_range = static_cast<int>(parser.get_int("search-range"));
     cfg.intra_period = static_cast<int>(parser.get_int("intra-period"));
+    cfg.parallel.threads = static_cast<int>(parser.get_int("threads"));
     cfg.fps_num = fps;
     codec::Encoder encoder({frames[0].width(), frames[0].height()}, cfg,
                            *estimator);

@@ -3,15 +3,7 @@
 #include <stdexcept>
 
 #include "core/acbm.hpp"
-#include "me/cds.hpp"
-#include "me/decimation.hpp"
-#include "me/ds.hpp"
-#include "me/fss.hpp"
-#include "me/hexbs.hpp"
-#include "me/full_search.hpp"
-#include "me/ntss.hpp"
-#include "me/pbm.hpp"
-#include "me/tss.hpp"
+#include "core/builtin_estimators.hpp"
 
 namespace acbm::analysis {
 
@@ -54,31 +46,13 @@ const std::vector<Algorithm>& all_algorithms() {
 
 std::unique_ptr<me::MotionEstimator> make_estimator(Algorithm algorithm,
                                                     core::AcbmParams params) {
-  switch (algorithm) {
-    case Algorithm::kFsbm:
-      return std::make_unique<me::FullSearch>();
-    case Algorithm::kPbm:
-      return std::make_unique<me::Pbm>();
-    case Algorithm::kAcbm:
-      return std::make_unique<core::Acbm>(params);
-    case Algorithm::kTss:
-      return std::make_unique<me::Tss>();
-    case Algorithm::kNtss:
-      return std::make_unique<me::Ntss>();
-    case Algorithm::kFss:
-      return std::make_unique<me::Fss>();
-    case Algorithm::kDs:
-      return std::make_unique<me::DiamondSearch>();
-    case Algorithm::kHexbs:
-      return std::make_unique<me::HexagonSearch>();
-    case Algorithm::kCds:
-      return std::make_unique<me::CrossDiamondSearch>();
-    case Algorithm::kFsbmAdaptiveDecimation:
-      return std::make_unique<me::AdaptiveDecimationSearch>();
-    case Algorithm::kFsbmSubsampled:
-      return std::make_unique<me::SubsampledFullSearch>();
+  // Algorithm display names double as registry keys, so the enum-based API
+  // is now a thin veneer over the string-keyed factory.
+  auto estimator = core::builtin_estimators().create(algorithm_name(algorithm));
+  if (auto* acbm = dynamic_cast<core::Acbm*>(estimator.get())) {
+    acbm->set_params(params);
   }
-  throw std::invalid_argument("unknown algorithm");
+  return estimator;
 }
 
 RdPoint run_rd_point(const std::vector<video::Frame>& frames, int fps,
@@ -96,6 +70,7 @@ RdPoint run_rd_point(const std::vector<video::Frame>& frames, int fps,
   ec.me_lambda = config.me_lambda;
   ec.mode_decision = config.mode_decision;
   ec.deblock = config.deblock;
+  ec.parallel = config.parallel;
   ec.fps_num = fps;
   ec.fps_den = 1;
 

@@ -75,6 +75,7 @@ struct SweepConfig {
   core::AcbmParams acbm = core::AcbmParams::paper_defaults();
   codec::ModeDecision mode_decision = codec::ModeDecision::kHeuristic;
   bool deblock = false;    ///< in-loop Annex-J filter
+  codec::ParallelConfig parallel;  ///< encoder threading (results identical)
 };
 
 /// Encodes `frames` (already at the target fps) once per Qp.

@@ -7,12 +7,10 @@
 
 #include "codec/block_codec.hpp"
 #include "codec/coeff_coding.hpp"
-#include "codec/deblock.hpp"
 #include "codec/mc.hpp"
 #include "codec/mv_coding.hpp"
+#include "codec/pipeline.hpp"
 #include "codec/quant.hpp"
-#include "me/sad.hpp"
-#include "video/psnr.hpp"
 
 namespace acbm::codec {
 
@@ -27,12 +25,6 @@ constexpr int kLumaBlockOffsets[4][2] = {{0, 0}, {8, 0}, {0, 8}, {8, 8}};
 double mode_lambda(int qp) { return 0.85 * qp * qp; }
 
 }  // namespace
-
-struct Encoder::MbBitCounters {
-  std::uint64_t mv = 0;
-  std::uint64_t coeff = 0;
-  std::uint64_t header = 0;
-};
 
 /// A fully transformed INTRA macroblock, not yet written or reconstructed.
 struct Encoder::IntraPlan {
@@ -115,8 +107,11 @@ Encoder::Encoder(video::PictureSize size, const EncoderConfig& config,
   if (config.qp < kMinQp || config.qp > kMaxQp) {
     throw std::invalid_argument("encoder: qp out of range 1..31");
   }
+  pipeline_ = std::make_unique<EncoderPipeline>(*this, config.parallel);
   write_sequence_header();
 }
+
+Encoder::~Encoder() = default;
 
 void Encoder::write_sequence_header() {
   writer_.put_bits(kSequenceMagic, 32);
@@ -129,121 +124,7 @@ void Encoder::write_sequence_header() {
 FrameReport Encoder::encode_frame(const video::Frame& src) {
   assert(!finished_);
   assert(src.width() == size_.width && src.height() == size_.height);
-
-  const bool intra_frame =
-      frame_index_ == 0 ||
-      (config_.intra_period > 0 && frame_index_ % config_.intra_period == 0);
-
-  FrameReport report;
-  report.intra = intra_frame;
-  const std::uint64_t frame_start_bits = writer_.bit_count();
-
-  writer_.align();
-  writer_.put_bits(kFrameSync, 16);
-  writer_.put_bits(intra_frame ? 0 : 1, 1);
-  writer_.put_bits(static_cast<std::uint32_t>(config_.qp), 5);
-  writer_.put_bit(config_.deblock);
-
-  MbBitCounters counters;
-  counters.header = writer_.bit_count() - frame_start_bits;
-
-  if (!intra_frame) {
-    ref_half_ = video::HalfpelPlanes(ref_.y());
-  }
-  me_field_ = me::MvField::for_picture(size_.width, size_.height);
-  coded_field_ = me::MvField::for_picture(size_.width, size_.height);
-
-  const int mbs_x = size_.width / kMb;
-  const int mbs_y = size_.height / kMb;
-
-  for (int by = 0; by < mbs_y; ++by) {
-    for (int bx = 0; bx < mbs_x; ++bx) {
-      const int x = bx * kMb;
-      const int y = by * kMb;
-
-      if (intra_frame) {
-        encode_intra_mb(src, bx, by, counters);
-        ++report.intra_mbs;
-        continue;
-      }
-
-      // --- Motion estimation (pluggable; this is where FSBM/PBM/ACBM
-      // --- differ, everything after is identical for all algorithms).
-      me::BlockContext ctx;
-      ctx.cur = &src.y();
-      ctx.ref = &ref_half_;
-      ctx.x = x;
-      ctx.y = y;
-      ctx.bx = bx;
-      ctx.by = by;
-      ctx.window = me::unrestricted_window(config_.search_range);
-      ctx.cost = me::MotionCost(config_.me_lambda,
-                                coded_field_.median_predictor(bx, by));
-      ctx.half_pel = config_.half_pel;
-      ctx.cur_field = &me_field_;
-      ctx.prev_field = &prev_me_field_;
-      ctx.qp = config_.qp;
-
-      const me::EstimateResult er = estimator_->estimate(ctx);
-      me_field_.set(bx, by, er.mv);
-      report.me_positions += er.positions;
-      if (er.used_full_search) {
-        ++report.full_search_blocks;
-      }
-
-      if (config_.mode_decision == ModeDecision::kRateDistortion) {
-        encode_inter_mb_rd(src, bx, by, er.mv, counters, report);
-        continue;
-      }
-
-      // --- TMN5 heuristic INTRA/INTER decision (A < SAD_inter − bias).
-      const std::uint32_t activity = me::intra_sad(src.y(), x, y, kMb, kMb);
-      const bool use_intra =
-          static_cast<std::int64_t>(activity) + config_.intra_bias <
-          static_cast<std::int64_t>(er.sad);
-
-      if (use_intra) {
-        const std::uint64_t before = writer_.bit_count();
-        writer_.put_bit(false);  // COD = 0 (coded)
-        writer_.put_bit(true);   // intra
-        counters.header += writer_.bit_count() - before;
-        encode_intra_mb(src, bx, by, counters);
-        ++report.intra_mbs;
-        continue;
-      }
-
-      // encode_inter_mb degrades to SKIP internally when the zero-vector
-      // residual quantizes away; it tallies skip_count_this_frame_.
-      encode_inter_mb(src, bx, by, er.mv, counters);
-      ++report.inter_mbs;
-    }
-  }
-
-  writer_.align();
-
-  report.skip_mbs = skip_count_this_frame_;
-  report.inter_mbs -= report.skip_mbs;
-  skip_count_this_frame_ = 0;
-
-  report.bits = writer_.bit_count() - frame_start_bits;
-  report.mv_bits = counters.mv;
-  report.coeff_bits = counters.coeff;
-  report.header_bits = counters.header;
-
-  if (config_.deblock) {
-    deblock_frame(recon_, config_.qp);
-  }
-  recon_.extend_borders();
-  report.psnr_y = video::psnr_luma(src, recon_);
-  report.psnr_yuv = video::psnr_yuv(src, recon_);
-  report.me_field_smoothness = me_field_.smoothness_l1();
-
-  // Advance reference state.
-  ref_ = recon_;
-  ref_.extend_borders();
-  prev_me_field_ = me_field_;
-  ++frame_index_;
-  return report;
+  return pipeline_->encode_frame(src);
 }
 
 // ---------------------------------------------------------------- planning

@@ -40,6 +40,25 @@ namespace acbm::codec {
 inline constexpr std::uint32_t kSequenceMagic = 0x41435631;  // "ACV1"
 inline constexpr std::uint32_t kFrameSync = 0x7E5A;
 
+/// Threading knobs for the encoding pipeline. The motion-estimation stage
+/// runs row-parallel in wavefront order (row N may lead row N+1 by at least
+/// two macroblocks), which keeps every spatial predictor a block reads —
+/// left, above, above-right — computed before the read. Each worker owns a
+/// clone() of the caller's estimator; per-sequence statistics flow back via
+/// MotionEstimator::merge_stats after every frame, so the primary
+/// estimator's totals match a serial run exactly.
+struct ParallelConfig {
+  /// Worker threads for the parallel stages: 1 = serial (default),
+  /// 0 = one per hardware thread, N = exactly N workers.
+  int threads = 1;
+  /// Bit-exact scheduling. The wavefront order used today is always
+  /// deterministic — serial and N-thread encodes produce identical ACV1
+  /// bytes — so this flag is an API reservation for future relaxed-order
+  /// modes (free-running rows trading determinism for throughput); setting
+  /// it false currently changes nothing.
+  bool deterministic = true;
+};
+
 /// How the encoder chooses each P-frame macroblock's mode.
 enum class ModeDecision {
   /// TMN5 heuristic: INTRA if Intra_SAD < SAD_inter − bias; SKIP if the
@@ -61,6 +80,7 @@ struct EncoderConfig {
   bool allow_skip = true;   ///< emit COD=1 for zero-MV zero-CBP macroblocks
   bool deblock = false;     ///< in-loop Annex-J deblocking filter
   ModeDecision mode_decision = ModeDecision::kHeuristic;
+  ParallelConfig parallel;  ///< pipeline threading (see ParallelConfig)
   int fps_num = 30;         ///< sequence header only
   int fps_den = 1;
 };
@@ -82,14 +102,37 @@ struct FrameReport {
   double me_field_smoothness = 0.0;  ///< MvField::smoothness_l1 of ME field
 };
 
+class EncoderPipeline;
+
 /// Streaming one-reference hybrid encoder. Feed frames in display order;
 /// call finish() once to obtain the bitstream.
+///
+/// Frame encoding is delegated to an EncoderPipeline (codec/pipeline.hpp),
+/// which splits the old monolithic macroblock loop into separable stages —
+/// motion estimation, mode decision, transform/quant/entropy,
+/// reconstruction — and runs the ME stage across ParallelConfig::threads
+/// workers. The pipeline's output is bit-exact regardless of thread count.
 class Encoder {
  public:
   /// `estimator` is borrowed and must outlive the encoder — callers keep it
   /// to read algorithm-specific statistics (e.g. core::Acbm::stats()).
+  /// With config.parallel.threads != 1 the pipeline workers run clone()s of
+  /// it (taken lazily at the first parallel frame) and merge their statistics
+  /// back into it after every frame, so stats() reads stay valid and match
+  /// a serial run. The clones snapshot the estimator's configuration at that
+  /// point: reconfiguring it mid-stream (e.g. Acbm::set_params or
+  /// set_record_log after the first P-frame) is only honoured by serial
+  /// encodes — finish the configuration before encoding starts.
   Encoder(video::PictureSize size, const EncoderConfig& config,
           me::MotionEstimator& estimator);
+  ~Encoder();
+
+  // The pipeline keeps a back-reference to this encoder, so the object must
+  // stay put once constructed.
+  Encoder(const Encoder&) = delete;
+  Encoder& operator=(const Encoder&) = delete;
+  Encoder(Encoder&&) = delete;
+  Encoder& operator=(Encoder&&) = delete;
 
   /// Encodes one frame and returns its report.
   FrameReport encode_frame(const video::Frame& src);
@@ -120,7 +163,14 @@ class Encoder {
   [[nodiscard]] video::PictureSize size() const { return size_; }
 
  private:
-  struct MbBitCounters;
+  friend class EncoderPipeline;
+
+  /// Per-frame tallies of where the bits went (FrameReport breakdown).
+  struct MbBitCounters {
+    std::uint64_t mv = 0;
+    std::uint64_t coeff = 0;
+    std::uint64_t header = 0;
+  };
   struct IntraPlan;
   struct InterPlan;
 
@@ -162,6 +212,7 @@ class Encoder {
   int frame_index_ = 0;
   int skip_count_this_frame_ = 0;
   bool finished_ = false;
+  std::unique_ptr<EncoderPipeline> pipeline_;  ///< constructed with *this
 };
 
 }  // namespace acbm::codec

@@ -1,0 +1,313 @@
+#include "codec/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+#include "codec/deblock.hpp"
+#include "me/sad.hpp"
+#include "util/thread_pool.hpp"
+#include "video/psnr.hpp"
+
+namespace acbm::codec {
+
+namespace {
+constexpr int kMb = me::kBlockSize;  // 16
+}  // namespace
+
+EncoderPipeline::EncoderPipeline(Encoder& encoder,
+                                 const ParallelConfig& parallel)
+    : enc_(encoder),
+      worker_count_(util::ThreadPool::resolve_thread_count(parallel.threads)) {
+  if (worker_count_ > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(worker_count_);
+  }
+}
+
+EncoderPipeline::~EncoderPipeline() = default;
+
+void EncoderPipeline::ensure_workers() {
+  if (!pool_ || !workers_.empty()) {
+    return;
+  }
+  workers_.reserve(static_cast<std::size_t>(worker_count_));
+  for (int i = 0; i < worker_count_; ++i) {
+    workers_.push_back(enc_.estimator_->clone());
+  }
+}
+
+FrameReport EncoderPipeline::encode_frame(const video::Frame& src) {
+  Encoder& e = enc_;
+  const bool intra_frame =
+      e.frame_index_ == 0 ||
+      (e.config_.intra_period > 0 &&
+       e.frame_index_ % e.config_.intra_period == 0);
+
+  FrameReport report;
+  report.intra = intra_frame;
+  const std::uint64_t frame_start_bits = e.writer_.bit_count();
+
+  e.writer_.align();
+  e.writer_.put_bits(kFrameSync, 16);
+  e.writer_.put_bits(intra_frame ? 0 : 1, 1);
+  e.writer_.put_bits(static_cast<std::uint32_t>(e.config_.qp), 5);
+  e.writer_.put_bit(e.config_.deblock);
+
+  Encoder::MbBitCounters counters;
+  counters.header = e.writer_.bit_count() - frame_start_bits;
+
+  if (!intra_frame) {
+    e.ref_half_ = video::HalfpelPlanes(e.ref_.y());
+  }
+  e.me_field_ = me::MvField::for_picture(e.size_.width, e.size_.height);
+  e.coded_field_ = me::MvField::for_picture(e.size_.width, e.size_.height);
+
+  if (!intra_frame) {
+    motion_stage(src, report);
+    mode_stage(src);
+  }
+  entropy_stage(src, intra_frame, counters, report);
+
+  e.writer_.align();
+
+  report.skip_mbs = e.skip_count_this_frame_;
+  report.inter_mbs -= report.skip_mbs;
+  e.skip_count_this_frame_ = 0;
+
+  report.bits = e.writer_.bit_count() - frame_start_bits;
+  report.mv_bits = counters.mv;
+  report.coeff_bits = counters.coeff;
+  report.header_bits = counters.header;
+
+  if (e.config_.deblock) {
+    deblock_frame(e.recon_, e.config_.qp);
+  }
+  e.recon_.extend_borders();
+  report.psnr_y = video::psnr_luma(src, e.recon_);
+  report.psnr_yuv = video::psnr_yuv(src, e.recon_);
+  report.me_field_smoothness = e.me_field_.smoothness_l1();
+
+  // Advance reference state.
+  e.ref_ = e.recon_;
+  e.ref_.extend_borders();
+  e.prev_me_field_ = e.me_field_;
+  ++e.frame_index_;
+  return report;
+}
+
+// ------------------------------------------------------------ motion stage
+
+me::EstimateResult EncoderPipeline::estimate_block(
+    me::MotionEstimator& estimator, const video::Frame& src, int bx,
+    int by) const {
+  const Encoder& e = enc_;
+  me::BlockContext ctx;
+  ctx.cur = &src.y();
+  ctx.ref = &e.ref_half_;
+  ctx.x = bx * kMb;
+  ctx.y = by * kMb;
+  ctx.bx = bx;
+  ctx.by = by;
+  ctx.window = me::unrestricted_window(e.config_.search_range);
+  // Rate-aware search (me_lambda > 0) prices MVD bits against the median of
+  // the ME field: its inputs (left, above, above-right) are exactly the
+  // wavefront-ordered entries, so the predictor is identical in serial and
+  // parallel encodes. λ = 0 (default) makes cost ≡ SAD.
+  ctx.cost = me::MotionCost(e.config_.me_lambda,
+                            e.me_field_.median_predictor(bx, by));
+  ctx.half_pel = e.config_.half_pel;
+  ctx.cur_field = &e.me_field_;
+  ctx.prev_field = &e.prev_me_field_;
+  ctx.qp = e.config_.qp;
+  ctx.frame = e.frame_index_;
+  return estimator.estimate(ctx);
+}
+
+void EncoderPipeline::motion_stage(const video::Frame& src,
+                                   FrameReport& report) {
+  const std::size_t mbs =
+      static_cast<std::size_t>(enc_.me_field_.mbs_x()) *
+      static_cast<std::size_t>(enc_.me_field_.mbs_y());
+  me_results_.assign(mbs, me::EstimateResult{});
+
+  if (pool_) {
+    motion_stage_wavefront(src);
+  } else {
+    motion_stage_serial(src);
+  }
+
+  // Serial reduction keeps the report totals independent of scheduling.
+  for (const me::EstimateResult& er : me_results_) {
+    report.me_positions += er.positions;
+    if (er.used_full_search) {
+      ++report.full_search_blocks;
+    }
+  }
+}
+
+void EncoderPipeline::motion_stage_serial(const video::Frame& src) {
+  Encoder& e = enc_;
+  const int mbs_x = e.me_field_.mbs_x();
+  const int mbs_y = e.me_field_.mbs_y();
+  for (int by = 0; by < mbs_y; ++by) {
+    for (int bx = 0; bx < mbs_x; ++bx) {
+      const std::size_t idx =
+          static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) + bx;
+      me_results_[idx] = estimate_block(*e.estimator_, src, bx, by);
+      e.me_field_.set(bx, by, me_results_[idx].mv);
+    }
+  }
+}
+
+void EncoderPipeline::motion_stage_wavefront(const video::Frame& src) {
+  Encoder& e = enc_;
+  ensure_workers();
+  const int mbs_x = e.me_field_.mbs_x();
+  const int mbs_y = e.me_field_.mbs_y();
+
+  // done[by] = macroblocks of row `by` finished so far. Block (bx, by)
+  // may start once row by−1 has finished through column bx+1 (its
+  // above-right predictor) — the classic two-block wavefront stagger.
+  std::vector<std::atomic<int>> done(static_cast<std::size_t>(mbs_y));
+  for (auto& d : done) {
+    d.store(0, std::memory_order_relaxed);
+  }
+
+  for (int by = 0; by < mbs_y; ++by) {
+    // One task per row. The pool dispatches FIFO, so a row's predecessor is
+    // always running or finished before the row starts: the dependency wait
+    // below cannot deadlock.
+    pool_->submit([this, &src, &done, by, mbs_x, &e] {
+      const int worker = util::ThreadPool::worker_index();
+      assert(worker >= 0 && worker < static_cast<int>(workers_.size()));
+      me::MotionEstimator& estimator = *workers_[static_cast<std::size_t>(
+          worker)];
+      for (int bx = 0; bx < mbs_x; ++bx) {
+        if (by > 0) {
+          const int need = std::min(bx + 2, mbs_x);
+          while (done[static_cast<std::size_t>(by) - 1].load(
+                     std::memory_order_acquire) < need) {
+            std::this_thread::yield();
+          }
+        }
+        const std::size_t idx =
+            static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) +
+            static_cast<std::size_t>(bx);
+        me_results_[idx] = estimate_block(estimator, src, bx, by);
+        e.me_field_.set(bx, by, me_results_[idx].mv);
+        done[static_cast<std::size_t>(by)].store(bx + 1,
+                                                 std::memory_order_release);
+      }
+    });
+  }
+  pool_->wait_idle();
+
+  // Drain every worker's statistics into the caller's estimator. Totals are
+  // additive, so the result matches a serial run regardless of which worker
+  // processed which rows.
+  for (const auto& worker : workers_) {
+    e.estimator_->merge_stats(*worker);
+  }
+}
+
+// -------------------------------------------------------------- mode stage
+
+void EncoderPipeline::mode_stage_rows(const video::Frame& src, int row_begin,
+                                      int row_end) {
+  const Encoder& e = enc_;
+  const int mbs_x = e.me_field_.mbs_x();
+  for (int by = row_begin; by < row_end; ++by) {
+    for (int bx = 0; bx < mbs_x; ++bx) {
+      const std::size_t idx =
+          static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) + bx;
+      // TMN5 heuristic: INTRA when the block's own activity (Intra_SAD)
+      // undercuts the motion-compensated SAD by more than the bias.
+      const std::uint32_t activity =
+          me::intra_sad(src.y(), bx * kMb, by * kMb, kMb, kMb);
+      const bool use_intra =
+          static_cast<std::int64_t>(activity) + e.config_.intra_bias <
+          static_cast<std::int64_t>(me_results_[idx].sad);
+      use_intra_[idx] = use_intra ? 1 : 0;
+    }
+  }
+}
+
+void EncoderPipeline::mode_stage(const video::Frame& src) {
+  const Encoder& e = enc_;
+  const int mbs_x = e.me_field_.mbs_x();
+  const int mbs_y = e.me_field_.mbs_y();
+
+  if (e.config_.mode_decision == ModeDecision::kRateDistortion) {
+    // RD decisions price MVD bits against the coded-field median predictor,
+    // which only exists as entropy coding progresses — the decision is made
+    // per block inside the (serial) entropy stage, and use_intra_ is never
+    // read there.
+    return;
+  }
+
+  use_intra_.assign(
+      static_cast<std::size_t>(mbs_x) * static_cast<std::size_t>(mbs_y), 0);
+
+  if (pool_) {
+    // Independent per block — plain row slices, no wavefront needed.
+    const int rows_per_task =
+        std::max(1, (mbs_y + worker_count_ - 1) / worker_count_);
+    for (int begin = 0; begin < mbs_y; begin += rows_per_task) {
+      const int end = std::min(begin + rows_per_task, mbs_y);
+      pool_->submit([this, &src, begin, end] {
+        mode_stage_rows(src, begin, end);
+      });
+    }
+    pool_->wait_idle();
+  } else {
+    mode_stage_rows(src, 0, mbs_y);
+  }
+}
+
+// ----------------------------------------------------------- entropy stage
+
+void EncoderPipeline::entropy_stage(const video::Frame& src, bool intra_frame,
+                                    Encoder::MbBitCounters& counters,
+                                    FrameReport& report) {
+  Encoder& e = enc_;
+  // Same stride source as the stages that filled me_results_/use_intra_.
+  const int mbs_x = e.me_field_.mbs_x();
+  const int mbs_y = e.me_field_.mbs_y();
+
+  for (int by = 0; by < mbs_y; ++by) {
+    for (int bx = 0; bx < mbs_x; ++bx) {
+      if (intra_frame) {
+        e.encode_intra_mb(src, bx, by, counters);
+        ++report.intra_mbs;
+        continue;
+      }
+
+      const std::size_t idx =
+          static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) + bx;
+      const me::EstimateResult& er = me_results_[idx];
+
+      if (e.config_.mode_decision == ModeDecision::kRateDistortion) {
+        e.encode_inter_mb_rd(src, bx, by, er.mv, counters, report);
+        continue;
+      }
+
+      if (use_intra_[idx] != 0) {
+        const std::uint64_t before = e.writer_.bit_count();
+        e.writer_.put_bit(false);  // COD = 0 (coded)
+        e.writer_.put_bit(true);   // intra
+        counters.header += e.writer_.bit_count() - before;
+        e.encode_intra_mb(src, bx, by, counters);
+        ++report.intra_mbs;
+        continue;
+      }
+
+      // encode_inter_mb degrades to SKIP internally when the zero-vector
+      // residual quantizes away; it tallies skip_count_this_frame_.
+      e.encode_inter_mb(src, bx, by, er.mv, counters);
+      ++report.inter_mbs;
+    }
+  }
+}
+
+}  // namespace acbm::codec

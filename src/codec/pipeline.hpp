@@ -1,0 +1,102 @@
+#pragma once
+// The staged per-frame encoding pipeline behind codec::Encoder.
+//
+// Encoder::encode_frame used to be one ~90-line macroblock loop doing
+// motion estimation, mode decision, entropy coding and reconstruction per
+// block before moving to the next. This class separates those concerns into
+// explicit stages run over the whole frame:
+//
+//   1. motion stage       — one EstimateResult per macroblock. Serial when
+//                           ParallelConfig::threads == 1; otherwise
+//                           row-parallel on a util::ThreadPool in WAVEFRONT
+//                           order: block (bx, by) waits until row by−1 has
+//                           finished block bx+1, so the spatial predictors
+//                           PBM and the median predictor read (left, above,
+//                           above-right in BlockContext::cur_field) are
+//                           final before the read. Each worker thread owns
+//                           a clone() of the caller's estimator; worker
+//                           statistics are merged back into the primary via
+//                           merge_stats() after every frame.
+//   2. mode stage         — the TMN heuristic INTRA/INTER decision per
+//                           macroblock (row-parallel, no dependencies).
+//                           Rate–distortion mode decisions compare exact
+//                           bit counts against the coded-field predictor
+//                           chain, so in kRateDistortion mode the decision
+//                           folds into stage 3.
+//   3. entropy stage      — serial raster scan writing the bitstream
+//                           (differential MV coding makes bit output
+//                           order-dependent) and reconstructing each
+//                           macroblock into the reference for frame t+1.
+//
+// Determinism: every stage consumes only inputs that are fixed before the
+// stage starts or ordered by the wavefront dependency, so serial and
+// N-thread encodes of the same sequence produce byte-identical ACV1
+// bitstreams. tests/codec_parallel_test.cpp holds that invariant.
+//
+// One deliberate semantic change from the pre-pipeline encoder: the
+// rate-aware ME cost predictor (EncoderConfig::me_lambda > 0) is now the
+// median of the ME field — computable inside the wavefront — instead of the
+// coded field, which only exists after entropy coding. With the default
+// me_lambda = 0 (the paper's pure-SAD search) the cost ignores the
+// predictor entirely and bitstreams are unchanged.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codec/encoder.hpp"
+#include "me/types.hpp"
+
+namespace acbm::util {
+class ThreadPool;
+}
+
+namespace acbm::codec {
+
+class EncoderPipeline {
+ public:
+  /// `encoder` must outlive the pipeline (the Encoder owns it).
+  EncoderPipeline(Encoder& encoder, const ParallelConfig& parallel);
+  ~EncoderPipeline();
+
+  EncoderPipeline(const EncoderPipeline&) = delete;
+  EncoderPipeline& operator=(const EncoderPipeline&) = delete;
+
+  /// Runs the stages for one frame and returns its report.
+  FrameReport encode_frame(const video::Frame& src);
+
+  /// Number of ME workers (1 in serial mode).
+  [[nodiscard]] int worker_count() const { return worker_count_; }
+
+ private:
+  void motion_stage(const video::Frame& src, FrameReport& report);
+  void motion_stage_serial(const video::Frame& src);
+  void motion_stage_wavefront(const video::Frame& src);
+  [[nodiscard]] me::EstimateResult estimate_block(
+      me::MotionEstimator& estimator, const video::Frame& src, int bx,
+      int by) const;
+
+  void mode_stage(const video::Frame& src);
+  void mode_stage_rows(const video::Frame& src, int row_begin, int row_end);
+
+  void entropy_stage(const video::Frame& src, bool intra_frame,
+                     Encoder::MbBitCounters& counters, FrameReport& report);
+
+  /// Clones the primary estimator once per worker (lazily, so callers may
+  /// still configure the estimator between Encoder construction and the
+  /// first encoded frame).
+  void ensure_workers();
+
+  Encoder& enc_;
+  int worker_count_ = 1;
+  std::vector<std::unique_ptr<me::MotionEstimator>> workers_;
+  // Declared after workers_ so destruction joins the pool threads before
+  // the per-worker estimators they may still reference go away.
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null in serial mode
+
+  // Per-frame stage outputs, indexed by by * mbs_x + bx.
+  std::vector<me::EstimateResult> me_results_;
+  std::vector<std::uint8_t> use_intra_;  ///< heuristic mode decisions
+};
+
+}  // namespace acbm::codec

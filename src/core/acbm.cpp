@@ -1,5 +1,8 @@
 #include "core/acbm.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "me/sad.hpp"
 
 namespace acbm::core {
@@ -17,6 +20,7 @@ me::EstimateResult Acbm::estimate(const me::BlockContext& ctx) {
   const me::EstimateResult pbm = pbm_.estimate(ctx);
 
   BlockDecision decision;
+  decision.frame = ctx.frame;
   decision.bx = ctx.bx;
   decision.by = ctx.by;
   decision.intra_sad = texture;
@@ -71,6 +75,41 @@ me::EstimateResult Acbm::estimate(const me::BlockContext& ctx) {
 void Acbm::reset() {
   stats_ = AcbmStats{};
   decision_log_.clear();
+}
+
+std::unique_ptr<me::MotionEstimator> Acbm::clone() const {
+  auto copy = std::make_unique<Acbm>(params_);
+  copy->record_log_ = record_log_;
+  return copy;
+}
+
+void Acbm::merge_stats(me::MotionEstimator& worker) {
+  auto* other = dynamic_cast<Acbm*>(&worker);
+  if (other == nullptr) {
+    throw std::invalid_argument("Acbm::merge_stats: worker is not an Acbm");
+  }
+  if (other == this) {
+    return;
+  }
+  stats_ += other->stats_;
+  if (!other->decision_log_.empty()) {
+    // Both halves are already sorted — this log by construction (estimate()
+    // appends in encode order, prior merges preserve it) and the worker's by
+    // its own raster traversal — so a linear merge keeps the whole log in
+    // (frame, raster) order without re-sorting history every frame.
+    const auto middle_index = decision_log_.size();
+    decision_log_.insert(decision_log_.end(), other->decision_log_.begin(),
+                         other->decision_log_.end());
+    const auto before = [](const BlockDecision& a, const BlockDecision& b) {
+      if (a.frame != b.frame) return a.frame < b.frame;
+      return a.by != b.by ? a.by < b.by : a.bx < b.bx;
+    };
+    std::inplace_merge(decision_log_.begin(),
+                       decision_log_.begin() +
+                           static_cast<std::ptrdiff_t>(middle_index),
+                       decision_log_.end(), before);
+  }
+  other->reset();
 }
 
 }  // namespace acbm::core

@@ -36,6 +36,17 @@ class Acbm final : public me::MotionEstimator {
   /// Clears statistics and the decision log.
   void reset() override;
 
+  /// Copies parameters and the logging flag; statistics and the decision
+  /// log start empty (the clone() contract).
+  [[nodiscard]] std::unique_ptr<me::MotionEstimator> clone() const override;
+
+  /// Adds `worker`'s AcbmStats into this instance's, appends its decision
+  /// log, and clears both from the worker. The merged log is kept sorted in
+  /// (frame, raster) order so it is byte-identical to a serial run's log no
+  /// matter how blocks were partitioned across workers. `worker` must be an
+  /// Acbm (it is checked); anything else throws std::invalid_argument.
+  void merge_stats(me::MotionEstimator& worker) override;
+
   [[nodiscard]] const AcbmParams& params() const { return params_; }
   void set_params(AcbmParams params) { params_ = params; }
 

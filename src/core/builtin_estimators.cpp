@@ -1,0 +1,48 @@
+#include "core/builtin_estimators.hpp"
+
+#include "core/acbm.hpp"
+#include "me/cds.hpp"
+#include "me/decimation.hpp"
+#include "me/ds.hpp"
+#include "me/fss.hpp"
+#include "me/full_search.hpp"
+#include "me/hexbs.hpp"
+#include "me/ntss.hpp"
+#include "me/pbm.hpp"
+#include "me/tss.hpp"
+
+namespace acbm::core {
+
+namespace {
+
+me::EstimatorRegistry make_builtin_registry() {
+  me::EstimatorRegistry registry;
+  // Paper's three first (the order benches and usage strings display).
+  registry.add("ACBM", [] { return std::make_unique<Acbm>(); });
+  registry.add("FSBM", [] { return std::make_unique<me::FullSearch>(); });
+  registry.add("PBM", [] { return std::make_unique<me::Pbm>(); });
+  // Candidate-reduction baselines (paper refs [3–5] family).
+  registry.add("TSS", [] { return std::make_unique<me::Tss>(); });
+  registry.add("NTSS", [] { return std::make_unique<me::Ntss>(); });
+  registry.add("4SS", [] { return std::make_unique<me::Fss>(); });
+  registry.add("DS", [] { return std::make_unique<me::DiamondSearch>(); });
+  registry.add("HEXBS",
+               [] { return std::make_unique<me::HexagonSearch>(); });
+  registry.add("CDS",
+               [] { return std::make_unique<me::CrossDiamondSearch>(); });
+  // Pixel-decimation baselines (paper refs [6–8] family).
+  registry.add("FSBM-adec",
+               [] { return std::make_unique<me::AdaptiveDecimationSearch>(); });
+  registry.add("FSBM-sub",
+               [] { return std::make_unique<me::SubsampledFullSearch>(); });
+  return registry;
+}
+
+}  // namespace
+
+const me::EstimatorRegistry& builtin_estimators() {
+  static const me::EstimatorRegistry registry = make_builtin_registry();
+  return registry;
+}
+
+}  // namespace acbm::core

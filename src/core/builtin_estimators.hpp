@@ -1,0 +1,21 @@
+#pragma once
+// The EstimatorRegistry instance covering every algorithm in this library.
+//
+// Lives in core:: (not me::) because it must name core::Acbm, which itself
+// builds on the me:: search library. Seeding is explicit — no static
+// self-registration, which silently breaks when the linker drops an
+// estimator's object file from a static-library link.
+
+#include "me/registry.hpp"
+
+namespace acbm::core {
+
+/// Registry with the paper's algorithms and this library's baselines,
+/// keyed by the names used in the paper's tables and the bench output:
+/// ACBM, FSBM, PBM, TSS, NTSS, 4SS, DS, HEXBS, CDS, FSBM-adec, FSBM-sub.
+/// ACBM is created with AcbmParams::paper_defaults(); callers needing other
+/// parameters use core::Acbm::set_params on the created instance.
+/// Initialised on first use (thread-safe function-local static).
+[[nodiscard]] const me::EstimatorRegistry& builtin_estimators();
+
+}  // namespace acbm::core

@@ -19,6 +19,7 @@ enum class AcbmOutcome : std::uint8_t {
 
 /// One block's full decision trace (optional; see Acbm::set_record_log).
 struct BlockDecision {
+  int frame = 0;  ///< encode-order frame index (BlockContext::frame)
   int bx = 0;
   int by = 0;
   AcbmOutcome outcome = AcbmOutcome::kAcceptLowActivity;
@@ -49,6 +50,17 @@ struct AcbmStats {
     return blocks > 0
                ? static_cast<double>(critical) / static_cast<double>(blocks)
                : 0.0;
+  }
+
+  /// Counter-wise accumulation; all fields are additive, so merging worker
+  /// partitions in any order yields the same totals as a serial run.
+  AcbmStats& operator+=(const AcbmStats& other) {
+    blocks += other.blocks;
+    accepted_low_activity += other.accepted_low_activity;
+    accepted_good_match += other.accepted_good_match;
+    critical += other.critical;
+    total_positions += other.total_positions;
+    return *this;
   }
 };
 

@@ -15,6 +15,10 @@ class CrossDiamondSearch final : public MotionEstimator {
   EstimateResult estimate(const BlockContext& ctx) override;
 
   [[nodiscard]] std::string_view name() const override { return "CDS"; }
+
+  [[nodiscard]] std::unique_ptr<MotionEstimator> clone() const override {
+    return std::make_unique<CrossDiamondSearch>(*this);
+  }
 };
 
 }  // namespace acbm::me

@@ -53,6 +53,10 @@ class AdaptiveDecimationSearch final : public MotionEstimator {
 
   [[nodiscard]] std::string_view name() const override { return "FSBM-adec"; }
 
+  [[nodiscard]] std::unique_ptr<MotionEstimator> clone() const override {
+    return std::make_unique<AdaptiveDecimationSearch>(*this);
+  }
+
   /// Pattern the thresholds select for a given texture level (exposed for
   /// tests and the ablation bench).
   [[nodiscard]] DecimationPattern pattern_for(std::uint32_t intra_sad,
@@ -72,6 +76,10 @@ class SubsampledFullSearch final : public MotionEstimator {
   EstimateResult estimate(const BlockContext& ctx) override;
 
   [[nodiscard]] std::string_view name() const override { return "FSBM-sub"; }
+
+  [[nodiscard]] std::unique_ptr<MotionEstimator> clone() const override {
+    return std::make_unique<SubsampledFullSearch>(*this);
+  }
 };
 
 }  // namespace acbm::me

@@ -15,6 +15,10 @@ class DiamondSearch final : public MotionEstimator {
   EstimateResult estimate(const BlockContext& ctx) override;
 
   [[nodiscard]] std::string_view name() const override { return "DS"; }
+
+  [[nodiscard]] std::unique_ptr<MotionEstimator> clone() const override {
+    return std::make_unique<DiamondSearch>(*this);
+  }
 };
 
 }  // namespace acbm::me

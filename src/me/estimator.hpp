@@ -5,6 +5,7 @@
 // against MotionEstimator, so FSBM / PBM / ACBM / TSS / 4SS / DS / CDS are
 // interchangeable — exactly the comparison structure of the paper's §4.
 
+#include <memory>
 #include <string_view>
 
 #include "me/cost.hpp"
@@ -39,6 +40,10 @@ struct BlockContext {
   /// Temporal predictors: the previous frame's complete field. May be null.
   const MvField* prev_field = nullptr;
   int qp = 16;              ///< quantiser, consulted by adaptive algorithms
+  /// Display index of the frame being encoded. Purely informational (no
+  /// search decision may depend on it); ACBM stamps it into its decision
+  /// log so logs from parallel workers can be merged back into encode order.
+  int frame = 0;
 };
 
 class MotionEstimator {
@@ -56,6 +61,20 @@ class MotionEstimator {
   /// Clears any cross-frame state (ACBM statistics, etc.). Called between
   /// sequences.
   virtual void reset() {}
+
+  /// Returns an estimator with identical configuration (search parameters,
+  /// logging flags) but FRESH per-sequence state: statistics and decision
+  /// logs start empty. The parallel encoding pipeline clones one estimator
+  /// per worker so concurrent rows never share mutable state; the workers'
+  /// statistics flow back through merge_stats().
+  [[nodiscard]] virtual std::unique_ptr<MotionEstimator> clone() const = 0;
+
+  /// Folds `worker`'s accumulated statistics into this estimator and clears
+  /// them from `worker` (drain semantics, so a worker can be merged after
+  /// every frame without double counting). `worker` must be the same
+  /// concrete type, typically a clone() of this estimator. Stateless
+  /// estimators inherit this no-op.
+  virtual void merge_stats(MotionEstimator& worker) { (void)worker; }
 };
 
 }  // namespace acbm::me

@@ -15,6 +15,10 @@ class Fss final : public MotionEstimator {
   EstimateResult estimate(const BlockContext& ctx) override;
 
   [[nodiscard]] std::string_view name() const override { return "4SS"; }
+
+  [[nodiscard]] std::unique_ptr<MotionEstimator> clone() const override {
+    return std::make_unique<Fss>(*this);
+  }
 };
 
 }  // namespace acbm::me

@@ -47,6 +47,10 @@ class FullSearch final : public MotionEstimator {
     return pattern_ == DecimationPattern::kNone ? "FSBM" : "FSBM-dec";
   }
 
+  [[nodiscard]] std::unique_ptr<MotionEstimator> clone() const override {
+    return std::make_unique<FullSearch>(*this);
+  }
+
  private:
   DecimationPattern pattern_;
 };

@@ -16,6 +16,10 @@ class HexagonSearch final : public MotionEstimator {
   EstimateResult estimate(const BlockContext& ctx) override;
 
   [[nodiscard]] std::string_view name() const override { return "HEXBS"; }
+
+  [[nodiscard]] std::unique_ptr<MotionEstimator> clone() const override {
+    return std::make_unique<HexagonSearch>(*this);
+  }
 };
 
 }  // namespace acbm::me

@@ -20,6 +20,10 @@ class Ntss final : public MotionEstimator {
   EstimateResult estimate(const BlockContext& ctx) override;
 
   [[nodiscard]] std::string_view name() const override { return "NTSS"; }
+
+  [[nodiscard]] std::unique_ptr<MotionEstimator> clone() const override {
+    return std::make_unique<Ntss>(*this);
+  }
 };
 
 }  // namespace acbm::me

@@ -25,6 +25,10 @@ class Pbm final : public MotionEstimator {
 
   [[nodiscard]] std::string_view name() const override { return "PBM"; }
 
+  [[nodiscard]] std::unique_ptr<MotionEstimator> clone() const override {
+    return std::make_unique<Pbm>(*this);
+  }
+
  private:
   int max_descent_iterations_;
 };

@@ -1,0 +1,58 @@
+#include "me/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace acbm::me {
+
+void EstimatorRegistry::add(std::string name, Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("estimator registry: empty name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("estimator registry: null factory for " +
+                                name);
+  }
+  if (contains(name)) {
+    throw std::invalid_argument("estimator registry: duplicate name " + name);
+  }
+  entries_.push_back({std::move(name), std::move(factory)});
+}
+
+bool EstimatorRegistry::contains(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<MotionEstimator> EstimatorRegistry::create(
+    std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return entry.factory();
+    }
+  }
+  std::string message = "unknown estimator \"";
+  message.append(name);
+  message += "\" (registered:";
+  for (const Entry& entry : entries_) {
+    message += ' ';
+    message += entry.name;
+  }
+  message += ')';
+  throw std::invalid_argument(message);
+}
+
+std::vector<std::string> EstimatorRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    result.push_back(entry.name);
+  }
+  return result;
+}
+
+}  // namespace acbm::me

@@ -1,0 +1,56 @@
+#pragma once
+// String-keyed factory for MotionEstimator implementations.
+//
+// Before this existed, every bench, example and the CLI encoder duplicated
+// an 11-way switch to turn an algorithm name into an estimator object. The
+// registry centralises that mapping: construction sites ask for "ACBM" /
+// "FSBM" / ... by name and get a fresh instance, and new algorithms become
+// available everywhere by registering one factory.
+//
+// The registry itself is layer-neutral (it only knows the MotionEstimator
+// interface). The instance pre-populated with every algorithm in this
+// library lives one layer up, in core::builtin_estimators(), because the
+// paper's own contribution (core::Acbm) sits above the me:: search library.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "me/estimator.hpp"
+
+namespace acbm::me {
+
+class EstimatorRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<MotionEstimator>()>;
+
+  /// Registers `factory` under `name`. Throws std::invalid_argument if the
+  /// name is empty or already registered (duplicates are always a bug).
+  void add(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Creates a fresh estimator. Throws std::invalid_argument for unknown
+  /// names; the message lists every registered name so CLI users see their
+  /// options without a separate help path.
+  [[nodiscard]] std::unique_ptr<MotionEstimator> create(
+      std::string_view name) const;
+
+  /// Registered names in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    Factory factory;
+  };
+  // Linear storage: registration order is meaningful (it is the display
+  // order of benches and usage strings) and the set is small.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace acbm::me

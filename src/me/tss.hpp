@@ -18,6 +18,10 @@ class Tss final : public MotionEstimator {
   EstimateResult estimate(const BlockContext& ctx) override;
 
   [[nodiscard]] std::string_view name() const override { return "TSS"; }
+
+  [[nodiscard]] std::unique_ptr<MotionEstimator> clone() const override {
+    return std::make_unique<Tss>(*this);
+  }
 };
 
 }  // namespace acbm::me

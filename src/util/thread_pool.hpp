@@ -1,0 +1,70 @@
+#pragma once
+// A small fixed-size worker pool for the encoder's parallel stages.
+//
+// Design constraints, in order:
+//   1. Determinism support: every pool thread has a stable 0-based index
+//      (worker_index()), so callers can give each worker private state — the
+//      encoding pipeline hands each worker its own cloned MotionEstimator
+//      and merges statistics afterwards.
+//   2. FIFO dispatch: tasks start in submission order. The wavefront
+//      scheduler in codec::EncoderPipeline relies on this to guarantee that
+//      a macroblock row's predecessor row is always running or finished
+//      before the row itself starts (no deadlock in the dependency waits).
+//   3. No task futures or result plumbing — callers use wait_idle() as the
+//      stage barrier and write results into pre-sized arrays.
+//
+// Tasks must not throw: an exception escaping a task would terminate the
+// process (std::terminate via the worker thread). The pipeline's tasks are
+// arithmetic only; anything throwing there is already a bug.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace acbm::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. `threads` < 1 is clamped to 1.
+  explicit ThreadPool(int threads);
+
+  /// Drains the queue (runs every submitted task) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks start in FIFO order.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// 0-based index of the calling pool thread, or -1 when called from a
+  /// thread that does not belong to any ThreadPool.
+  [[nodiscard]] static int worker_index();
+
+  /// Picks a worker count: `requested` if positive, the hardware
+  /// concurrency (at least 1) for 0, and 1 (serial) for negative values.
+  [[nodiscard]] static int resolve_thread_count(int requested);
+
+ private:
+  void worker_loop(int index);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t in_flight_ = 0;  ///< queued + currently running tasks
+  bool stopping_ = false;
+};
+
+}  // namespace acbm::util

@@ -1,0 +1,246 @@
+// Parallel-encoding determinism: the pipeline's wavefront ME stage must
+// produce byte-identical ACV1 bitstreams at any thread count, for I-only,
+// P-heavy and skip-heavy content, with identical AcbmStats totals after the
+// worker merge — the invariant that makes the thread count a pure
+// throughput knob.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/decoder.hpp"
+#include "codec/encoder.hpp"
+#include "core/acbm.hpp"
+#include "core/builtin_estimators.hpp"
+#include "synth/sequences.hpp"
+
+namespace acbm::codec {
+namespace {
+
+std::vector<video::Frame> test_sequence(const std::string& name, int frames) {
+  synth::SequenceRequest req;
+  req.name = name;
+  req.size = {64, 48};
+  req.frame_count = frames;
+  req.fps = 30;
+  return synth::make_sequence(req);
+}
+
+struct EncodeOutcome {
+  std::vector<std::uint8_t> stream;
+  std::vector<FrameReport> reports;
+  core::AcbmStats acbm_stats;  // zeros unless the estimator was ACBM
+  std::vector<core::BlockDecision> acbm_log;
+};
+
+EncodeOutcome encode_with(const std::vector<video::Frame>& frames,
+                          const std::string& algorithm,
+                          const EncoderConfig& config,
+                          bool record_log = false) {
+  const auto estimator = core::builtin_estimators().create(algorithm);
+  auto* acbm = dynamic_cast<core::Acbm*>(estimator.get());
+  if (acbm != nullptr && record_log) {
+    acbm->set_record_log(true);
+  }
+  Encoder encoder({frames[0].width(), frames[0].height()}, config,
+                  *estimator);
+  EncodeOutcome outcome;
+  for (const video::Frame& frame : frames) {
+    outcome.reports.push_back(encoder.encode_frame(frame));
+  }
+  outcome.stream = encoder.finish();
+  if (acbm != nullptr) {
+    outcome.acbm_stats = acbm->stats();
+    outcome.acbm_log = acbm->decision_log();
+  }
+  return outcome;
+}
+
+void expect_reports_identical(const std::vector<FrameReport>& a,
+                              const std::vector<FrameReport>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bits, b[i].bits) << "frame " << i;
+    EXPECT_EQ(a[i].me_positions, b[i].me_positions) << "frame " << i;
+    EXPECT_EQ(a[i].full_search_blocks, b[i].full_search_blocks)
+        << "frame " << i;
+    EXPECT_EQ(a[i].intra_mbs, b[i].intra_mbs) << "frame " << i;
+    EXPECT_EQ(a[i].inter_mbs, b[i].inter_mbs) << "frame " << i;
+    EXPECT_EQ(a[i].skip_mbs, b[i].skip_mbs) << "frame " << i;
+    EXPECT_DOUBLE_EQ(a[i].psnr_y, b[i].psnr_y) << "frame " << i;
+  }
+}
+
+TEST(ParallelEncode, PHeavyBitstreamIdenticalAcrossThreadCounts) {
+  const auto frames = test_sequence("foreman", 8);
+  EncoderConfig config;
+  config.qp = 16;
+  const EncodeOutcome serial = encode_with(frames, "ACBM", config);
+  ASSERT_GT(serial.stream.size(), 0u);
+
+  for (int threads : {2, 4}) {
+    EncoderConfig parallel = config;
+    parallel.parallel.threads = threads;
+    const EncodeOutcome outcome = encode_with(frames, "ACBM", parallel);
+    EXPECT_EQ(outcome.stream, serial.stream) << threads << " threads";
+    expect_reports_identical(outcome.reports, serial.reports);
+  }
+}
+
+TEST(ParallelEncode, PbmSpatialPredictorsSurviveWavefront) {
+  // PBM leans hardest on the left/above/above-right predictors — exactly
+  // the entries the wavefront must order correctly.
+  const auto frames = test_sequence("carphone", 8);
+  EncoderConfig config;
+  config.qp = 20;
+  const EncodeOutcome serial = encode_with(frames, "PBM", config);
+  EncoderConfig parallel = config;
+  parallel.parallel.threads = 4;
+  EXPECT_EQ(encode_with(frames, "PBM", parallel).stream, serial.stream);
+}
+
+TEST(ParallelEncode, FsbmBitstreamIdentical) {
+  const auto frames = test_sequence("table", 4);
+  EncoderConfig config;
+  config.qp = 22;
+  config.search_range = 7;  // keep full search affordable in the suite
+  const EncodeOutcome serial = encode_with(frames, "FSBM", config);
+  EncoderConfig parallel = config;
+  parallel.parallel.threads = 3;
+  EXPECT_EQ(encode_with(frames, "FSBM", parallel).stream, serial.stream);
+}
+
+TEST(ParallelEncode, IOnlySequenceIdentical) {
+  const auto frames = test_sequence("carphone", 4);
+  EncoderConfig config;
+  config.qp = 16;
+  config.intra_period = 1;  // every frame intra: ME never runs
+  const EncodeOutcome serial = encode_with(frames, "ACBM", config);
+  EncoderConfig parallel = config;
+  parallel.parallel.threads = 4;
+  const EncodeOutcome outcome = encode_with(frames, "ACBM", parallel);
+  EXPECT_EQ(outcome.stream, serial.stream);
+  for (const FrameReport& report : outcome.reports) {
+    EXPECT_TRUE(report.intra);
+  }
+  EXPECT_EQ(outcome.acbm_stats.blocks, 0u);  // no ME on intra frames
+}
+
+TEST(ParallelEncode, SkipHeavySequenceIdentical) {
+  // miss_america at a coarse quantiser: static studio background, most
+  // macroblocks quantise to COD=1 skips.
+  const auto frames = test_sequence("miss_america", 8);
+  EncoderConfig config;
+  config.qp = 30;
+  const EncodeOutcome serial = encode_with(frames, "ACBM", config);
+
+  int skips = 0;
+  for (const FrameReport& report : serial.reports) {
+    skips += report.skip_mbs;
+  }
+  EXPECT_GT(skips, 0) << "scenario should actually exercise the skip path";
+
+  EncoderConfig parallel = config;
+  parallel.parallel.threads = 4;
+  const EncodeOutcome outcome = encode_with(frames, "ACBM", parallel);
+  EXPECT_EQ(outcome.stream, serial.stream);
+  expect_reports_identical(outcome.reports, serial.reports);
+}
+
+TEST(ParallelEncode, AcbmStatsTotalsIdenticalAfterMerge) {
+  const auto frames = test_sequence("foreman", 8);
+  EncoderConfig config;
+  config.qp = 18;
+  const EncodeOutcome serial = encode_with(frames, "ACBM", config);
+  EncoderConfig parallel = config;
+  parallel.parallel.threads = 4;
+  const EncodeOutcome outcome = encode_with(frames, "ACBM", parallel);
+
+  EXPECT_GT(serial.acbm_stats.blocks, 0u);
+  EXPECT_EQ(outcome.acbm_stats.blocks, serial.acbm_stats.blocks);
+  EXPECT_EQ(outcome.acbm_stats.total_positions,
+            serial.acbm_stats.total_positions);
+  EXPECT_EQ(outcome.acbm_stats.accepted_low_activity,
+            serial.acbm_stats.accepted_low_activity);
+  EXPECT_EQ(outcome.acbm_stats.accepted_good_match,
+            serial.acbm_stats.accepted_good_match);
+  EXPECT_EQ(outcome.acbm_stats.critical, serial.acbm_stats.critical);
+}
+
+TEST(ParallelEncode, AcbmDecisionLogIdenticalAfterMerge) {
+  const auto frames = test_sequence("foreman", 4);
+  EncoderConfig config;
+  config.qp = 18;
+  const EncodeOutcome serial =
+      encode_with(frames, "ACBM", config, /*record_log=*/true);
+  EncoderConfig parallel = config;
+  parallel.parallel.threads = 3;
+  const EncodeOutcome outcome =
+      encode_with(frames, "ACBM", parallel, /*record_log=*/true);
+
+  ASSERT_GT(serial.acbm_log.size(), 0u);
+  ASSERT_EQ(outcome.acbm_log.size(), serial.acbm_log.size());
+  for (std::size_t i = 0; i < serial.acbm_log.size(); ++i) {
+    const core::BlockDecision& a = serial.acbm_log[i];
+    const core::BlockDecision& b = outcome.acbm_log[i];
+    EXPECT_EQ(a.frame, b.frame) << i;
+    EXPECT_EQ(a.bx, b.bx) << i;
+    EXPECT_EQ(a.by, b.by) << i;
+    EXPECT_EQ(a.outcome, b.outcome) << i;
+    EXPECT_EQ(a.intra_sad, b.intra_sad) << i;
+    EXPECT_EQ(a.pbm_sad, b.pbm_sad) << i;
+    EXPECT_EQ(a.final_mv, b.final_mv) << i;
+    EXPECT_EQ(a.positions, b.positions) << i;
+  }
+}
+
+TEST(ParallelEncode, RateDistortionModeIdentical) {
+  const auto frames = test_sequence("carphone", 6);
+  EncoderConfig config;
+  config.qp = 20;
+  config.mode_decision = ModeDecision::kRateDistortion;
+  const EncodeOutcome serial = encode_with(frames, "PBM", config);
+  EncoderConfig parallel = config;
+  parallel.parallel.threads = 3;
+  EXPECT_EQ(encode_with(frames, "PBM", parallel).stream, serial.stream);
+}
+
+TEST(ParallelEncode, AutoThreadCountIdentical) {
+  const auto frames = test_sequence("foreman", 4);
+  EncoderConfig config;
+  config.qp = 16;
+  const EncodeOutcome serial = encode_with(frames, "ACBM", config);
+  EncoderConfig parallel = config;
+  parallel.parallel.threads = 0;  // one worker per hardware thread
+  EXPECT_EQ(encode_with(frames, "ACBM", parallel).stream, serial.stream);
+}
+
+TEST(ParallelEncode, NonDeterministicFlagStillBitExactToday) {
+  // ParallelConfig::deterministic = false is an API reservation; the
+  // wavefront scheduler currently stays bit-exact either way.
+  const auto frames = test_sequence("foreman", 4);
+  EncoderConfig config;
+  config.qp = 16;
+  const EncodeOutcome serial = encode_with(frames, "ACBM", config);
+  EncoderConfig parallel = config;
+  parallel.parallel.threads = 4;
+  parallel.parallel.deterministic = false;
+  EXPECT_EQ(encode_with(frames, "ACBM", parallel).stream, serial.stream);
+}
+
+TEST(ParallelEncode, ParallelStreamDecodes) {
+  const auto frames = test_sequence("foreman", 6);
+  EncoderConfig config;
+  config.qp = 16;
+  config.parallel.threads = 4;
+  const EncodeOutcome outcome = encode_with(frames, "ACBM", config);
+
+  Decoder decoder(outcome.stream);
+  const std::vector<video::Frame> decoded = decoder.decode_all();
+  EXPECT_EQ(decoded.size(), frames.size());
+}
+
+}  // namespace
+}  // namespace acbm::codec

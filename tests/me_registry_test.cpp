@@ -1,0 +1,211 @@
+// EstimatorRegistry: lookup, unknown-name error, registration discipline,
+// and the clone()/merge_stats() contract — in particular that ACBM clones
+// share parameters but never statistics.
+
+#include "me/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/acbm.hpp"
+#include "core/builtin_estimators.hpp"
+#include "me/pbm.hpp"
+#include "test_support.hpp"
+
+namespace acbm {
+namespace {
+
+using acbm::test::SearchFixture;
+using acbm::test::shifted_pair;
+
+// ------------------------------------------------------ registry mechanics
+
+TEST(EstimatorRegistry, BuiltinsCoverEveryAlgorithm) {
+  const me::EstimatorRegistry& registry = core::builtin_estimators();
+  const std::vector<std::string> expected = {
+      "ACBM", "FSBM", "PBM",   "TSS",       "NTSS",    "4SS",
+      "DS",   "HEXBS", "CDS", "FSBM-adec", "FSBM-sub"};
+  EXPECT_EQ(registry.names(), expected);
+  EXPECT_EQ(registry.size(), expected.size());
+}
+
+TEST(EstimatorRegistry, CreateReturnsEstimatorWithMatchingName) {
+  const me::EstimatorRegistry& registry = core::builtin_estimators();
+  for (const std::string& name : registry.names()) {
+    const auto estimator = registry.create(name);
+    ASSERT_NE(estimator, nullptr) << name;
+    EXPECT_EQ(estimator->name(), name);
+  }
+}
+
+TEST(EstimatorRegistry, CreateReturnsFreshInstances) {
+  const me::EstimatorRegistry& registry = core::builtin_estimators();
+  const auto a = registry.create("ACBM");
+  const auto b = registry.create("ACBM");
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(EstimatorRegistry, UnknownNameThrowsAndListsOptions) {
+  const me::EstimatorRegistry& registry = core::builtin_estimators();
+  EXPECT_FALSE(registry.contains("UMHEX"));
+  try {
+    (void)registry.create("UMHEX");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("UMHEX"), std::string::npos);
+    EXPECT_NE(message.find("ACBM"), std::string::npos);  // lists options
+  }
+}
+
+TEST(EstimatorRegistry, DuplicateAndEmptyRegistrationsThrow) {
+  me::EstimatorRegistry registry;
+  registry.add("PBM", [] { return std::make_unique<me::Pbm>(); });
+  EXPECT_TRUE(registry.contains("PBM"));
+  EXPECT_THROW(
+      registry.add("PBM", [] { return std::make_unique<me::Pbm>(); }),
+      std::invalid_argument);
+  EXPECT_THROW(registry.add("", [] { return std::make_unique<me::Pbm>(); }),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add("X", nullptr), std::invalid_argument);
+}
+
+TEST(EstimatorRegistry, CustomRegistryCreates) {
+  me::EstimatorRegistry registry;
+  registry.add("mine", [] { return std::make_unique<me::Pbm>(); });
+  const auto estimator = registry.create("mine");
+  EXPECT_EQ(estimator->name(), "PBM");
+}
+
+// ----------------------------------------------------------- clone contract
+
+TEST(EstimatorClone, EveryBuiltinClonesToSameAlgorithm) {
+  const me::EstimatorRegistry& registry = core::builtin_estimators();
+  for (const std::string& name : registry.names()) {
+    const auto original = registry.create(name);
+    const auto copy = original->clone();
+    ASSERT_NE(copy, nullptr) << name;
+    EXPECT_NE(copy.get(), original.get()) << name;
+    EXPECT_EQ(copy->name(), original->name()) << name;
+  }
+}
+
+TEST(EstimatorClone, AcbmClonePreservesParamsAndLogFlag) {
+  core::Acbm acbm(core::AcbmParams{123.0, 4.5, 0.5});
+  acbm.set_record_log(true);
+  const auto copy = acbm.clone();
+  auto* cloned = dynamic_cast<core::Acbm*>(copy.get());
+  ASSERT_NE(cloned, nullptr);
+  EXPECT_DOUBLE_EQ(cloned->params().alpha, 123.0);
+  EXPECT_DOUBLE_EQ(cloned->params().beta, 4.5);
+  EXPECT_DOUBLE_EQ(cloned->params().gamma, 0.5);
+
+  auto [ref, cur] = shifted_pair(96, 96, 14, 14, 31);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+  (void)cloned->estimate(fx.context(32, 32));
+  EXPECT_EQ(cloned->decision_log().size(), 1u);  // flag was copied
+}
+
+TEST(EstimatorClone, AcbmStatsDoNotLeakBetweenClones) {
+  auto [ref, cur] = shifted_pair(96, 96, 14, 14, 32);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+
+  core::Acbm original;
+  (void)original.estimate(fx.context(32, 32));
+  ASSERT_EQ(original.stats().blocks, 1u);
+
+  // A clone taken from a used estimator starts from zero.
+  const auto copy = original.clone();
+  auto* cloned = dynamic_cast<core::Acbm*>(copy.get());
+  ASSERT_NE(cloned, nullptr);
+  EXPECT_EQ(cloned->stats().blocks, 0u);
+  EXPECT_EQ(cloned->stats().total_positions, 0u);
+
+  // Running the clone leaves the original untouched, and vice versa.
+  (void)cloned->estimate(fx.context(32, 32));
+  (void)cloned->estimate(fx.context(48, 48));
+  EXPECT_EQ(original.stats().blocks, 1u);
+  EXPECT_EQ(cloned->stats().blocks, 2u);
+}
+
+// ------------------------------------------------------------- merge_stats
+
+TEST(MergeStats, DefaultIsNoOpForStatelessEstimators) {
+  me::Pbm primary;
+  const auto worker = primary.clone();
+  primary.merge_stats(*worker);  // must not throw
+  SUCCEED();
+}
+
+TEST(MergeStats, AcbmTotalsAreSumOfWorkerPartitions) {
+  auto [ref, cur] = shifted_pair(96, 96, 14, 14, 33);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+
+  core::Acbm primary;
+  const auto w1 = primary.clone();
+  const auto w2 = primary.clone();
+  auto* worker1 = dynamic_cast<core::Acbm*>(w1.get());
+  auto* worker2 = dynamic_cast<core::Acbm*>(w2.get());
+  ASSERT_NE(worker1, nullptr);
+  ASSERT_NE(worker2, nullptr);
+
+  (void)worker1->estimate(fx.context(16, 16));
+  (void)worker1->estimate(fx.context(32, 32));
+  (void)worker2->estimate(fx.context(48, 48));
+  const std::uint64_t expected_positions =
+      worker1->stats().total_positions + worker2->stats().total_positions;
+  const std::uint64_t expected_critical =
+      worker1->stats().critical + worker2->stats().critical;
+
+  primary.merge_stats(*worker1);
+  primary.merge_stats(*worker2);
+
+  EXPECT_EQ(primary.stats().blocks, 3u);
+  EXPECT_EQ(primary.stats().total_positions, expected_positions);
+  EXPECT_EQ(primary.stats().critical, expected_critical);
+
+  // Drain semantics: merging again must not double count.
+  EXPECT_EQ(worker1->stats().blocks, 0u);
+  EXPECT_EQ(worker2->stats().blocks, 0u);
+  primary.merge_stats(*worker1);
+  EXPECT_EQ(primary.stats().blocks, 3u);
+}
+
+TEST(MergeStats, AcbmMergeSortsDecisionLogIntoEncodeOrder) {
+  auto [ref, cur] = shifted_pair(96, 96, 3, 2, 34);
+  const SearchFixture fx(std::move(ref), std::move(cur));
+
+  core::Acbm primary;
+  primary.set_record_log(true);
+  const auto w1 = primary.clone();
+  const auto w2 = primary.clone();
+  auto* worker1 = dynamic_cast<core::Acbm*>(w1.get());
+  auto* worker2 = dynamic_cast<core::Acbm*>(w2.get());
+
+  // Worker 2 handles row 1, worker 1 handles row 0; merge in worker order
+  // must still yield raster order.
+  me::BlockContext row1 = fx.context(32, 32);
+  row1.bx = 0;
+  row1.by = 1;
+  (void)worker2->estimate(row1);
+  me::BlockContext row0 = fx.context(16, 16);
+  row0.bx = 1;
+  row0.by = 0;
+  (void)worker1->estimate(row0);
+
+  primary.merge_stats(*worker2);
+  primary.merge_stats(*worker1);
+  ASSERT_EQ(primary.decision_log().size(), 2u);
+  EXPECT_EQ(primary.decision_log()[0].by, 0);
+  EXPECT_EQ(primary.decision_log()[1].by, 1);
+}
+
+TEST(MergeStats, AcbmRejectsForeignWorkerType) {
+  core::Acbm acbm;
+  me::Pbm pbm;
+  EXPECT_THROW(acbm.merge_stats(pbm), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace acbm

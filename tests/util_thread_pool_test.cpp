@@ -1,0 +1,109 @@
+// util::ThreadPool: task completion, the wait_idle() barrier, stable worker
+// indices, FIFO dispatch, and thread-count resolution — the properties the
+// parallel encoding pipeline is built on.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace acbm::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, SizeClampsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  ThreadPool pool2(3);
+  EXPECT_EQ(pool2.size(), 3);
+}
+
+TEST(ThreadPool, WaitIdleWithoutTasksReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not block
+  SUCCEED();
+}
+
+TEST(ThreadPool, WaitIdleIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (batch + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, WorkerIndicesAreStableAndInRange) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::set<int> seen;
+  for (int i = 0; i < 60; ++i) {
+    pool.submit([&] {
+      const int index = ThreadPool::worker_index();
+      const std::lock_guard<std::mutex> lock(m);
+      seen.insert(index);
+    });
+  }
+  pool.wait_idle();
+  for (int index : seen) {
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, pool.size());
+  }
+}
+
+TEST(ThreadPool, WorkerIndexOutsidePoolIsMinusOne) {
+  EXPECT_EQ(ThreadPool::worker_index(), -1);
+}
+
+TEST(ThreadPool, SingleThreadExecutesInSubmissionOrder) {
+  // FIFO dispatch is part of the contract (the wavefront scheduler depends
+  // on it); with one worker, dispatch order IS completion order.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must still run everything.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::resolve_thread_count(5), 5);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(1), 1);
+  EXPECT_GE(ThreadPool::resolve_thread_count(0), 1);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(-2), 1);  // degrade to serial
+}
+
+}  // namespace
+}  // namespace acbm::util
