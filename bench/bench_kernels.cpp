@@ -3,10 +3,22 @@
 // search algorithms per block, DCT, and whole-encoder throughput. Not a
 // paper artefact; used to sanity-check that the position counts in Table 1
 // translate into real time.
+//
+// The BM_SadKernel/* family is registered once per compiled-and-supported
+// SIMD variant (scalar, sse2, avx2) and calls that variant's table directly,
+// so one run reports per-variant throughput side by side — the measurement
+// behind docs/BENCHMARKING.md's kernel speedup table. Everything else goes
+// through me::sad_block and friends, i.e. the globally selected table:
+// `--kernel=scalar|sse2|avx2|auto` (parsed here before google-benchmark's
+// own flags) pins it for A/B runs of the search and encoder benchmarks.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "analysis/rd_sweep.hpp"
 #include "codec/dct.hpp"
@@ -16,6 +28,7 @@
 #include "me/full_search.hpp"
 #include "me/pbm.hpp"
 #include "me/sad.hpp"
+#include "simd/dispatch.hpp"
 #include "synth/sequences.hpp"
 #include "util/rng.hpp"
 #include "video/interp.hpp"
@@ -35,6 +48,73 @@ video::Plane bench_plane(int w, int h, std::uint64_t seed) {
   p.extend_border();
   return p;
 }
+
+// ------------------------------------------------------ per-variant kernels
+
+/// Full-block 16×16 SAD straight through one variant's table entry.
+/// bytes/s across the BM_SadKernel/<variant> rows is the per-variant
+/// throughput comparison (256 block bytes per call).
+void sad_kernel_variant(benchmark::State& state, const simd::SadKernels* k) {
+  const video::Plane a = bench_plane(176, 144, 1);
+  const video::Plane b = bench_plane(176, 144, 2);
+  int offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        k->sad(a.row(32) + 32, a.stride(), b.row(32) + 32 + (offset & 7),
+               b.stride(), 16, 16, me::kNoEarlyExit));
+    ++offset;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 256);
+}
+
+void sad_kernel_early_exit_variant(benchmark::State& state,
+                                   const simd::SadKernels* k) {
+  const video::Plane a = bench_plane(176, 144, 3);
+  const video::Plane b = bench_plane(176, 144, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k->sad(a.row(32) + 32, a.stride(),
+                                    b.row(34) + 36, b.stride(), 16, 16,
+                                    /*early_exit=*/500));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void sad_kernel_quincunx_variant(benchmark::State& state,
+                                 const simd::SadKernels* k) {
+  const video::Plane a = bench_plane(176, 144, 5);
+  const video::Plane b = bench_plane(176, 144, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k->sad_quincunx(a.row(32) + 32, a.stride(),
+                                             b.row(34) + 36, b.stride(), 16,
+                                             16));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 64);  // 4:1 of 256
+}
+
+/// One per-variant registration for every table the build/CPU offers.
+void register_kernel_variant_benchmarks() {
+  for (simd::KernelIsa isa : {simd::KernelIsa::kScalar,
+                              simd::KernelIsa::kSse2,
+                              simd::KernelIsa::kAvx2}) {
+    const simd::SadKernels* k = simd::kernels_for(isa);
+    if (k == nullptr) {
+      continue;
+    }
+    const std::string suffix = k->name;
+    benchmark::RegisterBenchmark(("BM_SadKernel16x16/" + suffix).c_str(),
+                                 sad_kernel_variant, k);
+    benchmark::RegisterBenchmark(
+        ("BM_SadKernelEarlyExit/" + suffix).c_str(),
+        sad_kernel_early_exit_variant, k);
+    benchmark::RegisterBenchmark(
+        ("BM_SadKernelQuincunx/" + suffix).c_str(),
+        sad_kernel_quincunx_variant, k);
+  }
+}
+
+// --------------------------------------------- dispatched-path benchmarks
 
 void BM_Sad16x16(benchmark::State& state) {
   const video::Plane a = bench_plane(176, 144, 1);
@@ -166,4 +246,35 @@ BENCHMARK(BM_EncodeQcifFrame)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: peel our --kernel flag off argv (google-benchmark rejects
+// unknown flags), select the global table, then register the per-variant
+// benchmarks and hand over to the library.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string kernel = "auto";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--kernel=", 9) == 0) {
+      kernel = argv[i] + 9;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!acbm::simd::select_kernels_by_name(kernel)) {
+    std::fprintf(stderr,
+                 "unknown or unavailable --kernel '%s' on this build/CPU "
+                 "(use scalar|sse2|avx2|auto)\n",
+                 kernel.c_str());
+    return 2;
+  }
+  std::printf("dispatched SAD kernel: %s\n",
+              std::string(acbm::simd::active_kernel_name()).c_str());
+  register_kernel_variant_benchmarks();
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

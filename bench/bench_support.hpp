@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/rd_sweep.hpp"
+#include "simd/dispatch.hpp"
 #include "synth/sequences.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
@@ -32,7 +33,21 @@ struct BenchOptions {
   bool quick = false;       ///< reduced workload for smoke runs
   int threads = 1;          ///< ME worker threads (0 = all cores);
                             ///< results are bit-exact at any count
+  std::string kernel = "auto";  ///< SAD kernel variant (process-global
+                                ///< selection; every variant is bit-exact)
 };
+
+/// Joins the kernel names accepted on this build/CPU for usage text.
+inline std::string kernel_names_for_usage() {
+  std::string joined;
+  for (const std::string& name : simd::available_kernel_names()) {
+    if (!joined.empty()) {
+      joined += "|";
+    }
+    joined += name;
+  }
+  return joined;
+}
 
 inline BenchOptions parse_bench_options(int argc, const char* const* argv,
                                         const std::string& name) {
@@ -47,6 +62,10 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
                     "encoder ME worker threads (0 = all cores); output is "
                     "bit-exact at any count",
                     "1");
+  parser.add_option("kernel",
+                    "SAD kernel variant: " + kernel_names_for_usage() +
+                        " (bit-exact; only throughput changes)",
+                    "auto");
   parser.add_flag("quick", "reduced workload (fewer frames and Qp values)");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage(name);
@@ -72,6 +91,12 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
   }
   options.csv_prefix = name;
   options.threads = static_cast<int>(parser.get_int("threads"));
+  options.kernel = parser.get("kernel");
+  if (!simd::select_kernels_by_name(options.kernel)) {
+    std::cerr << "unknown or unavailable --kernel '" << options.kernel
+              << "' (use " << kernel_names_for_usage() << ")\n";
+    std::exit(2);
+  }
   options.quick = parser.get_flag("quick");
   if (options.quick) {
     options.frames = std::min(options.frames, 12);
@@ -179,7 +204,8 @@ inline void run_rd_figure_bench(const std::string& bench_name, int fps,
   std::cout << bench_name << ": " << options.size_label << " @ " << fps
             << " fps, " << options.frames
             << " frames, p = " << options.search_range
-            << ", ACBM(alpha=1000, beta=8, gamma=0.25)\n";
+            << ", ACBM(alpha=1000, beta=8, gamma=0.25), SAD kernel "
+            << simd::active_kernel_name() << "\n";
 
   for (const auto& name : synth::standard_sequence_names()) {
     const auto frames =

@@ -17,6 +17,7 @@
 #include "codec/encoder.hpp"
 #include "codec/rate_control.hpp"
 #include "core/builtin_estimators.hpp"
+#include "simd/dispatch.hpp"
 #include "synth/sequences.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
@@ -50,6 +51,10 @@ int main(int argc, char** argv) {
   parser.add_option("threads",
                     "worker threads for motion estimation (0 = all cores)",
                     "1");
+  parser.add_option("kernel",
+                    "SAD kernel variant: scalar|sse2|avx2|auto (bit-exact; "
+                    "only throughput changes)",
+                    "auto");
   parser.add_option("out", "output bitstream path", "out.acv");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage("acbm_enc");
@@ -61,6 +66,11 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!simd::select_kernels_by_name(parser.get("kernel"))) {
+      std::cerr << "unknown or unavailable --kernel '" << parser.get("kernel")
+                << "' on this build/CPU (use scalar|sse2|avx2|auto)\n";
+      return 2;
+    }
     const int fps = static_cast<int>(parser.get_int("fps"));
     const auto max_frames =
         static_cast<std::size_t>(parser.get_int("frames"));
@@ -145,7 +155,8 @@ int main(int argc, char** argv) {
     const double n = static_cast<double>(frames.size());
     std::cout << "encoded " << frames.size() << " frames ("
               << frames[0].width() << "x" << frames[0].height() << ") with "
-              << estimator->name() << "\n  "
+              << estimator->name() << " (SAD kernel "
+              << simd::active_kernel_name() << ")\n  "
               << util::CsvWriter::num(static_cast<double>(bits) * fps / n /
                                           1000.0, 1)
               << " kbit/s, PSNR-Y " << util::CsvWriter::num(psnr / n, 2)

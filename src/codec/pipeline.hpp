@@ -53,19 +53,31 @@ class ThreadPool;
 
 namespace acbm::codec {
 
+/// @brief The staged per-frame encoder described above; owned by
+/// codec::Encoder and driven once per encode_frame call.
+///
+/// The ME stage's SAD arithmetic routes through the runtime-dispatched
+/// kernel table (simd/dispatch.hpp); every worker reads the same table, so
+/// the (kernel × thread-count) grid is one bitstream equivalence class.
 class EncoderPipeline {
  public:
-  /// `encoder` must outlive the pipeline (the Encoder owns it).
+  /// @brief Binds the pipeline to its encoder and sizes the worker pool.
+  /// @param encoder must outlive the pipeline (the Encoder owns it)
+  /// @param parallel thread-count/determinism knobs; threads == 1 builds
+  ///        no pool and runs every stage serially
   EncoderPipeline(Encoder& encoder, const ParallelConfig& parallel);
   ~EncoderPipeline();
 
   EncoderPipeline(const EncoderPipeline&) = delete;
   EncoderPipeline& operator=(const EncoderPipeline&) = delete;
 
-  /// Runs the stages for one frame and returns its report.
+  /// @brief Runs the three stages for one frame.
+  /// @param src the source frame (any dimensions matching the encoder's
+  ///        configured picture size)
+  /// @return the frame's bit count, PSNR and per-mode macroblock tallies
   FrameReport encode_frame(const video::Frame& src);
 
-  /// Number of ME workers (1 in serial mode).
+  /// @return number of ME workers (1 in serial mode).
   [[nodiscard]] int worker_count() const { return worker_count_; }
 
  private:

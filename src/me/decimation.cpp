@@ -5,6 +5,7 @@
 #include "me/halfpel.hpp"
 #include "me/sad.hpp"
 #include "me/search_support.hpp"
+#include "simd/dispatch.hpp"
 
 namespace acbm::me {
 
@@ -23,36 +24,21 @@ int decimated_sample_count(DecimationPattern pattern, int bw, int bh) {
 std::uint32_t sad_block_decimated(const video::Plane& cur, int cx, int cy,
                                   const video::Plane& ref, int rx, int ry,
                                   int bw, int bh, DecimationPattern pattern) {
-  std::uint32_t total = 0;
+  // The sampling lattices themselves (quincunx = Liu–Zaccarin pattern A,
+  // row-skip = Chan & Siu) are specified in simd/sad_kernels.hpp; every
+  // kernel variant reproduces them bit-exactly.
+  const simd::SadKernels& k = simd::active_kernels();
   switch (pattern) {
     case DecimationPattern::kNone:
       return sad_block(cur, cx, cy, ref, rx, ry, bw, bh);
     case DecimationPattern::kQuincunx4to1:
-      // One sample per 2×2 cell (every other column of every other row),
-      // with the column phase alternating between sampled rows so the kept
-      // samples form a quincunx lattice (Liu–Zaccarin pattern A).
-      for (int y = 0; y < bh; y += 2) {
-        const int phase = (y >> 1) & 1;
-        const std::uint8_t* a = cur.row(cy + y) + cx;
-        const std::uint8_t* b = ref.row(ry + y) + rx;
-        for (int x = phase; x < bw; x += 2) {
-          total += static_cast<std::uint32_t>(
-              std::abs(static_cast<int>(a[x]) - static_cast<int>(b[x])));
-        }
-      }
-      return total;
+      return k.sad_quincunx(cur.row(cy) + cx, cur.stride(), ref.row(ry) + rx,
+                            ref.stride(), bw, bh);
     case DecimationPattern::kRowSkip2to1:
-      for (int y = 0; y < bh; y += 2) {
-        const std::uint8_t* a = cur.row(cy + y) + cx;
-        const std::uint8_t* b = ref.row(ry + y) + rx;
-        for (int x = 0; x < bw; ++x) {
-          total += static_cast<std::uint32_t>(
-              std::abs(static_cast<int>(a[x]) - static_cast<int>(b[x])));
-        }
-      }
-      return total;
+      return k.sad_rowskip(cur.row(cy) + cx, cur.stride(), ref.row(ry) + rx,
+                           ref.stride(), bw, bh);
   }
-  return total;
+  return 0;
 }
 
 DecimationPattern AdaptiveDecimationSearch::pattern_for(

@@ -17,8 +17,13 @@
 
 namespace acbm::me {
 
-/// Everything an algorithm may consult to estimate one block's vector.
-/// Pointers reference caller-owned data and must outlive the call.
+/// @brief Everything an algorithm may consult to estimate one block's
+/// vector.
+///
+/// Pointers reference caller-owned data and must outlive the call. The
+/// struct is assembled per macroblock by the encoder pipeline (or by a
+/// bench/test harness) and passed by const reference, so estimators never
+/// own or mutate frame state.
 struct BlockContext {
   const video::Plane* cur = nullptr;          ///< current luma plane
   const video::HalfpelPlanes* ref = nullptr;  ///< interpolated reference
@@ -46,34 +51,53 @@ struct BlockContext {
   int frame = 0;
 };
 
+/// @brief The interface every motion-search algorithm implements.
+///
+/// Implementations are interchangeable across the encoder, the benches and
+/// the characterization harness. Construction normally goes through
+/// me::EstimatorRegistry / core::builtin_estimators(); every SAD an
+/// implementation computes routes through me::sad_block* and therefore the
+/// runtime-dispatched SIMD kernel table (simd/dispatch.hpp).
 class MotionEstimator {
  public:
   virtual ~MotionEstimator() = default;
 
-  /// Estimates the motion vector for one block. Implementations must count
-  /// every SAD evaluation in EstimateResult::positions — Table 1 of the
-  /// paper is regenerated from these counters.
+  /// @brief Estimates the motion vector for one block.
+  ///
+  /// Implementations must count every SAD evaluation in
+  /// EstimateResult::positions — Table 1 of the paper is regenerated from
+  /// these counters, and they must not depend on thread count or kernel
+  /// variant.
+  ///
+  /// @param ctx caller-owned per-block inputs (see BlockContext)
+  /// @return the chosen vector plus its SAD and the evaluation count
   virtual EstimateResult estimate(const BlockContext& ctx) = 0;
 
-  /// Stable identifier used in bench output ("FSBM", "PBM", "ACBM", ...).
+  /// @brief Stable identifier used in bench output and as the registry key
+  /// ("FSBM", "PBM", "ACBM", ...).
   [[nodiscard]] virtual std::string_view name() const = 0;
 
-  /// Clears any cross-frame state (ACBM statistics, etc.). Called between
-  /// sequences.
+  /// @brief Clears any cross-frame state (ACBM statistics, etc.). Called
+  /// between sequences.
   virtual void reset() {}
 
-  /// Returns an estimator with identical configuration (search parameters,
-  /// logging flags) but FRESH per-sequence state: statistics and decision
-  /// logs start empty. The parallel encoding pipeline clones one estimator
-  /// per worker so concurrent rows never share mutable state; the workers'
-  /// statistics flow back through merge_stats().
+  /// @brief Returns an estimator with identical configuration (search
+  /// parameters, logging flags) but FRESH per-sequence state: statistics
+  /// and decision logs start empty.
+  ///
+  /// The parallel encoding pipeline clones one estimator per worker so
+  /// concurrent rows never share mutable state; the workers' statistics
+  /// flow back through merge_stats().
   [[nodiscard]] virtual std::unique_ptr<MotionEstimator> clone() const = 0;
 
-  /// Folds `worker`'s accumulated statistics into this estimator and clears
-  /// them from `worker` (drain semantics, so a worker can be merged after
-  /// every frame without double counting). `worker` must be the same
-  /// concrete type, typically a clone() of this estimator. Stateless
-  /// estimators inherit this no-op.
+  /// @brief Folds `worker`'s accumulated statistics into this estimator
+  /// and clears them from `worker`.
+  ///
+  /// Drain semantics, so a worker can be merged after every frame without
+  /// double counting. Stateless estimators inherit this no-op.
+  ///
+  /// @param worker the same concrete type, typically a clone() of this
+  ///        estimator
   virtual void merge_stats(MotionEstimator& worker) { (void)worker; }
 };
 

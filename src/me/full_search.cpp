@@ -8,7 +8,9 @@ namespace acbm::me {
 namespace {
 
 /// Runs the integer raster scan; leaves `state` positioned at the best
-/// integer candidate.
+/// integer candidate. Every candidate's SAD goes through SearchState and
+/// therefore the dispatched simd::SadKernels table — FSBM is the most
+/// SAD-bound estimator, so it sees the largest --kernel speedup.
 void integer_scan(SearchState& state, const BlockContext& ctx) {
   // Even half-pel coordinates are the integer grid.
   const int min_x = ctx.window.min_x + (ctx.window.min_x & 1);

@@ -22,25 +22,40 @@
 
 namespace acbm::me {
 
+/// @brief String-keyed factory of MotionEstimator instances.
+///
+/// Value-semantic and layer-neutral; the pre-populated instance lives in
+/// core::builtin_estimators(). Not thread-safe for concurrent add(), but
+/// freely shareable for concurrent create() once populated.
 class EstimatorRegistry {
  public:
+  /// Zero-argument constructor of a fresh estimator instance.
   using Factory = std::function<std::unique_ptr<MotionEstimator>()>;
 
-  /// Registers `factory` under `name`. Throws std::invalid_argument if the
-  /// name is empty or already registered (duplicates are always a bug).
+  /// @brief Registers `factory` under `name`.
+  /// @param name non-empty key, conventionally the estimator's name()
+  /// @param factory callable producing a fresh instance per call
+  /// @throws std::invalid_argument if the name is empty or already
+  ///         registered (duplicates are always a bug)
   void add(std::string name, Factory factory);
 
+  /// @return true when `name` has a registered factory.
   [[nodiscard]] bool contains(std::string_view name) const;
 
-  /// Creates a fresh estimator. Throws std::invalid_argument for unknown
-  /// names; the message lists every registered name so CLI users see their
-  /// options without a separate help path.
+  /// @brief Creates a fresh estimator.
+  /// @param name a registered key (case-sensitive)
+  /// @return a new instance from the matching factory
+  /// @throws std::invalid_argument for unknown names; the message lists
+  ///         every registered name so CLI users see their options without
+  ///         a separate help path
   [[nodiscard]] std::unique_ptr<MotionEstimator> create(
       std::string_view name) const;
 
-  /// Registered names in registration order.
+  /// @return registered names in registration order (the display order of
+  ///         benches and usage strings).
   [[nodiscard]] std::vector<std::string> names() const;
 
+  /// @return number of registered factories.
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:

@@ -2,26 +2,16 @@
 
 #include <cstdlib>
 
+#include "simd/dispatch.hpp"
+
 namespace acbm::me {
 
 std::uint32_t sad_block(const video::Plane& cur, int cx, int cy,
                         const video::Plane& ref, int rx, int ry, int bw,
                         int bh, std::uint32_t early_exit) {
-  std::uint32_t total = 0;
-  for (int y = 0; y < bh; ++y) {
-    const std::uint8_t* a = cur.row(cy + y) + cx;
-    const std::uint8_t* b = ref.row(ry + y) + rx;
-    std::uint32_t row_sum = 0;
-    for (int x = 0; x < bw; ++x) {
-      row_sum += static_cast<std::uint32_t>(
-          std::abs(static_cast<int>(a[x]) - static_cast<int>(b[x])));
-    }
-    total += row_sum;
-    if (total > early_exit) {
-      return total;
-    }
-  }
-  return total;
+  const simd::SadKernels& k = simd::active_kernels();
+  return k.sad(cur.row(cy) + cx, cur.stride(), ref.row(ry) + rx, ref.stride(),
+               bw, bh, early_exit);
 }
 
 std::uint32_t sad_block_halfpel(const video::Plane& cur, int cx, int cy,
@@ -32,8 +22,10 @@ std::uint32_t sad_block_halfpel(const video::Plane& cur, int cx, int cy,
   const int phase_v = hy & 1;
   const int rx = (hx - phase_h) >> 1;
   const int ry = (hy - phase_v) >> 1;
-  return sad_block(cur, cx, cy, ref.plane(phase_h, phase_v), rx, ry, bw, bh,
-                   early_exit);
+  const video::Plane& phase = ref.plane(phase_h, phase_v);
+  const simd::SadKernels& k = simd::active_kernels();
+  return k.sad_halfpel(cur.row(cy) + cx, cur.stride(), phase.row(ry) + rx,
+                       phase.stride(), bw, bh, early_exit);
 }
 
 std::uint32_t block_mean(const video::Plane& cur, int cx, int cy, int bw,

@@ -2,8 +2,10 @@
 // Shared best-candidate tracking for all search algorithms.
 //
 // SearchState centralises three concerns every search loop has:
-//   * evaluating a candidate through the single SAD entry point (so the
-//     position counters behind Table 1 cannot drift between algorithms),
+//   * evaluating a candidate through the single SAD entry point — which
+//     routes through the runtime-dispatched SIMD kernel table via
+//     me::sad_block_halfpel — so the position counters behind Table 1
+//     cannot drift between algorithms or kernel variants,
 //   * window membership,
 //   * deterministic tie-breaking (cost, then |mv|∞, then raster order),
 // plus an optional visited-set so pattern searches that revisit points

@@ -1,0 +1,108 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+
+namespace acbm::simd {
+namespace {
+
+// CPUID gates. __builtin_cpu_supports (GCC/Clang) checks OS state too
+// (OSXSAVE/XCR0 for AVX2), so a kernel is only offered where it may legally
+// execute. Non-GNU compilers conservatively report "unsupported" and run the
+// scalar table.
+bool cpu_supports_sse2() {
+#if defined(__x86_64__)
+  return true;  // architectural baseline
+#elif defined(__i386__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("sse2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const SadKernels* best_table() {
+  if (const SadKernels* t = kernels_for(KernelIsa::kAvx2)) {
+    return t;
+  }
+  if (const SadKernels* t = kernels_for(KernelIsa::kSse2)) {
+    return t;
+  }
+  return detail::scalar_kernels();
+}
+
+// Function-local static: thread-safe lazy init, immune to cross-TU static
+// initialization order (me::sad_block may run during another TU's dynamic
+// initialization).
+std::atomic<const SadKernels*>& active_slot() {
+  static std::atomic<const SadKernels*> slot{best_table()};
+  return slot;
+}
+
+}  // namespace
+
+const SadKernels* kernels_for(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return detail::scalar_kernels();
+    case KernelIsa::kSse2:
+      return cpu_supports_sse2() ? detail::sse2_kernels() : nullptr;
+    case KernelIsa::kAvx2:
+      return cpu_supports_avx2() ? detail::avx2_kernels() : nullptr;
+    case KernelIsa::kAuto:
+      return best_table();
+  }
+  return nullptr;
+}
+
+const SadKernels& active_kernels() {
+  return *active_slot().load(std::memory_order_acquire);
+}
+
+bool select_kernels(KernelIsa isa) {
+  const SadKernels* table = kernels_for(isa);
+  if (table == nullptr) {
+    return false;
+  }
+  active_slot().store(table, std::memory_order_release);
+  return true;
+}
+
+bool select_kernels_by_name(std::string_view name) {
+  if (name == "scalar") {
+    return select_kernels(KernelIsa::kScalar);
+  }
+  if (name == "sse2") {
+    return select_kernels(KernelIsa::kSse2);
+  }
+  if (name == "avx2") {
+    return select_kernels(KernelIsa::kAvx2);
+  }
+  if (name == "auto") {
+    return select_kernels(KernelIsa::kAuto);
+  }
+  return false;
+}
+
+std::string_view active_kernel_name() { return active_kernels().name; }
+
+std::vector<std::string> available_kernel_names() {
+  std::vector<std::string> names;
+  for (KernelIsa isa :
+       {KernelIsa::kAvx2, KernelIsa::kSse2, KernelIsa::kScalar}) {
+    if (const SadKernels* t = kernels_for(isa)) {
+      names.emplace_back(t->name);
+    }
+  }
+  names.emplace_back("auto");
+  return names;
+}
+
+}  // namespace acbm::simd

@@ -1,0 +1,236 @@
+// AVX2 variant of the SAD kernel table.
+//
+// The encoder's macroblocks are 16 samples wide — half a 256-bit vector —
+// so the bw == 16 fast paths pack TWO rows into each YMM register and run
+// one VPSADBW per row pair; wider blocks use 32-byte row chunks. Everything
+// funnels through the same row-group early-exit checkpoints as the scalar
+// reference (kEarlyExitRowQuantum is a multiple of the 2-row packing), so
+// results are bit-identical. Compiled with -mavx2 when the CMake feature
+// probe accepts the flag; a nullptr accessor otherwise.
+
+#include "simd/sad_kernels.hpp"
+
+#if !defined(ACBM_DISABLE_SIMD) && defined(__AVX2__) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace acbm::simd {
+namespace {
+
+static_assert(kEarlyExitRowQuantum % 2 == 0,
+              "AVX2 packs two rows per op between early-exit checkpoints");
+
+/// Two independent 16-byte rows packed into one YMM register.
+inline __m256i load_two_rows(const std::uint8_t* r0, const std::uint8_t* r1) {
+  return _mm256_inserti128_si256(
+      _mm256_castsi128_si256(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(r0))),
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(r1)), 1);
+}
+
+inline std::uint32_t hsum_sad128(__m128i v) {
+  const __m128i hi = _mm_srli_si128(v, 8);
+  const __m128i s = _mm_add_epi32(v, hi);
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si32(s));
+}
+
+/// Sums the four 64-bit VPSADBW accumulator lanes.
+inline std::uint32_t hsum_sad256(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  return hsum_sad128(_mm_add_epi32(lo, hi));
+}
+
+inline std::uint32_t row_sad_vec(const std::uint8_t* a, const std::uint8_t* b,
+                                 int bw) {
+  std::uint32_t sum = 0;
+  int x = 0;
+  if (bw >= 32) {
+    __m256i acc = _mm256_setzero_si256();
+    for (; x + 32 <= bw; x += 32) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + x));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + x));
+      acc = _mm256_add_epi64(acc, _mm256_sad_epu8(va, vb));
+    }
+    sum = hsum_sad256(acc);
+  }
+  if (x + 16 <= bw) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + x));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + x));
+    sum += hsum_sad128(_mm_sad_epu8(va, vb));
+    x += 16;
+  }
+  if (x + 8 <= bw) {
+    const __m128i va =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + x));
+    const __m128i vb =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + x));
+    sum += static_cast<std::uint32_t>(_mm_cvtsi128_si32(_mm_sad_epu8(va, vb)));
+    x += 8;
+  }
+  for (; x < bw; ++x) {
+    sum += static_cast<std::uint32_t>(
+        std::abs(static_cast<int>(a[x]) - static_cast<int>(b[x])));
+  }
+  return sum;
+}
+
+std::uint32_t sad_avx2(const std::uint8_t* cur, int cur_stride,
+                       const std::uint8_t* ref, int ref_stride, int bw, int bh,
+                       std::uint32_t early_exit) {
+  std::uint32_t total = 0;
+  int y = 0;
+  if (bw == 16) {
+    while (y < bh) {
+      const int group_end = std::min(y + kEarlyExitRowQuantum, bh);
+      __m256i acc = _mm256_setzero_si256();
+      for (; y + 2 <= group_end; y += 2) {
+        const std::uint8_t* a0 =
+            cur + static_cast<std::ptrdiff_t>(y) * cur_stride;
+        const std::uint8_t* b0 =
+            ref + static_cast<std::ptrdiff_t>(y) * ref_stride;
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(load_two_rows(a0, a0 + cur_stride),
+                                 load_two_rows(b0, b0 + ref_stride)));
+      }
+      total += hsum_sad256(acc);
+      for (; y < group_end; ++y) {  // odd final row of the block
+        total +=
+            row_sad_vec(cur + static_cast<std::ptrdiff_t>(y) * cur_stride,
+                        ref + static_cast<std::ptrdiff_t>(y) * ref_stride, bw);
+      }
+      if (total > early_exit) {
+        return total;
+      }
+    }
+    return total;
+  }
+  while (y < bh) {
+    const int group_end = std::min(y + kEarlyExitRowQuantum, bh);
+    for (; y < group_end; ++y) {
+      total += row_sad_vec(cur + static_cast<std::ptrdiff_t>(y) * cur_stride,
+                           ref + static_cast<std::ptrdiff_t>(y) * ref_stride,
+                           bw);
+    }
+    if (total > early_exit) {
+      return total;
+    }
+  }
+  return total;
+}
+
+inline std::uint32_t row_quincunx_vec(const std::uint8_t* a,
+                                      const std::uint8_t* b, int bw,
+                                      int phase) {
+  const __m128i mask = phase != 0
+                           ? _mm_set1_epi16(static_cast<short>(0xFF00))
+                           : _mm_set1_epi16(0x00FF);
+  std::uint32_t sum = 0;
+  int x = 0;
+  if (bw >= 16) {
+    __m128i acc = _mm_setzero_si128();
+    for (; x + 16 <= bw; x += 16) {
+      const __m128i va = _mm_and_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + x)), mask);
+      const __m128i vb = _mm_and_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + x)), mask);
+      acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+    }
+    sum = hsum_sad128(acc);
+  }
+  for (x += phase; x < bw; x += 2) {
+    sum += static_cast<std::uint32_t>(
+        std::abs(static_cast<int>(a[x]) - static_cast<int>(b[x])));
+  }
+  return sum;
+}
+
+std::uint32_t sad_quincunx_avx2(const std::uint8_t* cur, int cur_stride,
+                                const std::uint8_t* ref, int ref_stride,
+                                int bw, int bh) {
+  std::uint32_t total = 0;
+  int y = 0;
+  if (bw == 16) {
+    // Consecutive sampled rows y, y+2 always carry phases (0, 1), so one
+    // constant YMM mask (even lanes low half, odd lanes high half) covers
+    // every pair.
+    const __m256i mask = _mm256_inserti128_si256(
+        _mm256_castsi128_si256(_mm_set1_epi16(0x00FF)),
+        _mm_set1_epi16(static_cast<short>(0xFF00)), 1);
+    __m256i acc = _mm256_setzero_si256();
+    for (; y + 4 <= bh; y += 4) {
+      const std::uint8_t* a0 =
+          cur + static_cast<std::ptrdiff_t>(y) * cur_stride;
+      const std::uint8_t* b0 =
+          ref + static_cast<std::ptrdiff_t>(y) * ref_stride;
+      const __m256i va =
+          _mm256_and_si256(load_two_rows(a0, a0 + 2 * cur_stride), mask);
+      const __m256i vb =
+          _mm256_and_si256(load_two_rows(b0, b0 + 2 * ref_stride), mask);
+      acc = _mm256_add_epi64(acc, _mm256_sad_epu8(va, vb));
+    }
+    total = hsum_sad256(acc);
+  }
+  for (; y < bh; y += 2) {
+    total += row_quincunx_vec(
+        cur + static_cast<std::ptrdiff_t>(y) * cur_stride,
+        ref + static_cast<std::ptrdiff_t>(y) * ref_stride, bw, (y >> 1) & 1);
+  }
+  return total;
+}
+
+std::uint32_t sad_rowskip_avx2(const std::uint8_t* cur, int cur_stride,
+                               const std::uint8_t* ref, int ref_stride,
+                               int bw, int bh) {
+  std::uint32_t total = 0;
+  int y = 0;
+  if (bw == 16) {
+    __m256i acc = _mm256_setzero_si256();
+    for (; y + 4 <= bh; y += 4) {  // sampled rows y and y+2 per op
+      const std::uint8_t* a0 =
+          cur + static_cast<std::ptrdiff_t>(y) * cur_stride;
+      const std::uint8_t* b0 =
+          ref + static_cast<std::ptrdiff_t>(y) * ref_stride;
+      acc = _mm256_add_epi64(
+          acc, _mm256_sad_epu8(load_two_rows(a0, a0 + 2 * cur_stride),
+                               load_two_rows(b0, b0 + 2 * ref_stride)));
+    }
+    total = hsum_sad256(acc);
+  }
+  for (; y < bh; y += 2) {
+    total += row_sad_vec(cur + static_cast<std::ptrdiff_t>(y) * cur_stride,
+                         ref + static_cast<std::ptrdiff_t>(y) * ref_stride,
+                         bw);
+  }
+  return total;
+}
+
+constexpr SadKernels kAvx2Table = {sad_avx2, sad_avx2, sad_quincunx_avx2,
+                                   sad_rowskip_avx2, "avx2"};
+
+}  // namespace
+
+namespace detail {
+
+const SadKernels* avx2_kernels() { return &kAvx2Table; }
+
+}  // namespace detail
+}  // namespace acbm::simd
+
+#else  // variant compiled out
+
+namespace acbm::simd::detail {
+
+const SadKernels* avx2_kernels() { return nullptr; }
+
+}  // namespace acbm::simd::detail
+
+#endif

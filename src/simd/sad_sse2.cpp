@@ -1,0 +1,155 @@
+// SSE2 variant of the SAD kernel table.
+//
+// One 128-bit PSADBW per 16 samples; rows shorter than a full vector fall
+// back to an 8-byte PSADBW and a scalar tail, so any (bw, bh) is handled and
+// the result is bit-identical to the scalar reference. Compiled with -msse2
+// when the CMake feature probe accepts the flag; compiles to a nullptr
+// accessor otherwise (or under -DACBM_DISABLE_SIMD=ON), so dispatch.cpp can
+// link against this TU unconditionally.
+
+#include "simd/sad_kernels.hpp"
+
+#if !defined(ACBM_DISABLE_SIMD) && defined(__SSE2__) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+#include <emmintrin.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace acbm::simd {
+namespace {
+
+/// Sums the two 64-bit PSADBW accumulator lanes (each < 2^32 for any
+/// realistic block, so 32-bit extraction is safe).
+inline std::uint32_t hsum_sad128(__m128i v) {
+  const __m128i hi = _mm_srli_si128(v, 8);
+  const __m128i s = _mm_add_epi32(v, hi);
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si32(s));
+}
+
+inline std::uint32_t row_sad_sse2(const std::uint8_t* a, const std::uint8_t* b,
+                                  int bw) {
+  std::uint32_t sum = 0;
+  int x = 0;
+  if (bw >= 16) {
+    __m128i acc = _mm_setzero_si128();
+    for (; x + 16 <= bw; x += 16) {
+      const __m128i va =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + x));
+      const __m128i vb =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + x));
+      acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+    }
+    sum = hsum_sad128(acc);
+  }
+  if (x + 8 <= bw) {
+    const __m128i va =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + x));
+    const __m128i vb =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + x));
+    sum += static_cast<std::uint32_t>(_mm_cvtsi128_si32(_mm_sad_epu8(va, vb)));
+    x += 8;
+  }
+  for (; x < bw; ++x) {
+    sum += static_cast<std::uint32_t>(
+        std::abs(static_cast<int>(a[x]) - static_cast<int>(b[x])));
+  }
+  return sum;
+}
+
+std::uint32_t sad_sse2(const std::uint8_t* cur, int cur_stride,
+                       const std::uint8_t* ref, int ref_stride, int bw, int bh,
+                       std::uint32_t early_exit) {
+  std::uint32_t total = 0;
+  int y = 0;
+  while (y < bh) {
+    const int group_end = std::min(y + kEarlyExitRowQuantum, bh);
+    for (; y < group_end; ++y) {
+      total += row_sad_sse2(cur + static_cast<std::ptrdiff_t>(y) * cur_stride,
+                            ref + static_cast<std::ptrdiff_t>(y) * ref_stride,
+                            bw);
+    }
+    if (total > early_exit) {
+      return total;
+    }
+  }
+  return total;
+}
+
+/// Masked PSADBW over one quincunx-sampled row. Zeroing the discarded lanes
+/// in *both* operands makes their |difference| zero, so a full-width PSADBW
+/// sums exactly the kept columns. Chunk origins are multiples of 16 (even),
+/// so lane parity within a chunk equals column parity and one constant mask
+/// per phase covers every chunk.
+inline std::uint32_t row_quincunx_sse2(const std::uint8_t* a,
+                                       const std::uint8_t* b, int bw,
+                                       int phase) {
+  const __m128i mask = phase != 0
+                           ? _mm_set1_epi16(static_cast<short>(0xFF00))
+                           : _mm_set1_epi16(0x00FF);
+  std::uint32_t sum = 0;
+  int x = 0;
+  if (bw >= 16) {
+    __m128i acc = _mm_setzero_si128();
+    for (; x + 16 <= bw; x += 16) {
+      const __m128i va = _mm_and_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + x)), mask);
+      const __m128i vb = _mm_and_si128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + x)), mask);
+      acc = _mm_add_epi64(acc, _mm_sad_epu8(va, vb));
+    }
+    sum = hsum_sad128(acc);
+  }
+  for (x += phase; x < bw; x += 2) {
+    sum += static_cast<std::uint32_t>(
+        std::abs(static_cast<int>(a[x]) - static_cast<int>(b[x])));
+  }
+  return sum;
+}
+
+std::uint32_t sad_quincunx_sse2(const std::uint8_t* cur, int cur_stride,
+                                const std::uint8_t* ref, int ref_stride,
+                                int bw, int bh) {
+  std::uint32_t total = 0;
+  for (int y = 0; y < bh; y += 2) {
+    total += row_quincunx_sse2(
+        cur + static_cast<std::ptrdiff_t>(y) * cur_stride,
+        ref + static_cast<std::ptrdiff_t>(y) * ref_stride, bw, (y >> 1) & 1);
+  }
+  return total;
+}
+
+std::uint32_t sad_rowskip_sse2(const std::uint8_t* cur, int cur_stride,
+                               const std::uint8_t* ref, int ref_stride,
+                               int bw, int bh) {
+  std::uint32_t total = 0;
+  for (int y = 0; y < bh; y += 2) {
+    total += row_sad_sse2(cur + static_cast<std::ptrdiff_t>(y) * cur_stride,
+                          ref + static_cast<std::ptrdiff_t>(y) * ref_stride,
+                          bw);
+  }
+  return total;
+}
+
+constexpr SadKernels kSse2Table = {sad_sse2, sad_sse2, sad_quincunx_sse2,
+                                   sad_rowskip_sse2, "sse2"};
+
+}  // namespace
+
+namespace detail {
+
+const SadKernels* sse2_kernels() { return &kSse2Table; }
+
+}  // namespace detail
+}  // namespace acbm::simd
+
+#else  // variant compiled out
+
+namespace acbm::simd::detail {
+
+const SadKernels* sse2_kernels() { return nullptr; }
+
+}  // namespace acbm::simd::detail
+
+#endif
