@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   const auto options = acbm::bench::parse_bench_options(
-      argc, argv, "bench_fig5_rd_qcif30");
+      argc, argv, "bench_fig5_rd_qcif30", /*supports_json=*/true);
   acbm::bench::run_rd_figure_bench("Figure 5", /*fps=*/30, options);
   return 0;
 }

@@ -8,7 +8,7 @@
 
 int main(int argc, char** argv) {
   const auto options = acbm::bench::parse_bench_options(
-      argc, argv, "bench_fig6_rd_qcif10");
+      argc, argv, "bench_fig6_rd_qcif10", /*supports_json=*/true);
   acbm::bench::run_rd_figure_bench("Figure 6", /*fps=*/10, options);
   return 0;
 }

@@ -224,6 +224,47 @@ void BM_ForwardDct8x8(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardDct8x8);
 
+void BM_EntropyStage(benchmark::State& state) {
+  // Stage-3 (entropy + reconstruction) scaling across slice counts. Intra
+  // frames skip the motion and mode stages entirely, so an intra_period=1
+  // encoder measures the entropy stage almost pure: slices:1 is the serial
+  // legacy path, slices:N runs N independently-predicted slices on N pool
+  // workers. CIF gives the stage enough macroblocks to amortise dispatch.
+  const int slices = static_cast<int>(state.range(0));
+  synth::SequenceRequest req;
+  req.name = "carphone";
+  req.size = video::kCif;
+  req.frame_count = 1;
+  const auto frames = synth::make_sequence(req);
+  core::Acbm acbm;  // never consulted: every frame is intra
+  codec::EncoderConfig cfg;
+  cfg.qp = 16;
+  cfg.intra_period = 1;
+  cfg.slices = slices;
+  cfg.parallel.threads = slices;
+  for (auto _ : state) {
+    // Fresh encoder per iteration, constructed AND destroyed untimed: a
+    // reused one would accumulate the dead bitstream in its writer (buffer
+    // reallocations inside the timed region), and the destructor joins the
+    // slice pool's threads — a cost that grows with the slices arg and
+    // would bias the very scaling this row exists to show.
+    state.PauseTiming();
+    auto enc = std::make_unique<codec::Encoder>(video::kCif, cfg, acbm);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(enc->encode_frame(frames[0]));
+    state.PauseTiming();
+    enc.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EntropyStage)
+    ->ArgName("slices")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_EncodeQcifFrame(benchmark::State& state) {
   // Whole-encoder throughput with ACBM at the paper's operating point.
   synth::SequenceRequest req;

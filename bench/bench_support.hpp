@@ -10,6 +10,7 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/rd_sweep.hpp"
@@ -33,8 +34,12 @@ struct BenchOptions {
   bool quick = false;       ///< reduced workload for smoke runs
   int threads = 1;          ///< ME worker threads (0 = all cores);
                             ///< results are bit-exact at any count
+  int slices = 1;           ///< entropy-coding slices per frame (>1 emits
+                            ///< ACV2 and changes measured rates slightly)
   std::string kernel = "auto";  ///< SAD kernel variant (process-global
                                 ///< selection; every variant is bit-exact)
+  std::string benchmark_out;    ///< when set, also write a
+                                ///< google-benchmark-style JSON report here
 };
 
 /// Joins the kernel names accepted on this build/CPU for usage text.
@@ -49,8 +54,12 @@ inline std::string kernel_names_for_usage() {
   return joined;
 }
 
+/// `supports_json` marks benches that actually emit rows through
+/// JsonBenchReport; the others reject the flags instead of silently
+/// writing nothing.
 inline BenchOptions parse_bench_options(int argc, const char* const* argv,
-                                        const std::string& name) {
+                                        const std::string& name,
+                                        bool supports_json = false) {
   util::ArgParser parser;
   parser.add_option("frames", "frames per sequence", "40");
   parser.add_option("search-range", "FSBM search range p", "15");
@@ -62,6 +71,16 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
                     "encoder ME worker threads (0 = all cores); output is "
                     "bit-exact at any count",
                     "1");
+  parser.add_option("slices",
+                    "entropy-coding slices per frame (1 = legacy ACV1)",
+                    "1");
+  parser.add_option("benchmark_format",
+                    "console (default) or json; json requires "
+                    "--benchmark_out (google-benchmark flag names, so CI "
+                    "drives every bench binary identically)",
+                    "console");
+  parser.add_option("benchmark_out",
+                    "path for the google-benchmark-style JSON report", "");
   parser.add_option("kernel",
                     "SAD kernel variant: " + kernel_names_for_usage() +
                         " (bit-exact; only throughput changes)",
@@ -91,6 +110,26 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
   }
   options.csv_prefix = name;
   options.threads = static_cast<int>(parser.get_int("threads"));
+  options.slices = static_cast<int>(parser.get_int("slices"));
+  options.benchmark_out = parser.get("benchmark_out");
+  if (parser.get("benchmark_format") != "console" &&
+      parser.get("benchmark_format") != "json") {
+    std::cerr << "unknown --benchmark_format (use console or json)\n";
+    std::exit(2);
+  }
+  if (parser.get("benchmark_format") == "json" &&
+      options.benchmark_out.empty()) {
+    std::cerr << "--benchmark_format=json requires --benchmark_out=PATH\n";
+    std::exit(2);
+  }
+  if (!supports_json && (parser.get("benchmark_format") == "json" ||
+                         !options.benchmark_out.empty())) {
+    std::cerr << name << " does not emit JSON rows yet; drop "
+              << "--benchmark_format/--benchmark_out or use "
+              << "bench_table1_complexity / bench_fig5_rd_qcif30 / "
+              << "bench_fig6_rd_qcif10 / bench_kernels\n";
+    std::exit(2);
+  }
   options.kernel = parser.get("kernel");
   if (!simd::select_kernels_by_name(options.kernel)) {
     std::cerr << "unknown or unavailable --kernel '" << options.kernel
@@ -104,6 +143,74 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
   }
   return options;
 }
+
+/// Minimal google-benchmark-compatible JSON report for the standalone
+/// reproduction benches. CI runs bench_kernels (real google-benchmark) and
+/// these binaries with the same --benchmark_format=json/--benchmark_out
+/// flags and merges the outputs into one BENCH_ci.json perf trajectory, so
+/// the row schema here mirrors google-benchmark's: a "context" object and a
+/// "benchmarks" array whose entries carry name/real_time/time_unit plus
+/// free-form numeric counters.
+class JsonBenchReport {
+ public:
+  /// Inactive when `path` is empty (every add_row is a no-op).
+  explicit JsonBenchReport(std::string path) : path_(std::move(path)) {}
+
+  void add_row(const std::string& name, double real_time_ns,
+               std::vector<std::pair<std::string, double>> counters = {}) {
+    if (path_.empty()) {
+      return;
+    }
+    rows_.push_back({name, real_time_ns, std::move(counters)});
+  }
+
+  /// Writes the report; call once at the end of the bench.
+  void write(const std::string& executable) const {
+    if (path_.empty()) {
+      return;
+    }
+    std::ofstream out(path_);
+    if (!out) {
+      throw std::runtime_error("cannot open " + path_ + " for writing");
+    }
+#ifdef NDEBUG
+    constexpr const char* kBuildType = "release";
+#else
+    constexpr const char* kBuildType = "debug";
+#endif
+    out << "{\n  \"context\": {\n    \"executable\": \"" << executable
+        << "\",\n    \"library_build_type\": \"" << kBuildType
+        << "\"\n  },\n"
+        << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      out << "    {\n      \"name\": \"" << row.name
+          << "\",\n      \"run_name\": \"" << row.name
+          << "\",\n      \"run_type\": \"iteration\","
+          << "\n      \"iterations\": 1,\n      \"real_time\": "
+          << util::CsvWriter::num(row.real_time_ns, 3)
+          << ",\n      \"cpu_time\": "
+          << util::CsvWriter::num(row.real_time_ns, 3)
+          << ",\n      \"time_unit\": \"ns\"";
+      for (const auto& [key, value] : row.counters) {
+        out << ",\n      \"" << key << "\": "
+            << util::CsvWriter::num(value, 4);
+      }
+      out << "\n    }" << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "[json] " << path_ << '\n';
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double real_time_ns = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 /// Builds the named sequence at `fps` (QCIF unless overridden).
 inline std::vector<video::Frame> qcif_sequence(
@@ -192,6 +299,7 @@ inline void run_rd_figure_bench(const std::string& bench_name, int fps,
   sweep.qps = options.qps;
   sweep.search_range = options.search_range;
   sweep.parallel.threads = options.threads;
+  sweep.slices = options.slices;
 
   auto csv_stream = open_csv(options.csv_prefix, "rd");
   util::CsvWriter csv(csv_stream);
@@ -207,14 +315,34 @@ inline void run_rd_figure_bench(const std::string& bench_name, int fps,
             << ", ACBM(alpha=1000, beta=8, gamma=0.25), SAD kernel "
             << simd::active_kernel_name() << "\n";
 
+  JsonBenchReport json(options.benchmark_out);
   for (const auto& name : synth::standard_sequence_names()) {
     const auto frames =
         qcif_sequence(name, options.frames, fps, options.size);
     std::vector<analysis::RdCurve> curves;
     for (analysis::Algorithm algo : algorithms) {
+      util::Timer curve_timer;
       curves.push_back(
           analysis::run_rd_sweep(frames, fps, algo, sweep, name));
       write_rd_csv_rows(csv, curves.back());
+      // One trajectory row per RD curve: wall time for the CI gate plus
+      // deterministic rate/quality means over the swept Qp values. A curve
+      // with no points (degenerate --qps input) emits no row — NaN means
+      // would be invalid JSON.
+      const analysis::RdCurve& curve = curves.back();
+      if (!curve.points.empty()) {
+        double kbps = 0.0;
+        double psnr = 0.0;
+        for (const analysis::RdPoint& p : curve.points) {
+          kbps += p.kbps;
+          psnr += p.psnr_y;
+        }
+        const double n = static_cast<double>(curve.points.size());
+        json.add_row("BM_RdSweep/" + name + "@" + std::to_string(fps) +
+                         "/" + curve.algorithm,
+                     curve_timer.seconds() * 1e9,
+                     {{"mean_kbps", kbps / n}, {"mean_psnr_y", psnr / n}});
+      }
     }
     print_rd_figure(std::cout, name, fps, curves, options.size_label);
 
@@ -234,6 +362,7 @@ inline void run_rd_figure_bench(const std::string& bench_name, int fps,
               << util::CsvWriter::num(100.0 * positions_ratio, 1)
               << "% of FSBM positions\n";
   }
+  json.write(options.csv_prefix);
   std::cout << "\n[done] " << bench_name << " in "
             << util::CsvWriter::num(timer.seconds(), 1) << " s\n";
 }

@@ -12,13 +12,16 @@
 int main(int argc, char** argv) {
   using namespace acbm;
   const auto options =
-      bench::parse_bench_options(argc, argv, "bench_table1_complexity");
+      bench::parse_bench_options(argc, argv, "bench_table1_complexity",
+                                 /*supports_json=*/true);
   util::Timer timer;
 
   analysis::SweepConfig sweep;
   sweep.qps = options.qps;
   sweep.search_range = options.search_range;
   sweep.parallel.threads = options.threads;
+  sweep.slices = options.slices;
+  bench::JsonBenchReport json(options.benchmark_out);
   const double fsbm_positions =
       static_cast<double>((2 * options.search_range + 1) *
                           (2 * options.search_range + 1) + 8);
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
       const auto estimator =
           analysis::make_estimator(analysis::Algorithm::kAcbm, sweep.acbm);
       for (int qp : options.qps) {
+        util::Timer point_timer;
         const analysis::RdPoint p =
             analysis::run_rd_point(frames, fps, *estimator, qp, sweep);
         all[name][fps][qp] = p;
@@ -61,6 +65,15 @@ int main(int argc, char** argv) {
                  util::CsvWriter::num(p.avg_positions, 1),
                  util::CsvWriter::num(reduction, 1),
                  util::CsvWriter::num(p.full_search_fraction, 4)});
+        // One trajectory row per Table-1 cell: wall time for CI's relative
+        // regression gate plus the deterministic position count, which must
+        // not drift at all between runs on any machine.
+        json.add_row("BM_Table1/" + name + "@" + std::to_string(fps) +
+                         "/qp:" + std::to_string(qp),
+                     point_timer.seconds() * 1e9,
+                     {{"positions_per_mb", p.avg_positions},
+                      {"kbps", p.kbps},
+                      {"psnr_y", p.psnr_y}});
       }
     }
   }
@@ -83,6 +96,7 @@ int main(int argc, char** argv) {
             << "% (paper: up to 95%)\n";
   std::cout << "Shape checks (paper): miss_america cheapest, foreman most "
                "expensive;\npositions grow as Qp falls and as fps falls.\n";
+  json.write("bench_table1_complexity");
   std::cout << "[done] in " << util::CsvWriter::num(timer.seconds(), 1)
             << " s\n";
   return 0;

@@ -1,8 +1,10 @@
-// acbm_dec — command-line decoder for ACV1 bitstreams produced by acbm_enc
-// (or any codec::Encoder user). Writes YUV4MPEG2 for direct playback.
+// acbm_dec — command-line decoder for ACV1/ACV2 bitstreams produced by
+// acbm_enc (or any codec::Encoder user). Writes YUV4MPEG2 for direct
+// playback. ACV2 frames carry independently-predicted slices, which decode
+// in parallel with --threads.
 //
 // Example:
-//   ./acbm_dec --input foreman.acv --out foreman_dec.y4m
+//   ./acbm_dec --input foreman.acv --out foreman_dec.y4m --threads 4
 
 #include <fstream>
 #include <iostream>
@@ -15,8 +17,16 @@
 int main(int argc, char** argv) {
   using namespace acbm;
   util::ArgParser parser;
-  parser.add_option("input", "ACV1 bitstream", "");
+  parser.add_option("input", "ACV1/ACV2 bitstream", "");
   parser.add_option("out", "output .y4m path", "decoded.y4m");
+  parser.add_option("threads",
+                    "worker threads for slice-parallel decoding of ACV2 "
+                    "frames (0 = all cores; output identical at any count)",
+                    "1");
+  parser.add_option("slices",
+                    "expected slices per frame; fail if the stream differs "
+                    "(0 = accept any)",
+                    "0");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage("acbm_dec");
     return 2;
@@ -35,16 +45,42 @@ int main(int argc, char** argv) {
         (std::istreambuf_iterator<char>(in)),
         std::istreambuf_iterator<char>());
 
-    codec::Decoder decoder(data);
+    codec::Decoder decoder(data,
+                           static_cast<int>(parser.get_int("threads")));
     video::Y4mVideo video;
     video.size = decoder.size();
     video.rate = decoder.rate();
-    video.frames = decoder.decode_all();
+
+    // The slice count is carried per frame, so --slices checks every frame,
+    // not just the last one.
+    const auto expected_slices = parser.get_int("slices");
+    while (auto frame = decoder.decode_frame()) {
+      if (expected_slices > 0 &&
+          decoder.last_frame_slices() != expected_slices) {
+        std::cerr << "acbm_dec: frame " << video.frames.size() << " has "
+                  << decoder.last_frame_slices() << " slices, expected "
+                  << expected_slices << '\n';
+        return 1;
+      }
+      video.frames.push_back(std::move(*frame));
+    }
+    if (expected_slices > 0 && video.frames.empty()) {
+      std::cerr << "acbm_dec: stream has no frames to check --slices "
+                << "against\n";
+      return 1;
+    }
+
     video::write_y4m(parser.get("out"), video);
 
     std::cout << "decoded " << video.frames.size() << " frames ("
               << video.size.width << "x" << video.size.height << " @ "
-              << video.rate.fps() << " fps) -> " << parser.get("out") << '\n';
+              << video.rate.fps() << " fps, ACV" << decoder.version()
+              << ", " << decoder.last_frame_slices() << " slices/frame) -> "
+              << parser.get("out") << '\n';
+    if (decoder.concealed_slices() > 0) {
+      std::cout << "warning: concealed " << decoder.concealed_slices()
+                << " corrupt slice(s)\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "acbm_dec: " << e.what() << '\n';

@@ -49,7 +49,12 @@ int main(int argc, char** argv) {
   parser.add_option("intra-period", "intra refresh period (0 = first only)",
                     "0");
   parser.add_option("threads",
-                    "worker threads for motion estimation (0 = all cores)",
+                    "worker threads for the parallel pipeline stages "
+                    "(0 = all cores)",
+                    "1");
+  parser.add_option("slices",
+                    "entropy-coding slices per frame (1 = legacy ACV1 "
+                    "stream; >1 emits ACV2 and parallelises entropy coding)",
                     "1");
   parser.add_option("kernel",
                     "SAD kernel variant: scalar|sse2|avx2|auto (bit-exact; "
@@ -112,6 +117,7 @@ int main(int argc, char** argv) {
     cfg.search_range = static_cast<int>(parser.get_int("search-range"));
     cfg.intra_period = static_cast<int>(parser.get_int("intra-period"));
     cfg.parallel.threads = static_cast<int>(parser.get_int("threads"));
+    cfg.slices = static_cast<int>(parser.get_int("slices"));
     cfg.fps_num = fps;
     codec::Encoder encoder({frames[0].width(), frames[0].height()}, cfg,
                            *estimator);
@@ -165,8 +171,12 @@ int main(int argc, char** argv) {
                      static_cast<double>(positions) /
                          (n * (frames[0].width() / 16.0) *
                           (frames[0].height() / 16.0)), 1)
-              << " positions/MB\n  " << stream.size() << " bytes -> "
-              << parser.get("out") << '\n';
+              << " positions/MB\n  " << stream.size() << " bytes ("
+              << (encoder.slices() > 1
+                      ? "ACV2, " + std::to_string(encoder.slices()) +
+                            " slices/frame"
+                      : std::string("ACV1"))
+              << ") -> " << parser.get("out") << '\n';
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "acbm_enc: " << e.what() << '\n';

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Merge bench JSON reports into one perf-trajectory file and gate on it.
+
+CI runs the benchmark binaries with --benchmark_format=json (bench_kernels
+is real google-benchmark; the reproduction benches emit the same row schema
+via bench::JsonBenchReport), merges the outputs into a single BENCH_ci.json
+artifact, and compares it against the checked-in baseline
+(bench/baselines/BENCH_baseline.json):
+
+  * Wall-clock rows are compared as RATIOS normalised by the median ratio
+    across all common rows. The baseline was recorded on a different
+    machine than the CI runner; the median ratio is the machine-speed
+    factor, and what remains after dividing it out is per-benchmark drift.
+    Any row slower than --max-regression (default 20%) after normalisation
+    fails the gate.
+  * Counter rows that the codec guarantees to be deterministic
+    (positions_per_mb) are compared directly with a tight tolerance —
+    a change there is an algorithmic drift, not noise, and fails the gate
+    at any magnitude above the tolerance regardless of timing.
+
+Intentional perf/algorithm changes: re-seed the baseline with
+--update-baseline and commit it, or set ACBM_BENCH_GATE=off in the
+environment (CI exposes this as the `bench-gate` workflow variable /
+`[bench-gate-off]` commit-message tag) to demote failures to warnings for
+one run.
+
+Usage:
+  bench_gate.py --out BENCH_ci.json --baseline bench/baselines/BENCH_baseline.json \
+      kernels.json table1.json
+  bench_gate.py --update-baseline --baseline ... kernels.json table1.json
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+DETERMINISTIC_COUNTERS = {"positions_per_mb": 1e-4}  # relative tolerance
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for bench in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) would double-count; keep plain
+        # iterations only.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        rows[bench["name"]] = bench
+    return doc, rows
+
+
+def merge(inputs):
+    merged = {"context": {"merged_from": [os.path.basename(p) for p in inputs]},
+              "benchmarks": []}
+    seen = set()
+    for path in inputs:
+        doc, rows = load_rows(path)
+        ctx = doc.get("context", {})
+        for key in ("executable", "host_name", "num_cpus", "mhz_per_cpu",
+                    "library_build_type", "date"):
+            if key in ctx and key not in merged["context"]:
+                merged["context"][key] = ctx[key]
+        for name, bench in rows.items():
+            if name in seen:
+                print(f"warning: duplicate row {name} (keeping first)")
+                continue
+            seen.add(name)
+            merged["benchmarks"].append(bench)
+    return merged
+
+
+def to_ns(bench):
+    unit = bench.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    return float(bench["real_time"]) * scale
+
+
+def gate(current, baseline_rows, max_regression):
+    cur_rows = {b["name"]: b for b in current["benchmarks"]}
+    common = sorted(set(cur_rows) & set(baseline_rows))
+    missing = sorted(set(baseline_rows) - set(cur_rows))
+    extra = sorted(set(cur_rows) - set(baseline_rows))
+    failures = []
+
+    if missing:
+        print(f"warning: {len(missing)} baseline rows absent from this run "
+              f"(first: {missing[0]}) — not gated")
+    if extra:
+        print(f"note: {len(extra)} new rows without a baseline "
+              f"(first: {extra[0]}) — re-seed the baseline to gate them")
+    if not common:
+        print("error: no rows in common with the baseline")
+        return ["no common rows"]
+
+    ratios = {name: to_ns(cur_rows[name]) / to_ns(baseline_rows[name])
+              for name in common
+              if to_ns(baseline_rows[name]) > 0}
+    machine_factor = statistics.median(ratios.values())
+    print(f"machine-speed factor vs baseline (median ratio): "
+          f"{machine_factor:.3f}")
+
+    print(f"{'benchmark':58s} {'norm ratio':>10s}")
+    for name in common:
+        norm = ratios[name] / machine_factor
+        flag = ""
+        if norm > 1.0 + max_regression:
+            flag = "  << REGRESSION"
+            failures.append(
+                f"{name}: {norm:.2f}x the baseline after normalisation "
+                f"(limit {1.0 + max_regression:.2f}x)")
+        print(f"{name:58s} {norm:10.3f}{flag}")
+
+        for counter, tolerance in DETERMINISTIC_COUNTERS.items():
+            if counter in cur_rows[name] and counter in baseline_rows[name]:
+                cur = float(cur_rows[name][counter])
+                base = float(baseline_rows[name][counter])
+                denom = max(abs(base), 1e-12)
+                if abs(cur - base) / denom > tolerance:
+                    failures.append(
+                        f"{name}: deterministic counter {counter} drifted "
+                        f"{base} -> {cur}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+",
+                        help="google-benchmark-format JSON reports to merge")
+    parser.add_argument("--out", default="BENCH_ci.json",
+                        help="merged trajectory file to write")
+    parser.add_argument("--baseline",
+                        default="bench/baselines/BENCH_baseline.json")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed normalised slowdown (0.20 = 20%%)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the merged report as the new baseline "
+                             "instead of gating")
+    args = parser.parse_args()
+
+    merged = merge(args.inputs)
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2)
+    print(f"wrote {args.out} ({len(merged['benchmarks'])} rows)")
+
+    if args.update_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as f:
+            json.dump(merged, f, indent=2)
+        print(f"re-seeded baseline {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"error: baseline {args.baseline} not found; run with "
+              f"--update-baseline to seed it")
+        return 1
+
+    _, baseline_rows = load_rows(args.baseline)
+    failures = gate(merged, baseline_rows, args.max_regression)
+
+    if failures:
+        print("\nperf gate failures:")
+        for failure in failures:
+            print(f"  - {failure}")
+        if os.environ.get("ACBM_BENCH_GATE", "").lower() == "off":
+            print("ACBM_BENCH_GATE=off: demoting failures to warnings")
+            return 0
+        print("(intentional change? re-seed with --update-baseline, or set "
+              "ACBM_BENCH_GATE=off / tag the commit [bench-gate-off])")
+        return 1
+    print("\nperf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

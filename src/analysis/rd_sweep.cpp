@@ -71,6 +71,7 @@ RdPoint run_rd_point(const std::vector<video::Frame>& frames, int fps,
   ec.mode_decision = config.mode_decision;
   ec.deblock = config.deblock;
   ec.parallel = config.parallel;
+  ec.slices = config.slices;
   ec.fps_num = fps;
   ec.fps_den = 1;
 

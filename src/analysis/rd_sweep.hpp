@@ -76,6 +76,9 @@ struct SweepConfig {
   codec::ModeDecision mode_decision = codec::ModeDecision::kHeuristic;
   bool deblock = false;    ///< in-loop Annex-J filter
   codec::ParallelConfig parallel;  ///< encoder threading (results identical)
+  /// Entropy-coding slices per frame (1 = legacy single-slice ACV1 stream;
+  /// N > 1 changes the bitstream — rates include the slice headers).
+  int slices = 1;
 };
 
 /// Encodes `frames` (already at the target fps) once per Qp.

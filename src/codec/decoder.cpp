@@ -7,6 +7,7 @@
 #include "codec/mv_coding.hpp"
 #include "codec/quant.hpp"
 #include "me/types.hpp"
+#include "util/thread_pool.hpp"
 
 namespace acbm::codec {
 
@@ -16,16 +17,21 @@ constexpr int kMb = me::kBlockSize;
 constexpr int kLumaBlockOffsets[4][2] = {{0, 0}, {8, 0}, {0, 8}, {8, 8}};
 // Local mirrors of the encoder's constants (encoder.hpp is not included to
 // keep the decoder linkable without the encoder's dependencies).
-constexpr std::uint32_t kMagic = 0x41435631;
+constexpr std::uint32_t kMagicV1 = 0x41435631;  // "ACV1"
+constexpr std::uint32_t kMagicV2 = 0x41435632;  // "ACV2"
 constexpr std::uint32_t kSync = 0x7E5A;
+constexpr std::uint32_t kSliceSyncWord = 0x534C;  // "SL"
 
 }  // namespace
 
-Decoder::Decoder(std::span<const std::uint8_t> data)
-    : data_(data.begin(), data.end()), reader_(data_) {
-  if (reader_.get_bits(32) != kMagic || reader_.exhausted()) {
-    throw DecodeError("decoder: missing ACV1 magic");
+Decoder::Decoder(std::span<const std::uint8_t> data, int threads)
+    : data_(data.begin(), data.end()), reader_(data_), threads_(threads) {
+  const std::uint32_t magic =
+      static_cast<std::uint32_t>(reader_.get_bits(32));
+  if ((magic != kMagicV1 && magic != kMagicV2) || reader_.exhausted()) {
+    throw DecodeError("decoder: missing ACV1/ACV2 magic");
   }
+  version_ = magic == kMagicV2 ? 2 : 1;
   size_.width = static_cast<int>(reader_.get_bits(16));
   size_.height = static_cast<int>(reader_.get_bits(16));
   rate_.num = static_cast<int>(reader_.get_bits(16));
@@ -41,6 +47,8 @@ Decoder::Decoder(std::span<const std::uint8_t> data)
   ref_ = video::Frame(size_);
   coded_field_ = me::MvField::for_picture(size_.width, size_.height);
 }
+
+Decoder::~Decoder() = default;
 
 std::optional<video::Frame> Decoder::decode_frame() {
   reader_.align();
@@ -66,36 +74,10 @@ std::optional<video::Frame> Decoder::decode_frame() {
     ref_half_ = video::HalfpelPlanes(ref_.y());
   }
 
-  const int mbs_x = size_.width / kMb;
-  const int mbs_y = size_.height / kMb;
-  for (int by = 0; by < mbs_y; ++by) {
-    for (int bx = 0; bx < mbs_x; ++bx) {
-      if (!inter_frame) {
-        decode_intra_mb(out, bx, by, qp);
-        continue;
-      }
-      const bool skip = reader_.get_bit();  // COD
-      if (skip) {
-        copy_skip_mb(out, bx, by);
-        coded_field_.set(bx, by, {0, 0});
-        continue;
-      }
-      const bool intra = reader_.get_bit();
-      if (intra) {
-        decode_intra_mb(out, bx, by, qp);
-        continue;
-      }
-      const me::Mv mv =
-          decode_mvd(reader_, coded_field_.median_predictor(bx, by));
-      decode_inter_mb(out, bx, by, qp, mv);
-      coded_field_.set(bx, by, mv);
-      if (reader_.exhausted()) {
-        throw DecodeError("decoder: truncated macroblock data");
-      }
-    }
-  }
-  if (reader_.exhausted()) {
-    throw DecodeError("decoder: truncated frame");
+  if (version_ == 2) {
+    decode_frame_slices(out, qp, inter_frame);
+  } else {
+    decode_frame_v1(out, qp, inter_frame);
   }
 
   if (deblock) {
@@ -108,6 +90,178 @@ std::optional<video::Frame> Decoder::decode_frame() {
   return out;
 }
 
+void Decoder::decode_frame_v1(video::Frame& out, int qp, bool inter_frame) {
+  const int mbs_y = size_.height / kMb;
+  last_frame_slices_ = 1;
+  // Legacy semantics: corruption anywhere in the frame is a hard error —
+  // there are no slice boundaries to resynchronise on.
+  if (!decode_rows(reader_, out, qp, inter_frame, 0, mbs_y,
+                   /*first_row=*/0) ||
+      reader_.exhausted()) {
+    throw DecodeError("decoder: corrupt frame");
+  }
+}
+
+void Decoder::decode_frame_slices(video::Frame& out, int qp,
+                                  bool inter_frame) {
+  const int mbs_y = size_.height / kMb;
+  reader_.align();
+  const int slice_count = static_cast<int>(reader_.get_bits(8));
+  if (reader_.exhausted() || slice_count < 1 || slice_count > mbs_y) {
+    throw DecodeError("decoder: invalid slice count");
+  }
+
+  // Pass 1 — walk the slice directory. Payload lengths let us locate every
+  // slice header without decoding any macroblock, which is both the
+  // resynchronisation mechanism and what makes the payloads independently
+  // decodable afterwards.
+  struct SliceEntry {
+    int first_row = 0;
+    int end_row = 0;
+    std::size_t offset = 0;  ///< payload start, bytes into data_
+    std::size_t bytes = 0;
+    bool ok = false;
+  };
+  std::vector<SliceEntry> slices(static_cast<std::size_t>(slice_count));
+  for (int s = 0; s < slice_count; ++s) {
+    SliceEntry& entry = slices[static_cast<std::size_t>(s)];
+    reader_.align();
+    const std::uint32_t sync =
+        static_cast<std::uint32_t>(reader_.get_bits(16));
+    const int index = static_cast<int>(reader_.get_bits(8));
+    const int first_row = static_cast<int>(reader_.get_bits(16));
+    const std::uint64_t payload_bytes = reader_.get_bits(32);
+    if (reader_.exhausted() || sync != kSliceSyncWord || index != s) {
+      throw DecodeError("decoder: lost slice sync");
+    }
+    const int prev_first =
+        s > 0 ? slices[static_cast<std::size_t>(s) - 1].first_row : 0;
+    if (first_row >= mbs_y || (s == 0 ? first_row != 0
+                                      : first_row <= prev_first)) {
+      throw DecodeError("decoder: invalid slice row layout");
+    }
+    if (payload_bytes > reader_.bits_left() / 8) {
+      throw DecodeError("decoder: truncated slice payload");
+    }
+    entry.first_row = first_row;
+    entry.offset = reader_.bit_position() / 8;  // aligned above
+    entry.bytes = static_cast<std::size_t>(payload_bytes);
+    reader_.skip_bits(entry.bytes * 8);
+  }
+  for (int s = 0; s < slice_count; ++s) {
+    slices[static_cast<std::size_t>(s)].end_row =
+        s + 1 < slice_count ? slices[static_cast<std::size_t>(s) + 1].first_row
+                            : mbs_y;
+  }
+
+  // Pass 2 — decode the payloads, each from its own BitReader. Slices write
+  // only row-disjoint regions of `out` and the coded field and predict
+  // vectors strictly within their own rows, so they are independent; with a
+  // worker pool they run concurrently and the output is identical either
+  // way.
+  const auto decode_one = [&](SliceEntry& entry) {
+    util::BitReader br(
+        std::span<const std::uint8_t>(data_).subspan(entry.offset,
+                                                     entry.bytes));
+    entry.ok = decode_rows(br, out, qp, inter_frame, entry.first_row,
+                           entry.end_row, entry.first_row) &&
+               br.bits_left() < 8;  // only alignment padding may remain:
+                                    // leftover payload means the entropy
+                                    // data desynchronised somewhere
+  };
+  const int workers = util::ThreadPool::resolve_thread_count(threads_);
+  if (workers > 1 && slice_count > 1) {
+    if (!pool_) {
+      pool_ = std::make_unique<util::ThreadPool>(workers);
+    }
+    for (SliceEntry& entry : slices) {
+      pool_->submit([&decode_one, &entry] { decode_one(entry); });
+    }
+    pool_->wait_idle();
+  } else {
+    for (SliceEntry& entry : slices) {
+      decode_one(entry);
+    }
+  }
+
+  // Pass 3 — conceal whatever failed. The slice's region is rewritten
+  // wholesale (a corrupt payload may have deposited partial macroblocks
+  // before the error was detected), which keeps the output deterministic.
+  for (const SliceEntry& entry : slices) {
+    if (!entry.ok) {
+      conceal_rows(out, entry.first_row, entry.end_row);
+      ++concealed_slices_;
+    }
+  }
+  last_frame_slices_ = slice_count;
+}
+
+bool Decoder::decode_rows(util::BitReader& br, video::Frame& out, int qp,
+                          bool inter_frame, int row_begin, int row_end,
+                          int first_row) noexcept {
+  const int mbs_x = size_.width / kMb;
+  for (int by = row_begin; by < row_end; ++by) {
+    for (int bx = 0; bx < mbs_x; ++bx) {
+      if (!inter_frame) {
+        if (!decode_intra_block_set(br, out, bx, by, qp)) {
+          return false;
+        }
+        continue;
+      }
+      const bool skip = br.get_bit();  // COD
+      if (skip) {
+        copy_skip_mb(out, bx, by);
+        coded_field_.set(bx, by, {0, 0});
+        continue;
+      }
+      const bool intra = br.get_bit();
+      if (intra) {
+        if (!decode_intra_block_set(br, out, bx, by, qp)) {
+          return false;
+        }
+        continue;
+      }
+      const me::Mv mv =
+          decode_mvd(br, coded_field_.median_predictor(bx, by, first_row));
+      if (!mv_in_reference(mv, bx * kMb, by * kMb)) {
+        return false;  // corrupt MVD pointing outside the padded reference
+      }
+      if (!decode_inter_block_set(br, out, bx, by, qp, mv)) {
+        return false;
+      }
+      coded_field_.set(bx, by, mv);
+      if (br.exhausted()) {
+        return false;  // truncated macroblock data
+      }
+    }
+  }
+  return !br.exhausted();
+}
+
+bool Decoder::mv_in_reference(me::Mv mv, int x, int y) const {
+  // Same integer-part computation as predict_luma; the compensated 16×16
+  // read must stay inside the reference's replicated border (one sample is
+  // reserved for the half-pel interpolation overread). A valid encoder can
+  // never emit such a vector — its search window is border-clamped — so an
+  // out-of-range one is always stream corruption, and rejecting it here is
+  // what keeps a fuzzed MVD from indexing outside the plane.
+  const int margin = ref_.y().border() - 1;
+  const int ix = (mv.x - (mv.x & 1)) >> 1;
+  const int iy = (mv.y - (mv.y & 1)) >> 1;
+  return x + ix >= -margin && x + ix + kMb <= size_.width + margin &&
+         y + iy >= -margin && y + iy + kMb <= size_.height + margin;
+}
+
+void Decoder::conceal_rows(video::Frame& out, int row_begin, int row_end) {
+  const int mbs_x = size_.width / kMb;
+  for (int by = row_begin; by < row_end; ++by) {
+    for (int bx = 0; bx < mbs_x; ++bx) {
+      copy_skip_mb(out, bx, by);
+      coded_field_.set(bx, by, {0, 0});
+    }
+  }
+}
+
 std::vector<video::Frame> Decoder::decode_all() {
   std::vector<video::Frame> frames;
   while (auto frame = decode_frame()) {
@@ -116,21 +270,22 @@ std::vector<video::Frame> Decoder::decode_all() {
   return frames;
 }
 
-void Decoder::decode_intra_mb(video::Frame& out, int bx, int by, int qp) {
+bool Decoder::decode_intra_block_set(util::BitReader& br, video::Frame& out,
+                                     int bx, int by, int qp) {
   const int x = bx * kMb;
   const int y = by * kMb;
 
   std::uint8_t dc[6];
   for (auto& d : dc) {
-    d = static_cast<std::uint8_t>(reader_.get_bits(8));
+    d = static_cast<std::uint8_t>(br.get_bits(8));
   }
-  const std::uint32_t cbp = static_cast<std::uint32_t>(reader_.get_bits(6));
+  const std::uint32_t cbp = static_cast<std::uint32_t>(br.get_bits(6));
 
   std::int16_t levels[6][kDctSamples] = {};
   for (int b = 0; b < 6; ++b) {
     if ((cbp >> b) & 1u) {
-      if (!decode_block_coeffs(reader_, levels[b], /*skip_dc=*/true)) {
-        throw DecodeError("decoder: bad intra coefficients");
+      if (!decode_block_coeffs(br, levels[b], /*skip_dc=*/true)) {
+        return false;  // bad intra coefficients
       }
     }
   }
@@ -146,19 +301,20 @@ void Decoder::decode_intra_mb(video::Frame& out, int bx, int by, int qp) {
   reconstruct_intra_block(levels[5], dc[5], qp, out.cr().row(y / 2) + x / 2,
                           out.cr().stride());
   coded_field_.set(bx, by, {0, 0});
+  return true;
 }
 
-void Decoder::decode_inter_mb(video::Frame& out, int bx, int by, int qp,
-                              me::Mv mv) {
+bool Decoder::decode_inter_block_set(util::BitReader& br, video::Frame& out,
+                                     int bx, int by, int qp, me::Mv mv) {
   const int x = bx * kMb;
   const int y = by * kMb;
 
-  const std::uint32_t cbp = static_cast<std::uint32_t>(reader_.get_bits(6));
+  const std::uint32_t cbp = static_cast<std::uint32_t>(br.get_bits(6));
   std::int16_t levels[6][kDctSamples] = {};
   for (int b = 0; b < 6; ++b) {
     if ((cbp >> b) & 1u) {
-      if (!decode_block_coeffs(reader_, levels[b])) {
-        throw DecodeError("decoder: bad inter coefficients");
+      if (!decode_block_coeffs(br, levels[b])) {
+        return false;  // bad inter coefficients
       }
     }
   }
@@ -181,6 +337,7 @@ void Decoder::decode_inter_mb(video::Frame& out, int bx, int by, int qp,
                           out.cb().row(y / 2) + x / 2, out.cb().stride());
   reconstruct_inter_block(levels[5], pred_cr, 8, qp,
                           out.cr().row(y / 2) + x / 2, out.cr().stride());
+  return true;
 }
 
 void Decoder::copy_skip_mb(video::Frame& out, int bx, int by) {

@@ -1,12 +1,24 @@
 #pragma once
-// Decoder for the ACV1 bitstream produced by codec::Encoder.
+// Decoder for the ACV1/ACV2 bitstreams produced by codec::Encoder.
 //
 // The paper never decodes (PSNR is measured against the encoder's
 // reconstruction loop); we ship a decoder anyway because round-trip parity
 // — decoder output bit-exact against Encoder::last_recon() — is the
 // strongest available correctness check on the whole codec substrate.
+//
+// ACV2 streams carry per-frame slice directories (see encoder.hpp for the
+// wire format). Slices are independently predicted and byte-aligned, so the
+// decoder parses the directory serially and then decodes the payloads
+// independently — in parallel on a util::ThreadPool when constructed with
+// threads != 1. A slice whose *payload* is corrupt is concealed (its
+// macroblocks copy the reference, its vectors read as zero) and decoding
+// resynchronises at the next slice header; corruption of the directory
+// itself — bad slice sync, out-of-order indices, payload lengths past the
+// end of the buffer — still throws DecodeError, because there is nothing
+// left to resynchronise on.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -17,6 +29,10 @@
 #include "video/frame.hpp"
 #include "video/interp.hpp"
 #include "video/y4m_io.hpp"
+
+namespace acbm::util {
+class ThreadPool;
+}
 
 namespace acbm::codec {
 
@@ -29,22 +45,65 @@ class DecodeError : public std::runtime_error {
 class Decoder {
  public:
   /// Parses the sequence header; throws DecodeError when the data is not an
-  /// ACV1 stream. The buffer is copied so the decoder owns its input.
-  explicit Decoder(std::span<const std::uint8_t> data);
+  /// ACV1/ACV2 stream. The buffer is copied so the decoder owns its input.
+  /// `threads` drives slice-parallel decoding of ACV2 frames: 1 = serial
+  /// (default), 0 = one worker per hardware thread, N = exactly N workers.
+  /// Output is identical at every thread count.
+  explicit Decoder(std::span<const std::uint8_t> data, int threads = 1);
+  ~Decoder();
+
+  Decoder(const Decoder&) = delete;
+  Decoder& operator=(const Decoder&) = delete;
 
   [[nodiscard]] video::PictureSize size() const { return size_; }
   [[nodiscard]] video::FrameRate rate() const { return rate_; }
 
   /// Decodes the next frame; std::nullopt at clean end-of-stream. Throws
-  /// DecodeError on corruption.
+  /// DecodeError on corruption (for ACV2, on corruption the slice layer
+  /// cannot conceal — see the header comment).
   std::optional<video::Frame> decode_frame();
 
   /// Decodes every remaining frame.
   std::vector<video::Frame> decode_all();
 
+  /// Bitstream revision: 1 for ACV1, 2 for ACV2 (sliced frames).
+  [[nodiscard]] int version() const { return version_; }
+
+  /// Slice count of the most recently decoded frame (1 before any frame and
+  /// for every ACV1 frame).
+  [[nodiscard]] int last_frame_slices() const { return last_frame_slices_; }
+
+  /// Total slices concealed so far (corrupt payload, resynchronised at the
+  /// next slice header).
+  [[nodiscard]] std::uint64_t concealed_slices() const {
+    return concealed_slices_;
+  }
+
  private:
-  void decode_intra_mb(video::Frame& out, int bx, int by, int qp);
-  void decode_inter_mb(video::Frame& out, int bx, int by, int qp, me::Mv mv);
+  void decode_frame_v1(video::Frame& out, int qp, bool inter_frame);
+  void decode_frame_slices(video::Frame& out, int qp, bool inter_frame);
+
+  /// Decodes macroblock rows [row_begin, row_end) from `br`, predicting
+  /// vectors against `first_row` as the slice boundary. Returns false on
+  /// corrupt entropy data instead of throwing, so it can run on pool
+  /// threads (tasks must not throw) and feed concealment.
+  bool decode_rows(util::BitReader& br, video::Frame& out, int qp,
+                   bool inter_frame, int row_begin, int row_end,
+                   int first_row) noexcept;
+
+  /// Error concealment for a corrupt slice: every macroblock of the range
+  /// copies the reference frame and its coded vector reads as {0,0}.
+  void conceal_rows(video::Frame& out, int row_begin, int row_end);
+
+  /// True when a 16×16 motion-compensated read at (x, y) + mv stays inside
+  /// the reference's padded bounds; false flags a corrupt vector.
+  [[nodiscard]] bool mv_in_reference(me::Mv mv, int x, int y) const;
+
+  /// Decode one macroblock's six-block set; false on corrupt coefficients.
+  bool decode_intra_block_set(util::BitReader& br, video::Frame& out, int bx,
+                              int by, int qp);
+  bool decode_inter_block_set(util::BitReader& br, video::Frame& out, int bx,
+                              int by, int qp, me::Mv mv);
   void copy_skip_mb(video::Frame& out, int bx, int by);
 
   std::vector<std::uint8_t> data_;
@@ -54,7 +113,12 @@ class Decoder {
   video::Frame ref_;
   video::HalfpelPlanes ref_half_;
   me::MvField coded_field_;
+  int version_ = 1;
   bool first_frame_ = true;
+  int threads_ = 1;
+  int last_frame_slices_ = 1;
+  std::uint64_t concealed_slices_ = 0;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< created at first parallel use
 };
 
 }  // namespace acbm::codec

@@ -1,5 +1,6 @@
 #include "codec/encoder.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <limits>
@@ -100,13 +101,21 @@ Encoder::Encoder(video::PictureSize size, const EncoderConfig& config,
       recon_(size), ref_(size),
       me_field_(me::MvField::for_picture(size.width, size.height)),
       prev_me_field_(me_field_), coded_field_(me_field_) {
-  if (size.width % kMb != 0 || size.height % kMb != 0) {
+  // Non-positive dimensions would otherwise slip through the modulo check
+  // (0 % 16 == 0) and break the slice clamp below.
+  if (size.width <= 0 || size.height <= 0 || size.width % kMb != 0 ||
+      size.height % kMb != 0) {
     throw std::invalid_argument(
-        "encoder: picture dimensions must be multiples of 16");
+        "encoder: picture dimensions must be positive multiples of 16");
   }
   if (config.qp < kMinQp || config.qp > kMaxQp) {
     throw std::invalid_argument("encoder: qp out of range 1..31");
   }
+  // A slice is at least one macroblock row; the wire format caps the count
+  // at a u8. Out-of-range requests degrade gracefully instead of throwing
+  // so callers can pass "slices = threads" without sizing logic.
+  slices_ = std::clamp(config.slices, 1, std::min(size.height / kMb,
+                                                  kMaxSlices));
   pipeline_ = std::make_unique<EncoderPipeline>(*this, config.parallel);
   write_sequence_header();
 }
@@ -114,7 +123,10 @@ Encoder::Encoder(video::PictureSize size, const EncoderConfig& config,
 Encoder::~Encoder() = default;
 
 void Encoder::write_sequence_header() {
-  writer_.put_bits(kSequenceMagic, 32);
+  // Single-slice streams keep the ACV1 magic (and stay byte-identical to
+  // the pre-slice encoder); multi-slice streams announce the slice-header
+  // syntax up front with ACV2.
+  writer_.put_bits(slices_ > 1 ? kSequenceMagicV2 : kSequenceMagic, 32);
   writer_.put_bits(static_cast<std::uint32_t>(size_.width), 16);
   writer_.put_bits(static_cast<std::uint32_t>(size_.height), 16);
   writer_.put_bits(static_cast<std::uint32_t>(config_.fps_num), 16);
@@ -186,19 +198,19 @@ Encoder::InterPlan Encoder::plan_inter_mb(const video::Frame& src, int bx,
 
 // ----------------------------------------------------------------- writing
 
-void Encoder::write_intra_plan(const IntraPlan& plan,
-                               MbBitCounters& counters) {
-  const std::uint64_t before = writer_.bit_count();
+void Encoder::write_intra_plan(const IntraPlan& plan, SliceState& slice) {
+  util::BitWriter& writer = *slice.writer;
+  const std::uint64_t before = writer.bit_count();
   for (int b = 0; b < 6; ++b) {
-    writer_.put_bits(plan.dc[b], 8);
+    writer.put_bits(plan.dc[b], 8);
   }
-  writer_.put_bits(plan.cbp, 6);
+  writer.put_bits(plan.cbp, 6);
   for (int b = 0; b < 6; ++b) {
     if ((plan.cbp >> b) & 1u) {
-      encode_block_coeffs(writer_, plan.levels[b], /*skip_dc=*/true);
+      encode_block_coeffs(writer, plan.levels[b], /*skip_dc=*/true);
     }
   }
-  counters.coeff += writer_.bit_count() - before;
+  slice.counters.coeff += writer.bit_count() - before;
 }
 
 // ---------------------------------------------------------- reconstruction
@@ -282,54 +294,57 @@ std::uint64_t Encoder::mb_ssd(const video::Frame& src, int bx, int by,
 // ------------------------------------------------------- macroblock coding
 
 void Encoder::encode_intra_mb(const video::Frame& src, int bx, int by,
-                              MbBitCounters& counters) {
+                              SliceState& slice) {
   const IntraPlan plan = plan_intra_mb(src, bx, by);
-  write_intra_plan(plan, counters);
+  write_intra_plan(plan, slice);
   reconstruct_intra_plan(plan, bx, by);
   coded_field_.set(bx, by, {0, 0});
 }
 
 void Encoder::encode_inter_mb(const video::Frame& src, int bx, int by,
-                              me::Mv mv, MbBitCounters& counters) {
+                              me::Mv mv, SliceState& slice) {
+  util::BitWriter& writer = *slice.writer;
   const InterPlan plan = plan_inter_mb(src, bx, by, mv);
 
   if (config_.allow_skip && plan.skippable()) {
-    const std::uint64_t before = writer_.bit_count();
-    writer_.put_bit(true);  // COD = 1
-    counters.header += writer_.bit_count() - before;
+    const std::uint64_t before = writer.bit_count();
+    writer.put_bit(true);  // COD = 1
+    slice.counters.header += writer.bit_count() - before;
     reconstruct_skip_mb(bx, by);
     coded_field_.set(bx, by, {0, 0});
-    ++skip_count_this_frame_;
+    ++slice.skip_mbs;
     return;
   }
 
-  const std::uint64_t header_start = writer_.bit_count();
-  writer_.put_bit(false);  // COD = 0
-  writer_.put_bit(false);  // inter
-  counters.header += writer_.bit_count() - header_start;
+  const std::uint64_t header_start = writer.bit_count();
+  writer.put_bit(false);  // COD = 0
+  writer.put_bit(false);  // inter
+  slice.counters.header += writer.bit_count() - header_start;
 
-  const std::uint64_t mv_start = writer_.bit_count();
-  encode_mvd(writer_, plan.mv, coded_field_.median_predictor(bx, by));
-  counters.mv += writer_.bit_count() - mv_start;
+  const std::uint64_t mv_start = writer.bit_count();
+  encode_mvd(writer, plan.mv,
+             coded_field_.median_predictor(bx, by, slice.first_mb_row));
+  slice.counters.mv += writer.bit_count() - mv_start;
 
-  const std::uint64_t coeff_start = writer_.bit_count();
-  writer_.put_bits(plan.cbp, 6);
+  const std::uint64_t coeff_start = writer.bit_count();
+  writer.put_bits(plan.cbp, 6);
   for (int b = 0; b < 6; ++b) {
     if ((plan.cbp >> b) & 1u) {
-      encode_block_coeffs(writer_, plan.levels[b]);
+      encode_block_coeffs(writer, plan.levels[b]);
     }
   }
-  counters.coeff += writer_.bit_count() - coeff_start;
+  slice.counters.coeff += writer.bit_count() - coeff_start;
 
   reconstruct_inter_plan(plan, bx, by);
   coded_field_.set(bx, by, plan.mv);
 }
 
 void Encoder::encode_inter_mb_rd(const video::Frame& src, int bx, int by,
-                                 me::Mv mv, MbBitCounters& counters,
-                                 FrameReport& report) {
+                                 me::Mv mv, SliceState& slice) {
+  util::BitWriter& writer = *slice.writer;
   const double lambda = mode_lambda(config_.qp);
-  const me::Mv predictor = coded_field_.median_predictor(bx, by);
+  const me::Mv predictor =
+      coded_field_.median_predictor(bx, by, slice.first_mb_row);
 
   // Candidate 1: INTER with the estimated vector.
   const InterPlan inter = plan_inter_mb(src, bx, by, mv);
@@ -372,49 +387,49 @@ void Encoder::encode_inter_mb_rd(const video::Frame& src, int bx, int by,
   }
 
   if (j_skip <= j_inter && j_skip <= j_intra) {
-    const std::uint64_t before = writer_.bit_count();
-    writer_.put_bit(true);  // COD = 1
-    counters.header += writer_.bit_count() - before;
+    const std::uint64_t before = writer.bit_count();
+    writer.put_bit(true);  // COD = 1
+    slice.counters.header += writer.bit_count() - before;
     reconstruct_skip_mb(bx, by);
     coded_field_.set(bx, by, {0, 0});
-    ++skip_count_this_frame_;
-    ++report.inter_mbs;  // rebalanced against skip_mbs at frame end
+    ++slice.skip_mbs;
+    ++slice.inter_mbs;  // rebalanced against skip_mbs at frame end
     return;
   }
 
   if (j_intra < j_inter) {
-    const std::uint64_t before = writer_.bit_count();
-    writer_.put_bit(false);  // COD = 0
-    writer_.put_bit(true);   // intra
-    counters.header += writer_.bit_count() - before;
-    write_intra_plan(intra, counters);
+    const std::uint64_t before = writer.bit_count();
+    writer.put_bit(false);  // COD = 0
+    writer.put_bit(true);   // intra
+    slice.counters.header += writer.bit_count() - before;
+    write_intra_plan(intra, slice);
     reconstruct_intra_plan(intra, bx, by);
     coded_field_.set(bx, by, {0, 0});
-    ++report.intra_mbs;
+    ++slice.intra_mbs;
     return;
   }
 
-  const std::uint64_t header_start = writer_.bit_count();
-  writer_.put_bit(false);  // COD = 0
-  writer_.put_bit(false);  // inter
-  counters.header += writer_.bit_count() - header_start;
+  const std::uint64_t header_start = writer.bit_count();
+  writer.put_bit(false);  // COD = 0
+  writer.put_bit(false);  // inter
+  slice.counters.header += writer.bit_count() - header_start;
 
-  const std::uint64_t mv_start = writer_.bit_count();
-  encode_mvd(writer_, inter.mv, predictor);
-  counters.mv += writer_.bit_count() - mv_start;
+  const std::uint64_t mv_start = writer.bit_count();
+  encode_mvd(writer, inter.mv, predictor);
+  slice.counters.mv += writer.bit_count() - mv_start;
 
-  const std::uint64_t coeff_start = writer_.bit_count();
-  writer_.put_bits(inter.cbp, 6);
+  const std::uint64_t coeff_start = writer.bit_count();
+  writer.put_bits(inter.cbp, 6);
   for (int b = 0; b < 6; ++b) {
     if ((inter.cbp >> b) & 1u) {
-      encode_block_coeffs(writer_, inter.levels[b]);
+      encode_block_coeffs(writer, inter.levels[b]);
     }
   }
-  counters.coeff += writer_.bit_count() - coeff_start;
+  slice.counters.coeff += writer.bit_count() - coeff_start;
 
   reconstruct_inter_plan(inter, bx, by);
   coded_field_.set(bx, by, inter.mv);
-  ++report.inter_mbs;
+  ++slice.inter_mbs;
 }
 
 std::vector<std::uint8_t> Encoder::finish() {

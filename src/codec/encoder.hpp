@@ -23,6 +23,19 @@
 //                       inter: MVD (se×2 vs median predictor), 6-bit CBP,
 //                              run/level per set block
 //   block order     : Y00 Y10 Y01 Y11 Cb Cr
+//
+// Slice revision ("ACV2", emitted only when EncoderConfig::slices > 1 so
+// single-slice streams stay byte-identical to ACV1):
+//   sequence header : as ACV1 but magic "ACV2"
+//   frame           : u16 sync, type/qp/deblock bits as ACV1, byte-align,
+//                     u8 slice_count, then slice_count slices
+//   slice           : u16 slice sync 0x534C ("SL"), u8 slice index,
+//                     u16 first MB row, u32 payload byte length, payload
+//                     (byte aligned; macroblocks of the slice's rows in
+//                     raster order, byte-align at end)
+//   Differential MV prediction resets at every slice boundary (the slice's
+//   first row predicts like a picture's first row), so each slice payload
+//   decodes independently of its siblings — and in parallel.
 
 #include <cstdint>
 #include <memory>
@@ -37,8 +50,15 @@
 namespace acbm::codec {
 
 /// Magic and sync constants of the ACV1 bitstream.
-inline constexpr std::uint32_t kSequenceMagic = 0x41435631;  // "ACV1"
+inline constexpr std::uint32_t kSequenceMagic = 0x41435631;    // "ACV1"
+inline constexpr std::uint32_t kSequenceMagicV2 = 0x41435632;  // "ACV2"
 inline constexpr std::uint32_t kFrameSync = 0x7E5A;
+/// Marker starting every slice header in ACV2 streams ("SL"). Lets a decoder
+/// that lost a slice's payload re-verify it is standing on the next header
+/// before trusting its fields.
+inline constexpr std::uint32_t kSliceSync = 0x534C;
+/// u8 on the wire bounds the per-frame slice count.
+inline constexpr int kMaxSlices = 255;
 
 /// Threading knobs for the encoding pipeline. The motion-estimation stage
 /// runs row-parallel in wavefront order (row N may lead row N+1 by at least
@@ -79,6 +99,14 @@ struct EncoderConfig {
   int intra_bias = 500;     ///< TMN INTRA decision: intra if A < SAD − bias
   bool allow_skip = true;   ///< emit COD=1 for zero-MV zero-CBP macroblocks
   bool deblock = false;     ///< in-loop Annex-J deblocking filter
+  /// Independently-predicted entropy-coding slices per frame. 1 (default)
+  /// emits the legacy ACV1 stream byte for byte; N > 1 emits ACV2 with N
+  /// byte-aligned slice payloads per frame that the pipeline entropy-codes
+  /// in parallel (and a decoder may parse in parallel). Clamped to the
+  /// picture's macroblock rows and the wire limit of 255. Output is
+  /// deterministic: a given slice count produces identical bytes at every
+  /// thread count and kernel variant.
+  int slices = 1;
   ModeDecision mode_decision = ModeDecision::kHeuristic;
   ParallelConfig parallel;  ///< pipeline threading (see ParallelConfig)
   int fps_num = 30;         ///< sequence header only
@@ -162,6 +190,11 @@ class Encoder {
   [[nodiscard]] const EncoderConfig& config() const { return config_; }
   [[nodiscard]] video::PictureSize size() const { return size_; }
 
+  /// Effective entropy-coding slices per frame: config().slices clamped to
+  /// the picture's macroblock rows and the wire limit. 1 means the stream
+  /// is legacy ACV1; anything larger means ACV2.
+  [[nodiscard]] int slices() const { return slices_; }
+
  private:
   friend class EncoderPipeline;
 
@@ -171,6 +204,21 @@ class Encoder {
     std::uint64_t coeff = 0;
     std::uint64_t header = 0;
   };
+
+  /// Everything one entropy-coding slice owns while its rows are coded: the
+  /// destination writer, the prediction boundary, and its share of the
+  /// frame tallies. Slices touch no shared mutable encoder state, which is
+  /// what lets the pipeline run them concurrently; the pipeline folds the
+  /// tallies back into the FrameReport in slice order afterwards.
+  struct SliceState {
+    util::BitWriter* writer = nullptr;
+    int first_mb_row = 0;  ///< MV prediction resets here (slice boundary)
+    MbBitCounters counters;
+    int intra_mbs = 0;
+    int inter_mbs = 0;  ///< inter-coded attempts, including SKIP outcomes
+    int skip_mbs = 0;
+  };
+
   struct IntraPlan;
   struct InterPlan;
 
@@ -181,13 +229,13 @@ class Encoder {
                           me::Mv mv) const;
 
   void encode_intra_mb(const video::Frame& src, int bx, int by,
-                       MbBitCounters& counters);
+                       SliceState& slice);
   void encode_inter_mb(const video::Frame& src, int bx, int by, me::Mv mv,
-                       MbBitCounters& counters);
+                       SliceState& slice);
   void encode_inter_mb_rd(const video::Frame& src, int bx, int by, me::Mv mv,
-                          MbBitCounters& counters, FrameReport& report);
+                          SliceState& slice);
 
-  void write_intra_plan(const IntraPlan& plan, MbBitCounters& counters);
+  void write_intra_plan(const IntraPlan& plan, SliceState& slice);
   void reconstruct_intra_plan(const IntraPlan& plan, int bx, int by);
   void reconstruct_inter_plan(const InterPlan& plan, int bx, int by);
   void reconstruct_skip_mb(int bx, int by);
@@ -210,7 +258,7 @@ class Encoder {
   me::MvField prev_me_field_;     ///< estimator output, previous frame
   me::MvField coded_field_;       ///< transmitted vectors, current frame
   int frame_index_ = 0;
-  int skip_count_this_frame_ = 0;
+  int slices_ = 1;  ///< config.slices clamped to [1, min(mb rows, 255)]
   bool finished_ = false;
   std::unique_ptr<EncoderPipeline> pipeline_;  ///< constructed with *this
 };

@@ -1,9 +1,8 @@
 #include "codec/pipeline.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
-#include <thread>
+#include <vector>
 
 #include "codec/deblock.hpp"
 #include "me/sad.hpp"
@@ -71,9 +70,9 @@ FrameReport EncoderPipeline::encode_frame(const video::Frame& src) {
 
   e.writer_.align();
 
-  report.skip_mbs = e.skip_count_this_frame_;
+  // entropy_stage counted every inter-coded attempt; re-express the ones
+  // that degraded to SKIP, matching the report's historical semantics.
   report.inter_mbs -= report.skip_mbs;
-  e.skip_count_this_frame_ = 0;
 
   report.bits = e.writer_.bit_count() - frame_start_bits;
   report.mv_bits = counters.mv;
@@ -166,38 +165,34 @@ void EncoderPipeline::motion_stage_wavefront(const video::Frame& src) {
   const int mbs_x = e.me_field_.mbs_x();
   const int mbs_y = e.me_field_.mbs_y();
 
-  // done[by] = macroblocks of row `by` finished so far. Block (bx, by)
+  // progress[by] = macroblocks of row `by` finished so far. Block (bx, by)
   // may start once row by−1 has finished through column bx+1 (its
-  // above-right predictor) — the classic two-block wavefront stagger.
-  std::vector<std::atomic<int>> done(static_cast<std::size_t>(mbs_y));
-  for (auto& d : done) {
-    d.store(0, std::memory_order_relaxed);
-  }
+  // above-right predictor) — the classic two-block wavefront stagger. The
+  // dependency wait parks on a per-row condition variable after a short
+  // spin (WavefrontProgress), so a stalled row sleeps instead of burning a
+  // core yielding — the behaviour that matters once rows outnumber cores or
+  // the machine is busy.
+  util::WavefrontProgress progress(mbs_y);
 
   for (int by = 0; by < mbs_y; ++by) {
     // One task per row. The pool dispatches FIFO, so a row's predecessor is
     // always running or finished before the row starts: the dependency wait
     // below cannot deadlock.
-    pool_->submit([this, &src, &done, by, mbs_x, &e] {
+    pool_->submit([this, &src, &progress, by, mbs_x, &e] {
       const int worker = util::ThreadPool::worker_index();
       assert(worker >= 0 && worker < static_cast<int>(workers_.size()));
       me::MotionEstimator& estimator = *workers_[static_cast<std::size_t>(
           worker)];
       for (int bx = 0; bx < mbs_x; ++bx) {
         if (by > 0) {
-          const int need = std::min(bx + 2, mbs_x);
-          while (done[static_cast<std::size_t>(by) - 1].load(
-                     std::memory_order_acquire) < need) {
-            std::this_thread::yield();
-          }
+          progress.wait_for(by - 1, std::min(bx + 2, mbs_x));
         }
         const std::size_t idx =
             static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) +
             static_cast<std::size_t>(bx);
         me_results_[idx] = estimate_block(estimator, src, bx, by);
         e.me_field_.set(bx, by, me_results_[idx].mv);
-        done[static_cast<std::size_t>(by)].store(bx + 1,
-                                                 std::memory_order_release);
+        progress.publish(by, bx + 1);
       }
     });
   }
@@ -267,19 +262,18 @@ void EncoderPipeline::mode_stage(const video::Frame& src) {
 
 // ----------------------------------------------------------- entropy stage
 
-void EncoderPipeline::entropy_stage(const video::Frame& src, bool intra_frame,
-                                    Encoder::MbBitCounters& counters,
-                                    FrameReport& report) {
+void EncoderPipeline::entropy_slice(const video::Frame& src, bool intra_frame,
+                                    Encoder::SliceState& slice, int row_begin,
+                                    int row_end) {
   Encoder& e = enc_;
   // Same stride source as the stages that filled me_results_/use_intra_.
   const int mbs_x = e.me_field_.mbs_x();
-  const int mbs_y = e.me_field_.mbs_y();
 
-  for (int by = 0; by < mbs_y; ++by) {
+  for (int by = row_begin; by < row_end; ++by) {
     for (int bx = 0; bx < mbs_x; ++bx) {
       if (intra_frame) {
-        e.encode_intra_mb(src, bx, by, counters);
-        ++report.intra_mbs;
+        e.encode_intra_mb(src, bx, by, slice);
+        ++slice.intra_mbs;
         continue;
       }
 
@@ -288,25 +282,111 @@ void EncoderPipeline::entropy_stage(const video::Frame& src, bool intra_frame,
       const me::EstimateResult& er = me_results_[idx];
 
       if (e.config_.mode_decision == ModeDecision::kRateDistortion) {
-        e.encode_inter_mb_rd(src, bx, by, er.mv, counters, report);
+        e.encode_inter_mb_rd(src, bx, by, er.mv, slice);
         continue;
       }
 
       if (use_intra_[idx] != 0) {
-        const std::uint64_t before = e.writer_.bit_count();
-        e.writer_.put_bit(false);  // COD = 0 (coded)
-        e.writer_.put_bit(true);   // intra
-        counters.header += e.writer_.bit_count() - before;
-        e.encode_intra_mb(src, bx, by, counters);
-        ++report.intra_mbs;
+        const std::uint64_t before = slice.writer->bit_count();
+        slice.writer->put_bit(false);  // COD = 0 (coded)
+        slice.writer->put_bit(true);   // intra
+        slice.counters.header += slice.writer->bit_count() - before;
+        e.encode_intra_mb(src, bx, by, slice);
+        ++slice.intra_mbs;
         continue;
       }
 
       // encode_inter_mb degrades to SKIP internally when the zero-vector
-      // residual quantizes away; it tallies skip_count_this_frame_.
-      e.encode_inter_mb(src, bx, by, er.mv, counters);
-      ++report.inter_mbs;
+      // residual quantizes away; it tallies slice.skip_mbs.
+      e.encode_inter_mb(src, bx, by, er.mv, slice);
+      ++slice.inter_mbs;
     }
+  }
+}
+
+void EncoderPipeline::fold_slice(const Encoder::SliceState& slice,
+                                 Encoder::MbBitCounters& counters,
+                                 FrameReport& report) {
+  counters.mv += slice.counters.mv;
+  counters.coeff += slice.counters.coeff;
+  counters.header += slice.counters.header;
+  report.intra_mbs += slice.intra_mbs;
+  report.inter_mbs += slice.inter_mbs;
+  report.skip_mbs += slice.skip_mbs;
+}
+
+void EncoderPipeline::entropy_stage(const video::Frame& src, bool intra_frame,
+                                    Encoder::MbBitCounters& counters,
+                                    FrameReport& report) {
+  Encoder& e = enc_;
+  const int mbs_y = e.me_field_.mbs_y();
+  const int slice_count = e.slices_;  // clamped to [1, mbs_y] at construction
+
+  if (slice_count == 1) {
+    // Legacy ACV1 framing: one implicit slice straight into the stream
+    // writer, no slice directory — byte-identical to the pre-slice encoder.
+    Encoder::SliceState slice;
+    slice.writer = &e.writer_;
+    slice.first_mb_row = 0;
+    entropy_slice(src, intra_frame, slice, 0, mbs_y);
+    fold_slice(slice, counters, report);
+    return;
+  }
+
+  // ACV2: each slice entropy-codes its rows into a private writer. Slice s
+  // owns rows [s·mbs_y/N, (s+1)·mbs_y/N) — the same deterministic split the
+  // decoder reconstructs from the slice headers. All inputs (me_results_,
+  // use_intra_, the reference) are fixed before this stage, and slices
+  // write only row-disjoint state, so the tasks are embarrassingly parallel
+  // and the bytes are independent of scheduling.
+  std::vector<util::BitWriter> writers(
+      static_cast<std::size_t>(slice_count));
+  std::vector<Encoder::SliceState> slices(
+      static_cast<std::size_t>(slice_count));
+  for (int s = 0; s < slice_count; ++s) {
+    slices[static_cast<std::size_t>(s)].writer =
+        &writers[static_cast<std::size_t>(s)];
+    slices[static_cast<std::size_t>(s)].first_mb_row = s * mbs_y / slice_count;
+  }
+  const auto row_end = [&](int s) {
+    return s + 1 < slice_count
+               ? slices[static_cast<std::size_t>(s) + 1].first_mb_row
+               : mbs_y;
+  };
+
+  if (pool_) {
+    for (int s = 0; s < slice_count; ++s) {
+      Encoder::SliceState& slice = slices[static_cast<std::size_t>(s)];
+      const int end = row_end(s);
+      pool_->submit([this, &src, intra_frame, &slice, end] {
+        entropy_slice(src, intra_frame, slice, slice.first_mb_row, end);
+      });
+    }
+    pool_->wait_idle();
+  } else {
+    for (int s = 0; s < slice_count; ++s) {
+      Encoder::SliceState& slice = slices[static_cast<std::size_t>(s)];
+      entropy_slice(src, intra_frame, slice, slice.first_mb_row, row_end(s));
+    }
+  }
+
+  // Slice directory + byte-aligned payload concatenation, in slice order.
+  const std::uint64_t dir_start = e.writer_.bit_count();
+  e.writer_.align();
+  e.writer_.put_bits(static_cast<std::uint32_t>(slice_count), 8);
+  counters.header += e.writer_.bit_count() - dir_start;
+  for (int s = 0; s < slice_count; ++s) {
+    Encoder::SliceState& slice = slices[static_cast<std::size_t>(s)];
+    const std::vector<std::uint8_t> payload =
+        writers[static_cast<std::size_t>(s)].take();  // aligns the tail
+    const std::uint64_t header_start = e.writer_.bit_count();
+    e.writer_.put_bits(kSliceSync, 16);
+    e.writer_.put_bits(static_cast<std::uint32_t>(s), 8);
+    e.writer_.put_bits(static_cast<std::uint32_t>(slice.first_mb_row), 16);
+    e.writer_.put_bits(static_cast<std::uint32_t>(payload.size()), 32);
+    counters.header += e.writer_.bit_count() - header_start;
+    e.writer_.put_bytes(payload);
+    fold_slice(slice, counters, report);
   }
 }
 

@@ -23,10 +23,21 @@
 //                           bit counts against the coded-field predictor
 //                           chain, so in kRateDistortion mode the decision
 //                           folds into stage 3.
-//   3. entropy stage      — serial raster scan writing the bitstream
-//                           (differential MV coding makes bit output
-//                           order-dependent) and reconstructing each
-//                           macroblock into the reference for frame t+1.
+//   3. entropy stage      — entropy coding + reconstruction. With
+//                           EncoderConfig::slices == 1 this is the legacy
+//                           serial raster scan straight into the stream
+//                           writer (differential MV coding chains the whole
+//                           frame). With slices == N the frame's macroblock
+//                           rows split into N independently-predicted
+//                           slices: MV prediction resets at each slice's
+//                           first row, every slice entropy-codes into its
+//                           own util::BitWriter (in parallel on the pool
+//                           when one exists), and the byte-aligned payloads
+//                           are concatenated behind ACV2 slice headers in
+//                           slice order. Reconstruction is per-macroblock
+//                           independent (it reads only the previous frame's
+//                           reference), so it rides along inside each
+//                           slice's task.
 //
 // Determinism: every stage consumes only inputs that are fixed before the
 // stage starts or ordered by the wavefront dependency, so serial and
@@ -93,6 +104,17 @@ class EncoderPipeline {
 
   void entropy_stage(const video::Frame& src, bool intra_frame,
                      Encoder::MbBitCounters& counters, FrameReport& report);
+  /// Entropy-codes and reconstructs rows [row_begin, row_end) into `slice`.
+  /// Slices touch only their own writer/tallies plus row-disjoint regions
+  /// of the reconstruction and coded MV field, so distinct slices may run
+  /// concurrently.
+  void entropy_slice(const video::Frame& src, bool intra_frame,
+                     Encoder::SliceState& slice, int row_begin, int row_end);
+  /// Folds one finished slice's tallies into the frame totals (slice order
+  /// keeps the report deterministic).
+  static void fold_slice(const Encoder::SliceState& slice,
+                         Encoder::MbBitCounters& counters,
+                         FrameReport& report);
 
   /// Clones the primary estimator once per worker (lazily, so callers may
   /// still configure the estimator between Encoder construction and the

@@ -34,11 +34,15 @@ Mv MvField::at_or(int bx, int by, Mv fallback) const {
 }
 
 Mv MvField::median_predictor(int bx, int by) const {
+  return median_predictor(bx, by, 0);
+}
+
+Mv MvField::median_predictor(int bx, int by, int first_row) const {
   // H.263 §6.1.1: candidates are left, above, above-right. Outside-picture
-  // candidates are zero, except that in the first row the left candidate is
-  // used directly.
+  // (or, for slices, outside-slice) candidates are zero, except that in the
+  // first row the left candidate is used directly.
   const Mv left = at_or(bx - 1, by);
-  if (by == 0) {
+  if (by == first_row) {
     return left;
   }
   const Mv above = at_or(bx, by - 1);

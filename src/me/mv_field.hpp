@@ -42,6 +42,13 @@ class MvField {
   /// substitutions). This is the `pred` used for differential MV coding.
   [[nodiscard]] Mv median_predictor(int bx, int by) const;
 
+  /// Slice-local variant: rows above `first_row` are treated as outside the
+  /// picture, so a slice starting at `first_row` predicts exactly like a
+  /// frame starting there — the seam that lets the codec entropy-code and
+  /// decode slices independently. `first_row == 0` is the whole-frame
+  /// predictor above, bit for bit.
+  [[nodiscard]] Mv median_predictor(int bx, int by, int first_row) const;
+
   /// Field smoothness: mean L1 difference between horizontally and
   /// vertically adjacent vectors, in half-pel units. PBM fields measure
   /// smoother (smaller) than FSBM fields — §2.3's "incoherent field" claim,

@@ -32,6 +32,12 @@ void BitWriter::align() {
   }
 }
 
+void BitWriter::put_bytes(std::span<const std::uint8_t> data) {
+  assert(partial_count_ == 0 && "put_bytes requires byte alignment");
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+  bit_count_ += data.size() * 8;
+}
+
 std::vector<std::uint8_t> BitWriter::take() {
   align();
   std::vector<std::uint8_t> out = std::move(bytes_);
@@ -69,6 +75,15 @@ void BitReader::align() {
   if (bit_pos_ > bit_size()) {
     bit_pos_ = bit_size();
   }
+}
+
+void BitReader::skip_bits(std::size_t count) {
+  if (count > bit_size() - bit_pos_) {
+    bit_pos_ = bit_size();
+    exhausted_ = true;
+    return;
+  }
+  bit_pos_ += count;
 }
 
 }  // namespace acbm::util

@@ -32,6 +32,11 @@ class BitWriter {
   /// No-op when already aligned.
   void align();
 
+  /// Appends whole bytes. The writer must be byte-aligned (asserted): the
+  /// codec concatenates independently produced, byte-aligned slice payloads
+  /// and a sub-byte shift would silently re-encode every following bit.
+  void put_bytes(std::span<const std::uint8_t> data);
+
   /// Number of bits written so far (including any partial byte).
   [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
 
@@ -69,6 +74,12 @@ class BitReader {
 
   /// Skips forward to the next byte boundary.
   void align();
+
+  /// Advances the read position by `count` bits without decoding them (the
+  /// slice directory walk: payload lengths are known, contents are not yet
+  /// needed). Clamps at the end of the buffer and sets `exhausted()` when
+  /// the skip ran past it.
+  void skip_bits(std::size_t count);
 
   /// Bits consumed so far.
   [[nodiscard]] std::size_t bit_position() const { return bit_pos_; }

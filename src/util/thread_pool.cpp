@@ -79,4 +79,48 @@ void ThreadPool::worker_loop(int index) {
   }
 }
 
+WavefrontProgress::WavefrontProgress(int rows) {
+  rows_.reserve(static_cast<std::size_t>(std::max(0, rows)));
+  for (int i = 0; i < rows; ++i) {
+    rows_.push_back(std::make_unique<Row>());
+  }
+}
+
+void WavefrontProgress::publish(int row, int done) {
+  Row& r = *rows_[static_cast<std::size_t>(row)];
+  // seq_cst on the done-store / waiters-load pair (and their counterparts in
+  // wait_for) forbids the store-load reordering that would let a publisher
+  // miss a consumer mid-parking AND that consumer miss the new progress
+  // value — the classic lost-wakeup interleaving.
+  r.done.store(done);
+  if (r.waiters.load() > 0) {
+    // The lock orders this wakeup against a consumer that passed the
+    // predicate check but has not finished parking yet.
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.advanced.notify_all();
+  }
+}
+
+void WavefrontProgress::wait_for(int row, int need) {
+  Row& r = *rows_[static_cast<std::size_t>(row)];
+  // Bounded spin: wavefront neighbours usually trail by microseconds, so a
+  // few polls avoid the syscall entirely in the common case.
+  for (int spin = 0; spin < 64; ++spin) {
+    if (r.done.load(std::memory_order_acquire) >= need) {
+      return;
+    }
+  }
+  r.waiters.fetch_add(1);
+  {
+    std::unique_lock<std::mutex> lock(r.mutex);
+    r.advanced.wait(lock, [&r, need] { return r.done.load() >= need; });
+  }
+  r.waiters.fetch_sub(1);
+}
+
+int WavefrontProgress::progress(int row) const {
+  return rows_[static_cast<std::size_t>(row)]->done.load(
+      std::memory_order_acquire);
+}
+
 }  // namespace acbm::util

@@ -17,10 +17,12 @@
 // process (std::terminate via the worker thread). The pipeline's tasks are
 // arithmetic only; anything throwing there is already a bug.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -65,6 +67,46 @@ class ThreadPool {
   std::condition_variable all_idle_;
   std::size_t in_flight_ = 0;  ///< queued + currently running tasks
   bool stopping_ = false;
+};
+
+/// Per-row completion counters for wavefront-ordered parallel loops.
+///
+/// A producer working through row R publishes its progress with
+/// publish(R, n); a consumer of row R+1 blocks in wait_for(R, need) until
+/// row R has advanced far enough. The wait is a parked condition-variable
+/// wait after a short bounded spin — under contention (more rows in flight
+/// than cores, busy machines) blocked rows sleep instead of burning a core
+/// on yield loops, which is what the encoder's wavefront used to do.
+///
+/// The fast path is a lock-free acquire load; publish only takes the row's
+/// mutex when a waiter is (or may be) parked. Progress values must be
+/// monotonically non-decreasing per row.
+class WavefrontProgress {
+ public:
+  /// `rows` independent counters, all starting at 0.
+  explicit WavefrontProgress(int rows);
+
+  /// Publishes `done` as row `row`'s progress (release order) and wakes any
+  /// parked waiters of that row.
+  void publish(int row, int done);
+
+  /// Blocks until row `row`'s progress reaches at least `need`.
+  void wait_for(int row, int need);
+
+  /// Current progress of `row` (acquire order).
+  [[nodiscard]] int progress(int row) const;
+
+  [[nodiscard]] int rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  struct Row {
+    std::atomic<int> done{0};
+    std::atomic<int> waiters{0};  ///< parked (or parking) consumers
+    std::mutex mutex;
+    std::condition_variable advanced;
+  };
+  // unique_ptr keeps Row's non-movable members happy inside the vector.
+  std::vector<std::unique_ptr<Row>> rows_;
 };
 
 }  // namespace acbm::util

@@ -14,7 +14,8 @@
 namespace acbm::codec {
 namespace {
 
-std::vector<std::uint8_t> valid_stream(int frames_count = 4) {
+std::vector<std::uint8_t> valid_stream(int frames_count = 4,
+                                       int slices = 1) {
   synth::SequenceRequest req;
   req.name = "carphone";
   req.size = {64, 48};
@@ -24,6 +25,7 @@ std::vector<std::uint8_t> valid_stream(int frames_count = 4) {
   EncoderConfig cfg;
   cfg.qp = 12;
   cfg.search_range = 7;
+  cfg.slices = slices;
   Encoder encoder({64, 48}, cfg, acbm);
   for (const auto& f : frames) {
     (void)encoder.encode_frame(f);
@@ -124,6 +126,131 @@ TEST(DecoderFuzz, DuplicatedAndReorderedFrames) {
 TEST(DecoderFuzz, EmptyAndTinyInputs) {
   EXPECT_THROW(Decoder d(std::vector<std::uint8_t>{}), DecodeError);
   EXPECT_THROW(Decoder d(std::vector<std::uint8_t>{0x41}), DecodeError);
+}
+
+// ----------------------------------------------------- ACV2 (sliced) cases
+
+TEST(DecoderFuzz, SlicedSingleBitFlips) {
+  const auto stream = valid_stream(4, /*slices=*/3);
+  util::Rng rng(4);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto corrupted = stream;
+    const std::size_t byte = rng.next_below(
+        static_cast<std::uint32_t>(corrupted.size()));
+    corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    expect_survives(corrupted);
+  }
+}
+
+TEST(DecoderFuzz, SlicedBurstCorruption) {
+  const auto stream = valid_stream(4, /*slices=*/3);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto corrupted = stream;
+    const std::size_t start = rng.next_below(
+        static_cast<std::uint32_t>(corrupted.size()));
+    const std::size_t len =
+        std::min<std::size_t>(1 + rng.next_below(16), corrupted.size() - start);
+    for (std::size_t i = 0; i < len; ++i) {
+      corrupted[start + i] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    expect_survives(corrupted);
+  }
+}
+
+TEST(DecoderFuzz, SlicedAllTruncationLengths) {
+  const auto stream = valid_stream(2, /*slices=*/3);
+  for (std::size_t len = 0; len <= stream.size(); ++len) {
+    std::vector<std::uint8_t> truncated(stream.begin(),
+                                        stream.begin() + static_cast<long>(len));
+    if (len < 12) {
+      EXPECT_THROW(Decoder d(truncated), DecodeError) << "len " << len;
+    } else {
+      expect_survives(truncated);
+    }
+  }
+}
+
+TEST(DecoderFuzz, SlicedParallelDecodeSurvivesCorruption) {
+  // The pool path must be as corruption-proof as the serial one: tasks may
+  // not throw, so concealment has to absorb payload errors on the workers.
+  const auto stream = valid_stream(4, /*slices=*/3);
+  util::Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto corrupted = stream;
+    const std::size_t byte = rng.next_below(
+        static_cast<std::uint32_t>(corrupted.size()));
+    corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    try {
+      Decoder decoder(corrupted, /*threads=*/3);
+      (void)decoder.decode_all();
+    } catch (const DecodeError&) {
+      // structural corruption — acceptable
+    }
+  }
+}
+
+TEST(DecoderFuzz, CorruptSlicePayloadIsConcealedAndResynchronised) {
+  // Deterministic resynchronisation: zero out the first slice's payload of
+  // the first frame. The all-zero data parses as empty macroblocks without
+  // consuming the payload, which the decoder must flag and conceal — while
+  // every later slice (located via the payload-length field in its header)
+  // still decodes.
+  const auto stream = valid_stream(3, /*slices=*/3);
+  const auto reference_frames = [&] {
+    Decoder d(stream);
+    return d.decode_all();
+  }();
+  ASSERT_EQ(reference_frames.size(), 3u);
+
+  // Layout: 12-byte sequence header, 3-byte frame header, 1-byte slice
+  // count, 9-byte slice header, then slice 0's payload.
+  constexpr std::size_t kHeaderBytes = 12 + 3 + 1 + 9;
+  const std::size_t payload_len = (std::size_t{stream[kHeaderBytes - 4]}
+                                       << 24) |
+                                  (std::size_t{stream[kHeaderBytes - 3]}
+                                       << 16) |
+                                  (std::size_t{stream[kHeaderBytes - 2]}
+                                       << 8) |
+                                  std::size_t{stream[kHeaderBytes - 1]};
+  ASSERT_GT(payload_len, 0u);
+  ASSERT_LT(kHeaderBytes + payload_len, stream.size());
+
+  auto corrupted = stream;
+  for (std::size_t i = 0; i < payload_len; ++i) {
+    corrupted[kHeaderBytes + i] = 0;
+  }
+
+  Decoder decoder(corrupted);
+  const auto decoded = decoder.decode_all();
+  ASSERT_EQ(decoded.size(), 3u);  // resynchronised: no frame was lost
+  EXPECT_GE(decoder.concealed_slices(), 1u);
+}
+
+TEST(DecoderFuzz, SliceHeaderCorruptionIsRejected) {
+  const auto stream = valid_stream(2, /*slices=*/3);
+  // Byte 16 is the first slice header's sync word ("SL"): smashing it must
+  // throw — the directory itself carries the resynchronisation points, so
+  // there is nothing left to recover with.
+  auto corrupted = stream;
+  corrupted[16] = 0xFF;
+  corrupted[17] = 0xFF;
+  EXPECT_THROW(
+      {
+        Decoder d(corrupted);
+        (void)d.decode_all();
+      },
+      DecodeError);
+
+  // Payload length pointing past the end of the buffer: reject, not read.
+  auto overrun = stream;
+  overrun[21] = 0x7F;  // top byte of slice 0's u32 payload length
+  EXPECT_THROW(
+      {
+        Decoder d(overrun);
+        (void)d.decode_all();
+      },
+      DecodeError);
 }
 
 }  // namespace
