@@ -93,6 +93,47 @@ void sad_kernel_quincunx_variant(benchmark::State& state,
   state.SetBytesProcessed(state.iterations() * 64);  // 4:1 of 256
 }
 
+/// Half-pel SAD the way the PR-3 encoder did it: against a phase plane
+/// pre-interpolated once per frame, through one variant's plain `sad`
+/// entry. The plane build itself is outside the loop — this row is the
+/// per-candidate cost the fused kernel competes with, and the whole-frame
+/// interpolation it additionally saves shows up in BM_HalfpelPlanesQcif.
+void sad_halfpel_preinterp_variant(benchmark::State& state,
+                                   const simd::SadKernels* k) {
+  const video::Plane cur = bench_plane(176, 144, 21);
+  const video::Plane ref = bench_plane(176, 144, 22);
+  const video::HalfpelPlanes hp(ref);
+  const video::Plane& phase = hp.plane(1, 1);  // HV: the expensive phase
+  int offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        k->sad(cur.row(32) + 32, cur.stride(),
+               phase.row(30) + 30 + (offset & 7), phase.stride(), 16, 16,
+               me::kNoEarlyExit));
+    ++offset;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 256);
+}
+
+/// The fused interpolate+SAD path (HV phase) through the globally selected
+/// table — registered as BM_SadHalfpel/fused. Beating the preinterp
+/// /scalar row per call while skipping the whole-frame interpolation pass
+/// is the win the reserved sad_halfpel slot existed for.
+void BM_SadHalfpelFused(benchmark::State& state) {
+  const video::Plane cur = bench_plane(176, 144, 21);
+  const video::Plane ref = bench_plane(176, 144, 22);
+  const video::HalfpelPlanes hp(ref);
+  int offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(me::sad_block_halfpel(
+        cur, 32, 32, hp, 2 * (30 + (offset & 7)) + 1, 2 * 30 + 1, 16, 16));
+    ++offset;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * 256);
+}
+
 /// One per-variant registration for every table the build/CPU offers.
 void register_kernel_variant_benchmarks() {
   for (simd::KernelIsa isa : {simd::KernelIsa::kScalar,
@@ -111,7 +152,10 @@ void register_kernel_variant_benchmarks() {
     benchmark::RegisterBenchmark(
         ("BM_SadKernelQuincunx/" + suffix).c_str(),
         sad_kernel_quincunx_variant, k);
+    benchmark::RegisterBenchmark(("BM_SadHalfpel/" + suffix).c_str(),
+                                 sad_halfpel_preinterp_variant, k);
   }
+  benchmark::RegisterBenchmark("BM_SadHalfpel/fused", BM_SadHalfpelFused);
 }
 
 // --------------------------------------------- dispatched-path benchmarks
@@ -162,10 +206,14 @@ void BM_IntraSad16x16(benchmark::State& state) {
 BENCHMARK(BM_IntraSad16x16);
 
 void BM_HalfpelPlanesQcif(benchmark::State& state) {
+  // Construction is lazy since the fused kernels landed; force the
+  // interpolated phases so the row keeps measuring the whole-frame
+  // interpolation pass — the cost every encode that stays on the fused
+  // path now skips.
   const video::Plane src = bench_plane(176, 144, 8);
   for (auto _ : state) {
     video::HalfpelPlanes hp(src);
-    benchmark::DoNotOptimize(hp);
+    benchmark::DoNotOptimize(hp.plane(1, 1).at(0, 0));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -225,11 +273,14 @@ void BM_ForwardDct8x8(benchmark::State& state) {
 BENCHMARK(BM_ForwardDct8x8);
 
 void BM_EntropyStage(benchmark::State& state) {
-  // Stage-3 (entropy + reconstruction) scaling across slice counts. Intra
-  // frames skip the motion and mode stages entirely, so an intra_period=1
-  // encoder measures the entropy stage almost pure: slices:1 is the serial
-  // legacy path, slices:N runs N independently-predicted slices on N pool
-  // workers. CIF gives the stage enough macroblocks to amortise dispatch.
+  // Stage-3 (MVD/entropy coding + reconstruction) scaling across slice
+  // counts, reported via the pipeline's own stage stopwatch
+  // (FrameReport::entropy_stage_seconds + UseManualTime) so the row keeps
+  // measuring the stage it is named after now that macroblock planning
+  // runs in its own parallel stage: slices:1 is the serial legacy path,
+  // slices:N writes N independently-predicted slices on N pool workers.
+  // Intra frames skip motion/mode, and CIF gives the stage enough
+  // macroblocks to amortise dispatch.
   const int slices = static_cast<int>(state.range(0));
   synth::SequenceRequest req;
   req.name = "carphone";
@@ -243,18 +294,15 @@ void BM_EntropyStage(benchmark::State& state) {
   cfg.slices = slices;
   cfg.parallel.threads = slices;
   for (auto _ : state) {
-    // Fresh encoder per iteration, constructed AND destroyed untimed: a
-    // reused one would accumulate the dead bitstream in its writer (buffer
-    // reallocations inside the timed region), and the destructor joins the
-    // slice pool's threads — a cost that grows with the slices arg and
-    // would bias the very scaling this row exists to show.
-    state.PauseTiming();
+    // Fresh encoder per iteration (outside the manual-time region): a
+    // reused one would accumulate the dead bitstream in its writer, and
+    // the destructor joins the pool threads — costs that grow with the
+    // slices arg and would bias the scaling this row exists to show.
     auto enc = std::make_unique<codec::Encoder>(video::kCif, cfg, acbm);
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(enc->encode_frame(frames[0]));
-    state.PauseTiming();
+    const codec::FrameReport report = enc->encode_frame(frames[0]);
+    state.SetIterationTime(report.entropy_stage_seconds);
+    benchmark::DoNotOptimize(report.bits);
     enc.reset();
-    state.ResumeTiming();
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -263,6 +311,44 @@ BENCHMARK(BM_EntropyStage)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PlanStage(benchmark::State& state) {
+  // Stage-2.5 (macroblock planning: prediction, DCT, quantisation, RD
+  // candidate reconstruction + SSD) scaling across worker threads,
+  // reported via FrameReport::plan_stage_seconds. Rate–distortion mode is
+  // the planning-heavy operating point — three candidate reconstructions
+  // per macroblock, all of which used to serialise inside the entropy
+  // loop. The timed frame is a P frame, so the row includes the real
+  // inter-planning path (motion compensation + residual transform).
+  const int threads = static_cast<int>(state.range(0));
+  synth::SequenceRequest req;
+  req.name = "carphone";
+  req.size = video::kCif;
+  req.frame_count = 2;
+  const auto frames = synth::make_sequence(req);
+  codec::EncoderConfig cfg;
+  cfg.qp = 16;
+  cfg.mode_decision = codec::ModeDecision::kRateDistortion;
+  cfg.parallel.threads = threads;
+  for (auto _ : state) {
+    core::Acbm acbm;
+    auto enc = std::make_unique<codec::Encoder>(video::kCif, cfg, acbm);
+    (void)enc->encode_frame(frames[0]);  // intra; not reported
+    const codec::FrameReport report = enc->encode_frame(frames[1]);
+    state.SetIterationTime(report.plan_stage_seconds);
+    benchmark::DoNotOptimize(report.bits);
+    enc.reset();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanStage)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_EncodeQcifFrame(benchmark::State& state) {

@@ -71,9 +71,23 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (!simd::select_kernels_by_name(parser.get("kernel"))) {
-      std::cerr << "unknown or unavailable --kernel '" << parser.get("kernel")
-                << "' on this build/CPU (use scalar|sse2|avx2|auto)\n";
+    // Reject bad --kernel requests loudly rather than falling back to
+    // scalar: a silent fallback would invalidate any A/B timing the caller
+    // believes they are running.
+    const std::string kernel = parser.get("kernel");
+    simd::KernelIsa kernel_isa;
+    if (!simd::parse_kernel_name(kernel, kernel_isa)) {
+      std::cerr << "acbm_enc: unknown --kernel '" << kernel
+                << "' (valid spellings: scalar, sse2, avx2, auto)\n";
+      return 2;
+    }
+    if (!simd::select_kernels(kernel_isa)) {
+      std::cerr << "acbm_enc: --kernel '" << kernel
+                << "' is not available on this build/CPU; available:";
+      for (const std::string& name : simd::available_kernel_names()) {
+        std::cerr << ' ' << name;
+      }
+      std::cerr << '\n';
       return 2;
     }
     const int fps = static_cast<int>(parser.get_int("fps"));

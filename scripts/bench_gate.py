@@ -24,13 +24,20 @@ environment (CI exposes this as the `bench-gate` workflow variable /
 `[bench-gate-off]` commit-message tag) to demote failures to warnings for
 one run.
 
+The merged artifact can be keyed for cross-commit trajectory plotting:
+--commit SHA and --timestamp ISO8601 (or --stamp-now for the current UTC
+time) land in context.commit_sha / context.timestamp_utc, so a directory of
+BENCH_ci.json artifacts sorts and joins by commit without re-deriving
+anything from CI metadata.
+
 Usage:
   bench_gate.py --out BENCH_ci.json --baseline bench/baselines/BENCH_baseline.json \
-      kernels.json table1.json
+      --commit "$GITHUB_SHA" --stamp-now kernels.json table1.json
   bench_gate.py --update-baseline --baseline ... kernels.json table1.json
 """
 
 import argparse
+import datetime
 import json
 import os
 import statistics
@@ -138,9 +145,25 @@ def main():
     parser.add_argument("--update-baseline", action="store_true",
                         help="write the merged report as the new baseline "
                              "instead of gating")
+    parser.add_argument("--commit", default="",
+                        help="commit SHA to stamp into context.commit_sha")
+    parser.add_argument("--timestamp", default="",
+                        help="ISO-8601 UTC timestamp to stamp into "
+                             "context.timestamp_utc")
+    parser.add_argument("--stamp-now", action="store_true",
+                        help="stamp the current UTC time (overridden by an "
+                             "explicit --timestamp)")
     args = parser.parse_args()
 
     merged = merge(args.inputs)
+    if args.commit:
+        merged["context"]["commit_sha"] = args.commit
+    timestamp = args.timestamp
+    if not timestamp and args.stamp_now:
+        timestamp = datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ")
+    if timestamp:
+        merged["context"]["timestamp_utc"] = timestamp
     with open(args.out, "w") as f:
         json.dump(merged, f, indent=2)
     print(f"wrote {args.out} ({len(merged['benchmarks'])} rows)")

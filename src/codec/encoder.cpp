@@ -27,73 +27,50 @@ double mode_lambda(int qp) { return 0.85 * qp * qp; }
 
 }  // namespace
 
-/// A fully transformed INTRA macroblock, not yet written or reconstructed.
-struct Encoder::IntraPlan {
-  std::int16_t levels[6][kDctSamples];
-  std::uint8_t dc[6];
-  std::uint32_t cbp = 0;
-
-  /// Exact payload bits (DCs + CBP + coefficients; excludes COD/mode bits).
-  [[nodiscard]] std::uint32_t payload_bits() const {
-    std::uint32_t bits = 6 * 8 + 6;
-    for (int b = 0; b < 6; ++b) {
-      if ((cbp >> b) & 1u) {
-        bits += block_coeff_bits(levels[b], /*skip_dc=*/true);
-      }
+std::uint32_t Encoder::IntraPlan::payload_bits() const {
+  std::uint32_t bits = 6 * 8 + 6;
+  for (int b = 0; b < 6; ++b) {
+    if ((cbp >> b) & 1u) {
+      bits += block_coeff_bits(levels[b], /*skip_dc=*/true);
     }
-    return bits;
   }
+  return bits;
+}
 
-  /// Reconstructs into 16×16 luma + two 8×8 chroma scratch buffers.
-  void reconstruct(int qp, std::uint8_t* y16, std::uint8_t* cb8,
-                   std::uint8_t* cr8) const {
-    for (int b = 0; b < 4; ++b) {
-      const int ox = kLumaBlockOffsets[b][0];
-      const int oy = kLumaBlockOffsets[b][1];
-      reconstruct_intra_block(levels[b], dc[b], qp, y16 + oy * kMb + ox, kMb);
+void Encoder::IntraPlan::reconstruct(int qp, std::uint8_t* y16,
+                                     std::uint8_t* cb8,
+                                     std::uint8_t* cr8) const {
+  for (int b = 0; b < 4; ++b) {
+    const int ox = kLumaBlockOffsets[b][0];
+    const int oy = kLumaBlockOffsets[b][1];
+    reconstruct_intra_block(levels[b], dc[b], qp, y16 + oy * kMb + ox, kMb);
+  }
+  reconstruct_intra_block(levels[4], dc[4], qp, cb8, 8);
+  reconstruct_intra_block(levels[5], dc[5], qp, cr8, 8);
+}
+
+std::uint32_t Encoder::InterPlan::payload_bits(me::Mv predictor) const {
+  std::uint32_t bits = mvd_bits(mv, predictor) + 6;
+  for (int b = 0; b < 6; ++b) {
+    if ((cbp >> b) & 1u) {
+      bits += block_coeff_bits(levels[b]);
     }
-    reconstruct_intra_block(levels[4], dc[4], qp, cb8, 8);
-    reconstruct_intra_block(levels[5], dc[5], qp, cr8, 8);
   }
-};
+  return bits;
+}
 
-/// A fully predicted+transformed INTER macroblock.
-struct Encoder::InterPlan {
-  me::Mv mv;
-  std::uint8_t pred_y[kMb * kMb];
-  std::uint8_t pred_cb[8 * 8];
-  std::uint8_t pred_cr[8 * 8];
-  std::int16_t levels[6][kDctSamples];
-  std::uint32_t cbp = 0;
-
-  [[nodiscard]] bool skippable() const {
-    return mv == me::Mv{0, 0} && cbp == 0;
+void Encoder::InterPlan::reconstruct(int qp, std::uint8_t* y16,
+                                     std::uint8_t* cb8,
+                                     std::uint8_t* cr8) const {
+  for (int b = 0; b < 4; ++b) {
+    const int ox = kLumaBlockOffsets[b][0];
+    const int oy = kLumaBlockOffsets[b][1];
+    reconstruct_inter_block(levels[b], pred_y + oy * kMb + ox, kMb, qp,
+                            y16 + oy * kMb + ox, kMb);
   }
-
-  /// Payload bits given the differential predictor (MVD + CBP + coeffs;
-  /// excludes COD/mode bits).
-  [[nodiscard]] std::uint32_t payload_bits(me::Mv predictor) const {
-    std::uint32_t bits = mvd_bits(mv, predictor) + 6;
-    for (int b = 0; b < 6; ++b) {
-      if ((cbp >> b) & 1u) {
-        bits += block_coeff_bits(levels[b]);
-      }
-    }
-    return bits;
-  }
-
-  void reconstruct(int qp, std::uint8_t* y16, std::uint8_t* cb8,
-                   std::uint8_t* cr8) const {
-    for (int b = 0; b < 4; ++b) {
-      const int ox = kLumaBlockOffsets[b][0];
-      const int oy = kLumaBlockOffsets[b][1];
-      reconstruct_inter_block(levels[b], pred_y + oy * kMb + ox, kMb, qp,
-                              y16 + oy * kMb + ox, kMb);
-    }
-    reconstruct_inter_block(levels[4], pred_cb, 8, qp, cb8, 8);
-    reconstruct_inter_block(levels[5], pred_cr, 8, qp, cr8, 8);
-  }
-};
+  reconstruct_inter_block(levels[4], pred_cb, 8, qp, cb8, 8);
+  reconstruct_inter_block(levels[5], pred_cr, 8, qp, cr8, 8);
+}
 
 Encoder::Encoder(video::PictureSize size, const EncoderConfig& config,
                  me::MotionEstimator& estimator)
@@ -213,6 +190,23 @@ void Encoder::write_intra_plan(const IntraPlan& plan, SliceState& slice) {
   slice.counters.coeff += writer.bit_count() - before;
 }
 
+void Encoder::write_inter_plan_payload(const InterPlan& plan, me::Mv predictor,
+                                       SliceState& slice) {
+  util::BitWriter& writer = *slice.writer;
+  const std::uint64_t mv_start = writer.bit_count();
+  encode_mvd(writer, plan.mv, predictor);
+  slice.counters.mv += writer.bit_count() - mv_start;
+
+  const std::uint64_t coeff_start = writer.bit_count();
+  writer.put_bits(plan.cbp, 6);
+  for (int b = 0; b < 6; ++b) {
+    if ((plan.cbp >> b) & 1u) {
+      encode_block_coeffs(writer, plan.levels[b]);
+    }
+  }
+  slice.counters.coeff += writer.bit_count() - coeff_start;
+}
+
 // ---------------------------------------------------------- reconstruction
 
 void Encoder::reconstruct_intra_plan(const IntraPlan& plan, int bx, int by) {
@@ -291,102 +285,109 @@ std::uint64_t Encoder::mb_ssd(const video::Frame& src, int bx, int by,
   return ssd;
 }
 
-// ------------------------------------------------------- macroblock coding
-
-void Encoder::encode_intra_mb(const video::Frame& src, int bx, int by,
-                              SliceState& slice) {
-  const IntraPlan plan = plan_intra_mb(src, bx, by);
-  write_intra_plan(plan, slice);
-  reconstruct_intra_plan(plan, bx, by);
-  coded_field_.set(bx, by, {0, 0});
-}
-
-void Encoder::encode_inter_mb(const video::Frame& src, int bx, int by,
-                              me::Mv mv, SliceState& slice) {
-  util::BitWriter& writer = *slice.writer;
-  const InterPlan plan = plan_inter_mb(src, bx, by, mv);
-
-  if (config_.allow_skip && plan.skippable()) {
-    const std::uint64_t before = writer.bit_count();
-    writer.put_bit(true);  // COD = 1
-    slice.counters.header += writer.bit_count() - before;
-    reconstruct_skip_mb(bx, by);
-    coded_field_.set(bx, by, {0, 0});
-    ++slice.skip_mbs;
+void Encoder::plan_mb(const video::Frame& src, int bx, int by,
+                      bool intra_frame, me::Mv mv, bool use_intra,
+                      MbPlan& out) const {
+  if (intra_frame) {
+    out.intra = plan_intra_mb(src, bx, by);
+    out.has_intra = true;
+    out.has_inter = false;
+    out.rd = false;
     return;
   }
 
-  const std::uint64_t header_start = writer.bit_count();
-  writer.put_bit(false);  // COD = 0
-  writer.put_bit(false);  // inter
-  slice.counters.header += writer.bit_count() - header_start;
+  if (config_.mode_decision == ModeDecision::kRateDistortion) {
+    // Plan all three candidates and reduce each to the pieces of its
+    // Lagrangian cost that do not depend on the MVD predictor; stage 3
+    // finishes the comparison. Scratch reconstructions are thrown away —
+    // the winner is reconstructed for real from its plan in stage 3.
+    out.rd = true;
+    out.has_intra = true;
+    out.has_inter = true;
+    const double lambda = mode_lambda(config_.qp);
+    std::uint8_t y16[kMb * kMb];
+    std::uint8_t cb8[64];
+    std::uint8_t cr8[64];
 
-  const std::uint64_t mv_start = writer.bit_count();
-  encode_mvd(writer, plan.mv,
-             coded_field_.median_predictor(bx, by, slice.first_mb_row));
-  slice.counters.mv += writer.bit_count() - mv_start;
-
-  const std::uint64_t coeff_start = writer.bit_count();
-  writer.put_bits(plan.cbp, 6);
-  for (int b = 0; b < 6; ++b) {
-    if ((plan.cbp >> b) & 1u) {
-      encode_block_coeffs(writer, plan.levels[b]);
+    out.inter = plan_inter_mb(src, bx, by, mv);
+    out.inter.reconstruct(config_.qp, y16, cb8, cr8);
+    out.inter_ssd = mb_ssd(src, bx, by, y16, cb8, cr8);
+    out.inter_body_bits = 6;
+    for (int b = 0; b < 6; ++b) {
+      if ((out.inter.cbp >> b) & 1u) {
+        out.inter_body_bits += block_coeff_bits(out.inter.levels[b]);
+      }
     }
-  }
-  slice.counters.coeff += writer.bit_count() - coeff_start;
 
-  reconstruct_inter_plan(plan, bx, by);
-  coded_field_.set(bx, by, plan.mv);
+    out.intra = plan_intra_mb(src, bx, by);
+    out.intra.reconstruct(config_.qp, y16, cb8, cr8);
+    out.j_intra =
+        static_cast<double>(mb_ssd(src, bx, by, y16, cb8, cr8)) +
+        lambda * (2.0 + out.intra.payload_bits());
+
+    out.j_skip = std::numeric_limits<double>::infinity();
+    if (config_.allow_skip) {
+      const int x = bx * kMb;
+      const int y = by * kMb;
+      for (int row = 0; row < kMb; ++row) {
+        std::memcpy(y16 + row * kMb, ref_.y().row(y + row) + x, kMb);
+      }
+      for (int row = 0; row < 8; ++row) {
+        std::memcpy(cb8 + row * 8, ref_.cb().row(y / 2 + row) + x / 2, 8);
+        std::memcpy(cr8 + row * 8, ref_.cr().row(y / 2 + row) + x / 2, 8);
+      }
+      out.j_skip =
+          static_cast<double>(mb_ssd(src, bx, by, y16, cb8, cr8)) +
+          lambda * 1.0;
+    }
+    return;
+  }
+
+  out.rd = false;
+  out.has_intra = use_intra;
+  out.has_inter = !use_intra;
+  if (use_intra) {
+    out.intra = plan_intra_mb(src, bx, by);
+  } else {
+    out.inter = plan_inter_mb(src, bx, by, mv);
+  }
 }
 
-void Encoder::encode_inter_mb_rd(const video::Frame& src, int bx, int by,
-                                 me::Mv mv, SliceState& slice) {
-  util::BitWriter& writer = *slice.writer;
-  const double lambda = mode_lambda(config_.qp);
-  const me::Mv predictor =
-      coded_field_.median_predictor(bx, by, slice.first_mb_row);
+// ------------------------------------------------------- macroblock coding
 
-  // Candidate 1: INTER with the estimated vector.
-  const InterPlan inter = plan_inter_mb(src, bx, by, mv);
-  std::uint8_t inter_y[kMb * kMb];
-  std::uint8_t inter_cb[64];
-  std::uint8_t inter_cr[64];
-  inter.reconstruct(config_.qp, inter_y, inter_cb, inter_cr);
-  const double j_inter =
-      static_cast<double>(mb_ssd(src, bx, by, inter_y, inter_cb, inter_cr)) +
-      lambda * (2.0 + inter.payload_bits(predictor));
-
-  // Candidate 2: INTRA.
-  const IntraPlan intra = plan_intra_mb(src, bx, by);
-  std::uint8_t intra_y[kMb * kMb];
-  std::uint8_t intra_cb[64];
-  std::uint8_t intra_cr[64];
-  intra.reconstruct(config_.qp, intra_y, intra_cb, intra_cr);
-  const double j_intra =
-      static_cast<double>(mb_ssd(src, bx, by, intra_y, intra_cb, intra_cr)) +
-      lambda * (2.0 + intra.payload_bits());
-
-  // Candidate 3: SKIP (copy of the reference at zero motion, 1 bit).
-  double j_skip = std::numeric_limits<double>::infinity();
-  if (config_.allow_skip) {
-    const int x = bx * kMb;
-    const int y = by * kMb;
-    std::uint8_t skip_y[kMb * kMb];
-    std::uint8_t skip_cb[64];
-    std::uint8_t skip_cr[64];
-    for (int row = 0; row < kMb; ++row) {
-      std::memcpy(skip_y + row * kMb, ref_.y().row(y + row) + x, kMb);
-    }
-    for (int row = 0; row < 8; ++row) {
-      std::memcpy(skip_cb + row * 8, ref_.cb().row(y / 2 + row) + x / 2, 8);
-      std::memcpy(skip_cr + row * 8, ref_.cr().row(y / 2 + row) + x / 2, 8);
-    }
-    j_skip =
-        static_cast<double>(mb_ssd(src, bx, by, skip_y, skip_cb, skip_cr)) +
-        lambda * 1.0;
+void Encoder::write_mb_from_plan(bool intra_frame, const MbPlan& plan, int bx,
+                                 int by, SliceState& slice) {
+  if (intra_frame) {
+    // I-frame macroblocks carry no COD/mode bits.
+    write_intra_plan(plan.intra, slice);
+    reconstruct_intra_plan(plan.intra, bx, by);
+    coded_field_.set(bx, by, {0, 0});
+    ++slice.intra_mbs;
+    return;
   }
 
-  if (j_skip <= j_inter && j_skip <= j_intra) {
+  if (plan.rd) {
+    write_rd_mb_from_plan(plan, bx, by, slice);
+    return;
+  }
+
+  util::BitWriter& writer = *slice.writer;
+
+  if (plan.has_intra) {
+    const std::uint64_t before = writer.bit_count();
+    writer.put_bit(false);  // COD = 0 (coded)
+    writer.put_bit(true);   // intra
+    slice.counters.header += writer.bit_count() - before;
+    write_intra_plan(plan.intra, slice);
+    reconstruct_intra_plan(plan.intra, bx, by);
+    coded_field_.set(bx, by, {0, 0});
+    ++slice.intra_mbs;
+    return;
+  }
+
+  // Heuristic INTER, degrading to SKIP when the zero-vector residual
+  // quantised away in the plan stage.
+  if (config_.allow_skip && plan.inter.skippable()) {
     const std::uint64_t before = writer.bit_count();
     writer.put_bit(true);  // COD = 1
     slice.counters.header += writer.bit_count() - before;
@@ -397,13 +398,52 @@ void Encoder::encode_inter_mb_rd(const video::Frame& src, int bx, int by,
     return;
   }
 
-  if (j_intra < j_inter) {
+  const std::uint64_t header_start = writer.bit_count();
+  writer.put_bit(false);  // COD = 0
+  writer.put_bit(false);  // inter
+  slice.counters.header += writer.bit_count() - header_start;
+
+  write_inter_plan_payload(
+      plan.inter, coded_field_.median_predictor(bx, by, slice.first_mb_row),
+      slice);
+  reconstruct_inter_plan(plan.inter, bx, by);
+  coded_field_.set(bx, by, plan.inter.mv);
+  ++slice.inter_mbs;
+}
+
+void Encoder::write_rd_mb_from_plan(const MbPlan& plan, int bx, int by,
+                                    SliceState& slice) {
+  util::BitWriter& writer = *slice.writer;
+  const double lambda = mode_lambda(config_.qp);
+  const me::Mv predictor =
+      coded_field_.median_predictor(bx, by, slice.first_mb_row);
+
+  // Identical arithmetic to planning the candidates in place: payload bits
+  // are the uint32 sum of the MVD code and the precomputed body, so J_inter
+  // here equals the pre-plan-stage encoder's value bit for bit.
+  const std::uint32_t inter_payload =
+      mvd_bits(plan.inter.mv, predictor) + plan.inter_body_bits;
+  const double j_inter = static_cast<double>(plan.inter_ssd) +
+                         lambda * (2.0 + inter_payload);
+
+  if (plan.j_skip <= j_inter && plan.j_skip <= plan.j_intra) {
+    const std::uint64_t before = writer.bit_count();
+    writer.put_bit(true);  // COD = 1
+    slice.counters.header += writer.bit_count() - before;
+    reconstruct_skip_mb(bx, by);
+    coded_field_.set(bx, by, {0, 0});
+    ++slice.skip_mbs;
+    ++slice.inter_mbs;  // rebalanced against skip_mbs at frame end
+    return;
+  }
+
+  if (plan.j_intra < j_inter) {
     const std::uint64_t before = writer.bit_count();
     writer.put_bit(false);  // COD = 0
     writer.put_bit(true);   // intra
     slice.counters.header += writer.bit_count() - before;
-    write_intra_plan(intra, slice);
-    reconstruct_intra_plan(intra, bx, by);
+    write_intra_plan(plan.intra, slice);
+    reconstruct_intra_plan(plan.intra, bx, by);
     coded_field_.set(bx, by, {0, 0});
     ++slice.intra_mbs;
     return;
@@ -414,21 +454,9 @@ void Encoder::encode_inter_mb_rd(const video::Frame& src, int bx, int by,
   writer.put_bit(false);  // inter
   slice.counters.header += writer.bit_count() - header_start;
 
-  const std::uint64_t mv_start = writer.bit_count();
-  encode_mvd(writer, inter.mv, predictor);
-  slice.counters.mv += writer.bit_count() - mv_start;
-
-  const std::uint64_t coeff_start = writer.bit_count();
-  writer.put_bits(inter.cbp, 6);
-  for (int b = 0; b < 6; ++b) {
-    if ((inter.cbp >> b) & 1u) {
-      encode_block_coeffs(writer, inter.levels[b]);
-    }
-  }
-  slice.counters.coeff += writer.bit_count() - coeff_start;
-
-  reconstruct_inter_plan(inter, bx, by);
-  coded_field_.set(bx, by, inter.mv);
+  write_inter_plan_payload(plan.inter, predictor, slice);
+  reconstruct_inter_plan(plan.inter, bx, by);
+  coded_field_.set(bx, by, plan.inter.mv);
   ++slice.inter_mbs;
 }
 

@@ -41,6 +41,7 @@
 #include <memory>
 #include <vector>
 
+#include "codec/dct.hpp"
 #include "me/estimator.hpp"
 #include "me/mv_field.hpp"
 #include "util/bitstream.hpp"
@@ -128,6 +129,13 @@ struct FrameReport {
   std::uint64_t coeff_bits = 0;
   std::uint64_t header_bits = 0;   ///< sync + mode/COD/CBP bits
   double me_field_smoothness = 0.0;  ///< MvField::smoothness_l1 of ME field
+  /// Wall-clock spent in the pipeline's plan stage (stage 2.5: DCT/quant/RD
+  /// candidate costing) and entropy stage (stage 3: MVD coding + bit
+  /// writing + reconstruction) for this frame. Instrumentation only — the
+  /// stage benches report these so their rows keep measuring the stage they
+  /// are named after, not whatever else encode_frame does around it.
+  double plan_stage_seconds = 0.0;
+  double entropy_stage_seconds = 0.0;
 };
 
 class EncoderPipeline;
@@ -137,9 +145,10 @@ class EncoderPipeline;
 ///
 /// Frame encoding is delegated to an EncoderPipeline (codec/pipeline.hpp),
 /// which splits the old monolithic macroblock loop into separable stages —
-/// motion estimation, mode decision, transform/quant/entropy,
-/// reconstruction — and runs the ME stage across ParallelConfig::threads
-/// workers. The pipeline's output is bit-exact regardless of thread count.
+/// motion estimation, mode decision, macroblock planning (DCT/quant/RD
+/// candidate costing), entropy coding + reconstruction — and runs the ME,
+/// mode and plan stages across ParallelConfig::threads workers. The
+/// pipeline's output is bit-exact regardless of thread count.
 class Encoder {
  public:
   /// `estimator` is borrowed and must outlive the encoder — callers keep it
@@ -219,8 +228,64 @@ class Encoder {
     int skip_mbs = 0;
   };
 
-  struct IntraPlan;
-  struct InterPlan;
+  /// A fully transformed INTRA macroblock, not yet written or reconstructed.
+  struct IntraPlan {
+    std::int16_t levels[6][kDctSamples];
+    std::uint8_t dc[6];
+    std::uint32_t cbp = 0;
+
+    /// Exact payload bits (DCs + CBP + coefficients; excludes COD/mode
+    /// bits).
+    [[nodiscard]] std::uint32_t payload_bits() const;
+
+    /// Reconstructs into 16×16 luma + two 8×8 chroma scratch buffers.
+    void reconstruct(int qp, std::uint8_t* y16, std::uint8_t* cb8,
+                     std::uint8_t* cr8) const;
+  };
+
+  /// A fully predicted+transformed INTER macroblock.
+  struct InterPlan {
+    me::Mv mv;
+    std::uint8_t pred_y[me::kBlockSize * me::kBlockSize];
+    std::uint8_t pred_cb[8 * 8];
+    std::uint8_t pred_cr[8 * 8];
+    std::int16_t levels[6][kDctSamples];
+    std::uint32_t cbp = 0;
+
+    [[nodiscard]] bool skippable() const {
+      return mv == me::Mv{0, 0} && cbp == 0;
+    }
+
+    /// Payload bits given the differential predictor (MVD + CBP + coeffs;
+    /// excludes COD/mode bits).
+    [[nodiscard]] std::uint32_t payload_bits(me::Mv predictor) const;
+
+    void reconstruct(int qp, std::uint8_t* y16, std::uint8_t* cb8,
+                     std::uint8_t* cr8) const;
+  };
+
+  /// Everything the plan stage (EncoderPipeline stage 2.5) precomputes for
+  /// one macroblock, leaving stage 3 with only predictor-dependent MVD
+  /// coding, bit writing and reconstruction. For rate–distortion mode all
+  /// three candidates are planned here; the only cost term that cannot be
+  /// precomputed is the MVD code length, which depends on the coded-field
+  /// median predictor and therefore on every earlier decision in the slice
+  /// — so the plan carries the predictor-independent pieces (candidate SSDs
+  /// and non-MVD bit counts) and write_mb_from_plan finishes the J
+  /// comparison with one cheap mvd_bits() call per macroblock.
+  struct MbPlan {
+    IntraPlan intra;  ///< valid when has_intra (or rd)
+    InterPlan inter;  ///< valid when has_inter (or rd)
+    bool has_intra = false;
+    bool has_inter = false;
+    bool rd = false;  ///< stage 3 must run the three-way J comparison
+    /// RD precomputation: full J for the predictor-independent candidates…
+    double j_intra = 0.0;
+    double j_skip = 0.0;  ///< +inf when SKIP is disallowed
+    /// …and the pieces of J_inter around the MVD term.
+    std::uint64_t inter_ssd = 0;
+    std::uint32_t inter_body_bits = 0;  ///< CBP + coefficient bits, no MVD
+  };
 
   void write_sequence_header();
 
@@ -228,14 +293,25 @@ class Encoder {
   InterPlan plan_inter_mb(const video::Frame& src, int bx, int by,
                           me::Mv mv) const;
 
-  void encode_intra_mb(const video::Frame& src, int bx, int by,
-                       SliceState& slice);
-  void encode_inter_mb(const video::Frame& src, int bx, int by, me::Mv mv,
-                       SliceState& slice);
-  void encode_inter_mb_rd(const video::Frame& src, int bx, int by, me::Mv mv,
-                          SliceState& slice);
+  /// Stage-2.5 entry point: plans macroblock (bx, by) according to the
+  /// frame type / mode decision without touching any mutable encoder state
+  /// — safe to call concurrently for distinct macroblocks.
+  void plan_mb(const video::Frame& src, int bx, int by, bool intra_frame,
+               me::Mv mv, bool use_intra, MbPlan& out) const;
 
+  /// Stage-3 entry point: entropy-codes macroblock (bx, by) into `slice`
+  /// from its precomputed plan and reconstructs it. Serial per slice (the
+  /// MVD predictor chains through coded_field_).
+  void write_mb_from_plan(bool intra_frame, const MbPlan& plan, int bx,
+                          int by, SliceState& slice);
+
+  void write_rd_mb_from_plan(const MbPlan& plan, int bx, int by,
+                             SliceState& slice);
   void write_intra_plan(const IntraPlan& plan, SliceState& slice);
+  /// MVD + CBP + coefficients of a coded INTER macroblock (after the
+  /// COD/mode bits), with the slice's mv/coeff tallies updated.
+  void write_inter_plan_payload(const InterPlan& plan, me::Mv predictor,
+                                SliceState& slice);
   void reconstruct_intra_plan(const IntraPlan& plan, int bx, int by);
   void reconstruct_inter_plan(const InterPlan& plan, int bx, int by);
   void reconstruct_skip_mb(int bx, int by);

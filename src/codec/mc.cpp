@@ -4,16 +4,37 @@ namespace acbm::codec {
 
 void predict_luma(const video::HalfpelPlanes& ref, int x, int y, me::Mv mv,
                   int bw, int bh, std::uint8_t* dst, int stride) {
+  // Interpolates on the fly from the integer plane (H.263 rounding —
+  // bit-identical to sampling a pre-built phase plane), so prediction never
+  // forces the lazy HalfpelPlanes to materialise. One block's worth of
+  // bilinear taps per coded macroblock replaces the whole-frame 4-plane
+  // interpolation pass the eager construction used to charge every frame.
   const int phase_h = mv.x & 1;
   const int phase_v = mv.y & 1;
-  const video::Plane& plane = ref.plane(phase_h, phase_v);
+  const video::Plane& plane = ref.integer_plane();
   const int rx = x + ((mv.x - phase_h) >> 1);
   const int ry = y + ((mv.y - phase_v) >> 1);
   for (int row = 0; row < bh; ++row) {
-    const std::uint8_t* src = plane.row(ry + row) + rx;
+    const std::uint8_t* r0 = plane.row(ry + row) + rx;
+    const std::uint8_t* r1 = phase_v != 0 ? r0 + plane.stride() : r0;
     std::uint8_t* out = dst + static_cast<std::ptrdiff_t>(row) * stride;
-    for (int col = 0; col < bw; ++col) {
-      out[col] = src[col];
+    if (phase_h == 0 && phase_v == 0) {
+      for (int col = 0; col < bw; ++col) {
+        out[col] = r0[col];
+      }
+    } else if (phase_v == 0) {
+      for (int col = 0; col < bw; ++col) {
+        out[col] = static_cast<std::uint8_t>((r0[col] + r0[col + 1] + 1) >> 1);
+      }
+    } else if (phase_h == 0) {
+      for (int col = 0; col < bw; ++col) {
+        out[col] = static_cast<std::uint8_t>((r0[col] + r1[col] + 1) >> 1);
+      }
+    } else {
+      for (int col = 0; col < bw; ++col) {
+        out[col] = static_cast<std::uint8_t>(
+            (r0[col] + r0[col + 1] + r1[col] + r1[col + 1] + 2) >> 2);
+      }
     }
   }
 }

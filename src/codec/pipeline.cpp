@@ -7,6 +7,7 @@
 #include "codec/deblock.hpp"
 #include "me/sad.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 #include "video/psnr.hpp"
 
 namespace acbm::codec {
@@ -66,7 +67,12 @@ FrameReport EncoderPipeline::encode_frame(const video::Frame& src) {
     motion_stage(src, report);
     mode_stage(src);
   }
-  entropy_stage(src, intra_frame, counters, report);
+  util::Timer stage_timer;
+  plan_stage(src, intra_frame);
+  report.plan_stage_seconds = stage_timer.seconds();
+  stage_timer.restart();
+  entropy_stage(intra_frame, counters, report);
+  report.entropy_stage_seconds = stage_timer.seconds();
 
   e.writer_.align();
 
@@ -260,46 +266,64 @@ void EncoderPipeline::mode_stage(const video::Frame& src) {
   }
 }
 
+// -------------------------------------------------------------- plan stage
+
+void EncoderPipeline::plan_stage_rows(const video::Frame& src,
+                                      bool intra_frame, int row_begin,
+                                      int row_end) {
+  const Encoder& e = enc_;
+  const int mbs_x = e.me_field_.mbs_x();
+  const bool rd = e.config_.mode_decision == ModeDecision::kRateDistortion;
+  for (int by = row_begin; by < row_end; ++by) {
+    for (int bx = 0; bx < mbs_x; ++bx) {
+      const std::size_t idx =
+          static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) + bx;
+      const me::Mv mv = intra_frame ? me::Mv{} : me_results_[idx].mv;
+      // use_intra_ is only filled by the heuristic mode stage; RD plans
+      // both candidates and lets stage 3 pick.
+      const bool use_intra = !intra_frame && !rd && use_intra_[idx] != 0;
+      e.plan_mb(src, bx, by, intra_frame, mv, use_intra, plans_[idx]);
+    }
+  }
+}
+
+void EncoderPipeline::plan_stage(const video::Frame& src, bool intra_frame) {
+  Encoder& e = enc_;
+  const int mbs_x = e.me_field_.mbs_x();
+  const int mbs_y = e.me_field_.mbs_y();
+  plans_.resize(static_cast<std::size_t>(mbs_x) *
+                static_cast<std::size_t>(mbs_y));
+
+  if (pool_) {
+    // Independent per block — plain row slices, like the mode stage.
+    const int rows_per_task =
+        std::max(1, (mbs_y + worker_count_ - 1) / worker_count_);
+    for (int begin = 0; begin < mbs_y; begin += rows_per_task) {
+      const int end = std::min(begin + rows_per_task, mbs_y);
+      pool_->submit([this, &src, intra_frame, begin, end] {
+        plan_stage_rows(src, intra_frame, begin, end);
+      });
+    }
+    pool_->wait_idle();
+  } else {
+    plan_stage_rows(src, intra_frame, 0, mbs_y);
+  }
+}
+
 // ----------------------------------------------------------- entropy stage
 
-void EncoderPipeline::entropy_slice(const video::Frame& src, bool intra_frame,
+void EncoderPipeline::entropy_slice(bool intra_frame,
                                     Encoder::SliceState& slice, int row_begin,
                                     int row_end) {
   Encoder& e = enc_;
-  // Same stride source as the stages that filled me_results_/use_intra_.
+  // Same stride source as the stages that filled me_results_/plans_.
   const int mbs_x = e.me_field_.mbs_x();
 
   for (int by = row_begin; by < row_end; ++by) {
     for (int bx = 0; bx < mbs_x; ++bx) {
-      if (intra_frame) {
-        e.encode_intra_mb(src, bx, by, slice);
-        ++slice.intra_mbs;
-        continue;
-      }
-
       const std::size_t idx =
           static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) + bx;
-      const me::EstimateResult& er = me_results_[idx];
-
-      if (e.config_.mode_decision == ModeDecision::kRateDistortion) {
-        e.encode_inter_mb_rd(src, bx, by, er.mv, slice);
-        continue;
-      }
-
-      if (use_intra_[idx] != 0) {
-        const std::uint64_t before = slice.writer->bit_count();
-        slice.writer->put_bit(false);  // COD = 0 (coded)
-        slice.writer->put_bit(true);   // intra
-        slice.counters.header += slice.writer->bit_count() - before;
-        e.encode_intra_mb(src, bx, by, slice);
-        ++slice.intra_mbs;
-        continue;
-      }
-
-      // encode_inter_mb degrades to SKIP internally when the zero-vector
-      // residual quantizes away; it tallies slice.skip_mbs.
-      e.encode_inter_mb(src, bx, by, er.mv, slice);
-      ++slice.inter_mbs;
+      e.write_mb_from_plan(intra_frame, plans_[idx], bx, by, slice);
     }
   }
 }
@@ -315,7 +339,7 @@ void EncoderPipeline::fold_slice(const Encoder::SliceState& slice,
   report.skip_mbs += slice.skip_mbs;
 }
 
-void EncoderPipeline::entropy_stage(const video::Frame& src, bool intra_frame,
+void EncoderPipeline::entropy_stage(bool intra_frame,
                                     Encoder::MbBitCounters& counters,
                                     FrameReport& report) {
   Encoder& e = enc_;
@@ -328,7 +352,7 @@ void EncoderPipeline::entropy_stage(const video::Frame& src, bool intra_frame,
     Encoder::SliceState slice;
     slice.writer = &e.writer_;
     slice.first_mb_row = 0;
-    entropy_slice(src, intra_frame, slice, 0, mbs_y);
+    entropy_slice(intra_frame, slice, 0, mbs_y);
     fold_slice(slice, counters, report);
     return;
   }
@@ -358,15 +382,15 @@ void EncoderPipeline::entropy_stage(const video::Frame& src, bool intra_frame,
     for (int s = 0; s < slice_count; ++s) {
       Encoder::SliceState& slice = slices[static_cast<std::size_t>(s)];
       const int end = row_end(s);
-      pool_->submit([this, &src, intra_frame, &slice, end] {
-        entropy_slice(src, intra_frame, slice, slice.first_mb_row, end);
+      pool_->submit([this, intra_frame, &slice, end] {
+        entropy_slice(intra_frame, slice, slice.first_mb_row, end);
       });
     }
     pool_->wait_idle();
   } else {
     for (int s = 0; s < slice_count; ++s) {
       Encoder::SliceState& slice = slices[static_cast<std::size_t>(s)];
-      entropy_slice(src, intra_frame, slice, slice.first_mb_row, row_end(s));
+      entropy_slice(intra_frame, slice, slice.first_mb_row, row_end(s));
     }
   }
 

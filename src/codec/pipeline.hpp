@@ -22,8 +22,21 @@
 //                           Rate–distortion mode decisions compare exact
 //                           bit counts against the coded-field predictor
 //                           chain, so in kRateDistortion mode the decision
-//                           folds into stage 3.
-//   3. entropy stage      — entropy coding + reconstruction. With
+//                           itself waits for stage 3 — but its candidate
+//                           costs are precomputed by the plan stage below.
+//   2.5 plan stage        — one Encoder::MbPlan per macroblock: DCT +
+//                           quantisation of the block the chosen mode will
+//                           transmit (both candidates plus all three
+//                           candidate reconstructions/SSDs in RD mode).
+//                           Every input — me_results_, use_intra_, source,
+//                           reference — is fixed before the stage starts,
+//                           so it is row-parallel with no dependencies;
+//                           this is where the transform work that used to
+//                           serialise inside the entropy loop now runs.
+//   3. entropy stage      — MVD coding + bit writing + reconstruction from
+//                           the precomputed plans; the only work left here
+//                           is what genuinely chains through the
+//                           coded-field MV predictor. With
 //                           EncoderConfig::slices == 1 this is the legacy
 //                           serial raster scan straight into the stream
 //                           writer (differential MV coding chains the whole
@@ -102,14 +115,22 @@ class EncoderPipeline {
   void mode_stage(const video::Frame& src);
   void mode_stage_rows(const video::Frame& src, int row_begin, int row_end);
 
-  void entropy_stage(const video::Frame& src, bool intra_frame,
-                     Encoder::MbBitCounters& counters, FrameReport& report);
-  /// Entropy-codes and reconstructs rows [row_begin, row_end) into `slice`.
-  /// Slices touch only their own writer/tallies plus row-disjoint regions
-  /// of the reconstruction and coded MV field, so distinct slices may run
-  /// concurrently.
-  void entropy_slice(const video::Frame& src, bool intra_frame,
-                     Encoder::SliceState& slice, int row_begin, int row_end);
+  /// Stage 2.5: fills plans_ (one MbPlan per macroblock) on the pool. All
+  /// inputs are fixed before the stage starts, so rows split into plain
+  /// contiguous tasks — no wavefront.
+  void plan_stage(const video::Frame& src, bool intra_frame);
+  void plan_stage_rows(const video::Frame& src, bool intra_frame,
+                       int row_begin, int row_end);
+
+  void entropy_stage(bool intra_frame, Encoder::MbBitCounters& counters,
+                     FrameReport& report);
+  /// Entropy-codes and reconstructs rows [row_begin, row_end) into `slice`
+  /// from the precomputed plans (the stage no longer reads the source
+  /// frame). Slices touch only their own writer/tallies plus row-disjoint
+  /// regions of the reconstruction and coded MV field, so distinct slices
+  /// may run concurrently.
+  void entropy_slice(bool intra_frame, Encoder::SliceState& slice,
+                     int row_begin, int row_end);
   /// Folds one finished slice's tallies into the frame totals (slice order
   /// keeps the report deterministic).
   static void fold_slice(const Encoder::SliceState& slice,
@@ -131,6 +152,7 @@ class EncoderPipeline {
   // Per-frame stage outputs, indexed by by * mbs_x + bx.
   std::vector<me::EstimateResult> me_results_;
   std::vector<std::uint8_t> use_intra_;  ///< heuristic mode decisions
+  std::vector<Encoder::MbPlan> plans_;   ///< plan-stage output (stage 2.5)
 };
 
 }  // namespace acbm::codec

@@ -22,10 +22,13 @@ std::uint32_t sad_block_halfpel(const video::Plane& cur, int cx, int cy,
   const int phase_v = hy & 1;
   const int rx = (hx - phase_h) >> 1;
   const int ry = (hy - phase_v) >> 1;
-  const video::Plane& phase = ref.plane(phase_h, phase_v);
+  // Fused interpolate+SAD straight off the integer plane: no phase plane is
+  // ever touched, so the lazy HalfpelPlanes stays a plain snapshot for
+  // encodes that only match.
+  const video::Plane& p = ref.integer_plane();
   const simd::SadKernels& k = simd::active_kernels();
-  return k.sad_halfpel(cur.row(cy) + cx, cur.stride(), phase.row(ry) + rx,
-                       phase.stride(), bw, bh, early_exit);
+  return k.sad_halfpel(cur.row(cy) + cx, cur.stride(), p.row(ry) + rx,
+                       p.stride(), phase_h, phase_v, bw, bh, early_exit);
 }
 
 std::uint32_t block_mean(const video::Plane& cur, int cx, int cy, int bw,

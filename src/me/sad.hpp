@@ -44,8 +44,12 @@ inline constexpr std::uint32_t kNoEarlyExit = 0xFFFFFFFFu;
 /// @brief SAD against a half-pel reference position. (hx, hy) is the
 /// half-pel coordinate of the reference block origin: hx = 2·rx + phase.
 ///
-/// Selects the pre-interpolated phase plane, then routes through the active
-/// kernel table's half-pel slot. Same early-exit contract as sad_block.
+/// Resolves the coordinate to an integer-plane origin plus phase pair and
+/// routes through the active kernel table's FUSED interpolate+SAD slot —
+/// reference samples are synthesised on the fly (H.263 rounding), no
+/// pre-interpolated phase plane is read or built. Same early-exit contract
+/// (and bit-identical values) as matching a pre-interpolated plane with
+/// sad_block.
 [[nodiscard]] std::uint32_t sad_block_halfpel(
     const video::Plane& cur, int cx, int cy, const video::HalfpelPlanes& ref,
     int hx, int hy, int bw, int bh,

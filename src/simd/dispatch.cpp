@@ -76,17 +76,26 @@ bool select_kernels(KernelIsa isa) {
 }
 
 bool select_kernels_by_name(std::string_view name) {
+  KernelIsa isa;
+  return parse_kernel_name(name, isa) && select_kernels(isa);
+}
+
+bool parse_kernel_name(std::string_view name, KernelIsa& isa) {
   if (name == "scalar") {
-    return select_kernels(KernelIsa::kScalar);
+    isa = KernelIsa::kScalar;
+    return true;
   }
   if (name == "sse2") {
-    return select_kernels(KernelIsa::kSse2);
+    isa = KernelIsa::kSse2;
+    return true;
   }
   if (name == "avx2") {
-    return select_kernels(KernelIsa::kAvx2);
+    isa = KernelIsa::kAvx2;
+    return true;
   }
   if (name == "auto") {
-    return select_kernels(KernelIsa::kAuto);
+    isa = KernelIsa::kAuto;
+    return true;
   }
   return false;
 }

@@ -46,6 +46,14 @@ bool select_kernels(KernelIsa isa);
 /// "avx2" or "auto". Unknown names return false.
 bool select_kernels_by_name(std::string_view name);
 
+/// @brief Parses a CLI kernel spelling into its KernelIsa without touching
+/// the active selection or checking availability. Lets callers distinguish
+/// "not a kernel name" (reject with the valid spellings) from "a real
+/// variant this build/CPU cannot honour" (reject with
+/// available_kernel_names()) instead of collapsing both into one failure.
+/// @return true and sets `isa` for the four valid spellings; false otherwise.
+bool parse_kernel_name(std::string_view name, KernelIsa& isa);
+
 /// @brief Name of the active table ("scalar", "sse2", "avx2").
 [[nodiscard]] std::string_view active_kernel_name();
 

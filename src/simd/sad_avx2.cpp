@@ -18,6 +18,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "simd/sad_halfpel_rows.hpp"
+
 namespace acbm::simd {
 namespace {
 
@@ -127,6 +129,101 @@ std::uint32_t sad_avx2(const std::uint8_t* cur, int cur_stride,
   return total;
 }
 
+// --------------------------------------------------- fused half-pel + SAD
+//
+// Same phase arithmetic as the SSE2 variant (VPAVGB for H/V — its rounding
+// IS the H.263 rule — and widened 16-bit math for HV), but the bw == 16
+// fast path keeps the two-rows-per-YMM packing of sad_avx2: output rows y
+// and y+1 interpolate from reference rows {y, y+1} and {y+1, y+2}, which
+// load_two_rows expresses directly. The shared 128-bit per-row helpers
+// (sad_halfpel_rows.hpp) cover odd tail rows and generic widths.
+
+std::uint32_t sad_halfpel_avx2(const std::uint8_t* cur, int cur_stride,
+                               const std::uint8_t* ref, int ref_stride,
+                               int phase_h, int phase_v, int bw, int bh,
+                               std::uint32_t early_exit) {
+  if (phase_h == 0 && phase_v == 0) {
+    return sad_avx2(cur, cur_stride, ref, ref_stride, bw, bh, early_exit);
+  }
+  std::uint32_t total = 0;
+  int y = 0;
+  if (bw == 16) {
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i two = _mm256_set1_epi16(2);
+    while (y < bh) {
+      const int group_end = std::min(y + kEarlyExitRowQuantum, bh);
+      __m256i acc = _mm256_setzero_si256();
+      for (; y + 2 <= group_end; y += 2) {
+        const std::uint8_t* c0 =
+            cur + static_cast<std::ptrdiff_t>(y) * cur_stride;
+        const std::uint8_t* r_y =
+            ref + static_cast<std::ptrdiff_t>(y) * ref_stride;
+        const std::uint8_t* r_y1 = r_y + ref_stride;
+        const __m256i vc = load_two_rows(c0, c0 + cur_stride);
+        __m256i p;
+        if (phase_v == 0) {
+          p = _mm256_avg_epu8(load_two_rows(r_y, r_y1),
+                              load_two_rows(r_y + 1, r_y1 + 1));
+        } else if (phase_h == 0) {
+          p = _mm256_avg_epu8(load_two_rows(r_y, r_y1),
+                              load_two_rows(r_y1, r_y1 + ref_stride));
+        } else {
+          // 256-bit transcription of row_sad_fused_hv (sad_halfpel_rows.hpp)
+          // over a packed row pair — any change to the HV rounding must be
+          // applied to BOTH sites or the cross-variant bit parity breaks.
+          const __m256i a = load_two_rows(r_y, r_y1);
+          const __m256i b = load_two_rows(r_y + 1, r_y1 + 1);
+          const __m256i d = load_two_rows(r_y1, r_y1 + ref_stride);
+          const __m256i e = load_two_rows(r_y1 + 1, r_y1 + ref_stride + 1);
+          const __m256i lo = _mm256_srli_epi16(
+              _mm256_add_epi16(
+                  _mm256_add_epi16(_mm256_unpacklo_epi8(a, zero),
+                                   _mm256_unpacklo_epi8(b, zero)),
+                  _mm256_add_epi16(
+                      _mm256_add_epi16(_mm256_unpacklo_epi8(d, zero),
+                                       _mm256_unpacklo_epi8(e, zero)),
+                      two)),
+              2);
+          const __m256i hi = _mm256_srli_epi16(
+              _mm256_add_epi16(
+                  _mm256_add_epi16(_mm256_unpackhi_epi8(a, zero),
+                                   _mm256_unpackhi_epi8(b, zero)),
+                  _mm256_add_epi16(
+                      _mm256_add_epi16(_mm256_unpackhi_epi8(d, zero),
+                                       _mm256_unpackhi_epi8(e, zero)),
+                      two)),
+              2);
+          p = _mm256_packus_epi16(lo, hi);
+        }
+        acc = _mm256_add_epi64(acc, _mm256_sad_epu8(vc, p));
+      }
+      total += hsum_sad256(acc);
+      for (; y < group_end; ++y) {  // odd final row of the block
+        total += detail::row_sad_fused(
+            cur + static_cast<std::ptrdiff_t>(y) * cur_stride,
+            ref + static_cast<std::ptrdiff_t>(y) * ref_stride, ref_stride,
+            phase_h, phase_v, bw);
+      }
+      if (total > early_exit) {
+        return total;
+      }
+    }
+    return total;
+  }
+  while (y < bh) {
+    const int group_end = std::min(y + kEarlyExitRowQuantum, bh);
+    for (; y < group_end; ++y) {
+      total += detail::row_sad_fused(cur + static_cast<std::ptrdiff_t>(y) * cur_stride,
+                             ref + static_cast<std::ptrdiff_t>(y) * ref_stride,
+                             ref_stride, phase_h, phase_v, bw);
+    }
+    if (total > early_exit) {
+      return total;
+    }
+  }
+  return total;
+}
+
 inline std::uint32_t row_quincunx_vec(const std::uint8_t* a,
                                       const std::uint8_t* b, int bw,
                                       int phase) {
@@ -213,8 +310,9 @@ std::uint32_t sad_rowskip_avx2(const std::uint8_t* cur, int cur_stride,
   return total;
 }
 
-constexpr SadKernels kAvx2Table = {sad_avx2, sad_avx2, sad_quincunx_avx2,
-                                   sad_rowskip_avx2, "avx2"};
+constexpr SadKernels kAvx2Table = {sad_avx2, sad_halfpel_avx2,
+                                   sad_quincunx_avx2, sad_rowskip_avx2,
+                                   "avx2"};
 
 }  // namespace
 

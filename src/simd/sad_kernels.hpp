@@ -55,6 +55,28 @@ using SadPatternFn = std::uint32_t (*)(const std::uint8_t* cur, int cur_stride,
                                        const std::uint8_t* ref, int ref_stride,
                                        int bw, int bh);
 
+/// @brief Fused half-pel interpolate + SAD.
+///
+/// `ref` points at the INTEGER-pel reference sample (rX, rY) = the floor of
+/// the half-pel block origin; (phase_h, phase_v) ∈ {0,1}² select the H.263
+/// bilinear phase. The kernel synthesises each interpolated reference
+/// sample on the fly — (a+b+1)>>1 for the H/V phases, (a+b+c+d+2)>>2 for
+/// HV — and accumulates |cur − interp| under the same
+/// kEarlyExitRowQuantum-row early-exit contract as SadFn, so every variant
+/// returns bit-identical values (including partial totals) to matching a
+/// pre-interpolated phase plane with the plain SAD kernel. A kernel reads
+/// `bw + phase_h` samples from each of `bh + phase_v` reference rows; the
+/// caller guarantees those bounds (the integer plane keeps one more border
+/// sample than the legacy phase planes carried, exactly covering the +1
+/// overread).
+///
+/// Phase (0, 0) degrades to the plain SAD — callers need not special-case
+/// integer candidates.
+using SadHalfpelFn = std::uint32_t (*)(const std::uint8_t* cur, int cur_stride,
+                                       const std::uint8_t* ref, int ref_stride,
+                                       int phase_h, int phase_v, int bw, int bh,
+                                       std::uint32_t early_exit);
+
 /// @brief One ISA's complete set of SAD kernels.
 ///
 /// Populated once per compiled variant (scalar always; SSE2/AVX2 when the
@@ -64,13 +86,12 @@ struct SadKernels {
   /// Full-block SAD with the row-group early-exit contract above.
   SadFn sad;
 
-  /// SAD against a pre-interpolated half-pel phase plane. The caller
-  /// (me::sad_block_halfpel) selects the phase plane and resolves the
-  /// half-pel coordinates to integer ones first, so today this slot aliases
-  /// `sad` in every variant; it is kept as a distinct entry so a fused
-  /// interpolate-and-match kernel can slot in per ISA without touching the
-  /// call sites.
-  SadFn sad_halfpel;
+  /// Fused interpolate+SAD against the integer-pel reference (see
+  /// SadHalfpelFn). me::sad_block_halfpel resolves half-pel coordinates to
+  /// an integer origin + phase pair and calls this slot directly; no
+  /// pre-interpolated phase planes are involved, which is what lets
+  /// video::HalfpelPlanes stay lazy for encodes that only ever match.
+  SadHalfpelFn sad_halfpel;
 
   /// Quincunx 4:1 decimation (Liu–Zaccarin pattern A): every other row is
   /// sampled, and within a sampled row every other column, with the column

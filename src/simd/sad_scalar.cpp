@@ -42,6 +42,56 @@ std::uint32_t sad_scalar(const std::uint8_t* cur, int cur_stride,
   return total;
 }
 
+/// One row of |cur − interp(ref)| for a non-integer phase. r0/r1 are the
+/// integer rows bracketing the half-pel position vertically (r1 == r0 for
+/// the pure-H phase).
+std::uint32_t row_sad_interp(const std::uint8_t* c, const std::uint8_t* r0,
+                             const std::uint8_t* r1, int phase_h, int bw) {
+  std::uint32_t sum = 0;
+  if (phase_h == 0) {
+    for (int x = 0; x < bw; ++x) {
+      const int p = (r0[x] + r1[x] + 1) >> 1;
+      sum += static_cast<std::uint32_t>(std::abs(static_cast<int>(c[x]) - p));
+    }
+  } else if (r0 == r1) {
+    for (int x = 0; x < bw; ++x) {
+      const int p = (r0[x] + r0[x + 1] + 1) >> 1;
+      sum += static_cast<std::uint32_t>(std::abs(static_cast<int>(c[x]) - p));
+    }
+  } else {
+    for (int x = 0; x < bw; ++x) {
+      const int p = (r0[x] + r0[x + 1] + r1[x] + r1[x + 1] + 2) >> 2;
+      sum += static_cast<std::uint32_t>(std::abs(static_cast<int>(c[x]) - p));
+    }
+  }
+  return sum;
+}
+
+std::uint32_t sad_halfpel_scalar(const std::uint8_t* cur, int cur_stride,
+                                 const std::uint8_t* ref, int ref_stride,
+                                 int phase_h, int phase_v, int bw, int bh,
+                                 std::uint32_t early_exit) {
+  if (phase_h == 0 && phase_v == 0) {
+    return sad_scalar(cur, cur_stride, ref, ref_stride, bw, bh, early_exit);
+  }
+  std::uint32_t total = 0;
+  int y = 0;
+  while (y < bh) {
+    const int group_end = std::min(y + kEarlyExitRowQuantum, bh);
+    for (; y < group_end; ++y) {
+      const std::uint8_t* c = cur + static_cast<std::ptrdiff_t>(y) * cur_stride;
+      const std::uint8_t* r0 =
+          ref + static_cast<std::ptrdiff_t>(y) * ref_stride;
+      total += row_sad_interp(c, r0, phase_v != 0 ? r0 + ref_stride : r0,
+                              phase_h, bw);
+    }
+    if (total > early_exit) {
+      return total;
+    }
+  }
+  return total;
+}
+
 std::uint32_t sad_quincunx_scalar(const std::uint8_t* cur, int cur_stride,
                                   const std::uint8_t* ref, int ref_stride,
                                   int bw, int bh) {
@@ -69,8 +119,9 @@ std::uint32_t sad_rowskip_scalar(const std::uint8_t* cur, int cur_stride,
   return total;
 }
 
-constexpr SadKernels kScalarTable = {
-    sad_scalar, sad_scalar, sad_quincunx_scalar, sad_rowskip_scalar, "scalar"};
+constexpr SadKernels kScalarTable = {sad_scalar, sad_halfpel_scalar,
+                                     sad_quincunx_scalar, sad_rowskip_scalar,
+                                     "scalar"};
 
 }  // namespace
 

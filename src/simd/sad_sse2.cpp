@@ -17,6 +17,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "simd/sad_halfpel_rows.hpp"
+
 namespace acbm::simd {
 namespace {
 
@@ -69,6 +71,36 @@ std::uint32_t sad_sse2(const std::uint8_t* cur, int cur_stride,
       total += row_sad_sse2(cur + static_cast<std::ptrdiff_t>(y) * cur_stride,
                             ref + static_cast<std::ptrdiff_t>(y) * ref_stride,
                             bw);
+    }
+    if (total > early_exit) {
+      return total;
+    }
+  }
+  return total;
+}
+
+// --------------------------------------------------- fused half-pel + SAD
+//
+// Row arithmetic lives in sad_halfpel_rows.hpp (shared with the AVX2 TU):
+// PAVGB for the H/V phases — its rounding IS the H.263 bilinear rule — and
+// widened 16-bit math for HV, which has no single-op equivalent.
+
+std::uint32_t sad_halfpel_sse2(const std::uint8_t* cur, int cur_stride,
+                               const std::uint8_t* ref, int ref_stride,
+                               int phase_h, int phase_v, int bw, int bh,
+                               std::uint32_t early_exit) {
+  if (phase_h == 0 && phase_v == 0) {
+    return sad_sse2(cur, cur_stride, ref, ref_stride, bw, bh, early_exit);
+  }
+  std::uint32_t total = 0;
+  int y = 0;
+  while (y < bh) {
+    const int group_end = std::min(y + kEarlyExitRowQuantum, bh);
+    for (; y < group_end; ++y) {
+      total += detail::row_sad_fused(
+          cur + static_cast<std::ptrdiff_t>(y) * cur_stride,
+          ref + static_cast<std::ptrdiff_t>(y) * ref_stride, ref_stride,
+          phase_h, phase_v, bw);
     }
     if (total > early_exit) {
       return total;
@@ -132,8 +164,9 @@ std::uint32_t sad_rowskip_sse2(const std::uint8_t* cur, int cur_stride,
   return total;
 }
 
-constexpr SadKernels kSse2Table = {sad_sse2, sad_sse2, sad_quincunx_sse2,
-                                   sad_rowskip_sse2, "sse2"};
+constexpr SadKernels kSse2Table = {sad_sse2, sad_halfpel_sse2,
+                                   sad_quincunx_sse2, sad_rowskip_sse2,
+                                   "sse2"};
 
 }  // namespace
 

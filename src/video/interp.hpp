@@ -6,15 +6,25 @@
 // styles are provided:
 //
 //  * `sample_halfpel()` — direct computation of one sample at half-pel
-//    coordinates; used by motion compensation where each block touches a
-//    single sub-pel phase.
-//  * `HalfpelPlanes` — the classic pre-interpolated {integer, H, V, HV}
-//    plane set; used by search loops that probe many half-pel candidates
-//    against the same reference.
+//    coordinates; used where each access touches a single sub-pel phase.
+//  * `HalfpelPlanes` — a handle on a reference picture that can serve both
+//    the integer-pel plane and the classic pre-interpolated {H, V, HV}
+//    phase planes. Since the fused interpolate+SAD kernels landed
+//    (simd/sad_kernels.hpp), the hot paths — candidate matching through
+//    me::sad_block_halfpel and motion compensation through
+//    codec::predict_luma — read only the integer plane and interpolate on
+//    the fly, so construction is LAZY: building a HalfpelPlanes copies the
+//    integer plane and nothing else, and the three interpolated phase
+//    planes are materialised only on the first plane() call that asks for
+//    one (thread-safe). An encode or decode that never requests a phase
+//    plane never pays the 4-plane interpolation pass the paper's
+//    complexity accounting charges per coded frame.
 //
 // Rounding follows H.263: (a+b+1)>>1 and (a+b+c+d+2)>>2.
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "video/plane.hpp"
 
@@ -25,37 +35,86 @@ namespace acbm::video {
 /// may extend into the plane border (minus one sample for interpolation).
 [[nodiscard]] std::uint8_t sample_halfpel(const Plane& p, int hx, int hy);
 
-/// Pre-interpolated half-pel planes. Each plane has the same visible size and
-/// border as the source; plane(h, v) selects the phase, e.g. plane(1, 0) is
-/// the horizontally-half-shifted picture.
+/// Half-pel view of a reference picture. plane(h, v) selects a phase, e.g.
+/// plane(1, 0) is the horizontally-half-shifted picture. The integer phase
+/// (0, 0) keeps the source's full border; the interpolated phases consume
+/// one sample on the +x/+y side and carry one less border sample — and are
+/// built lazily on first request (see the header comment).
 class HalfpelPlanes {
  public:
   HalfpelPlanes() = default;
 
-  /// Builds all four phase planes from `src` (whose border must already be
-  /// extended). Interpolation runs over the border region too, so search
-  /// windows may cross picture edges.
-  explicit HalfpelPlanes(const Plane& src);
+  /// Snapshots `src` (whose border must already be extended, at least one
+  /// sample deep). Cheap: only the integer plane is copied; interpolation
+  /// is deferred until a phase plane is requested.
+  explicit HalfpelPlanes(const Plane& src) : integer_(src) {}
 
-  /// phase_h, phase_v in {0,1}.
+  HalfpelPlanes(const HalfpelPlanes& other) { copy_from(other); }
+  HalfpelPlanes& operator=(const HalfpelPlanes& other) {
+    if (this != &other) {
+      copy_from(other);
+    }
+    return *this;
+  }
+  HalfpelPlanes(HalfpelPlanes&& other) noexcept { move_from(other); }
+  HalfpelPlanes& operator=(HalfpelPlanes&& other) noexcept {
+    if (this != &other) {
+      move_from(other);
+    }
+    return *this;
+  }
+
+  /// The integer-pel reference (the constructor's source picture). This is
+  /// what the fused interpolate+SAD kernels and on-the-fly motion
+  /// compensation read; it never triggers interpolation.
+  [[nodiscard]] const Plane& integer_plane() const { return integer_; }
+
+  /// phase_h, phase_v in {0,1}. Requesting any interpolated phase
+  /// materialises all three on first use (safe from concurrent callers).
   [[nodiscard]] const Plane& plane(int phase_h, int phase_v) const {
-    return planes_[phase_v * 2 + phase_h];
+    if (phase_h == 0 && phase_v == 0) {
+      return integer_;
+    }
+    ensure_interpolated();
+    return interp_[phase_v * 2 + phase_h - 1];
   }
 
-  /// Convenience: sample at half-pel coordinates via the phase planes.
+  /// Convenience: one sample at half-pel coordinates, computed directly
+  /// from the integer plane (never triggers the lazy build).
   [[nodiscard]] std::uint8_t at(int hx, int hy) const {
-    const int phase_h = hx & 1;
-    const int phase_v = hy & 1;
-    // Floor-divide (valid for negatives) to the integer-sample cell.
-    const int x = (hx - phase_h) >> 1;
-    const int y = (hy - phase_v) >> 1;
-    return plane(phase_h, phase_v).at(x, y);
+    return sample_halfpel(integer_, hx, hy);
   }
 
-  [[nodiscard]] bool empty() const { return planes_[0].empty(); }
+  [[nodiscard]] bool empty() const { return integer_.empty(); }
 
  private:
-  Plane planes_[4];
+  /// Builds the H, V and HV phase planes from integer_ on first demand.
+  /// Double-checked: the atomic flag is the fast path, the mutex
+  /// serialises the one build.
+  void ensure_interpolated() const;
+
+  void copy_from(const HalfpelPlanes& other) {
+    integer_ = other.integer_;
+    const bool built = other.interp_built_.load(std::memory_order_acquire);
+    for (int i = 0; i < 3; ++i) {
+      interp_[i] = built ? other.interp_[i] : Plane();
+    }
+    interp_built_.store(built, std::memory_order_release);
+  }
+  void move_from(HalfpelPlanes& other) noexcept {
+    integer_ = std::move(other.integer_);
+    const bool built = other.interp_built_.load(std::memory_order_acquire);
+    for (int i = 0; i < 3; ++i) {
+      interp_[i] = built ? std::move(other.interp_[i]) : Plane();
+    }
+    interp_built_.store(built, std::memory_order_release);
+    other.interp_built_.store(false, std::memory_order_release);
+  }
+
+  Plane integer_;
+  mutable Plane interp_[3];  ///< H, V, HV — empty until first plane() ask
+  mutable std::atomic<bool> interp_built_{false};
+  mutable std::mutex interp_mutex_;
 };
 
 }  // namespace acbm::video

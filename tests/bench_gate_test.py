@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_gate.py — the CI perf-trajectory gate.
+
+The gate script guards every other perf claim in the repository, so its own
+logic is gated here: merge/dedup semantics, median-normalised regression
+detection, deterministic-counter drift, baseline re-seeding, the
+ACBM_BENCH_GATE=off escape hatch, and the commit/timestamp stamping that
+keys BENCH_ci.json artifacts for cross-commit trajectory plotting.
+
+Wired into ctest by CMakeLists.txt (test name: bench_gate_test); also
+runnable directly: python3 tests/bench_gate_test.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GATE = os.path.join(REPO_ROOT, "scripts", "bench_gate.py")
+
+
+def bench_row(name, ns, counters=None):
+    row = {"name": name, "run_name": name, "run_type": "iteration",
+           "real_time": ns, "cpu_time": ns, "time_unit": "ns"}
+    if counters:
+        row.update(counters)
+    return row
+
+
+def write_report(path, rows, context=None):
+    with open(path, "w") as f:
+        json.dump({"context": context or {}, "benchmarks": rows}, f)
+
+
+class BenchGateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = self.tmp.name
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def path(self, name):
+        return os.path.join(self.dir, name)
+
+    def run_gate(self, *args, env_extra=None):
+        env = dict(os.environ)
+        env.pop("ACBM_BENCH_GATE", None)
+        if env_extra:
+            env.update(env_extra)
+        return subprocess.run(
+            [sys.executable, GATE, *args],
+            capture_output=True, text=True, env=env, cwd=self.dir)
+
+    def seed_baseline(self, rows):
+        baseline = self.path("baseline.json")
+        inp = self.path("seed_input.json")
+        write_report(inp, rows)
+        result = self.run_gate("--update-baseline", "--baseline", baseline,
+                               "--out", self.path("seed_out.json"), inp)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        return baseline
+
+    # ------------------------------------------------------------- gating
+
+    def test_identical_run_passes(self):
+        rows = [bench_row("BM_A", 100.0), bench_row("BM_B", 200.0)]
+        baseline = self.seed_baseline(rows)
+        write_report(self.path("run.json"), rows)
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("perf gate: OK", result.stdout)
+
+    def test_uniform_slowdown_is_machine_factor_not_regression(self):
+        # Everything 3x slower = slower machine; the median normalisation
+        # must absorb it entirely.
+        rows = [bench_row(f"BM_{i}", 100.0 * (i + 1)) for i in range(5)]
+        baseline = self.seed_baseline(rows)
+        slowed = [bench_row(f"BM_{i}", 300.0 * (i + 1)) for i in range(5)]
+        write_report(self.path("run.json"), slowed)
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_single_row_regression_fails(self):
+        rows = [bench_row(f"BM_{i}", 100.0) for i in range(5)]
+        baseline = self.seed_baseline(rows)
+        regressed = [bench_row(f"BM_{i}", 100.0) for i in range(4)]
+        regressed.append(bench_row("BM_4", 200.0))  # 2x one row
+        write_report(self.path("run.json"), regressed)
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
+        self.assertIn("BM_4", result.stdout)
+
+    def test_regression_within_tolerance_passes(self):
+        rows = [bench_row(f"BM_{i}", 100.0) for i in range(5)]
+        baseline = self.seed_baseline(rows)
+        nudged = [bench_row(f"BM_{i}", 100.0) for i in range(4)]
+        nudged.append(bench_row("BM_4", 115.0))  # within the 20% default
+        write_report(self.path("run.json"), nudged)
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_counter_drift_fails_even_when_timing_is_clean(self):
+        rows = [bench_row("BM_T1", 100.0, {"positions_per_mb": 42.5}),
+                bench_row("BM_T2", 100.0)]
+        baseline = self.seed_baseline(rows)
+        drifted = [bench_row("BM_T1", 100.0, {"positions_per_mb": 43.0}),
+                   bench_row("BM_T2", 100.0)]
+        write_report(self.path("run.json"), drifted)
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("positions_per_mb", result.stdout)
+
+    def test_gate_off_env_demotes_failures(self):
+        rows = [bench_row(f"BM_{i}", 100.0) for i in range(3)]
+        baseline = self.seed_baseline(rows)
+        regressed = [bench_row("BM_0", 100.0), bench_row("BM_1", 100.0),
+                     bench_row("BM_2", 500.0)]
+        write_report(self.path("run.json"), regressed)
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"),
+                               env_extra={"ACBM_BENCH_GATE": "off"})
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("demoting failures to warnings", result.stdout)
+
+    def test_missing_baseline_errors(self):
+        write_report(self.path("run.json"), [bench_row("BM_A", 1.0)])
+        result = self.run_gate("--baseline", self.path("nonexistent.json"),
+                               "--out", self.path("out.json"),
+                               self.path("run.json"))
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("not found", result.stdout)
+
+    # ------------------------------------------------- merge + re-seeding
+
+    def test_merge_dedups_and_drops_aggregates(self):
+        write_report(self.path("a.json"), [
+            bench_row("BM_X", 10.0),
+            dict(bench_row("BM_X_mean", 10.0), run_type="aggregate"),
+        ])
+        write_report(self.path("b.json"), [bench_row("BM_X", 99.0),
+                                           bench_row("BM_Y", 20.0)])
+        baseline = self.seed_baseline([bench_row("BM_X", 10.0),
+                                       bench_row("BM_Y", 20.0)])
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("a.json"),
+                               self.path("b.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        with open(self.path("out.json")) as f:
+            merged = json.load(f)
+        names = [b["name"] for b in merged["benchmarks"]]
+        self.assertEqual(names, ["BM_X", "BM_Y"])  # first BM_X wins, no mean
+        times = {b["name"]: b["real_time"] for b in merged["benchmarks"]}
+        self.assertEqual(times["BM_X"], 10.0)
+
+    def test_update_baseline_writes_merged_report(self):
+        baseline = self.path("fresh/baseline.json")
+        write_report(self.path("in.json"), [bench_row("BM_A", 5.0)])
+        result = self.run_gate("--update-baseline", "--baseline", baseline,
+                               "--out", self.path("out.json"),
+                               self.path("in.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        with open(baseline) as f:
+            seeded = json.load(f)
+        self.assertEqual(seeded["benchmarks"][0]["name"], "BM_A")
+
+    # ------------------------------------------------------------ stamping
+
+    def test_commit_and_timestamp_stamp_into_context(self):
+        rows = [bench_row("BM_A", 100.0)]
+        baseline = self.seed_baseline(rows)
+        write_report(self.path("run.json"), rows)
+        result = self.run_gate(
+            "--baseline", baseline, "--out", self.path("out.json"),
+            "--commit", "deadbeefcafe", "--timestamp", "2026-07-30T12:00:00Z",
+            self.path("run.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        with open(self.path("out.json")) as f:
+            merged = json.load(f)
+        self.assertEqual(merged["context"]["commit_sha"], "deadbeefcafe")
+        self.assertEqual(merged["context"]["timestamp_utc"],
+                         "2026-07-30T12:00:00Z")
+
+    def test_stamp_now_writes_iso_utc(self):
+        rows = [bench_row("BM_A", 100.0)]
+        baseline = self.seed_baseline(rows)
+        write_report(self.path("run.json"), rows)
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), "--stamp-now",
+                               self.path("run.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        with open(self.path("out.json")) as f:
+            merged = json.load(f)
+        stamp = merged["context"]["timestamp_utc"]
+        self.assertRegex(stamp, r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z$")
+
+    def test_no_stamp_flags_leave_context_unkeyed(self):
+        rows = [bench_row("BM_A", 100.0)]
+        baseline = self.seed_baseline(rows)
+        write_report(self.path("run.json"), rows)
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        with open(self.path("out.json")) as f:
+            merged = json.load(f)
+        self.assertNotIn("commit_sha", merged["context"])
+        self.assertNotIn("timestamp_utc", merged["context"])
+
+
+if __name__ == "__main__":
+    unittest.main()

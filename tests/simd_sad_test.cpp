@@ -194,6 +194,63 @@ TEST(SimdSadParity, DispatchedEntryPointsFollowSelection) {
   }
 }
 
+TEST(SimdSadParity, FusedHalfpelMatchesPreinterpolatedPlanes) {
+  // The fused interpolate+SAD kernels must return exactly what matching a
+  // pre-interpolated phase plane with the plain SAD kernel returns — for
+  // every variant, every phase, randomized geometry, and every early-exit
+  // bound (the checkpoints are shared, so partial totals must agree too).
+  const SadKernels& scalar = *detail::scalar_kernels();
+  std::vector<const SadKernels*> tables = {&scalar};
+  for (const SadKernels* t : vector_variants()) {
+    tables.push_back(t);
+  }
+  const video::Plane cur = test::random_plane(96, 96, 303);
+  const video::Plane ref = test::random_plane(96, 96, 404);
+  const video::HalfpelPlanes hp(ref);
+
+  struct Dim {
+    int bw, bh;
+  };
+  const Dim dims[] = {{16, 16}, {16, 8}, {8, 8},   {16, 17}, {16, 15},
+                      {12, 10}, {7, 5},  {24, 16}, {32, 32}, {1, 1}};
+  util::Rng rng(888);
+  for (const Dim& d : dims) {
+    for (int trial = 0; trial < 12; ++trial) {
+      const int cx = static_cast<int>(rng.next_below(40));
+      const int cy = static_cast<int>(rng.next_below(40));
+      const int rx = static_cast<int>(rng.next_below(50)) - 10;
+      const int ry = static_cast<int>(rng.next_below(50)) - 10;
+      for (int phase_v = 0; phase_v <= 1; ++phase_v) {
+        for (int phase_h = 0; phase_h <= 1; ++phase_h) {
+          // Ground truth: plain SAD against the materialised phase plane.
+          const video::Plane& phase = hp.plane(phase_h, phase_v);
+          const std::uint32_t exact = scalar.sad(
+              cur.row(cy) + cx, cur.stride(), phase.row(ry) + rx,
+              phase.stride(), d.bw, d.bh, me::kNoEarlyExit);
+          const std::uint32_t thresholds[] = {
+              0u, exact / 3, exact > 0 ? exact - 1 : 0, me::kNoEarlyExit};
+          for (const SadKernels* t : tables) {
+            for (const std::uint32_t bound : thresholds) {
+              const std::uint32_t want = scalar.sad(
+                  cur.row(cy) + cx, cur.stride(), phase.row(ry) + rx,
+                  phase.stride(), d.bw, d.bh, bound);
+              EXPECT_EQ(t->sad_halfpel(cur.row(cy) + cx, cur.stride(),
+                                       hp.integer_plane().row(ry) + rx,
+                                       hp.integer_plane().stride(), phase_h,
+                                       phase_v, d.bw, d.bh, bound),
+                        want)
+                  << t->name << " " << d.bw << "x" << d.bh << " phase=("
+                  << phase_h << "," << phase_v << ") bound=" << bound
+                  << " cur=(" << cx << "," << cy << ") ref=(" << rx << ","
+                  << ry << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(SimdSadParity, HalfpelRoutesThroughTable) {
   KernelSelectionGuard guard;
   const video::Plane cur = test::random_plane(64, 64, 41);

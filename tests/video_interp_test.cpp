@@ -76,11 +76,29 @@ TEST(HalfpelPlanes, AllPhasesMatchDirectComputation) {
   }
 }
 
-TEST(HalfpelPlanes, BorderShrinksByOne) {
+TEST(HalfpelPlanes, InterpolatedBorderShrinksByOne) {
   const Plane src = acbm::test::random_plane(16, 16, 4);
   const HalfpelPlanes hp(src);
-  EXPECT_EQ(hp.plane(0, 0).border(), src.border() - 1);
+  // The integer phase is the source snapshot (full border); interpolation
+  // consumes one sample on the +x/+y side.
+  EXPECT_EQ(hp.plane(0, 0).border(), src.border());
+  EXPECT_EQ(hp.plane(1, 0).border(), src.border() - 1);
+  EXPECT_EQ(hp.plane(0, 1).border(), src.border() - 1);
   EXPECT_EQ(hp.plane(1, 1).border(), src.border() - 1);
+}
+
+TEST(HalfpelPlanes, LazyConstructionDefersInterpolation) {
+  const Plane src = acbm::test::random_plane(16, 16, 5);
+  const HalfpelPlanes hp(src);
+  // integer_plane() and at() never trigger the build; copies made before
+  // the first phase request stay lazy and still interpolate correctly.
+  EXPECT_TRUE(hp.integer_plane().visible_equals(src));
+  EXPECT_EQ(hp.at(9, 7), sample_halfpel(src, 9, 7));
+  const HalfpelPlanes copy = hp;
+  EXPECT_EQ(copy.plane(1, 1).at(3, 3), sample_halfpel(src, 7, 7));
+  // A copy taken AFTER materialisation carries the built planes.
+  const HalfpelPlanes built_copy = copy;
+  EXPECT_EQ(built_copy.plane(1, 0).at(3, 3), sample_halfpel(src, 7, 6));
 }
 
 TEST(HalfpelPlanes, DefaultConstructedIsEmpty) {
