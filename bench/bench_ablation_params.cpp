@@ -7,6 +7,11 @@
 // quality/complexity trade-off each knob controls. Expected shape: larger
 // α/β/γ → fewer positions and (weakly) lower PSNR; the paper's point sits
 // where quality has saturated at FSBM level.
+//
+// Every configuration is built from an estimator spec string
+// ("ACBM:alpha=500,beta=8,gamma=0.25") — the sweep needs no
+// parameter-struct plumbing, which is exactly what parameterized registry
+// specs are for.
 
 #include <iostream>
 
@@ -20,16 +25,14 @@ int main(int argc, char** argv) {
   util::Timer timer;
   const int qp = 20;
 
-  analysis::SweepConfig sweep;
-  sweep.search_range = options.search_range;
-  sweep.parallel.threads = options.threads;
+  analysis::SweepConfig sweep = bench::sweep_config(options);
 
   const auto frames =
       bench::qcif_sequence("foreman", options.frames, /*fps=*/30);
 
   // FSBM and PBM anchors.
-  const auto fsbm = analysis::make_estimator(analysis::Algorithm::kFsbm);
-  const auto pbm = analysis::make_estimator(analysis::Algorithm::kPbm);
+  const auto fsbm = analysis::make_estimator("FSBM");
+  const auto pbm = analysis::make_estimator("PBM");
   const analysis::RdPoint anchor_full =
       analysis::run_rd_point(frames, 30, *fsbm, qp, sweep);
   const analysis::RdPoint anchor_pred =
@@ -46,42 +49,46 @@ int main(int argc, char** argv) {
 
   auto csv_stream = bench::open_csv(options.csv_prefix, "sweep");
   util::CsvWriter csv(csv_stream);
-  csv.row({"knob", "alpha", "beta", "gamma", "psnr_y", "kbps",
+  csv.row({"knob", "spec", "alpha", "beta", "gamma", "psnr_y", "kbps",
            "positions_per_mb", "critical_fraction"});
 
+  // The sweep matrix, authored as the spec strings a shell script would
+  // pass to acbm_enc --estimator. Unset keys keep the paper defaults.
   struct Config {
     const char* knob;
-    core::AcbmParams params;
+    std::string spec;
   };
   std::vector<Config> configs;
-  for (double alpha : {0.0, 500.0, 1000.0, 2000.0, 4000.0}) {
-    configs.push_back({"alpha", {alpha, 8.0, 0.25}});
+  for (const char* alpha : {"0", "500", "1000", "2000", "4000"}) {
+    configs.push_back({"alpha", std::string("ACBM:alpha=") + alpha});
   }
-  for (double beta : {0.0, 4.0, 8.0, 16.0, 32.0}) {
-    configs.push_back({"beta", {1000.0, beta, 0.25}});
+  for (const char* beta : {"0", "4", "8", "16", "32"}) {
+    configs.push_back({"beta", std::string("ACBM:beta=") + beta});
   }
-  for (double gamma : {0.0, 0.125, 0.25, 0.5, 1.0}) {
-    configs.push_back({"gamma", {1000.0, 8.0, gamma}});
+  for (const char* gamma : {"0", "0.125", "0.25", "0.5", "1"}) {
+    configs.push_back({"gamma", std::string("ACBM:gamma=") + gamma});
   }
 
   util::TablePrinter table({"knob", "alpha", "beta", "gamma", "PSNR-Y dB",
                             "kbit/s", "pos/MB", "critical %"});
   for (const Config& config : configs) {
-    sweep.acbm = config.params;
-    const auto acbm =
-        analysis::make_estimator(analysis::Algorithm::kAcbm, config.params);
+    const auto estimator = analysis::make_estimator(config.spec);
+    const auto* acbm = dynamic_cast<const core::Acbm*>(estimator.get());
+    const core::AcbmParams params = acbm->params();
     const analysis::RdPoint p =
-        analysis::run_rd_point(frames, 30, *acbm, qp, sweep);
-    table.add_row({config.knob, util::CsvWriter::num(config.params.alpha, 0),
-                   util::CsvWriter::num(config.params.beta, 0),
-                   util::CsvWriter::num(config.params.gamma, 3),
+        analysis::run_rd_point(frames, 30, *estimator, qp, sweep);
+    table.add_row({config.knob, util::CsvWriter::num(params.alpha, 0),
+                   util::CsvWriter::num(params.beta, 0),
+                   util::CsvWriter::num(params.gamma, 3),
                    util::CsvWriter::num(p.psnr_y, 2),
                    util::CsvWriter::num(p.kbps, 1),
                    util::CsvWriter::num(p.avg_positions, 0),
                    util::CsvWriter::num(100.0 * p.full_search_fraction, 1)});
-    csv.row({config.knob, util::CsvWriter::num(config.params.alpha, 0),
-             util::CsvWriter::num(config.params.beta, 0),
-             util::CsvWriter::num(config.params.gamma, 3),
+    csv.row({config.knob,
+             core::builtin_estimators().canonical_spec(config.spec),
+             util::CsvWriter::num(params.alpha, 0),
+             util::CsvWriter::num(params.beta, 0),
+             util::CsvWriter::num(params.gamma, 3),
              util::CsvWriter::num(p.psnr_y, 3),
              util::CsvWriter::num(p.kbps, 3),
              util::CsvWriter::num(p.avg_positions, 2),
@@ -97,34 +104,31 @@ int main(int argc, char** argv) {
             << qp << "):\n";
   util::TablePrinter codec_table(
       {"configuration", "PSNR-Y dB", "kbit/s", "pos/MB"});
+  // Each variant is a sweep-config spec applied over the bench's base —
+  // the same strings a script would pass via --config.
   struct CodecVariant {
     const char* label;
-    bool half_pel;
-    codec::ModeDecision mode;
-    bool deblock;
+    const char* spec;
   };
   const CodecVariant variants[] = {
-      {"paper (half-pel, heuristic, no filter)", true,
-       codec::ModeDecision::kHeuristic, false},
-      {"integer-pel only", false, codec::ModeDecision::kHeuristic, false},
-      {"RD mode decision", true, codec::ModeDecision::kRateDistortion, false},
-      {"deblocking filter", true, codec::ModeDecision::kHeuristic, true},
-      {"RD + deblocking", true, codec::ModeDecision::kRateDistortion, true},
+      {"paper (half-pel, heuristic, no filter)", ""},
+      {"integer-pel only", "halfpel=0"},
+      {"RD mode decision", "mode=rd"},
+      {"deblocking filter", "deblock=1"},
+      {"RD + deblocking", "mode=rd,deblock=1"},
   };
-  csv.row({"--codec-variants--", "", "", "", "", "", "", ""});
+  csv.row({"--codec-variants--", "", "", "", "", "", "", "", ""});
   for (const CodecVariant& variant : variants) {
-    analysis::SweepConfig vc;
-    vc.search_range = options.search_range;
-    vc.half_pel = variant.half_pel;
-    vc.mode_decision = variant.mode;
-    vc.deblock = variant.deblock;
-    const auto acbm = analysis::make_estimator(analysis::Algorithm::kAcbm);
+    const analysis::SweepConfig vc =
+        analysis::SweepConfig::from_spec(variant.spec, sweep);
+    const auto acbm = analysis::make_estimator("ACBM");
     const analysis::RdPoint p =
         analysis::run_rd_point(frames, 30, *acbm, qp, vc);
     codec_table.add_row({variant.label, util::CsvWriter::num(p.psnr_y, 2),
                          util::CsvWriter::num(p.kbps, 1),
                          util::CsvWriter::num(p.avg_positions, 0)});
-    csv.row({variant.label, "", "", "", util::CsvWriter::num(p.psnr_y, 3),
+    csv.row({variant.label, variant.spec, "", "", "",
+             util::CsvWriter::num(p.psnr_y, 3),
              util::CsvWriter::num(p.kbps, 3),
              util::CsvWriter::num(p.avg_positions, 2), ""});
   }

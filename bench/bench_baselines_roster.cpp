@@ -19,9 +19,7 @@ int main(int argc, char** argv) {
       bench::parse_bench_options(argc, argv, "bench_baselines_roster");
   util::Timer timer;
 
-  analysis::SweepConfig sweep;
-  sweep.search_range = options.search_range;
-  sweep.parallel.threads = options.threads;
+  const analysis::SweepConfig sweep = bench::sweep_config(options);
 
   const std::vector<int> qps = options.quick ? std::vector<int>{16}
                                              : std::vector<int>{16, 30};
@@ -36,11 +34,13 @@ int main(int argc, char** argv) {
               << " frames) --\n";
     util::TablePrinter table(
         {"algorithm", "qp", "kbit/s", "PSNR-Y dB", "pos/MB"});
-    for (analysis::Algorithm algo : analysis::all_algorithms()) {
-      const auto estimator = analysis::make_estimator(algo, sweep.acbm);
+    // The roster is the registry: every registered estimator, by spec name,
+    // so a newly added algorithm appears here with zero bench changes.
+    for (const std::string& spec : core::builtin_estimators().names()) {
+      const auto estimator = analysis::make_estimator(spec);
       analysis::RdCurve curve;
       curve.sequence = name;
-      curve.algorithm = analysis::algorithm_name(algo);
+      curve.algorithm = spec;
       curve.fps = 30;
       for (int qp : qps) {
         const analysis::RdPoint p =

@@ -14,10 +14,12 @@
 #include <vector>
 
 #include "analysis/rd_sweep.hpp"
+#include "core/builtin_estimators.hpp"
 #include "simd/dispatch.hpp"
 #include "synth/sequences.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
+#include "util/kv.hpp"
 #include "util/timer.hpp"
 #include "video/frame.hpp"
 
@@ -40,7 +42,27 @@ struct BenchOptions {
                                 ///< selection; every variant is bit-exact)
   std::string benchmark_out;    ///< when set, also write a
                                 ///< google-benchmark-style JSON report here
+  /// Sweep-config spec (key=val,... — see analysis::SweepConfig::from_spec)
+  /// applied on top of the individual flags by sweep_config(); lets one
+  /// string reconfigure a bench ("mode=rd,deblock=1,qps=16:22").
+  std::string config_spec;
 };
+
+/// The bench's effective sweep configuration: flags first, --config on top.
+/// Exits 2 on bad specs (usage error, like every other flag).
+inline analysis::SweepConfig sweep_config(const BenchOptions& options) {
+  analysis::SweepConfig sweep;
+  sweep.qps = options.qps;
+  sweep.search_range = options.search_range;
+  sweep.parallel.threads = options.threads;
+  sweep.slices = options.slices;
+  try {
+    return analysis::SweepConfig::from_spec(options.config_spec, sweep);
+  } catch (const util::SpecError& e) {
+    std::cerr << "bad --config spec: " << e.what() << '\n';
+    std::exit(2);
+  }
+}
 
 /// Joins the kernel names accepted on this build/CPU for usage text.
 inline std::string kernel_names_for_usage() {
@@ -85,6 +107,12 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
                     "SAD kernel variant: " + kernel_names_for_usage() +
                         " (bit-exact; only throughput changes)",
                     "auto");
+  parser.add_option("config",
+                    "sweep-config spec key=val,... applied after the "
+                    "individual flags (keys: qps=16:22:30 colon list, "
+                    "range, halfpel, me_lambda, mode, deblock, slices, "
+                    "threads)",
+                    "");
   parser.add_flag("quick", "reduced workload (fewer frames and Qp values)");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage(name);
@@ -136,6 +164,7 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
               << "' (use " << kernel_names_for_usage() << ")\n";
     std::exit(2);
   }
+  options.config_spec = parser.get("config");
   options.quick = parser.get_flag("quick");
   if (options.quick) {
     options.frames = std::min(options.frames, 12);
@@ -164,6 +193,18 @@ class JsonBenchReport {
     rows_.push_back({name, real_time_ns, std::move(counters)});
   }
 
+  /// Adds a string entry to the report's "context" object. Benches stamp
+  /// the canonical specs that produced their rows (estimator_spec,
+  /// sweep_config) so BENCH_ci.json artifacts are joinable across commits
+  /// by exact configuration, not just by benchmark name;
+  /// scripts/bench_gate.py forwards these keys into the merged artifact.
+  void set_context(std::string key, std::string value) {
+    if (path_.empty()) {
+      return;
+    }
+    context_.emplace_back(std::move(key), std::move(value));
+  }
+
   /// Writes the report; call once at the end of the bench.
   void write(const std::string& executable) const {
     if (path_.empty()) {
@@ -179,8 +220,11 @@ class JsonBenchReport {
     constexpr const char* kBuildType = "debug";
 #endif
     out << "{\n  \"context\": {\n    \"executable\": \"" << executable
-        << "\",\n    \"library_build_type\": \"" << kBuildType
-        << "\"\n  },\n"
+        << "\",\n    \"library_build_type\": \"" << kBuildType << '"';
+    for (const auto& [key, value] : context_) {
+      out << ",\n    \"" << key << "\": \"" << value << '"';
+    }
+    out << "\n  },\n"
         << "  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& row = rows_[i];
@@ -209,6 +253,7 @@ class JsonBenchReport {
     std::vector<std::pair<std::string, double>> counters;
   };
   std::string path_;
+  std::vector<std::pair<std::string, std::string>> context_;
   std::vector<Row> rows_;
 };
 
@@ -295,35 +340,33 @@ inline void write_rd_csv_rows(util::CsvWriter& csv,
 inline void run_rd_figure_bench(const std::string& bench_name, int fps,
                                 const BenchOptions& options) {
   util::Timer timer;
-  analysis::SweepConfig sweep;
-  sweep.qps = options.qps;
-  sweep.search_range = options.search_range;
-  sweep.parallel.threads = options.threads;
-  sweep.slices = options.slices;
+  const analysis::SweepConfig sweep = sweep_config(options);
 
   auto csv_stream = open_csv(options.csv_prefix, "rd");
   util::CsvWriter csv(csv_stream);
   write_rd_csv_header(csv);
 
-  const std::vector<analysis::Algorithm> algorithms = {
-      analysis::Algorithm::kAcbm, analysis::Algorithm::kFsbm,
-      analysis::Algorithm::kPbm};
+  // The paper's three, as estimator specs (bare names = paper parameters).
+  const std::vector<std::string> estimators = {"ACBM", "FSBM", "PBM"};
 
   std::cout << bench_name << ": " << options.size_label << " @ " << fps
-            << " fps, " << options.frames
-            << " frames, p = " << options.search_range
-            << ", ACBM(alpha=1000, beta=8, gamma=0.25), SAD kernel "
-            << simd::active_kernel_name() << "\n";
+            << " fps, sweep " << sweep.to_spec() << ", " << options.frames
+            << " frames, "
+            << core::builtin_estimators().canonical_spec("ACBM")
+            << ", SAD kernel " << simd::active_kernel_name() << "\n";
 
   JsonBenchReport json(options.benchmark_out);
+  json.set_context("sweep_config", sweep.to_spec());
+  json.set_context("estimator_spec",
+                   core::builtin_estimators().canonical_spec("ACBM"));
   for (const auto& name : synth::standard_sequence_names()) {
     const auto frames =
         qcif_sequence(name, options.frames, fps, options.size);
     std::vector<analysis::RdCurve> curves;
-    for (analysis::Algorithm algo : algorithms) {
+    for (const std::string& estimator : estimators) {
       util::Timer curve_timer;
       curves.push_back(
-          analysis::run_rd_sweep(frames, fps, algo, sweep, name));
+          analysis::run_rd_sweep(frames, fps, estimator, sweep, name));
       write_rd_csv_rows(csv, curves.back());
       // One trajectory row per RD curve: wall time for the CI gate plus
       // deterministic rate/quality means over the swept Qp values. A curve

@@ -16,12 +16,13 @@ int main(int argc, char** argv) {
                                  /*supports_json=*/true);
   util::Timer timer;
 
-  analysis::SweepConfig sweep;
-  sweep.qps = options.qps;
-  sweep.search_range = options.search_range;
-  sweep.parallel.threads = options.threads;
-  sweep.slices = options.slices;
+  const analysis::SweepConfig sweep = bench::sweep_config(options);
   bench::JsonBenchReport json(options.benchmark_out);
+  // Canonical specs into the artifact context: BENCH_ci.json rows join
+  // across commits by the exact configuration that produced them.
+  json.set_context("estimator_spec",
+                   core::builtin_estimators().canonical_spec("ACBM"));
+  json.set_context("sweep_config", sweep.to_spec());
   const double fsbm_positions =
       static_cast<double>((2 * options.search_range + 1) *
                           (2 * options.search_range + 1) + 8);
@@ -51,8 +52,7 @@ int main(int argc, char** argv) {
   for (const auto& name : names) {
     for (int fps : {30, 10}) {
       const auto frames = bench::qcif_sequence(name, options.frames, fps);
-      const auto estimator =
-          analysis::make_estimator(analysis::Algorithm::kAcbm, sweep.acbm);
+      const auto estimator = analysis::make_estimator("ACBM");
       for (int qp : options.qps) {
         util::Timer point_timer;
         const analysis::RdPoint p =

@@ -3,8 +3,12 @@
 // playback. ACV2 frames carry independently-predicted slices, which decode
 // in parallel with --threads.
 //
-// Example:
+// Examples:
 //   ./acbm_dec --input foreman.acv --out foreman_dec.y4m --threads 4
+//   ./acbm_dec --input clip.acv --expect "width=176,height=144,frames=60"
+//
+// --expect takes the project's key=value grammar, so CI round-trip checks
+// assert stream properties with the same spec syntax the encoder consumes.
 
 #include <fstream>
 #include <iostream>
@@ -12,6 +16,7 @@
 
 #include "codec/decoder.hpp"
 #include "util/args.hpp"
+#include "util/kv.hpp"
 #include "video/y4m_io.hpp"
 
 int main(int argc, char** argv) {
@@ -27,6 +32,11 @@ int main(int argc, char** argv) {
                     "expected slices per frame; fail if the stream differs "
                     "(0 = accept any)",
                     "0");
+  parser.add_option("expect",
+                    "key=value assertions on the decoded stream over "
+                    "width,height,fps,frames,slices,version (e.g. "
+                    "\"width=176,slices=4\"); any mismatch fails",
+                    "");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage("acbm_dec");
     return 2;
@@ -68,6 +78,46 @@ int main(int argc, char** argv) {
       std::cerr << "acbm_dec: stream has no frames to check --slices "
                 << "against\n";
       return 1;
+    }
+
+    // --expect: spec-grammar assertions, all evaluated before reporting so
+    // one run surfaces every mismatch.
+    try {
+      int expect_failures = 0;
+      for (const auto& [key, value] : util::parse_kv_list(parser.get(
+               "expect"))) {
+        const std::int64_t want =
+            util::parse_int_strict(value, "expect key " + key);
+        std::int64_t have = 0;
+        if (key == "width") {
+          have = video.size.width;
+        } else if (key == "height") {
+          have = video.size.height;
+        } else if (key == "fps") {
+          have = static_cast<std::int64_t>(video.rate.fps());
+        } else if (key == "frames") {
+          have = static_cast<std::int64_t>(video.frames.size());
+        } else if (key == "slices") {
+          have = decoder.last_frame_slices();
+        } else if (key == "version") {
+          have = decoder.version();
+        } else {
+          throw util::SpecError(
+              "unknown --expect key \"" + key +
+              "\" (valid: width, height, fps, frames, slices, version)");
+        }
+        if (have != want) {
+          std::cerr << "acbm_dec: expect " << key << '=' << want
+                    << " but stream has " << have << '\n';
+          ++expect_failures;
+        }
+      }
+      if (expect_failures > 0) {
+        return 1;
+      }
+    } catch (const util::SpecError& e) {
+      std::cerr << "acbm_dec: bad --expect spec: " << e.what() << '\n';
+      return 2;
     }
 
     video::write_y4m(parser.get("out"), video);

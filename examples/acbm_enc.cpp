@@ -1,19 +1,26 @@
 // acbm_enc — command-line encoder.
 //
 // Reads YUV4MPEG2 (.y4m) or headerless I420 (.yuv, with --width/--height/
-// --fps) video — or generates a synthetic clip — and encodes it to an ACV1
-// bitstream with the selected motion-estimation algorithm, either at a
+// --fps) video — or generates a synthetic clip — and encodes it to an
+// ACV1/ACV2 bitstream with the selected motion-estimation spec, either at a
 // fixed quantiser or rate-controlled to a target bitrate.
 //
 // Examples:
 //   ./acbm_enc --synthetic foreman --frames 60 --qp 14 --out foreman.acv
-//   ./acbm_enc --input clip.y4m --algorithm FSBM --kbps 64 --out clip.acv
+//   ./acbm_enc --input clip.y4m --estimator FSBM --kbps 64 --out clip.acv
+//   ./acbm_enc --synthetic foreman --estimator "ACBM:alpha=500,beta=8" \
+//              --config "slices=4,threads=0" --out clip.acv
 //   ./acbm_enc --input clip.yuv --width 176 --height 144 --fps 30
 //              --out clip.acv
+//
+// Estimator specs ("NAME:key=val,...") and --config key=value maps are
+// validated up front; any unknown name or key exits 2 with the full
+// grammar and per-estimator key tables — never a silent fallback.
 
 #include <fstream>
 #include <iostream>
 
+#include "codec/config_map.hpp"
 #include "codec/encoder.hpp"
 #include "codec/rate_control.hpp"
 #include "core/builtin_estimators.hpp"
@@ -21,6 +28,7 @@
 #include "synth/sequences.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
+#include "util/kv.hpp"
 #include "video/y4m_io.hpp"
 #include "video/yuv_io.hpp"
 
@@ -41,7 +49,20 @@ int main(int argc, char** argv) {
                     "reading a file",
                     "");
   parser.add_option("frames", "frame limit (0 = all)", "60");
-  parser.add_option("algorithm", "motion search algorithm", "ACBM");
+  parser.add_option("estimator",
+                    "motion-estimator spec: NAME or NAME:key=val,... "
+                    "(e.g. ACBM, \"ACBM:alpha=500,beta=8,gamma=0.25\"); "
+                    "pass an unknown name to see every spec",
+                    "");
+  parser.add_option("algorithm",
+                    "deprecated alias of --estimator (bare names only "
+                    "historically; full specs accepted)",
+                    "");
+  parser.add_option("config",
+                    "encoder config spec key=val,... applied after the "
+                    "individual flags (e.g. \"mode=rd,deblock=1\"); pass an "
+                    "unknown key to see the key table",
+                    "");
   parser.add_option("qp", "fixed quantiser 1..31 (ignored when --kbps set)",
                     "16");
   parser.add_option("kbps", "target bitrate; enables rate control", "0");
@@ -66,8 +87,41 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (parser.help_requested()) {
-    std::cout << parser.usage("acbm_enc");
+    std::cout << parser.usage("acbm_enc") << '\n'
+              << core::builtin_estimators().spec_usage() << '\n'
+              << codec::config_spec_usage();
     return 0;
+  }
+
+  // Spec validation happens before any input is read: a typo in an
+  // estimator name/key or a config key is a usage error (exit 2) carrying
+  // the full grammar, mirroring simd::parse_kernel_name's contract that no
+  // misspelling ever degrades into a silent default.
+  std::unique_ptr<me::MotionEstimator> estimator;
+  std::string estimator_spec = parser.get("estimator");
+  if (!parser.get("algorithm").empty()) {
+    if (!estimator_spec.empty()) {
+      // Two sources of truth for the estimator would let a stale legacy
+      // flag silently win over the explicit one; refuse instead.
+      std::cerr << "acbm_enc: --estimator and --algorithm are aliases — "
+                   "pass only one (got --estimator '" << estimator_spec
+                << "' and --algorithm '" << parser.get("algorithm")
+                << "')\n";
+      return 2;
+    }
+    estimator_spec = parser.get("algorithm");
+  }
+  if (estimator_spec.empty()) {
+    estimator_spec = "ACBM";
+  }
+  try {
+    estimator = core::builtin_estimators().create(estimator_spec);
+    estimator_spec =
+        core::builtin_estimators().canonical_spec(estimator_spec);
+  } catch (const util::SpecError& e) {
+    std::cerr << "acbm_enc: bad --estimator spec: " << e.what() << "\n\n"
+              << core::builtin_estimators().spec_usage();
+    return 2;
   }
 
   try {
@@ -123,9 +177,8 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    // --- Encoder setup.
-    const auto estimator =
-        core::builtin_estimators().create(parser.get("algorithm"));
+    // --- Encoder setup: individual flags first, then the --config spec on
+    // top (so a sweep driver can override any flag from one string).
     codec::EncoderConfig cfg;
     cfg.qp = static_cast<int>(parser.get_int("qp"));
     cfg.search_range = static_cast<int>(parser.get_int("search-range"));
@@ -133,6 +186,12 @@ int main(int argc, char** argv) {
     cfg.parallel.threads = static_cast<int>(parser.get_int("threads"));
     cfg.slices = static_cast<int>(parser.get_int("slices"));
     cfg.fps_num = fps;
+    try {
+      cfg = codec::encoder_config_from_spec(parser.get("config"), cfg);
+    } catch (const util::SpecError& e) {
+      std::cerr << "acbm_enc: bad --config spec: " << e.what() << '\n';
+      return 2;
+    }
     codec::Encoder encoder({frames[0].width(), frames[0].height()}, cfg,
                            *estimator);
 
@@ -175,8 +234,9 @@ int main(int argc, char** argv) {
     const double n = static_cast<double>(frames.size());
     std::cout << "encoded " << frames.size() << " frames ("
               << frames[0].width() << "x" << frames[0].height() << ") with "
-              << estimator->name() << " (SAD kernel "
-              << simd::active_kernel_name() << ")\n  "
+              << estimator_spec << " (SAD kernel "
+              << simd::active_kernel_name() << ")\n  config "
+              << codec::to_spec(cfg) << "\n  "
               << util::CsvWriter::num(static_cast<double>(bits) * fps / n /
                                           1000.0, 1)
               << " kbit/s, PSNR-Y " << util::CsvWriter::num(psnr / n, 2)

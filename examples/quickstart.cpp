@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "core/acbm.hpp"
+#include "core/builtin_estimators.hpp"
 #include "me/estimator.hpp"
 #include "synth/sequences.hpp"
 #include "util/csv.hpp"
@@ -31,8 +32,11 @@ int main() {
   // 2. Half-pel interpolation of the reference luma (shared by all blocks).
   const video::HalfpelPlanes ref_half(reference.y());
 
-  // 3. ACBM with the paper's parameters (alpha=1000, beta=8, gamma=1/4).
-  core::Acbm acbm;  // == core::Acbm(core::AcbmParams::paper_defaults())
+  // 3. ACBM with the paper's parameters, constructed from a spec exactly as
+  // the CLI's --estimator flag would ("ACBM" alone means the same thing).
+  const auto estimator =
+      core::builtin_estimators().create("ACBM:alpha=1000,beta=8,gamma=0.25");
+  auto& acbm = dynamic_cast<core::Acbm&>(*estimator);
   acbm.set_record_log(true);
 
   me::MvField field = me::MvField::for_picture(current.width(),

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
 
   util::TablePrinter table(
       {"config", "PSNR-Y dB", "kbit/s", "pos/MB", "vs FSBM pos"});
-  const auto fsbm = analysis::make_estimator(analysis::Algorithm::kFsbm);
+  const auto fsbm = analysis::make_estimator("FSBM");
   const analysis::RdPoint anchor =
       analysis::run_rd_point(frames, 30, *fsbm, qp, sweep);
 
@@ -59,27 +59,20 @@ int main(int argc, char** argv) {
   };
   add_row("FSBM (exhaustive)", anchor);
 
-  // ACBM with gamma swept: small gamma = strict (more full searches),
-  // large gamma = permissive (approaches PBM).
-  for (double gamma : {0.05, 0.125, 0.25, 0.5, 1.0, 4.0}) {
-    core::AcbmParams params;  // alpha=1000, beta=8 fixed at paper values
-    params.gamma = gamma;
-    const auto acbm =
-        analysis::make_estimator(analysis::Algorithm::kAcbm, params);
-    add_row("ACBM gamma=" + util::CsvWriter::num(gamma, 3),
-            analysis::run_rd_point(frames, 30, *acbm, qp, sweep));
+  // ACBM with gamma swept via estimator specs: small gamma = strict (more
+  // full searches), large gamma = permissive (approaches PBM). Alpha/beta
+  // stay at the paper defaults the spec does not mention.
+  for (const char* gamma : {"0.05", "0.125", "0.25", "0.5", "1", "4"}) {
+    const std::string spec = std::string("ACBM:gamma=") + gamma;
+    const auto acbm = analysis::make_estimator(spec);
+    add_row(spec, analysis::run_rd_point(frames, 30, *acbm, qp, sweep));
   }
 
-  for (const analysis::Algorithm algo :
-       {analysis::Algorithm::kPbm, analysis::Algorithm::kTss,
-        analysis::Algorithm::kNtss, analysis::Algorithm::kFss,
-        analysis::Algorithm::kDs, analysis::Algorithm::kHexbs,
-        analysis::Algorithm::kCds,
-        analysis::Algorithm::kFsbmAdaptiveDecimation,
-        analysis::Algorithm::kFsbmSubsampled}) {
-    const auto est = analysis::make_estimator(algo);
-    add_row(std::string(est->name()),
-            analysis::run_rd_point(frames, 30, *est, qp, sweep));
+  for (const char* spec :
+       {"PBM", "TSS", "NTSS", "4SS", "DS", "HEXBS", "CDS", "FSBM-adec",
+        "FSBM-sub"}) {
+    const auto est = analysis::make_estimator(spec);
+    add_row(spec, analysis::run_rd_point(frames, 30, *est, qp, sweep));
   }
 
   table.print(std::cout);

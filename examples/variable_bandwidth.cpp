@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "analysis/rd_sweep.hpp"
+#include "codec/config_map.hpp"
 #include "codec/encoder.hpp"
 #include "codec/rate_control.hpp"
 #include "core/acbm.hpp"
@@ -43,9 +44,8 @@ int main(int argc, char** argv) {
   const int fps = 30;
 
   core::Acbm acbm;
-  codec::EncoderConfig cfg;
-  cfg.qp = 14;
-  cfg.fps_num = fps;
+  const codec::EncoderConfig cfg =
+      codec::encoder_config_from_spec("qp=14,fps=" + std::to_string(fps));
   codec::Encoder encoder(video::kQcif, cfg, acbm);
 
   const double high_kbps = 72.0;

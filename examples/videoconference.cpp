@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "analysis/rd_sweep.hpp"
+#include "codec/config_map.hpp"
 #include "codec/decoder.hpp"
 #include "codec/encoder.hpp"
 #include "core/acbm.hpp"
@@ -55,13 +56,11 @@ int main(int argc, char** argv) {
                             "FSBM blocks %", "skip %"});
   std::vector<std::uint8_t> acbm_stream;
 
-  for (const analysis::Algorithm algo :
-       {analysis::Algorithm::kAcbm, analysis::Algorithm::kFsbm,
-        analysis::Algorithm::kPbm}) {
-    const auto estimator = analysis::make_estimator(algo);
-    codec::EncoderConfig cfg;
-    cfg.qp = qp;
-    cfg.fps_num = fps;
+  for (const std::string spec : {"ACBM", "FSBM", "PBM"}) {
+    const auto estimator = analysis::make_estimator(spec);
+    // Config via the key=value grammar on top of the CLI values.
+    const codec::EncoderConfig cfg = codec::encoder_config_from_spec(
+        "qp=" + std::to_string(qp) + ",fps=" + std::to_string(fps));
     codec::Encoder encoder(video::kQcif, cfg, *estimator);
 
     std::uint64_t bits = 0;
@@ -92,7 +91,7 @@ int main(int argc, char** argv) {
              p_mbs ? 100.0 * static_cast<double>(fs_blocks) / p_mbs : 0.0, 1),
          util::CsvWriter::num(
              p_mbs ? 100.0 * static_cast<double>(skips) / p_mbs : 0.0, 1)});
-    if (algo == analysis::Algorithm::kAcbm) {
+    if (spec == "ACBM") {
       acbm_stream = encoder.finish();
     }
   }

@@ -66,8 +66,12 @@ def merge(inputs):
     for path in inputs:
         doc, rows = load_rows(path)
         ctx = doc.get("context", {})
+        # estimator_spec / sweep_config are the canonical to_spec() strings
+        # the benches stamp; forwarding them keys BENCH_ci.json artifacts by
+        # the exact configuration that produced the rows.
         for key in ("executable", "host_name", "num_cpus", "mhz_per_cpu",
-                    "library_build_type", "date"):
+                    "library_build_type", "date", "estimator_spec",
+                    "sweep_config"):
             if key in ctx and key not in merged["context"]:
                 merged["context"][key] = ctx[key]
         for name, bench in rows.items():

@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "codec/config_map.hpp"
 #include "core/acbm.hpp"
 #include "core/builtin_estimators.hpp"
+#include "util/kv.hpp"
 
 namespace acbm::analysis {
 
@@ -47,12 +49,21 @@ const std::vector<Algorithm>& all_algorithms() {
 std::unique_ptr<me::MotionEstimator> make_estimator(Algorithm algorithm,
                                                     core::AcbmParams params) {
   // Algorithm display names double as registry keys, so the enum-based API
-  // is now a thin veneer over the string-keyed factory.
-  auto estimator = core::builtin_estimators().create(algorithm_name(algorithm));
-  if (auto* acbm = dynamic_cast<core::Acbm*>(estimator.get())) {
-    acbm->set_params(params);
+  // is a veneer over the parameterized spec path: the AcbmParams struct is
+  // rendered into spec pairs (format_double round-trips exactly) and bound
+  // by the registry like any CLI-authored spec.
+  me::EstimatorSpec spec;
+  spec.name = algorithm_name(algorithm);
+  if (algorithm == Algorithm::kAcbm) {
+    spec.params = {{"alpha", util::format_double(params.alpha)},
+                   {"beta", util::format_double(params.beta)},
+                   {"gamma", util::format_double(params.gamma)}};
   }
-  return estimator;
+  return core::builtin_estimators().create(spec);
+}
+
+std::unique_ptr<me::MotionEstimator> make_estimator(std::string_view spec) {
+  return core::builtin_estimators().create(spec);
 }
 
 RdPoint run_rd_point(const std::vector<video::Frame>& frames, int fps,
@@ -143,6 +154,144 @@ RdCurve run_rd_sweep(const std::vector<video::Frame>& frames, int fps,
         run_rd_point(frames, fps, *estimator, qp, config));
   }
   return curve;
+}
+
+RdCurve run_rd_sweep(const std::vector<video::Frame>& frames, int fps,
+                     std::string_view estimator_spec,
+                     const SweepConfig& config,
+                     const std::string& sequence_name) {
+  RdCurve curve;
+  curve.sequence = sequence_name;
+  curve.algorithm = std::string(estimator_spec);
+  curve.fps = fps;
+  const auto estimator = make_estimator(estimator_spec);
+  for (int qp : config.qps) {
+    curve.points.push_back(
+        run_rd_point(frames, fps, *estimator, qp, config));
+  }
+  return curve;
+}
+
+// ------------------------------------------------------- SweepConfig specs
+
+namespace {
+
+/// The sweep keys that map 1:1 onto EncoderConfig fields (run_rd_point
+/// copies them straight across). Their parsing, types and ranges live in
+/// codec/config_map.cpp's single key table; from_spec delegates so the two
+/// grammars cannot drift.
+constexpr const char* kSharedKeys[] = {"range",   "halfpel", "me_lambda",
+                                       "mode",    "deblock", "slices",
+                                       "threads"};
+
+std::string sweep_spec_usage() {
+  std::string out =
+      "sweep config grammar: key=val[,key=val...] over\n"
+      "  qps=16:18:20:22:24:26:28:30 (colon-separated quantisers; empty "
+      "list allowed)\n";
+  out += "plus these keys, with the same types/ranges as the encoder "
+         "config grammar:\n ";
+  for (const char* key : kSharedKeys) {
+    out += ' ';
+    out += key;
+  }
+  out += "\n(estimator parameters like alpha/beta/gamma belong in the "
+         "estimator spec, e.g. \"ACBM:alpha=500\")\n";
+  return out;
+}
+
+}  // namespace
+
+SweepConfig SweepConfig::from_spec(std::string_view spec) {
+  return from_spec(spec, SweepConfig{});
+}
+
+SweepConfig SweepConfig::from_spec(std::string_view spec,
+                                   const SweepConfig& base) {
+  SweepConfig config = base;
+  std::vector<util::KeyValue> shared;
+  for (const util::KeyValue& pair : util::parse_kv_list(spec)) {
+    if (pair.first == "qps") {
+      // Colon-separated so the list nests inside the comma-separated pair
+      // grammar; an empty value is the empty list (to_spec round-trip).
+      std::vector<int> qps;
+      const std::string& list = pair.second;
+      std::size_t begin = 0;
+      while (begin <= list.size() && !list.empty()) {
+        std::size_t end = list.find(':', begin);
+        if (end == std::string_view::npos) {
+          end = list.size();
+        }
+        // An empty entry (leading/trailing/double colon) throws here.
+        const std::int64_t qp = util::parse_int_strict(
+            list.substr(begin, end - begin), "qps entry");
+        if (qp < 1 || qp > 31) {
+          throw util::SpecError("sweep config: qp " + std::to_string(qp) +
+                                " out of range [1, 31]");
+        }
+        qps.push_back(static_cast<int>(qp));
+        if (end == list.size()) {
+          break;
+        }
+        begin = end + 1;
+      }
+      config.qps = std::move(qps);
+      continue;
+    }
+    bool is_shared = false;
+    for (const char* key : kSharedKeys) {
+      if (pair.first == key) {
+        is_shared = true;
+        break;
+      }
+    }
+    if (!is_shared) {
+      throw util::SpecError("sweep config: unknown key \"" + pair.first +
+                            "\"; valid keys:\n" + sweep_spec_usage());
+    }
+    shared.push_back(pair);
+  }
+
+  // Round-trip the shared keys through the codec key table: sweep fields →
+  // EncoderConfig, apply the pairs (validated there), copy back.
+  codec::EncoderConfig ec;
+  ec.search_range = config.search_range;
+  ec.half_pel = config.half_pel;
+  ec.me_lambda = config.me_lambda;
+  ec.mode_decision = config.mode_decision;
+  ec.deblock = config.deblock;
+  ec.slices = config.slices;
+  ec.parallel.threads = config.parallel.threads;
+  ec = codec::encoder_config_from_spec(util::format_kv_list(shared), ec);
+  config.search_range = ec.search_range;
+  config.half_pel = ec.half_pel;
+  config.me_lambda = ec.me_lambda;
+  config.mode_decision = ec.mode_decision;
+  config.deblock = ec.deblock;
+  config.slices = ec.slices;
+  config.parallel.threads = ec.parallel.threads;
+  return config;
+}
+
+std::string SweepConfig::to_spec() const {
+  std::string out = "qps=";
+  for (std::size_t i = 0; i < qps.size(); ++i) {
+    if (i > 0) {
+      out += ':';
+    }
+    out += std::to_string(qps[i]);
+  }
+  out += ",range=" + std::to_string(search_range);
+  out += std::string(",halfpel=") + (half_pel ? "1" : "0");
+  out += ",me_lambda=" + util::format_double(me_lambda);
+  out += std::string(",mode=") +
+         (mode_decision == codec::ModeDecision::kRateDistortion
+              ? "rd"
+              : "heuristic");
+  out += std::string(",deblock=") + (deblock ? "1" : "0");
+  out += ",slices=" + std::to_string(slices);
+  out += ",threads=" + std::to_string(parallel.threads);
+  return out;
 }
 
 }  // namespace acbm::analysis

@@ -36,15 +36,25 @@ enum class Algorithm {
 };
 
 /// Display name matching the paper's legends ("FSBM", "PBM", "ACBM", ...).
+/// Doubles as the registry key, so every name is also a valid spec.
 [[nodiscard]] std::string algorithm_name(Algorithm algorithm);
 
 /// All algorithms, paper's three first.
 [[nodiscard]] const std::vector<Algorithm>& all_algorithms();
 
-/// Instantiates an estimator. ACBM takes its parameters; others ignore them.
+/// Instantiates an estimator. ACBM takes its parameters; others ignore
+/// them. Routed through the spec path below, so it is exactly
+/// make_estimator("ACBM:alpha=...,beta=...,gamma=...").
 [[nodiscard]] std::unique_ptr<me::MotionEstimator> make_estimator(
     Algorithm algorithm,
     core::AcbmParams params = core::AcbmParams::paper_defaults());
+
+/// Instantiates an estimator from a spec ("ACBM", "ACBM:alpha=500",
+/// "FSBM:dec=quincunx", ...) via core::builtin_estimators() — the string
+/// API benches and the CLI sweep configurations through without code
+/// changes. @throws util::SpecError as EstimatorRegistry::create does.
+[[nodiscard]] std::unique_ptr<me::MotionEstimator> make_estimator(
+    std::string_view spec);
 
 /// One Qp's aggregated results.
 struct RdPoint {
@@ -79,11 +89,33 @@ struct SweepConfig {
   /// Entropy-coding slices per frame (1 = legacy single-slice ACV1 stream;
   /// N > 1 changes the bitstream — rates include the slice headers).
   int slices = 1;
+
+  /// Builds a config from the key=value grammar over the sweep's keys —
+  /// qps (colon-separated list, e.g. "qps=16:22:30"), range, halfpel,
+  /// me_lambda, mode (heuristic|rd), deblock, slices, threads — applied on
+  /// top of `base`. Estimator parameters are NOT sweep keys; they travel in
+  /// the estimator spec ("ACBM:alpha=500"). @throws util::SpecError with
+  /// the valid-key table on unknown keys.
+  [[nodiscard]] static SweepConfig from_spec(std::string_view spec,
+                                             const SweepConfig& base);
+  [[nodiscard]] static SweepConfig from_spec(std::string_view spec);
+
+  /// Canonical spec (every key, declaration order); round-trips through
+  /// from_spec, so benches can stamp the exact sweep configuration.
+  [[nodiscard]] std::string to_spec() const;
 };
 
 /// Encodes `frames` (already at the target fps) once per Qp.
 RdCurve run_rd_sweep(const std::vector<video::Frame>& frames, int fps,
                      Algorithm algorithm, const SweepConfig& config,
+                     const std::string& sequence_name);
+
+/// Spec-keyed overload: the estimator comes from `estimator_spec`
+/// ("ACBM:alpha=500", "FSBM", ...) and the curve is labelled with the
+/// spec text, so swept variants stay distinguishable in tables and CSVs.
+RdCurve run_rd_sweep(const std::vector<video::Frame>& frames, int fps,
+                     std::string_view estimator_spec,
+                     const SweepConfig& config,
                      const std::string& sequence_name);
 
 /// Single-Qp convenience used by Table 1 and the ablation bench.

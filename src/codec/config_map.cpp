@@ -1,0 +1,232 @@
+#include "codec/config_map.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "util/kv.hpp"
+
+namespace acbm::codec {
+
+namespace {
+
+/// One table drives parsing, rendering and usage text, so the three views
+/// of the grammar cannot drift apart. Numeric payloads (int/bool included)
+/// travel as double through get/set; kMode is the one string-valued key and
+/// is handled inline.
+struct KeySpec {
+  enum class Kind { kInt, kDouble, kBool, kMode };
+
+  const char* name;
+  Kind kind;
+  double min_value;
+  double max_value;
+  const char* help;
+  double (*get)(const EncoderConfig&);
+  void (*set)(EncoderConfig&, double);
+};
+
+constexpr double kGet = 0.0;  // silences unused warnings in kMode entries
+double mode_get(const EncoderConfig&) { return kGet; }
+void mode_set(EncoderConfig&, double) {}
+
+const std::vector<KeySpec>& key_table() {
+  static const std::vector<KeySpec> keys = {
+      {"qp", KeySpec::Kind::kInt, 1, 31, "quantiser",
+       [](const EncoderConfig& c) { return double(c.qp); },
+       [](EncoderConfig& c, double v) { c.qp = int(v); }},
+      {"range", KeySpec::Kind::kInt, 1, 23,
+       "integer search range p (paper: 15; bounded by the plane border)",
+       [](const EncoderConfig& c) { return double(c.search_range); },
+       [](EncoderConfig& c, double v) { c.search_range = int(v); }},
+      {"halfpel", KeySpec::Kind::kBool, 0, 1,
+       "half-pel refinement + compensation",
+       [](const EncoderConfig& c) { return c.half_pel ? 1.0 : 0.0; },
+       [](EncoderConfig& c, double v) { c.half_pel = v != 0.0; }},
+      {"intra_period", KeySpec::Kind::kInt, 0, 100000,
+       "intra refresh period (0 = only frame 0)",
+       [](const EncoderConfig& c) { return double(c.intra_period); },
+       [](EncoderConfig& c, double v) { c.intra_period = int(v); }},
+      {"me_lambda", KeySpec::Kind::kDouble, 0, 1e6,
+       "lambda for rate-aware ME (0 = pure SAD, paper)",
+       [](const EncoderConfig& c) { return c.me_lambda; },
+       [](EncoderConfig& c, double v) { c.me_lambda = v; }},
+      {"intra_bias", KeySpec::Kind::kInt, -65536, 65536,
+       "TMN INTRA decision bias",
+       [](const EncoderConfig& c) { return double(c.intra_bias); },
+       [](EncoderConfig& c, double v) { c.intra_bias = int(v); }},
+      {"skip", KeySpec::Kind::kBool, 0, 1,
+       "emit COD=1 for zero-MV zero-CBP macroblocks",
+       [](const EncoderConfig& c) { return c.allow_skip ? 1.0 : 0.0; },
+       [](EncoderConfig& c, double v) { c.allow_skip = v != 0.0; }},
+      {"deblock", KeySpec::Kind::kBool, 0, 1,
+       "in-loop Annex-J deblocking filter",
+       [](const EncoderConfig& c) { return c.deblock ? 1.0 : 0.0; },
+       [](EncoderConfig& c, double v) { c.deblock = v != 0.0; }},
+      {"slices", KeySpec::Kind::kInt, 1, kMaxSlices,
+       "entropy-coding slices per frame (1 = legacy ACV1)",
+       [](const EncoderConfig& c) { return double(c.slices); },
+       [](EncoderConfig& c, double v) { c.slices = int(v); }},
+      {"mode", KeySpec::Kind::kMode, 0, 0,
+       "macroblock mode decision: heuristic|rd", mode_get, mode_set},
+      {"threads", KeySpec::Kind::kInt, 0, 4096,
+       "pipeline worker threads (0 = all cores; bit-exact at any count)",
+       [](const EncoderConfig& c) { return double(c.parallel.threads); },
+       [](EncoderConfig& c, double v) { c.parallel.threads = int(v); }},
+      {"fps", KeySpec::Kind::kInt, 1, 65535,
+       "frame-rate numerator (sequence header)",
+       [](const EncoderConfig& c) { return double(c.fps_num); },
+       [](EncoderConfig& c, double v) { c.fps_num = int(v); }},
+      {"fps_den", KeySpec::Kind::kInt, 1, 65535,
+       "frame-rate denominator",
+       [](const EncoderConfig& c) { return double(c.fps_den); },
+       [](EncoderConfig& c, double v) { c.fps_den = int(v); }},
+  };
+  return keys;
+}
+
+std::string default_text(const KeySpec& key) {
+  static const EncoderConfig defaults;
+  switch (key.kind) {
+    case KeySpec::Kind::kInt:
+      return std::to_string(
+          static_cast<std::int64_t>(key.get(defaults)));
+    case KeySpec::Kind::kDouble:
+      return util::format_double(key.get(defaults));
+    case KeySpec::Kind::kBool:
+      return key.get(defaults) != 0.0 ? "1" : "0";
+    case KeySpec::Kind::kMode:
+      return defaults.mode_decision == ModeDecision::kRateDistortion
+                 ? "rd"
+                 : "heuristic";
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string config_spec_usage() {
+  std::string out =
+      "encoder config grammar: key=val[,key=val...] over the keys\n";
+  for (const KeySpec& key : key_table()) {
+    out += "  ";
+    out += key.name;
+    out += '=';
+    out += default_text(key);
+    switch (key.kind) {
+      case KeySpec::Kind::kInt:
+        out += " (" +
+               std::to_string(static_cast<std::int64_t>(key.min_value)) +
+               ".." +
+               std::to_string(static_cast<std::int64_t>(key.max_value)) +
+               ")";
+        break;
+      case KeySpec::Kind::kDouble:
+        out += " (" + util::format_double(key.min_value) + ".." +
+               util::format_double(key.max_value) + ")";
+        break;
+      case KeySpec::Kind::kBool:
+        out += " (0|1)";
+        break;
+      case KeySpec::Kind::kMode:
+        out += " (heuristic|rd)";
+        break;
+    }
+    out += ": ";
+    out += key.help;
+    out += '\n';
+  }
+  return out;
+}
+
+EncoderConfig encoder_config_from_spec(std::string_view spec,
+                                       const EncoderConfig& base) {
+  EncoderConfig config = base;
+  for (const util::KeyValue& pair : util::parse_kv_list(spec)) {
+    const KeySpec* key = nullptr;
+    for (const KeySpec& candidate : key_table()) {
+      if (pair.first == candidate.name) {
+        key = &candidate;
+        break;
+      }
+    }
+    if (key == nullptr) {
+      throw util::SpecError("encoder config: unknown key \"" + pair.first +
+                            "\"; valid keys:\n" + config_spec_usage());
+    }
+    const std::string what = "encoder config key " + pair.first;
+    switch (key->kind) {
+      case KeySpec::Kind::kInt: {
+        const std::int64_t value =
+            util::parse_int_strict(pair.second, what);
+        if (value < static_cast<std::int64_t>(key->min_value) ||
+            value > static_cast<std::int64_t>(key->max_value)) {
+          throw util::SpecError(
+              "encoder config: " + pair.first + '=' + pair.second +
+              " out of range [" +
+              std::to_string(static_cast<std::int64_t>(key->min_value)) +
+              ", " +
+              std::to_string(static_cast<std::int64_t>(key->max_value)) +
+              ']');
+        }
+        key->set(config, static_cast<double>(value));
+        break;
+      }
+      case KeySpec::Kind::kDouble: {
+        const double value = util::parse_double_strict(pair.second, what);
+        if (!(value >= key->min_value && value <= key->max_value)) {
+          throw util::SpecError("encoder config: " + pair.first + '=' +
+                                pair.second + " out of range [" +
+                                util::format_double(key->min_value) + ", " +
+                                util::format_double(key->max_value) + ']');
+        }
+        key->set(config, value);
+        break;
+      }
+      case KeySpec::Kind::kBool:
+        key->set(config,
+                 util::parse_bool_strict(pair.second, what) ? 1.0 : 0.0);
+        break;
+      case KeySpec::Kind::kMode:
+        if (pair.second == "heuristic") {
+          config.mode_decision = ModeDecision::kHeuristic;
+        } else if (pair.second == "rd") {
+          config.mode_decision = ModeDecision::kRateDistortion;
+        } else {
+          throw util::SpecError("encoder config: mode=" + pair.second +
+                                " is not one of {heuristic, rd}");
+        }
+        break;
+    }
+  }
+  return config;
+}
+
+std::string to_spec(const EncoderConfig& config) {
+  std::string out;
+  for (const KeySpec& key : key_table()) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += key.name;
+    out += '=';
+    switch (key.kind) {
+      case KeySpec::Kind::kInt:
+        out += std::to_string(static_cast<std::int64_t>(key.get(config)));
+        break;
+      case KeySpec::Kind::kDouble:
+        out += util::format_double(key.get(config));
+        break;
+      case KeySpec::Kind::kBool:
+        out += key.get(config) != 0.0 ? "1" : "0";
+        break;
+      case KeySpec::Kind::kMode:
+        out += config.mode_decision == ModeDecision::kRateDistortion
+                   ? "rd"
+                   : "heuristic";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace acbm::codec

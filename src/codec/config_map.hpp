@@ -1,0 +1,45 @@
+#pragma once
+// String key=value ↔ codec::EncoderConfig bridge (the encoder half of the
+// project's spec grammar; the estimator half is me/spec.hpp).
+//
+// A config spec is a comma-separated key=value list over typed keys:
+//
+//   "qp=20,slices=4,threads=0"      — override three fields
+//   "mode=rd,deblock=1"             — enum and bool keys
+//   ""                              — all defaults
+//
+// encoder_config_from_spec applies a spec on top of a base config (defaults
+// unless given), validating every key, value and range; unknown keys fail
+// with the full key table. to_spec renders a config back into the grammar
+// canonically — every key, declaration order — and parses back to an equal
+// config, so benches and the CLI can stamp the exact configuration into
+// artifacts (BENCH_ci.json context, encoder logs) and reproduce it from the
+// stamp alone.
+
+#include <string>
+#include <string_view>
+
+#include "codec/encoder.hpp"
+
+namespace acbm::codec {
+
+/// @brief Parses "key=val,key=val" into an EncoderConfig.
+/// @param spec the pair list; keys not mentioned keep `base`'s value
+/// @param base starting configuration (default-constructed by default)
+/// @throws util::SpecError on syntax errors, unknown keys (message lists
+///         every valid key with default and range), malformed values and
+///         out-of-range values
+[[nodiscard]] EncoderConfig encoder_config_from_spec(
+    std::string_view spec, const EncoderConfig& base = {});
+
+/// @brief Canonical spec of `config`: every key in declaration order.
+/// Round-trips: encoder_config_from_spec(to_spec(c)) reproduces c for all
+/// fields the grammar covers (ParallelConfig::deterministic is an API
+/// reservation and not mapped).
+[[nodiscard]] std::string to_spec(const EncoderConfig& config);
+
+/// One line per key (key=default (range): help) — the table unknown-key
+/// errors embed and CLI --help prints.
+[[nodiscard]] std::string config_spec_usage();
+
+}  // namespace acbm::codec

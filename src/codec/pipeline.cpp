@@ -57,11 +57,16 @@ FrameReport EncoderPipeline::encode_frame(const video::Frame& src) {
   Encoder::MbBitCounters counters;
   counters.header = e.writer_.bit_count() - frame_start_bits;
 
+  // Per-frame state is reset IN PLACE: the reference snapshot, both MV
+  // fields and (below) the per-slice writers and plan buffers all reuse
+  // their previous frame's allocations, so steady-state encoding does no
+  // per-frame heap traffic for them — measurable at HD sizes, byte-exact
+  // always (the reset paths reproduce freshly-constructed state).
   if (!intra_frame) {
-    e.ref_half_ = video::HalfpelPlanes(e.ref_.y());
+    e.ref_half_.reset(e.ref_.y());
   }
-  e.me_field_ = me::MvField::for_picture(e.size_.width, e.size_.height);
-  e.coded_field_ = me::MvField::for_picture(e.size_.width, e.size_.height);
+  e.me_field_.reset_for_picture(e.size_.width, e.size_.height);
+  e.coded_field_.reset_for_picture(e.size_.width, e.size_.height);
 
   if (!intra_frame) {
     motion_stage(src, report);
@@ -362,9 +367,11 @@ void EncoderPipeline::entropy_stage(bool intra_frame,
   // decoder reconstructs from the slice headers. All inputs (me_results_,
   // use_intra_, the reference) are fixed before this stage, and slices
   // write only row-disjoint state, so the tasks are embarrassingly parallel
-  // and the bytes are independent of scheduling.
-  std::vector<util::BitWriter> writers(
-      static_cast<std::size_t>(slice_count));
+  // and the bytes are independent of scheduling. The writers are pipeline
+  // members reset (not destroyed) per frame, so their payload buffers are
+  // reused across frames.
+  slice_writers_.resize(static_cast<std::size_t>(slice_count));
+  std::vector<util::BitWriter>& writers = slice_writers_;
   std::vector<Encoder::SliceState> slices(
       static_cast<std::size_t>(slice_count));
   for (int s = 0; s < slice_count; ++s) {
@@ -401,8 +408,9 @@ void EncoderPipeline::entropy_stage(bool intra_frame,
   counters.header += e.writer_.bit_count() - dir_start;
   for (int s = 0; s < slice_count; ++s) {
     Encoder::SliceState& slice = slices[static_cast<std::size_t>(s)];
-    const std::vector<std::uint8_t> payload =
-        writers[static_cast<std::size_t>(s)].take();  // aligns the tail
+    util::BitWriter& writer = writers[static_cast<std::size_t>(s)];
+    writer.align();  // zero-pad the tail exactly as take() did
+    const std::span<const std::uint8_t> payload = writer.bytes();
     const std::uint64_t header_start = e.writer_.bit_count();
     e.writer_.put_bits(kSliceSync, 16);
     e.writer_.put_bits(static_cast<std::uint32_t>(s), 8);
@@ -410,6 +418,8 @@ void EncoderPipeline::entropy_stage(bool intra_frame,
     e.writer_.put_bits(static_cast<std::uint32_t>(payload.size()), 32);
     counters.header += e.writer_.bit_count() - header_start;
     e.writer_.put_bytes(payload);
+    // Keep the byte buffer's capacity for the next frame's payload.
+    writer.reset();
     fold_slice(slice, counters, report);
   }
 }

@@ -149,10 +149,15 @@ class EncoderPipeline {
   // the per-worker estimators they may still reference go away.
   std::unique_ptr<util::ThreadPool> pool_;  ///< null in serial mode
 
-  // Per-frame stage outputs, indexed by by * mbs_x + bx.
+  // Per-frame stage outputs, indexed by by * mbs_x + bx. Sized once and
+  // reused across frames (geometry is fixed per encoder): plans_ in
+  // particular holds every InterPlan/IntraPlan prediction buffer inline, so
+  // re-sizing it per frame would be megabytes of allocator traffic at HD.
   std::vector<me::EstimateResult> me_results_;
   std::vector<std::uint8_t> use_intra_;  ///< heuristic mode decisions
   std::vector<Encoder::MbPlan> plans_;   ///< plan-stage output (stage 2.5)
+  /// ACV2 per-slice payload writers, reset (capacity kept) every frame.
+  std::vector<util::BitWriter> slice_writers_;
 };
 
 }  // namespace acbm::codec

@@ -13,8 +13,11 @@ namespace acbm::core {
 /// Registry with the paper's algorithms and this library's baselines,
 /// keyed by the names used in the paper's tables and the bench output:
 /// ACBM, FSBM, PBM, TSS, NTSS, 4SS, DS, HEXBS, CDS, FSBM-adec, FSBM-sub.
-/// ACBM is created with AcbmParams::paper_defaults(); callers needing other
-/// parameters use core::Acbm::set_params on the created instance.
+/// Every estimator with knobs declares them as ParamDescs, so create()
+/// accepts parameterized specs — "ACBM:alpha=500,beta=8,gamma=0.25",
+/// "FSBM:dec=quincunx", "PBM:iters=16",
+/// "FSBM-adec:quarter_below=1500,half_below=4000" — and a bare name means
+/// every default (ACBM's defaults are AcbmParams::paper_defaults()).
 /// Initialised on first use (thread-safe function-local static).
 [[nodiscard]] const me::EstimatorRegistry& builtin_estimators();
 

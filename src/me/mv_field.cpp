@@ -19,6 +19,18 @@ MvField MvField::for_picture(int pic_w, int pic_h, int block) {
   return MvField((pic_w + block - 1) / block, (pic_h + block - 1) / block);
 }
 
+void MvField::reset_for_picture(int pic_w, int pic_h, int block) {
+  assert(block > 0);
+  const int mbs_x = (pic_w + block - 1) / block;
+  const int mbs_y = (pic_h + block - 1) / block;
+  mbs_x_ = mbs_x;
+  mbs_y_ = mbs_y;
+  const std::size_t count =
+      static_cast<std::size_t>(mbs_x) * static_cast<std::size_t>(mbs_y);
+  // assign() reuses the existing buffer when the size fits its capacity.
+  mvs_.assign(count, Mv{});
+}
+
 Mv MvField::at(int bx, int by) const {
   assert(valid(bx, by));
   return mvs_[static_cast<std::size_t>(by) * mbs_x_ + bx];

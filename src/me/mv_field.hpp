@@ -20,6 +20,13 @@ class MvField {
   [[nodiscard]] static MvField for_picture(int pic_w, int pic_h,
                                            int block = kBlockSize);
 
+  /// Re-zeroes the field for a picture of pic_w×pic_h IN PLACE — equivalent
+  /// to assigning for_picture(pic_w, pic_h) but reusing the existing vector
+  /// storage when the geometry is unchanged. The per-frame reset path of
+  /// the encoder pipeline, which at HD sizes would otherwise free and
+  /// reallocate two fields per frame.
+  void reset_for_picture(int pic_w, int pic_h, int block = kBlockSize);
+
   [[nodiscard]] int mbs_x() const { return mbs_x_; }
   [[nodiscard]] int mbs_y() const { return mbs_y_; }
   [[nodiscard]] bool empty() const { return mvs_.empty(); }

@@ -5,9 +5,17 @@
 
 namespace acbm::me {
 
-void EstimatorRegistry::add(std::string name, Factory factory) {
+void EstimatorRegistry::add(std::string name, std::vector<ParamDesc> params,
+                            Factory factory) {
   if (name.empty()) {
     throw std::invalid_argument("estimator registry: empty name");
+  }
+  if (name.find(':') != std::string::npos ||
+      name.find(',') != std::string::npos ||
+      name.find('=') != std::string::npos) {
+    throw std::invalid_argument(
+        "estimator registry: name \"" + name +
+        "\" contains a character the spec grammar reserves (:,=)");
   }
   if (!factory) {
     throw std::invalid_argument("estimator registry: null factory for " +
@@ -16,7 +24,31 @@ void EstimatorRegistry::add(std::string name, Factory factory) {
   if (contains(name)) {
     throw std::invalid_argument("estimator registry: duplicate name " + name);
   }
-  entries_.push_back({std::move(name), std::move(factory)});
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].key.empty()) {
+      throw std::invalid_argument("estimator registry: " + name +
+                                  " declares a parameter with an empty key");
+    }
+    for (std::size_t j = i + 1; j < params.size(); ++j) {
+      if (params[i].key == params[j].key) {
+        throw std::invalid_argument("estimator registry: " + name +
+                                    " declares duplicate parameter key " +
+                                    params[i].key);
+      }
+    }
+  }
+  entries_.push_back({std::move(name), std::move(params), std::move(factory)});
+}
+
+void EstimatorRegistry::add(
+    std::string name,
+    std::function<std::unique_ptr<MotionEstimator>()> factory) {
+  if (!factory) {
+    throw std::invalid_argument("estimator registry: null factory for " +
+                                name);
+  }
+  add(std::move(name), {},
+      [factory = std::move(factory)](const ParamSet&) { return factory(); });
 }
 
 bool EstimatorRegistry::contains(std::string_view name) const {
@@ -28,11 +60,11 @@ bool EstimatorRegistry::contains(std::string_view name) const {
   return false;
 }
 
-std::unique_ptr<MotionEstimator> EstimatorRegistry::create(
+const EstimatorRegistry::Entry& EstimatorRegistry::entry_for(
     std::string_view name) const {
   for (const Entry& entry : entries_) {
     if (entry.name == name) {
-      return entry.factory();
+      return entry;
     }
   }
   std::string message = "unknown estimator \"";
@@ -43,7 +75,29 @@ std::unique_ptr<MotionEstimator> EstimatorRegistry::create(
     message += entry.name;
   }
   message += ')';
-  throw std::invalid_argument(message);
+  throw util::SpecError(message);
+}
+
+std::unique_ptr<MotionEstimator> EstimatorRegistry::create(
+    std::string_view spec) const {
+  return create(EstimatorSpec::parse(spec));
+}
+
+std::unique_ptr<MotionEstimator> EstimatorRegistry::create(
+    const EstimatorSpec& spec) const {
+  const Entry& entry = entry_for(spec.name);
+  return entry.factory(ParamSet::bind(spec, entry.params, entry.name));
+}
+
+std::string EstimatorRegistry::canonical_spec(std::string_view spec) const {
+  const EstimatorSpec parsed = EstimatorSpec::parse(spec);
+  const Entry& entry = entry_for(parsed.name);
+  return ParamSet::bind(parsed, entry.params, entry.name).to_spec();
+}
+
+const std::vector<ParamDesc>& EstimatorRegistry::params(
+    std::string_view name) const {
+  return entry_for(name).params;
 }
 
 std::vector<std::string> EstimatorRegistry::names() const {
@@ -53,6 +107,17 @@ std::vector<std::string> EstimatorRegistry::names() const {
     result.push_back(entry.name);
   }
   return result;
+}
+
+std::string EstimatorRegistry::spec_usage() const {
+  std::string out =
+      "estimator spec grammar: NAME or NAME:key=val[,key=val...]\n"
+      "(a bare NAME uses every default; keys are validated per estimator)\n";
+  for (const Entry& entry : entries_) {
+    out += entry.name + '\n';
+    out += describe_params(entry.params);
+  }
+  return out;
 }
 
 }  // namespace acbm::me

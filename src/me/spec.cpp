@@ -1,0 +1,305 @@
+#include "me/spec.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace acbm::me {
+
+// ----------------------------------------------------------- EstimatorSpec
+
+EstimatorSpec EstimatorSpec::parse(std::string_view spec) {
+  EstimatorSpec parsed;
+  const std::size_t colon = spec.find(':');
+  std::string_view name = spec.substr(0, colon);
+  while (!name.empty() && (name.front() == ' ' || name.front() == '\t')) {
+    name.remove_prefix(1);
+  }
+  while (!name.empty() && (name.back() == ' ' || name.back() == '\t')) {
+    name.remove_suffix(1);
+  }
+  if (name.empty()) {
+    throw util::SpecError("spec: empty estimator name in \"" +
+                          std::string(spec) + '"');
+  }
+  parsed.name = std::string(name);
+  if (colon != std::string_view::npos) {
+    const std::string_view tail = spec.substr(colon + 1);
+    parsed.params = util::parse_kv_list(tail);
+    if (parsed.params.empty()) {
+      throw util::SpecError("spec: \"" + std::string(spec) +
+                            "\" has ':' but no key=value pairs (drop the "
+                            "colon for all-default parameters)");
+    }
+  }
+  return parsed;
+}
+
+std::string EstimatorSpec::to_string() const {
+  if (params.empty()) {
+    return name;
+  }
+  return name + ':' + util::format_kv_list(params);
+}
+
+// --------------------------------------------------------------- ParamDesc
+
+ParamDesc ParamDesc::number(std::string key, double def, double min_value,
+                            double max_value, std::string help) {
+  ParamDesc desc;
+  desc.key = std::move(key);
+  desc.type = Type::kDouble;
+  desc.help = std::move(help);
+  desc.def = def;
+  desc.min_value = min_value;
+  desc.max_value = max_value;
+  return desc;
+}
+
+ParamDesc ParamDesc::integer(std::string key, std::int64_t def,
+                             std::int64_t min_value, std::int64_t max_value,
+                             std::string help) {
+  ParamDesc desc;
+  desc.key = std::move(key);
+  desc.type = Type::kInt;
+  desc.help = std::move(help);
+  desc.def = static_cast<double>(def);
+  desc.min_value = static_cast<double>(min_value);
+  desc.max_value = static_cast<double>(max_value);
+  return desc;
+}
+
+ParamDesc ParamDesc::boolean(std::string key, bool def, std::string help) {
+  ParamDesc desc;
+  desc.key = std::move(key);
+  desc.type = Type::kBool;
+  desc.help = std::move(help);
+  desc.def = def ? 1.0 : 0.0;
+  return desc;
+}
+
+ParamDesc ParamDesc::choice(std::string key, std::vector<std::string> choices,
+                            std::string def_choice, std::string help) {
+  ParamDesc desc;
+  desc.key = std::move(key);
+  desc.type = Type::kEnum;
+  desc.help = std::move(help);
+  desc.choices = std::move(choices);
+  desc.def_choice = std::move(def_choice);
+  return desc;
+}
+
+std::string ParamDesc::default_text() const {
+  switch (type) {
+    case Type::kDouble:
+      return util::format_double(def);
+    case Type::kInt:
+      return std::to_string(static_cast<std::int64_t>(def));
+    case Type::kBool:
+      return def != 0.0 ? "1" : "0";
+    case Type::kEnum:
+      return def_choice;
+  }
+  return {};
+}
+
+std::string ParamDesc::describe() const {
+  std::string line = key + '=' + default_text();
+  switch (type) {
+    case Type::kDouble:
+      line += " (" + util::format_double(min_value) + ".." +
+              util::format_double(max_value) + ")";
+      break;
+    case Type::kInt:
+      line += " (" + std::to_string(static_cast<std::int64_t>(min_value)) +
+              ".." + std::to_string(static_cast<std::int64_t>(max_value)) +
+              ")";
+      break;
+    case Type::kBool:
+      line += " (0|1)";
+      break;
+    case Type::kEnum: {
+      line += " (";
+      for (std::size_t i = 0; i < choices.size(); ++i) {
+        if (i > 0) {
+          line += '|';
+        }
+        line += choices[i];
+      }
+      line += ')';
+      break;
+    }
+  }
+  line += ": " + help;
+  return line;
+}
+
+std::string describe_params(const std::vector<ParamDesc>& descs) {
+  if (descs.empty()) {
+    return "  (no parameters)\n";
+  }
+  std::string out;
+  for (const ParamDesc& desc : descs) {
+    out += "  " + desc.describe() + '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- ParamSet
+
+ParamSet ParamSet::bind(const EstimatorSpec& spec,
+                        const std::vector<ParamDesc>& descs,
+                        std::string_view owner) {
+  ParamSet set;
+  set.name_ = spec.name;
+  set.values_.reserve(descs.size());
+  for (const ParamDesc& desc : descs) {
+    Value value;
+    value.desc = &desc;
+    value.number = desc.def;
+    value.text = desc.def_choice;
+    set.values_.push_back(std::move(value));
+  }
+
+  for (const util::KeyValue& pair : spec.params) {
+    Value* slot = nullptr;
+    for (Value& value : set.values_) {
+      if (value.desc->key == pair.first) {
+        slot = &value;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      std::string message = "estimator " + std::string(owner) +
+                            ": unknown parameter \"" + pair.first +
+                            "\"; valid keys:\n" + describe_params(descs);
+      throw util::SpecError(message);
+    }
+    const ParamDesc& desc = *slot->desc;
+    const std::string what =
+        std::string(owner) + " parameter " + desc.key;
+    switch (desc.type) {
+      case ParamDesc::Type::kDouble: {
+        const double number = util::parse_double_strict(pair.second, what);
+        if (std::isnan(number) || number < desc.min_value ||
+            number > desc.max_value) {
+          throw util::SpecError(
+              "spec: " + what + '=' + pair.second + " out of range [" +
+              util::format_double(desc.min_value) + ", " +
+              util::format_double(desc.max_value) + ']');
+        }
+        slot->number = number;
+        break;
+      }
+      case ParamDesc::Type::kInt: {
+        const std::int64_t number =
+            util::parse_int_strict(pair.second, what);
+        if (number < static_cast<std::int64_t>(desc.min_value) ||
+            number > static_cast<std::int64_t>(desc.max_value)) {
+          throw util::SpecError(
+              "spec: " + what + '=' + pair.second + " out of range [" +
+              std::to_string(static_cast<std::int64_t>(desc.min_value)) +
+              ", " +
+              std::to_string(static_cast<std::int64_t>(desc.max_value)) +
+              ']');
+        }
+        slot->number = static_cast<double>(number);
+        break;
+      }
+      case ParamDesc::Type::kBool:
+        slot->number = util::parse_bool_strict(pair.second, what) ? 1.0 : 0.0;
+        break;
+      case ParamDesc::Type::kEnum: {
+        bool known = false;
+        for (const std::string& choice : desc.choices) {
+          if (choice == pair.second) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) {
+          std::string message = "spec: " + what + '=' + pair.second +
+                                " is not one of {";
+          for (std::size_t i = 0; i < desc.choices.size(); ++i) {
+            if (i > 0) {
+              message += ", ";
+            }
+            message += desc.choices[i];
+          }
+          message += '}';
+          throw util::SpecError(message);
+        }
+        slot->text = pair.second;
+        break;
+      }
+    }
+    slot->explicit_ = true;
+  }
+
+  set.canonical_ = set.name_;
+  for (std::size_t i = 0; i < set.values_.size(); ++i) {
+    const Value& value = set.values_[i];
+    set.canonical_ += i == 0 ? ':' : ',';
+    set.canonical_ += value.desc->key;
+    set.canonical_ += '=';
+    switch (value.desc->type) {
+      case ParamDesc::Type::kDouble:
+        set.canonical_ += util::format_double(value.number);
+        break;
+      case ParamDesc::Type::kInt:
+        set.canonical_ +=
+            std::to_string(static_cast<std::int64_t>(value.number));
+        break;
+      case ParamDesc::Type::kBool:
+        set.canonical_ += value.number != 0.0 ? "1" : "0";
+        break;
+      case ParamDesc::Type::kEnum:
+        set.canonical_ += value.text;
+        break;
+    }
+  }
+  return set;
+}
+
+const ParamSet::Value& ParamSet::find(std::string_view key,
+                                      ParamDesc::Type type) const {
+  for (const Value& value : values_) {
+    if (value.desc->key == key) {
+      // Wrong-typed getter use is a programming error in the factory, not
+      // user input; assert in debug, fall through in release.
+      assert(value.desc->type == type);
+      (void)type;
+      return value;
+    }
+  }
+  throw std::invalid_argument("estimator " + name_ +
+                              ": factory asked for undeclared parameter \"" +
+                              std::string(key) + '"');
+}
+
+double ParamSet::get_double(std::string_view key) const {
+  return find(key, ParamDesc::Type::kDouble).number;
+}
+
+std::int64_t ParamSet::get_int(std::string_view key) const {
+  return static_cast<std::int64_t>(find(key, ParamDesc::Type::kInt).number);
+}
+
+bool ParamSet::get_bool(std::string_view key) const {
+  return find(key, ParamDesc::Type::kBool).number != 0.0;
+}
+
+const std::string& ParamSet::get_choice(std::string_view key) const {
+  return find(key, ParamDesc::Type::kEnum).text;
+}
+
+bool ParamSet::explicitly_set(std::string_view key) const {
+  for (const Value& value : values_) {
+    if (value.desc->key == key) {
+      return value.explicit_;
+    }
+  }
+  return false;
+}
+
+}  // namespace acbm::me

@@ -1,0 +1,133 @@
+#pragma once
+// Parameterized estimator specs: the "NAME:key=val,key=val" grammar plus the
+// descriptor/value layer the registry validates it against.
+//
+// The paper's contribution is a *tunable* criticality test (α, β, γ), yet
+// until this layer existed every parameter sweep needed bespoke C++ around
+// zero-argument factories. A spec names an estimator and overrides any of
+// the knobs it declares:
+//
+//   "ACBM"                         — all defaults (bare names stay valid)
+//   "ACBM:alpha=500,beta=8"        — partial override
+//   "FSBM:dec=quincunx"            — enum-valued knob
+//
+// Each registered estimator declares its knobs as ParamDescs (typed default,
+// range, help line); EstimatorRegistry::create binds a spec's key=value
+// pairs against them into a ParamSet — unknown keys, malformed numbers and
+// out-of-range values all fail with a message that lists every valid key —
+// and hands the ParamSet to the factory. ParamSet::to_spec() renders the
+// canonical full spec back out, so artifacts can stamp the exact
+// configuration that produced them.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/kv.hpp"
+
+namespace acbm::me {
+
+/// Syntactic form of a spec: the estimator name plus raw key=value pairs in
+/// source order. Purely textual — binding against an estimator's descriptors
+/// happens in ParamSet::bind.
+struct EstimatorSpec {
+  std::string name;
+  std::vector<util::KeyValue> params;
+
+  /// Splits "NAME" or "NAME:key=val,..." (duplicate keys rejected).
+  /// @throws util::SpecError on empty names or malformed pair lists
+  [[nodiscard]] static EstimatorSpec parse(std::string_view spec);
+
+  /// Renders back into the grammar (exactly the pairs held, not defaults).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Declares one estimator knob: key, type, typed default, range.
+struct ParamDesc {
+  enum class Type { kDouble, kInt, kBool, kEnum };
+
+  std::string key;
+  Type type = Type::kDouble;
+  std::string help;              ///< one line for usage/error text
+  double def = 0.0;              ///< default for kDouble/kInt/kBool (0/1)
+  double min_value = 0.0;        ///< inclusive range for kDouble/kInt
+  double max_value = 0.0;
+  std::vector<std::string> choices;  ///< kEnum value set
+  std::string def_choice;            ///< kEnum default
+
+  /// Convenience constructors mirroring how descriptors read in
+  /// registration code.
+  [[nodiscard]] static ParamDesc number(std::string key, double def,
+                                        double min_value, double max_value,
+                                        std::string help);
+  [[nodiscard]] static ParamDesc integer(std::string key, std::int64_t def,
+                                         std::int64_t min_value,
+                                         std::int64_t max_value,
+                                         std::string help);
+  [[nodiscard]] static ParamDesc boolean(std::string key, bool def,
+                                         std::string help);
+  [[nodiscard]] static ParamDesc choice(std::string key,
+                                        std::vector<std::string> choices,
+                                        std::string def_choice,
+                                        std::string help);
+
+  /// "alpha=1000 (0..1e+18): T1 additive threshold" — the line error
+  /// messages and --help print per knob.
+  [[nodiscard]] std::string describe() const;
+
+  /// The default rendered as spec text ("1000", "quincunx", "1").
+  [[nodiscard]] std::string default_text() const;
+};
+
+/// The validated, fully-defaulted parameter values handed to a factory.
+/// Every declared key is present (explicit or default); typed getters
+/// assert the key was declared, so factories cannot typo silently.
+class ParamSet {
+ public:
+  /// Binds `spec`'s pairs against `descs`. Unknown keys, type mismatches
+  /// and out-of-range values throw util::SpecError; the unknown-key message
+  /// lists every declared key with its default and range. `owner` names the
+  /// estimator in diagnostics.
+  [[nodiscard]] static ParamSet bind(const EstimatorSpec& spec,
+                                     const std::vector<ParamDesc>& descs,
+                                     std::string_view owner);
+
+  [[nodiscard]] double get_double(std::string_view key) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key) const;
+  [[nodiscard]] bool get_bool(std::string_view key) const;
+  [[nodiscard]] const std::string& get_choice(std::string_view key) const;
+
+  /// True when the spec set `key` explicitly (rather than the default
+  /// applying).
+  [[nodiscard]] bool explicitly_set(std::string_view key) const;
+
+  /// Canonical spec: "NAME:key=val,..." with EVERY declared key at its
+  /// effective value, in declaration order — stable across spellings of the
+  /// same configuration, and parseable back into an equal ParamSet. For
+  /// knob-less estimators this is the bare name.
+  [[nodiscard]] const std::string& to_spec() const { return canonical_; }
+
+  /// The estimator name the spec asked for.
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Value {
+    const ParamDesc* desc = nullptr;
+    double number = 0.0;      // kDouble/kInt/kBool payload
+    std::string text;         // kEnum payload
+    bool explicit_ = false;
+  };
+  [[nodiscard]] const Value& find(std::string_view key,
+                                  ParamDesc::Type type) const;
+
+  std::string name_;
+  std::string canonical_;
+  std::vector<Value> values_;  // declaration order, small N
+};
+
+/// One line per declared knob (or "(no parameters)") — the per-estimator
+/// half of error/usage text.
+[[nodiscard]] std::string describe_params(const std::vector<ParamDesc>& descs);
+
+}  // namespace acbm::me

@@ -1,0 +1,139 @@
+#include "util/kv.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace acbm::util {
+
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+std::vector<KeyValue> parse_kv_list(std::string_view text) {
+  std::vector<KeyValue> pairs;
+  if (trim(text).empty()) {
+    return pairs;
+  }
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    const std::string_view token = trim(text.substr(begin, end - begin));
+    if (token.empty()) {
+      throw SpecError("spec: empty key=value token in \"" +
+                      std::string(text) + '"');
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      throw SpecError("spec: token \"" + std::string(token) +
+                      "\" is not of the form key=value");
+    }
+    const std::string key{trim(token.substr(0, eq))};
+    const std::string value{trim(token.substr(eq + 1))};
+    if (key.empty()) {
+      throw SpecError("spec: empty key in token \"" + std::string(token) +
+                      '"');
+    }
+    for (const KeyValue& pair : pairs) {
+      if (pair.first == key) {
+        throw SpecError("spec: duplicate key \"" + key + '"');
+      }
+    }
+    pairs.emplace_back(key, value);
+    begin = end + 1;
+    if (end == text.size()) {
+      break;
+    }
+  }
+  return pairs;
+}
+
+std::string format_kv_list(const std::vector<KeyValue>& pairs) {
+  std::string out;
+  for (const KeyValue& pair : pairs) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += pair.first;
+    out += '=';
+    out += pair.second;
+  }
+  return out;
+}
+
+double parse_double_strict(std::string_view text, const std::string& what) {
+  const std::string token{trim(text)};
+  if (token.empty()) {
+    throw SpecError("spec: empty value for " + what);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end != token.c_str() + token.size()) {
+    throw SpecError("spec: \"" + token + "\" is not a number for " + what);
+  }
+  return value;
+}
+
+std::int64_t parse_int_strict(std::string_view text, const std::string& what) {
+  const std::string token{trim(text)};
+  if (token.empty()) {
+    throw SpecError("spec: empty value for " + what);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) {
+    throw SpecError("spec: \"" + token + "\" is not an integer for " + what);
+  }
+  return value;
+}
+
+bool parse_bool_strict(std::string_view text, const std::string& what) {
+  const std::string_view token = trim(text);
+  if (token == "1" || token == "true" || token == "on") {
+    return true;
+  }
+  if (token == "0" || token == "false" || token == "off") {
+    return false;
+  }
+  throw SpecError("spec: \"" + std::string(token) + "\" is not a boolean for " +
+                  what + " (use 0/1/true/false/on/off)");
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  // Integral values that fit print as plain integers ("500", not "5e+02"):
+  // the spec grammar's common case is a human-authored whole number, and
+  // the canonical form should look like what the human wrote.
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    std::snprintf(buffer, sizeof buffer, "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  // Otherwise probe increasing precision until the representation
+  // round-trips; %.17g always does, so the loop terminates.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) {
+      break;
+    }
+  }
+  return buffer;
+}
+
+}  // namespace acbm::util

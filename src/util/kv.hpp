@@ -1,0 +1,65 @@
+#pragma once
+// The key=value half of the project's spec grammar.
+//
+// Two user-facing string APIs share one comma-separated `key=val` syntax:
+// estimator specs ("ACBM:alpha=500,beta=8", me/spec.hpp) and encoder
+// configuration maps ("qp=16,slices=4", codec/config_map.hpp). This header
+// owns the part both need — tokenising a `key=val,key=val` list with
+// duplicate/syntax diagnostics, plus strict scalar parsers that reject
+// trailing garbage — so the two grammars cannot drift apart.
+//
+// Parse errors throw util::SpecError (an std::invalid_argument), which CLI
+// entry points catch to exit 2 with the offending token quoted.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace acbm::util {
+
+/// Error type for every spec-grammar failure (syntax, unknown key, range).
+/// Distinct from plain std::invalid_argument so CLI frontends can map
+/// user-authored spec mistakes to exit code 2 (usage error) while other
+/// invalid_arguments stay internal errors.
+class SpecError : public std::invalid_argument {
+ public:
+  explicit SpecError(const std::string& message)
+      : std::invalid_argument(message) {}
+};
+
+/// One `key=value` pair, in source order.
+using KeyValue = std::pair<std::string, std::string>;
+
+/// Parses "k1=v1,k2=v2,..." into ordered pairs.
+///
+/// Rules: an empty `text` yields an empty list; every comma-separated token
+/// must contain '='; keys must be non-empty; a repeated key is an error
+/// (a sweep spec silently keeping one of two alphas would corrupt an
+/// experiment). Values may be empty and spaces around tokens are trimmed.
+/// @throws SpecError naming the offending token
+[[nodiscard]] std::vector<KeyValue> parse_kv_list(std::string_view text);
+
+/// Renders pairs back into the grammar ("k1=v1,k2=v2").
+[[nodiscard]] std::string format_kv_list(const std::vector<KeyValue>& pairs);
+
+/// Strict scalar parsers: the whole token must be consumed, so "12x" or an
+/// empty string is an error rather than 12 / 0. `what` names the value in
+/// the error message ("alpha", "key qp", ...).
+/// @throws SpecError
+[[nodiscard]] double parse_double_strict(std::string_view text,
+                                         const std::string& what);
+[[nodiscard]] std::int64_t parse_int_strict(std::string_view text,
+                                            const std::string& what);
+/// Accepts 0/1/true/false/on/off (case-sensitive, the spellings docs use).
+[[nodiscard]] bool parse_bool_strict(std::string_view text,
+                                     const std::string& what);
+
+/// Shortest decimal form that parses back to exactly `value` — what keeps
+/// to_spec() round-trippable without stamping 17-digit noise into artifact
+/// context strings (1000 stays "1000", 0.25 stays "0.25").
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace acbm::util

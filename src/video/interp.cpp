@@ -36,7 +36,13 @@ void HalfpelPlanes::ensure_interpolated() const {
   // phase planes carry one less border sample than the source.
   const int b = src.border() > 0 ? src.border() - 1 : 0;
   for (int phase = 0; phase < 3; ++phase) {
-    interp_[phase] = Plane(w, h, b);
+    // After a reset() with unchanged geometry the previous build's planes
+    // are still here; the loop below overwrites every sample it reads, so
+    // they are reused as-is instead of being reallocated each frame.
+    if (interp_[phase].width() != w || interp_[phase].height() != h ||
+        interp_[phase].border() != b) {
+      interp_[phase] = Plane(w, h, b);
+    }
   }
   for (int y = -b; y < h + b; ++y) {
     std::uint8_t* r10 = interp_[0].row(y);

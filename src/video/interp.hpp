@@ -49,6 +49,20 @@ class HalfpelPlanes {
   /// is deferred until a phase plane is requested.
   explicit HalfpelPlanes(const Plane& src) : integer_(src) {}
 
+  /// Re-snapshots `src` IN PLACE: equivalent to assigning
+  /// HalfpelPlanes(src) but reusing this object's existing buffers — the
+  /// integer snapshot is copy-assigned (no reallocation when the geometry
+  /// is unchanged) and any previously materialised phase planes are kept as
+  /// storage for the next lazy build instead of being freed. The encoder
+  /// pipeline calls this once per P-frame; at HD sizes the old
+  /// construct-and-assign path freed and reallocated a full padded plane
+  /// per frame. Not safe concurrently with readers (the encoder's stage
+  /// barrier provides that exclusion).
+  void reset(const Plane& src) {
+    integer_ = src;
+    interp_built_.store(false, std::memory_order_release);
+  }
+
   HalfpelPlanes(const HalfpelPlanes& other) { copy_from(other); }
   HalfpelPlanes& operator=(const HalfpelPlanes& other) {
     if (this != &other) {

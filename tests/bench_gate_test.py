@@ -215,6 +215,26 @@ class BenchGateTest(unittest.TestCase):
         self.assertNotIn("commit_sha", merged["context"])
         self.assertNotIn("timestamp_utc", merged["context"])
 
+    def test_canonical_spec_context_forwarded_into_merged_artifact(self):
+        # Benches stamp the canonical to_spec() strings into their report
+        # context; the merge must forward them so BENCH_ci.json joins
+        # across commits by exact configuration.
+        rows = [bench_row("BM_A", 100.0)]
+        baseline = self.seed_baseline(rows)
+        write_report(self.path("run.json"), rows, context={
+            "estimator_spec": "ACBM:alpha=1000,beta=8,gamma=0.25",
+            "sweep_config": "qps=16:22:30,range=15,halfpel=1,me_lambda=0,"
+                            "mode=heuristic,deblock=0,slices=1,threads=1",
+        })
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        with open(self.path("out.json")) as f:
+            merged = json.load(f)
+        self.assertEqual(merged["context"]["estimator_spec"],
+                         "ACBM:alpha=1000,beta=8,gamma=0.25")
+        self.assertIn("qps=16:22:30", merged["context"]["sweep_config"])
+
 
 if __name__ == "__main__":
     unittest.main()

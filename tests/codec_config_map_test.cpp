@@ -1,0 +1,160 @@
+// The encoder-config half of the spec grammar: key=value → EncoderConfig
+// binding, validation with key tables in the errors, canonical to_spec()
+// round-trips (the artifact-stamping contract), and the analysis layer's
+// SweepConfig specs.
+
+#include "codec/config_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/rd_sweep.hpp"
+#include "util/kv.hpp"
+
+namespace acbm {
+namespace {
+
+TEST(ConfigMap, EmptySpecIsDefaults) {
+  const codec::EncoderConfig config = codec::encoder_config_from_spec("");
+  const codec::EncoderConfig defaults;
+  EXPECT_EQ(codec::to_spec(config), codec::to_spec(defaults));
+}
+
+TEST(ConfigMap, AppliesTypedKeysOnTopOfBase) {
+  codec::EncoderConfig base;
+  base.qp = 20;
+  const codec::EncoderConfig config = codec::encoder_config_from_spec(
+      "slices=4,mode=rd,deblock=1,me_lambda=0.5,threads=0", base);
+  EXPECT_EQ(config.qp, 20);  // untouched key keeps the base value
+  EXPECT_EQ(config.slices, 4);
+  EXPECT_EQ(config.mode_decision, codec::ModeDecision::kRateDistortion);
+  EXPECT_TRUE(config.deblock);
+  EXPECT_DOUBLE_EQ(config.me_lambda, 0.5);
+  EXPECT_EQ(config.parallel.threads, 0);
+}
+
+TEST(ConfigMap, ToSpecRoundTripsEveryField) {
+  codec::EncoderConfig config;
+  config.qp = 24;
+  config.search_range = 8;
+  config.half_pel = false;
+  config.intra_period = 12;
+  config.me_lambda = 1.25;
+  config.intra_bias = -100;
+  config.allow_skip = false;
+  config.deblock = true;
+  config.slices = 9;
+  config.mode_decision = codec::ModeDecision::kRateDistortion;
+  config.parallel.threads = 3;
+  config.fps_num = 25;
+  config.fps_den = 2;
+  const std::string spec = codec::to_spec(config);
+  const codec::EncoderConfig back = codec::encoder_config_from_spec(spec);
+  EXPECT_EQ(codec::to_spec(back), spec);
+  EXPECT_EQ(back.qp, 24);
+  EXPECT_EQ(back.search_range, 8);
+  EXPECT_FALSE(back.half_pel);
+  EXPECT_EQ(back.intra_period, 12);
+  EXPECT_DOUBLE_EQ(back.me_lambda, 1.25);
+  EXPECT_EQ(back.intra_bias, -100);
+  EXPECT_FALSE(back.allow_skip);
+  EXPECT_TRUE(back.deblock);
+  EXPECT_EQ(back.slices, 9);
+  EXPECT_EQ(back.mode_decision, codec::ModeDecision::kRateDistortion);
+  EXPECT_EQ(back.parallel.threads, 3);
+  EXPECT_EQ(back.fps_num, 25);
+  EXPECT_EQ(back.fps_den, 2);
+}
+
+TEST(ConfigMap, UnknownKeyErrorCarriesTheKeyTable) {
+  try {
+    (void)codec::encoder_config_from_spec("quality=9");
+    FAIL() << "expected util::SpecError";
+  } catch (const util::SpecError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("quality"), std::string::npos);
+    EXPECT_NE(message.find("qp="), std::string::npos);
+    EXPECT_NE(message.find("slices="), std::string::npos);
+    EXPECT_NE(message.find("mode="), std::string::npos);
+  }
+}
+
+TEST(ConfigMap, ValidatesRangesTypesAndDuplicates) {
+  EXPECT_THROW((void)codec::encoder_config_from_spec("qp=0"),
+               util::SpecError);
+  EXPECT_THROW((void)codec::encoder_config_from_spec("qp=32"),
+               util::SpecError);
+  EXPECT_THROW((void)codec::encoder_config_from_spec("slices=256"),
+               util::SpecError);
+  EXPECT_THROW((void)codec::encoder_config_from_spec("qp=abc"),
+               util::SpecError);
+  EXPECT_THROW((void)codec::encoder_config_from_spec("mode=fast"),
+               util::SpecError);
+  EXPECT_THROW((void)codec::encoder_config_from_spec("deblock=maybe"),
+               util::SpecError);
+  EXPECT_THROW((void)codec::encoder_config_from_spec("qp=16,qp=18"),
+               util::SpecError);
+}
+
+TEST(ConfigMap, UsageListsEveryKey) {
+  const std::string usage = codec::config_spec_usage();
+  for (const char* key :
+       {"qp=", "range=", "halfpel=", "intra_period=", "me_lambda=",
+        "intra_bias=", "skip=", "deblock=", "slices=", "mode=", "threads=",
+        "fps=", "fps_den="}) {
+    EXPECT_NE(usage.find(key), std::string::npos) << key;
+  }
+}
+
+// ------------------------------------------------------------ SweepConfig
+
+TEST(SweepSpec, ParsesQpListAndScalarKeys) {
+  const analysis::SweepConfig sweep = analysis::SweepConfig::from_spec(
+      "qps=16:22:30,range=8,mode=rd,slices=2,threads=0");
+  EXPECT_EQ(sweep.qps, (std::vector<int>{16, 22, 30}));
+  EXPECT_EQ(sweep.search_range, 8);
+  EXPECT_EQ(sweep.mode_decision, codec::ModeDecision::kRateDistortion);
+  EXPECT_EQ(sweep.slices, 2);
+  EXPECT_EQ(sweep.parallel.threads, 0);
+}
+
+TEST(SweepSpec, ToSpecRoundTrips) {
+  analysis::SweepConfig sweep;
+  sweep.qps = {16, 22};
+  sweep.search_range = 7;
+  sweep.deblock = true;
+  const std::string spec = sweep.to_spec();
+  const analysis::SweepConfig back = analysis::SweepConfig::from_spec(spec);
+  EXPECT_EQ(back.to_spec(), spec);
+  EXPECT_EQ(back.qps, sweep.qps);
+  EXPECT_EQ(back.search_range, 7);
+  EXPECT_TRUE(back.deblock);
+}
+
+TEST(SweepSpec, EmptyQpListRoundTrips) {
+  // Degenerate sweeps (no Qp points) are representable, so the stamped
+  // to_spec() string must parse back rather than throwing on "qps=".
+  analysis::SweepConfig sweep;
+  sweep.qps.clear();
+  const std::string spec = sweep.to_spec();
+  const analysis::SweepConfig back = analysis::SweepConfig::from_spec(spec);
+  EXPECT_TRUE(back.qps.empty());
+  EXPECT_EQ(back.to_spec(), spec);
+}
+
+TEST(SweepSpec, RejectsUnknownKeysAndBadQps) {
+  EXPECT_THROW((void)analysis::SweepConfig::from_spec("qp=16"),
+               util::SpecError);  // the sweep key is qps
+  EXPECT_THROW((void)analysis::SweepConfig::from_spec("qps=16:99"),
+               util::SpecError);
+  EXPECT_THROW((void)analysis::SweepConfig::from_spec("qps=16:"),
+               util::SpecError);  // dangling separator is not a number
+  EXPECT_THROW((void)analysis::SweepConfig::from_spec("alpha=500"),
+               util::SpecError);  // estimator keys live in estimator specs
+  EXPECT_THROW((void)analysis::SweepConfig::from_spec("range=0"),
+               util::SpecError);  // shared keys validate via the key table
+}
+
+}  // namespace
+}  // namespace acbm

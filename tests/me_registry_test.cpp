@@ -78,6 +78,23 @@ TEST(EstimatorRegistry, CustomRegistryCreates) {
   EXPECT_EQ(estimator->name(), "PBM");
 }
 
+TEST(EstimatorRegistry, CustomParameterizedFactoryReceivesBoundParams) {
+  me::EstimatorRegistry registry;
+  double seen = -1.0;
+  registry.add("mine",
+               {me::ParamDesc::number("knob", 2.5, 0.0, 10.0, "a knob")},
+               [&seen](const me::ParamSet& params) {
+                 seen = params.get_double("knob");
+                 return std::make_unique<me::Pbm>();
+               });
+  (void)registry.create("mine");
+  EXPECT_DOUBLE_EQ(seen, 2.5);  // default applied
+  (void)registry.create("mine:knob=7");
+  EXPECT_DOUBLE_EQ(seen, 7.0);  // explicit value bound
+  EXPECT_THROW((void)registry.create("mine:knob=11"), std::invalid_argument);
+  EXPECT_EQ(registry.canonical_spec("mine"), "mine:knob=2.5");
+}
+
 // ----------------------------------------------------------- clone contract
 
 TEST(EstimatorClone, EveryBuiltinClonesToSameAlgorithm) {

@@ -1,0 +1,222 @@
+// The estimator spec grammar ("NAME:key=val,...") end to end: parsing and
+// canonical round-trips, duplicate-key rejection, range/type validation
+// with per-estimator key lists in the errors, bare-name back-compat, and
+// the semantic anchor that "ACBM:alpha=0,beta=0,gamma=0" is bit-identical
+// to AcbmParams::always_full_search().
+
+#include "me/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "codec/encoder.hpp"
+#include "core/acbm.hpp"
+#include "core/builtin_estimators.hpp"
+#include "core/params.hpp"
+#include "me/decimation.hpp"
+#include "me/full_search.hpp"
+#include "me/registry.hpp"
+#include "synth/sequences.hpp"
+#include "util/kv.hpp"
+
+namespace acbm {
+namespace {
+
+// ------------------------------------------------------------ kv grammar
+
+TEST(KvGrammar, ParsesOrderedPairsAndTrimsSpaces) {
+  const auto pairs = util::parse_kv_list(" a=1 , b = two ,c=");
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].first, "a");
+  EXPECT_EQ(pairs[0].second, "1");
+  EXPECT_EQ(pairs[1].first, "b");
+  EXPECT_EQ(pairs[1].second, "two");
+  EXPECT_EQ(pairs[2].first, "c");
+  EXPECT_EQ(pairs[2].second, "");
+}
+
+TEST(KvGrammar, EmptyTextIsEmptyList) {
+  EXPECT_TRUE(util::parse_kv_list("").empty());
+  EXPECT_TRUE(util::parse_kv_list("  ").empty());
+}
+
+TEST(KvGrammar, RejectsDuplicateKeysAndMalformedTokens) {
+  EXPECT_THROW((void)util::parse_kv_list("a=1,a=2"), util::SpecError);
+  EXPECT_THROW((void)util::parse_kv_list("a=1,,b=2"), util::SpecError);
+  EXPECT_THROW((void)util::parse_kv_list("novalue"), util::SpecError);
+  EXPECT_THROW((void)util::parse_kv_list("=1"), util::SpecError);
+}
+
+TEST(KvGrammar, StrictScalarsRejectTrailingGarbage) {
+  EXPECT_EQ(util::parse_int_strict("42", "x"), 42);
+  EXPECT_DOUBLE_EQ(util::parse_double_strict("0.25", "x"), 0.25);
+  EXPECT_THROW((void)util::parse_int_strict("12x", "x"), util::SpecError);
+  EXPECT_THROW((void)util::parse_int_strict("", "x"), util::SpecError);
+  EXPECT_THROW((void)util::parse_double_strict("1.2.3", "x"),
+               util::SpecError);
+  EXPECT_TRUE(util::parse_bool_strict("on", "x"));
+  EXPECT_FALSE(util::parse_bool_strict("0", "x"));
+  EXPECT_THROW((void)util::parse_bool_strict("yes", "x"), util::SpecError);
+}
+
+TEST(KvGrammar, FormatDoubleRoundTripsAndPrefersPlainIntegers) {
+  EXPECT_EQ(util::format_double(1000.0), "1000");
+  EXPECT_EQ(util::format_double(0.25), "0.25");
+  EXPECT_EQ(util::format_double(1e18), "1e+18");
+  const double awkward = 0.1 + 0.2;  // 0.30000000000000004
+  EXPECT_DOUBLE_EQ(
+      util::parse_double_strict(util::format_double(awkward), "x"), awkward);
+}
+
+// --------------------------------------------------------- EstimatorSpec
+
+TEST(EstimatorSpec, BareNameHasNoParams) {
+  const auto spec = me::EstimatorSpec::parse("ACBM");
+  EXPECT_EQ(spec.name, "ACBM");
+  EXPECT_TRUE(spec.params.empty());
+  EXPECT_EQ(spec.to_string(), "ACBM");
+}
+
+TEST(EstimatorSpec, ParseToStringRoundTrip) {
+  const std::string text = "ACBM:alpha=500,beta=8,gamma=0.25";
+  EXPECT_EQ(me::EstimatorSpec::parse(text).to_string(), text);
+}
+
+TEST(EstimatorSpec, RejectsEmptyNameDanglingColonAndDuplicates) {
+  EXPECT_THROW((void)me::EstimatorSpec::parse(""), util::SpecError);
+  EXPECT_THROW((void)me::EstimatorSpec::parse(":alpha=1"), util::SpecError);
+  EXPECT_THROW((void)me::EstimatorSpec::parse("ACBM:"), util::SpecError);
+  EXPECT_THROW((void)me::EstimatorSpec::parse("ACBM:alpha=1,alpha=2"),
+               util::SpecError);
+}
+
+// --------------------------------------------------- ParamSet validation
+
+TEST(ParamSet, BindsDefaultsAndExplicitValues) {
+  const auto spec = me::EstimatorSpec::parse("ACBM:alpha=500");
+  const auto set = me::ParamSet::bind(
+      spec, core::builtin_estimators().params("ACBM"), "ACBM");
+  EXPECT_DOUBLE_EQ(set.get_double("alpha"), 500.0);
+  EXPECT_DOUBLE_EQ(set.get_double("beta"), 8.0);
+  EXPECT_DOUBLE_EQ(set.get_double("gamma"), 0.25);
+  EXPECT_TRUE(set.explicitly_set("alpha"));
+  EXPECT_FALSE(set.explicitly_set("beta"));
+}
+
+TEST(ParamSet, CanonicalSpecListsEveryKeyAndRoundTrips) {
+  const me::EstimatorRegistry& registry = core::builtin_estimators();
+  const std::string canonical = registry.canonical_spec("ACBM:alpha=500");
+  EXPECT_EQ(canonical, "ACBM:alpha=500,beta=8,gamma=0.25");
+  // Canonicalisation is idempotent (a fixed point of the grammar).
+  EXPECT_EQ(registry.canonical_spec(canonical), canonical);
+  // Knob-less estimators canonicalise to the bare name.
+  EXPECT_EQ(registry.canonical_spec("TSS"), "TSS");
+}
+
+TEST(ParamSet, UnknownKeyErrorListsEveryValidKey) {
+  const me::EstimatorRegistry& registry = core::builtin_estimators();
+  try {
+    (void)registry.create("ACBM:delta=1");
+    FAIL() << "expected util::SpecError";
+  } catch (const util::SpecError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("delta"), std::string::npos);
+    EXPECT_NE(message.find("alpha"), std::string::npos);
+    EXPECT_NE(message.find("beta"), std::string::npos);
+    EXPECT_NE(message.find("gamma"), std::string::npos);
+  }
+}
+
+TEST(ParamSet, RangeAndTypeValidation) {
+  const me::EstimatorRegistry& registry = core::builtin_estimators();
+  EXPECT_THROW((void)registry.create("ACBM:alpha=-1"), util::SpecError);
+  EXPECT_THROW((void)registry.create("ACBM:alpha=abc"), util::SpecError);
+  EXPECT_THROW((void)registry.create("PBM:iters=1.5"), util::SpecError);
+  EXPECT_THROW((void)registry.create("PBM:iters=99999"), util::SpecError);
+  EXPECT_THROW((void)registry.create("FSBM:dec=hex"), util::SpecError);
+  // Knob-less estimators reject every key.
+  EXPECT_THROW((void)registry.create("TSS:step=4"), util::SpecError);
+}
+
+TEST(ParamSet, EnumAndIntKnobsReachTheEstimator) {
+  const me::EstimatorRegistry& registry = core::builtin_estimators();
+  const auto decimated = registry.create("FSBM:dec=quincunx");
+  EXPECT_EQ(decimated->name(), "FSBM-dec");  // FullSearch renames itself
+  const auto plain = registry.create("FSBM:dec=none");
+  EXPECT_EQ(plain->name(), "FSBM");
+  EXPECT_NO_THROW((void)registry.create("PBM:iters=2"));
+  EXPECT_NO_THROW(
+      (void)registry.create("FSBM-adec:quarter_below=100,half_below=200"));
+}
+
+// ------------------------------------------------------ registry surface
+
+TEST(RegistrySpecs, BareNamesStillCreateEveryBuiltin) {
+  const me::EstimatorRegistry& registry = core::builtin_estimators();
+  for (const std::string& name : registry.names()) {
+    const auto estimator = registry.create(name);
+    ASSERT_NE(estimator, nullptr) << name;
+    EXPECT_EQ(estimator->name(), name);
+  }
+}
+
+TEST(RegistrySpecs, SpecUsageMentionsEveryEstimatorAndGrammar) {
+  const std::string usage = core::builtin_estimators().spec_usage();
+  EXPECT_NE(usage.find("NAME:key=val"), std::string::npos);
+  for (const std::string& name : core::builtin_estimators().names()) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(RegistrySpecs, RegistrationRejectsReservedCharactersAndDupKeys) {
+  me::EstimatorRegistry registry;
+  auto factory = [](const me::ParamSet&) {
+    return std::make_unique<me::FullSearch>();
+  };
+  EXPECT_THROW(registry.add("A:B", {}, factory), std::invalid_argument);
+  EXPECT_THROW(registry.add("A=B", {}, factory), std::invalid_argument);
+  EXPECT_THROW(
+      registry.add("X",
+                   {me::ParamDesc::number("k", 0, 0, 1, "h"),
+                    me::ParamDesc::number("k", 0, 0, 1, "h")},
+                   factory),
+      std::invalid_argument);
+}
+
+// ----------------------------------------------------- semantic anchors
+
+std::vector<std::uint8_t> encode_stream(me::MotionEstimator& estimator) {
+  synth::SequenceRequest req;
+  req.name = "foreman";
+  req.size = {64, 48};
+  req.frame_count = 5;
+  req.fps = 30;
+  const auto frames = synth::make_sequence(req);
+  codec::EncoderConfig config;
+  config.qp = 16;
+  codec::Encoder encoder({64, 48}, config, estimator);
+  for (const auto& frame : frames) {
+    (void)encoder.encode_frame(frame);
+  }
+  return encoder.finish();
+}
+
+TEST(RegistrySpecs, ZeroedAcbmSpecIsBitIdenticalToAlwaysFullSearch) {
+  const auto from_spec =
+      core::builtin_estimators().create("ACBM:alpha=0,beta=0,gamma=0");
+  core::Acbm reference(core::AcbmParams::always_full_search());
+  EXPECT_EQ(encode_stream(*from_spec), encode_stream(reference));
+}
+
+TEST(RegistrySpecs, BareNameIsBitIdenticalToPaperDefaultsSpec) {
+  const auto bare = core::builtin_estimators().create("ACBM");
+  const auto spelled = core::builtin_estimators().create(
+      "ACBM:alpha=1000,beta=8,gamma=0.25");
+  EXPECT_EQ(encode_stream(*bare), encode_stream(*spelled));
+}
+
+}  // namespace
+}  // namespace acbm
