@@ -24,6 +24,12 @@ int main(int argc, char** argv) {
   const std::vector<int> qps = options.quick ? std::vector<int>{16}
                                              : std::vector<int>{16, 30};
 
+  // Default roster = the registry (every algorithm, zero bench changes when
+  // one is added); --estimators narrows or parameterises it, e.g.
+  //   --estimators "ACBM;ACBM:alpha=500,beta=8;FSBM-adec"
+  const std::vector<std::string> roster = bench::estimator_roster(
+      options, core::builtin_estimators().names());
+
   auto csv_stream = bench::open_csv(options.csv_prefix, "roster");
   util::CsvWriter csv(csv_stream);
   bench::write_rd_csv_header(csv);
@@ -34,9 +40,7 @@ int main(int argc, char** argv) {
               << " frames) --\n";
     util::TablePrinter table(
         {"algorithm", "qp", "kbit/s", "PSNR-Y dB", "pos/MB"});
-    // The roster is the registry: every registered estimator, by spec name,
-    // so a newly added algorithm appears here with zero bench changes.
-    for (const std::string& spec : core::builtin_estimators().names()) {
+    for (const std::string& spec : roster) {
       const auto estimator = analysis::make_estimator(spec);
       analysis::RdCurve curve;
       curve.sequence = name;

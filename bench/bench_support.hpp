@@ -46,7 +46,19 @@ struct BenchOptions {
   /// applied on top of the individual flags by sweep_config(); lets one
   /// string reconfigure a bench ("mode=rd,deblock=1,qps=16:22").
   std::string config_spec;
+  /// --estimators "spec;spec;..." — canonicalised estimator specs to run
+  /// instead of the bench's default roster. ';'-separated because specs
+  /// embed commas ("ACBM:alpha=500,beta=8;FSBM"). Empty = bench default.
+  std::vector<std::string> estimators;
 };
+
+/// The roster a bench should iterate: --estimators when given, otherwise
+/// the bench's own default (e.g. the full registry, or just "ACBM").
+inline std::vector<std::string> estimator_roster(
+    const BenchOptions& options, std::vector<std::string> fallback) {
+  return options.estimators.empty() ? std::move(fallback)
+                                    : options.estimators;
+}
 
 /// The bench's effective sweep configuration: flags first, --config on top.
 /// Exits 2 on bad specs (usage error, like every other flag).
@@ -113,6 +125,11 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
                     "range, halfpel, me_lambda, mode, deblock, slices, "
                     "threads)",
                     "");
+  parser.add_option("estimators",
+                    "';'-separated estimator specs (NAME or "
+                    "\"NAME:key=val,...\") replacing the bench's default "
+                    "roster, e.g. \"ACBM;ACBM:alpha=500,beta=8;FSBM\"",
+                    "");
   parser.add_flag("quick", "reduced workload (fewer frames and Qp values)");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage(name);
@@ -165,6 +182,21 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
     std::exit(2);
   }
   options.config_spec = parser.get("config");
+  // Validate and canonicalise every estimator spec up front: a typo should
+  // be a usage error before any encoding starts, and canonical specs keep
+  // tables/CSV/JSON joinable across runs regardless of key order.
+  for (const std::string& spec :
+       util::split_list(parser.get("estimators"), ';')) {
+    try {
+      options.estimators.push_back(
+          core::builtin_estimators().canonical_spec(spec));
+    } catch (const util::SpecError& e) {
+      std::cerr << "bad --estimators spec '" << spec << "': " << e.what()
+                << "\n\n"
+                << core::builtin_estimators().spec_usage();
+      std::exit(2);
+    }
+  }
   options.quick = parser.get_flag("quick");
   if (options.quick) {
     options.frames = std::min(options.frames, 12);

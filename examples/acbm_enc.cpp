@@ -17,24 +17,52 @@
 // validated up front; any unknown name or key exits 2 with the full
 // grammar and per-estimator key tables — never a silent fallback.
 
+#include <deque>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "codec/config_map.hpp"
 #include "codec/encoder.hpp"
 #include "codec/rate_control.hpp"
+#include "codec/service.hpp"
 #include "core/builtin_estimators.hpp"
 #include "simd/dispatch.hpp"
 #include "synth/sequences.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/kv.hpp"
+#include "util/timer.hpp"
 #include "video/y4m_io.hpp"
 #include "video/yuv_io.hpp"
 
 namespace {
 
 using namespace acbm;
+
+/// Per-stage wall-clock totals over a sequence (--summary).
+struct StageTotals {
+  double me = 0.0;
+  double plan = 0.0;
+  double entropy = 0.0;
+  double frame_wall = 0.0;
+
+  void add(const codec::FrameReport& r) {
+    me += r.me_stage_seconds;
+    plan += r.plan_stage_seconds;
+    entropy += r.entropy_stage_seconds;
+    frame_wall += r.frame_wall_seconds;
+  }
+
+  void print(std::size_t frames) const {
+    const double n = static_cast<double>(frames);
+    std::cout << "  stage seconds (sum): ME "
+              << util::CsvWriter::num(me, 3) << ", plan "
+              << util::CsvWriter::num(plan, 3) << ", entropy "
+              << util::CsvWriter::num(entropy, 3) << "; mean frame wall "
+              << util::CsvWriter::num(frame_wall / n * 1000.0, 2) << " ms\n";
+  }
+};
 
 }  // namespace
 
@@ -81,6 +109,15 @@ int main(int argc, char** argv) {
                     "SAD kernel variant: scalar|sse2|avx2|auto (bit-exact; "
                     "only throughput changes)",
                     "auto");
+  parser.add_option("sessions",
+                    "encode the input as N concurrent sessions sharing one "
+                    "worker pool (EncoderService; frame-level pipelining). "
+                    "Session 0's bitstream is written; every session's "
+                    "bytes are identical. --kbps requires sessions=1",
+                    "1");
+  parser.add_flag("summary",
+                  "print per-stage wall-clock totals (ME/plan/entropy) and "
+                  "mean per-frame latency after encoding");
   parser.add_option("out", "output bitstream path", "out.acv");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage("acbm_enc");
@@ -192,36 +229,111 @@ int main(int argc, char** argv) {
       std::cerr << "acbm_enc: bad --config spec: " << e.what() << '\n';
       return 2;
     }
-    codec::Encoder encoder({frames[0].width(), frames[0].height()}, cfg,
-                           *estimator);
-
+    const int sessions = static_cast<int>(parser.get_int("sessions"));
+    if (sessions < 1) {
+      std::cerr << "acbm_enc: --sessions must be >= 1\n";
+      return 2;
+    }
     const double kbps = parser.get_double("kbps");
-    std::unique_ptr<codec::RateController> rate;
-    if (kbps > 0.0) {
-      codec::RateController::Config rc;
-      rc.target_kbps = kbps;
-      rc.fps = fps;
-      rc.initial_qp = cfg.qp;
-      rate = std::make_unique<codec::RateController>(rc);
+    if (kbps > 0.0 && sessions > 1) {
+      // Rate control feeds each frame's bits back into the next frame's
+      // quantiser — incompatible with frames in flight ahead of that
+      // feedback.
+      std::cerr << "acbm_enc: --kbps requires --sessions 1\n";
+      return 2;
     }
 
     // --- Encode.
     std::uint64_t bits = 0;
     std::uint64_t positions = 0;
     double psnr = 0.0;
-    for (const auto& frame : frames) {
-      if (rate) {
-        encoder.set_qp(rate->next_qp());
+    StageTotals totals;
+    std::vector<std::uint8_t> stream;
+    int effective_slices = 1;
+    double wall_seconds = 0.0;
+
+    if (sessions == 1) {
+      codec::Encoder encoder({frames[0].width(), frames[0].height()}, cfg,
+                             *estimator);
+      std::unique_ptr<codec::RateController> rate;
+      if (kbps > 0.0) {
+        codec::RateController::Config rc;
+        rc.target_kbps = kbps;
+        rc.fps = fps;
+        rc.initial_qp = cfg.qp;
+        rate = std::make_unique<codec::RateController>(rc);
       }
-      const codec::FrameReport r = encoder.encode_frame(frame);
-      if (rate) {
-        rate->frame_encoded(r.bits);
+      util::Timer wall;
+      for (const auto& frame : frames) {
+        if (rate) {
+          encoder.set_qp(rate->next_qp());
+        }
+        const codec::FrameReport r = encoder.encode_frame(frame);
+        if (rate) {
+          rate->frame_encoded(r.bits);
+        }
+        bits += r.bits;
+        positions += r.me_positions;
+        psnr += r.psnr_y;
+        totals.add(r);
       }
-      bits += r.bits;
-      positions += r.me_positions;
-      psnr += r.psnr_y;
+      wall_seconds = wall.seconds();
+      stream = encoder.finish();
+      effective_slices = encoder.slices();
+    } else {
+      // Service mode: N sessions of the same input on one shared pool, one
+      // driver thread per session keeping a couple of frames in flight so
+      // each session's front/back halves overlap. Every session produces
+      // the same bytes; session 0's are written.
+      codec::EncoderService service(
+          static_cast<int>(parser.get_int("threads")));
+      std::vector<std::unique_ptr<codec::EncodeSession>> sess;
+      sess.reserve(static_cast<std::size_t>(sessions));
+      for (int s = 0; s < sessions; ++s) {
+        sess.push_back(std::make_unique<codec::EncodeSession>(
+            service,
+            video::PictureSize{frames[0].width(), frames[0].height()}, cfg,
+            core::builtin_estimators().create(estimator_spec)));
+      }
+      std::vector<std::vector<codec::FrameReport>> reports(
+          static_cast<std::size_t>(sessions));
+      util::Timer wall;
+      std::vector<std::thread> drivers;
+      drivers.reserve(static_cast<std::size_t>(sessions));
+      for (int s = 0; s < sessions; ++s) {
+        drivers.emplace_back([&, s] {
+          codec::EncodeSession& session = *sess[static_cast<std::size_t>(s)];
+          std::vector<codec::FrameReport>& out =
+              reports[static_cast<std::size_t>(s)];
+          std::deque<std::future<codec::Packet>> inflight;
+          for (const auto& frame : frames) {
+            inflight.push_back(session.submit(frame));
+            // Depth 2 covers the front/back overlap; deeper queues only add
+            // latency (admission allows one front + one back in flight).
+            while (inflight.size() > 2) {
+              out.push_back(inflight.front().get().report);
+              inflight.pop_front();
+            }
+          }
+          while (!inflight.empty()) {
+            out.push_back(inflight.front().get().report);
+            inflight.pop_front();
+          }
+        });
+      }
+      for (std::thread& t : drivers) {
+        t.join();
+      }
+      wall_seconds = wall.seconds();
+      for (const codec::FrameReport& r : reports[0]) {
+        bits += r.bits;
+        positions += r.me_positions;
+        psnr += r.psnr_y;
+        totals.add(r);
+      }
+      stream = sess[0]->finish();
+      effective_slices = sess[0]->encoder().slices();
     }
-    const auto stream = encoder.finish();
 
     std::ofstream out(parser.get("out"), std::ios::binary | std::ios::trunc);
     out.write(reinterpret_cast<const char*>(stream.data()),
@@ -246,11 +358,22 @@ int main(int argc, char** argv) {
                          (n * (frames[0].width() / 16.0) *
                           (frames[0].height() / 16.0)), 1)
               << " positions/MB\n  " << stream.size() << " bytes ("
-              << (encoder.slices() > 1
-                      ? "ACV2, " + std::to_string(encoder.slices()) +
+              << (effective_slices > 1
+                      ? "ACV2, " + std::to_string(effective_slices) +
                             " slices/frame"
                       : std::string("ACV1"))
               << ") -> " << parser.get("out") << '\n';
+    if (sessions > 1 && wall_seconds > 0.0) {
+      std::cout << "  " << sessions << " sessions: "
+                << util::CsvWriter::num(
+                       static_cast<double>(sessions) * n / wall_seconds, 1)
+                << " frames/s aggregate ("
+                << util::CsvWriter::num(n / wall_seconds, 1)
+                << " frames/s per session)\n";
+    }
+    if (parser.get_flag("summary")) {
+      totals.print(frames.size());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "acbm_enc: " << e.what() << '\n';

@@ -48,6 +48,12 @@ Decoder::Decoder(std::span<const std::uint8_t> data, int threads)
   coded_field_ = me::MvField::for_picture(size_.width, size_.height);
 }
 
+Decoder::Decoder(std::span<const std::uint8_t> data,
+                 util::ThreadPool& shared_pool)
+    : Decoder(data, shared_pool.size()) {
+  shared_pool_ = &shared_pool;
+}
+
 Decoder::~Decoder() = default;
 
 std::optional<video::Frame> Decoder::decode_frame() {
@@ -169,15 +175,28 @@ void Decoder::decode_frame_slices(video::Frame& out, int qp,
                                     // leftover payload means the entropy
                                     // data desynchronised somewhere
   };
-  const int workers = util::ThreadPool::resolve_thread_count(threads_);
+  const int workers = shared_pool_ != nullptr
+                          ? shared_pool_->size()
+                          : util::ThreadPool::resolve_thread_count(threads_);
   if (workers > 1 && slice_count > 1) {
-    if (!pool_) {
-      pool_ = std::make_unique<util::ThreadPool>(workers);
+    util::ThreadPool* pool = shared_pool_;
+    if (pool == nullptr) {
+      if (!pool_) {
+        pool_ = std::make_unique<util::ThreadPool>(workers);
+      }
+      pool = pool_.get();
     }
+    if (!queue_) {
+      queue_ = std::make_unique<util::ThreadPool::Queue>(*pool);
+    }
+    // Group wait, not wait_idle: on a shared pool an idle wait would block
+    // on (and be woken by) every other session's traffic.
+    util::TaskGroup group;
     for (SliceEntry& entry : slices) {
-      pool_->submit([&decode_one, &entry] { decode_one(entry); });
+      pool->submit(
+          *queue_, [&decode_one, &entry] { decode_one(entry); }, &group);
     }
-    pool_->wait_idle();
+    pool->wait(group);
   } else {
     for (SliceEntry& entry : slices) {
       decode_one(entry);

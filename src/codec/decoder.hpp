@@ -26,13 +26,10 @@
 
 #include "me/mv_field.hpp"
 #include "util/bitstream.hpp"
+#include "util/thread_pool.hpp"  // nested ThreadPool::Queue needs the full type
 #include "video/frame.hpp"
 #include "video/interp.hpp"
 #include "video/y4m_io.hpp"
-
-namespace acbm::util {
-class ThreadPool;
-}
 
 namespace acbm::codec {
 
@@ -50,6 +47,14 @@ class Decoder {
   /// (default), 0 = one worker per hardware thread, N = exactly N workers.
   /// Output is identical at every thread count.
   explicit Decoder(std::span<const std::uint8_t> data, int threads = 1);
+
+  /// Shared-pool variant: slice-parallel decoding runs on one FIFO lane of
+  /// `shared_pool` (which must outlive the decoder) instead of a pool built
+  /// per decoder instance — N concurrent decoders share the machine's
+  /// workers fairly rather than oversubscribing it N-fold, and each
+  /// decoder's stage barrier covers only its own tasks. Output is identical
+  /// to the own-pool constructor.
+  Decoder(std::span<const std::uint8_t> data, util::ThreadPool& shared_pool);
   ~Decoder();
 
   Decoder(const Decoder&) = delete;
@@ -119,6 +124,12 @@ class Decoder {
   int last_frame_slices_ = 1;
   std::uint64_t concealed_slices_ = 0;
   std::unique_ptr<util::ThreadPool> pool_;  ///< created at first parallel use
+  util::ThreadPool* shared_pool_ = nullptr;  ///< injected pool, not owned
+  /// This decoder's FIFO lane of whichever pool is active; its TaskGroup
+  /// waits are what keep concurrent decoders from observing each other.
+  /// Declared after pool_ so the lane unregisters before an owned pool
+  /// tears down.
+  std::unique_ptr<util::ThreadPool::Queue> queue_;
 };
 
 }  // namespace acbm::codec

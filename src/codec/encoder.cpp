@@ -74,10 +74,24 @@ void Encoder::InterPlan::reconstruct(int qp, std::uint8_t* y16,
 
 Encoder::Encoder(video::PictureSize size, const EncoderConfig& config,
                  me::MotionEstimator& estimator)
+    : Encoder(size, config, estimator, nullptr) {}
+
+Encoder::Encoder(video::PictureSize size, const EncoderConfig& config,
+                 me::MotionEstimator& estimator,
+                 util::ThreadPool& shared_pool)
+    : Encoder(size, config, estimator, &shared_pool) {}
+
+Encoder::Encoder(video::PictureSize size, const EncoderConfig& config,
+                 me::MotionEstimator& estimator,
+                 util::ThreadPool* shared_pool)
     : size_(size), config_(config), estimator_(&estimator),
-      recon_(size), ref_(size),
-      me_field_(me::MvField::for_picture(size.width, size.height)),
-      prev_me_field_(me_field_), coded_field_(me_field_) {
+      recon_buf_{video::Frame(size), video::Frame(size)},
+      recon_(&recon_buf_[0]), front_ref_(&recon_buf_[1]),
+      back_ref_(&recon_buf_[1]), last_recon_(&recon_buf_[0]),
+      me_fields_{me::MvField::for_picture(size.width, size.height),
+                 me::MvField::for_picture(size.width, size.height)},
+      me_field_(&me_fields_[0]), prev_me_field_(&me_fields_[1]),
+      last_me_field_(&me_fields_[0]), coded_field_(me_fields_[0]) {
   // Non-positive dimensions would otherwise slip through the modulo check
   // (0 % 16 == 0) and break the slice clamp below.
   if (size.width <= 0 || size.height <= 0 || size.width % kMb != 0 ||
@@ -93,7 +107,9 @@ Encoder::Encoder(video::PictureSize size, const EncoderConfig& config,
   // so callers can pass "slices = threads" without sizing logic.
   slices_ = std::clamp(config.slices, 1, std::min(size.height / kMb,
                                                   kMaxSlices));
-  pipeline_ = std::make_unique<EncoderPipeline>(*this, config.parallel);
+  pipeline_ = shared_pool != nullptr
+                  ? std::make_unique<EncoderPipeline>(*this, *shared_pool)
+                  : std::make_unique<EncoderPipeline>(*this, config.parallel);
   write_sequence_header();
 }
 
@@ -115,6 +131,14 @@ FrameReport Encoder::encode_frame(const video::Frame& src) {
   assert(src.width() == size_.width && src.height() == size_.height);
   return pipeline_->encode_frame(src);
 }
+
+std::future<EncodedFrame> Encoder::submit_frame(video::Frame src) {
+  assert(!finished_);
+  assert(src.width() == size_.width && src.height() == size_.height);
+  return pipeline_->submit_frame(std::move(src));
+}
+
+void Encoder::drain() { pipeline_->drain(); }
 
 // ---------------------------------------------------------------- planning
 
@@ -151,8 +175,8 @@ Encoder::InterPlan Encoder::plan_inter_mb(const video::Frame& src, int bx,
   plan.mv = mv;
   predict_luma(ref_half_, x, y, mv, kMb, kMb, plan.pred_y, kMb);
   const me::Mv cmv = derive_chroma_mv(mv);
-  predict_chroma(ref_.cb(), x / 2, y / 2, cmv, 8, 8, plan.pred_cb, 8);
-  predict_chroma(ref_.cr(), x / 2, y / 2, cmv, 8, 8, plan.pred_cr, 8);
+  predict_chroma(front_ref_->cb(), x / 2, y / 2, cmv, 8, 8, plan.pred_cb, 8);
+  predict_chroma(front_ref_->cr(), x / 2, y / 2, cmv, 8, 8, plan.pred_cr, 8);
 
   for (int b = 0; b < 4; ++b) {
     const int ox = kLumaBlockOffsets[b][0];
@@ -216,15 +240,15 @@ void Encoder::reconstruct_intra_plan(const IntraPlan& plan, int bx, int by) {
     const int ox = kLumaBlockOffsets[b][0];
     const int oy = kLumaBlockOffsets[b][1];
     reconstruct_intra_block(plan.levels[b], plan.dc[b], config_.qp,
-                            recon_.y().row(y + oy) + x + ox,
-                            recon_.y().stride());
+                            recon_->y().row(y + oy) + x + ox,
+                            recon_->y().stride());
   }
   reconstruct_intra_block(plan.levels[4], plan.dc[4], config_.qp,
-                          recon_.cb().row(y / 2) + x / 2,
-                          recon_.cb().stride());
+                          recon_->cb().row(y / 2) + x / 2,
+                          recon_->cb().stride());
   reconstruct_intra_block(plan.levels[5], plan.dc[5], config_.qp,
-                          recon_.cr().row(y / 2) + x / 2,
-                          recon_.cr().stride());
+                          recon_->cr().row(y / 2) + x / 2,
+                          recon_->cr().stride());
 }
 
 void Encoder::reconstruct_inter_plan(const InterPlan& plan, int bx, int by) {
@@ -234,28 +258,28 @@ void Encoder::reconstruct_inter_plan(const InterPlan& plan, int bx, int by) {
     const int ox = kLumaBlockOffsets[b][0];
     const int oy = kLumaBlockOffsets[b][1];
     reconstruct_inter_block(plan.levels[b], plan.pred_y + oy * kMb + ox, kMb,
-                            config_.qp, recon_.y().row(y + oy) + x + ox,
-                            recon_.y().stride());
+                            config_.qp, recon_->y().row(y + oy) + x + ox,
+                            recon_->y().stride());
   }
   reconstruct_inter_block(plan.levels[4], plan.pred_cb, 8, config_.qp,
-                          recon_.cb().row(y / 2) + x / 2,
-                          recon_.cb().stride());
+                          recon_->cb().row(y / 2) + x / 2,
+                          recon_->cb().stride());
   reconstruct_inter_block(plan.levels[5], plan.pred_cr, 8, config_.qp,
-                          recon_.cr().row(y / 2) + x / 2,
-                          recon_.cr().stride());
+                          recon_->cr().row(y / 2) + x / 2,
+                          recon_->cr().stride());
 }
 
 void Encoder::reconstruct_skip_mb(int bx, int by) {
   const int x = bx * kMb;
   const int y = by * kMb;
   for (int row = 0; row < kMb; ++row) {
-    std::memcpy(recon_.y().row(y + row) + x, ref_.y().row(y + row) + x, kMb);
+    std::memcpy(recon_->y().row(y + row) + x, back_ref_->y().row(y + row) + x, kMb);
   }
   for (int row = 0; row < kMb / 2; ++row) {
-    std::memcpy(recon_.cb().row(y / 2 + row) + x / 2,
-                ref_.cb().row(y / 2 + row) + x / 2, kMb / 2);
-    std::memcpy(recon_.cr().row(y / 2 + row) + x / 2,
-                ref_.cr().row(y / 2 + row) + x / 2, kMb / 2);
+    std::memcpy(recon_->cb().row(y / 2 + row) + x / 2,
+                back_ref_->cb().row(y / 2 + row) + x / 2, kMb / 2);
+    std::memcpy(recon_->cr().row(y / 2 + row) + x / 2,
+                back_ref_->cr().row(y / 2 + row) + x / 2, kMb / 2);
   }
 }
 
@@ -330,11 +354,13 @@ void Encoder::plan_mb(const video::Frame& src, int bx, int by,
       const int x = bx * kMb;
       const int y = by * kMb;
       for (int row = 0; row < kMb; ++row) {
-        std::memcpy(y16 + row * kMb, ref_.y().row(y + row) + x, kMb);
+        std::memcpy(y16 + row * kMb, front_ref_->y().row(y + row) + x, kMb);
       }
       for (int row = 0; row < 8; ++row) {
-        std::memcpy(cb8 + row * 8, ref_.cb().row(y / 2 + row) + x / 2, 8);
-        std::memcpy(cr8 + row * 8, ref_.cr().row(y / 2 + row) + x / 2, 8);
+        std::memcpy(cb8 + row * 8, front_ref_->cb().row(y / 2 + row) + x / 2,
+                    8);
+        std::memcpy(cr8 + row * 8, front_ref_->cr().row(y / 2 + row) + x / 2,
+                    8);
       }
       out.j_skip =
           static_cast<double>(mb_ssd(src, bx, by, y16, cb8, cr8)) +

@@ -38,6 +38,7 @@
 //   decodes independently of its siblings — and in parallel.
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <vector>
 
@@ -47,6 +48,10 @@
 #include "util/bitstream.hpp"
 #include "video/frame.hpp"
 #include "video/interp.hpp"
+
+namespace acbm::util {
+class ThreadPool;
+}
 
 namespace acbm::codec {
 
@@ -136,6 +141,24 @@ struct FrameReport {
   /// are named after, not whatever else encode_frame does around it.
   double plan_stage_seconds = 0.0;
   double entropy_stage_seconds = 0.0;
+  /// Wall-clock spent in the motion-estimation stage (0 for intra frames),
+  /// completing the per-stage coverage the plan/entropy timers started.
+  double me_stage_seconds = 0.0;
+  /// End-to-end wall clock for the frame, first stage entered to last stage
+  /// left. Under frame-level pipelining this spans the overlap with the
+  /// neighbouring frames' stages, so it is the per-frame latency a service
+  /// caller observes — not the sum of the stage timers.
+  double frame_wall_seconds = 0.0;
+};
+
+/// One asynchronously encoded frame: the report plus this frame's slice of
+/// the bitstream. The byte ranges of consecutive frames tile the stream
+/// exactly (frame 0's range includes the sequence header), so concatenating
+/// the packets of a session reproduces Encoder::finish() byte for byte.
+struct EncodedFrame {
+  std::uint64_t frame_index = 0;
+  FrameReport report;
+  std::vector<std::uint8_t> bytes;
 };
 
 class EncoderPipeline;
@@ -162,6 +185,16 @@ class Encoder {
   /// encodes — finish the configuration before encoding starts.
   Encoder(video::PictureSize size, const EncoderConfig& config,
           me::MotionEstimator& estimator);
+
+  /// Service-mode constructor: the pipeline runs on `shared_pool` (one lane
+  /// of it) instead of building its own, and frame-level pipelining is
+  /// enabled — submit_frame() overlaps frame t+1's motion estimation with
+  /// frame t's entropy coding, gated per reference row so the bitstream
+  /// stays byte-identical to the single-frame path.
+  /// `config.parallel.threads` is ignored; the pool must outlive the
+  /// encoder. Used by codec::EncoderService / EncodeSession.
+  Encoder(video::PictureSize size, const EncoderConfig& config,
+          me::MotionEstimator& estimator, util::ThreadPool& shared_pool);
   ~Encoder();
 
   // The pipeline keeps a back-reference to this encoder, so the object must
@@ -174,6 +207,17 @@ class Encoder {
   /// Encodes one frame and returns its report.
   FrameReport encode_frame(const video::Frame& src);
 
+  /// Service mode only (shared-pool constructor): enqueues `src` for
+  /// asynchronous, frame-pipelined encoding and returns a future for its
+  /// packet. Frames complete in submission order. Throws std::logic_error
+  /// when the encoder was not built on a shared pool. Thread-safe against
+  /// the pool's workers but not against concurrent submitters — one thread
+  /// drives a session.
+  std::future<EncodedFrame> submit_frame(video::Frame src);
+
+  /// Blocks until every submit_frame() has completed. No-op otherwise.
+  void drain();
+
   /// Byte-aligns and returns the complete bitstream; the encoder must not
   /// be used afterwards.
   [[nodiscard]] std::vector<std::uint8_t> finish();
@@ -184,11 +228,16 @@ class Encoder {
   void set_qp(int qp);
 
   /// Reconstruction of the most recently encoded frame (the decoder's
-  /// reference) — what the paper's PSNR is measured on.
-  [[nodiscard]] const video::Frame& last_recon() const { return recon_; }
+  /// reference) — what the paper's PSNR is measured on. Meaningful only
+  /// between frames (after encode_frame returns / the packet's future
+  /// resolves, before the next frame starts).
+  [[nodiscard]] const video::Frame& last_recon() const { return *last_recon_; }
 
-  /// Motion field found by the estimator for the last P-frame.
-  [[nodiscard]] const me::MvField& last_me_field() const { return me_field_; }
+  /// Motion field found by the estimator for the last P-frame. Same
+  /// between-frames caveat as last_recon().
+  [[nodiscard]] const me::MvField& last_me_field() const {
+    return *last_me_field_;
+  }
 
   /// Motion field as actually coded (zeros for intra/skip macroblocks).
   [[nodiscard]] const me::MvField& last_coded_field() const {
@@ -206,6 +255,12 @@ class Encoder {
 
  private:
   friend class EncoderPipeline;
+
+  /// Delegation target of both public constructors; `shared_pool` null
+  /// means standalone (the pipeline builds its own pool per
+  /// config.parallel).
+  Encoder(video::PictureSize size, const EncoderConfig& config,
+          me::MotionEstimator& estimator, util::ThreadPool* shared_pool);
 
   /// Per-frame tallies of where the bits went (FrameReport breakdown).
   struct MbBitCounters {
@@ -322,18 +377,35 @@ class Encoder {
                        const std::uint8_t* y16, const std::uint8_t* cb8,
                        const std::uint8_t* cr8) const;
 
+  [[nodiscard]] int mbs_x() const { return size_.width / me::kBlockSize; }
+  [[nodiscard]] int mbs_y() const { return size_.height / me::kBlockSize; }
+
   video::PictureSize size_;
   EncoderConfig config_;
   me::MotionEstimator* estimator_;
   util::BitWriter writer_;
 
-  video::Frame recon_;            ///< reconstruction of the current frame
-  video::Frame ref_;              ///< previous reconstruction (reference)
-  video::HalfpelPlanes ref_half_; ///< interpolated reference luma
-  me::MvField me_field_;          ///< estimator output, current frame
-  me::MvField prev_me_field_;     ///< estimator output, previous frame
-  me::MvField coded_field_;       ///< transmitted vectors, current frame
-  int frame_index_ = 0;
+  /// Reconstruction double-buffer. Frame f reconstructs into
+  /// recon_buf_[f & 1] and motion-compensates from recon_buf_[(f + 1) & 1]
+  /// — the previous frame's reconstruction IS the reference, with no
+  /// whole-frame ref_ = recon_ copy per frame, and under frame-level
+  /// pipelining frame f+1's ME can read the buffer frame f's entropy stage
+  /// is still filling (row-readiness gated by the pipeline). The pipeline
+  /// retargets the role pointers below at each frame's stage boundaries.
+  video::Frame recon_buf_[2];
+  video::Frame* recon_;            ///< current frame's reconstruction target
+  const video::Frame* front_ref_;  ///< reference read by ME/plan (stage 1-2.5)
+  const video::Frame* back_ref_;   ///< reference read by SKIP recon (stage 3)
+  const video::Frame* last_recon_; ///< most recently completed frame
+  video::HalfpelPlanes ref_half_;  ///< half-pel view bound onto *front_ref_
+  /// ME-field double-buffer, same parity scheme: frame f's estimator output
+  /// lands in me_fields_[f & 1] and reads me_fields_[(f + 1) & 1] as the
+  /// previous frame's field (temporal predictors).
+  me::MvField me_fields_[2];
+  me::MvField* me_field_;          ///< estimator output, current frame
+  const me::MvField* prev_me_field_;
+  const me::MvField* last_me_field_;
+  me::MvField coded_field_;        ///< transmitted vectors, current frame
   int slices_ = 1;  ///< config.slices clamped to [1, min(mb rows, 255)]
   bool finished_ = false;
   std::unique_ptr<EncoderPipeline> pipeline_;  ///< constructed with *this

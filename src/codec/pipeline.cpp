@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "codec/deblock.hpp"
 #include "me/sad.hpp"
-#include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 #include "video/psnr.hpp"
 
 namespace acbm::codec {
@@ -22,13 +22,27 @@ EncoderPipeline::EncoderPipeline(Encoder& encoder,
       worker_count_(util::ThreadPool::resolve_thread_count(parallel.threads)) {
   if (worker_count_ > 1) {
     pool_ = std::make_unique<util::ThreadPool>(worker_count_);
+    active_pool_ = pool_.get();
   }
 }
 
-EncoderPipeline::~EncoderPipeline() = default;
+EncoderPipeline::EncoderPipeline(Encoder& encoder,
+                                 util::ThreadPool& shared_pool)
+    : enc_(encoder),
+      worker_count_(shared_pool.size()),
+      active_pool_(&shared_pool),
+      queue_(std::make_unique<util::ThreadPool::Queue>(shared_pool)) {}
+
+EncoderPipeline::~EncoderPipeline() {
+  if (pipelined()) {
+    drain();
+  }
+  // queue_'s destructor then drains the lane before the shared pool loses
+  // the back-reference; pool_ (standalone) joins its workers after that.
+}
 
 void EncoderPipeline::ensure_workers() {
-  if (!pool_ || !workers_.empty()) {
+  if (active_pool_ == nullptr || !workers_.empty()) {
     return;
   }
   workers_.reserve(static_cast<std::size_t>(worker_count_));
@@ -37,16 +51,204 @@ void EncoderPipeline::ensure_workers() {
   }
 }
 
-FrameReport EncoderPipeline::encode_frame(const video::Frame& src) {
-  Encoder& e = enc_;
-  const bool intra_frame =
-      e.frame_index_ == 0 ||
-      (e.config_.intra_period > 0 &&
-       e.frame_index_ % e.config_.intra_period == 0);
+bool EncoderPipeline::is_intra(std::uint64_t frame) const {
+  return frame == 0 ||
+         (enc_.config_.intra_period > 0 &&
+          frame % static_cast<std::uint64_t>(enc_.config_.intra_period) == 0);
+}
 
+void EncoderPipeline::submit_stage_task(util::TaskGroup& group,
+                                        std::function<void()> task) {
+  if (queue_) {
+    active_pool_->submit(*queue_, std::move(task), &group);
+  } else {
+    active_pool_->submit(std::move(task));
+  }
+}
+
+void EncoderPipeline::wait_stage(util::TaskGroup& group) {
+  if (queue_) {
+    // Helping wait: the front/back driver task is itself a pool worker, so
+    // it runs its own stage tasks instead of parking a worker.
+    active_pool_->wait(group);
+  } else {
+    // Standalone mode runs one frame at a time from the caller's thread;
+    // pool-wide idle is exactly the stage barrier.
+    active_pool_->wait_idle();
+  }
+}
+
+// ------------------------------------------------------------ frame driver
+
+FrameReport EncoderPipeline::encode_frame(const video::Frame& src) {
+  if (pipelined()) {
+    // Service mode: route through the async machinery (the lane's FIFO
+    // ordering is part of the deadlock-freedom argument, so there is no
+    // separate synchronous path) and block on this frame's packet.
+    return submit_frame(src).get().report;
+  }
   FrameReport report;
+  util::Timer wall;
+  const std::uint64_t frame = submitted_++;
+  run_front(src, frame, report);
+  ++fronts_done_;
+  run_back(src, frame, report, nullptr);
+  ++backs_done_;
+  report.frame_wall_seconds = wall.seconds();
+  return report;
+}
+
+std::future<EncodedFrame> EncoderPipeline::submit_frame(video::Frame src) {
+  if (!pipelined()) {
+    throw std::logic_error(
+        "Encoder::submit_frame requires a shared-pool (service) encoder");
+  }
+  auto job = std::make_unique<FrameJob>();
+  job->src = std::move(src);
+  std::future<EncodedFrame> future = job->promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(admit_mutex_);
+    job->index = submitted_++;
+    job->out.frame_index = job->index;
+    jobs_.push_back(std::move(job));
+    pump_locked();
+  }
+  return future;
+}
+
+void EncoderPipeline::drain() {
+  if (!pipelined()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(admit_mutex_);
+  drained_.wait(lock, [this] { return backs_done_ == submitted_; });
+}
+
+void EncoderPipeline::pump_locked() {
+  // Admit the back BEFORE the front: both land on the same FIFO lane, so
+  // back(f−1) is always dispatched before front(f) — the task that parks on
+  // a reference row can never be scheduled ahead of the task that publishes
+  // it, even on a one-worker pool.
+  if (!back_running_ && fronts_done_ > backs_done_) {
+    // jobs_ is popped as backs complete, so jobs_.front() is frame
+    // backs_done_ — exactly the next back.
+    FrameJob* job = jobs_.front().get();
+    back_running_ = true;
+    active_pool_->submit(*queue_, [this, job] {
+      run_back(job->src, job->index, job->out.report, &job->out.bytes);
+      job->out.report.frame_wall_seconds = job->wall.seconds();
+      finish_back();
+    });
+  }
+  const std::uint64_t f = fronts_done_;
+  // front(f) needs front(f−1) retired (fronts serialise on the estimator,
+  // the ME-field parity and the ref binding) and back(f−2) retired (frame
+  // f's parity-(f&1) stage buffers and reconstruction target free).
+  if (!front_running_ && f < submitted_ && backs_done_ + 1 >= f) {
+    FrameJob* job = jobs_[static_cast<std::size_t>(f - backs_done_)].get();
+    front_running_ = true;
+    active_pool_->submit(*queue_, [this, job] {
+      job->wall.restart();
+      run_front(job->src, job->index, job->out.report);
+      finish_front();
+    });
+  }
+}
+
+void EncoderPipeline::finish_front() {
+  const std::lock_guard<std::mutex> lock(admit_mutex_);
+  ++fronts_done_;
+  front_running_ = false;
+  pump_locked();
+}
+
+void EncoderPipeline::finish_back() {
+  std::unique_ptr<FrameJob> job;
+  {
+    const std::lock_guard<std::mutex> lock(admit_mutex_);
+    job = std::move(jobs_.front());
+    jobs_.pop_front();
+    ++backs_done_;
+    back_running_ = false;
+    pump_locked();
+    drained_.notify_all();
+  }
+  // Resolve the future outside the lock: the waiter may destroy the session
+  // (and try to drain this pipeline) the moment it observes the value.
+  job->promise.set_value(std::move(job->out));
+}
+
+// ------------------------------------------------------- front half (1–2.5)
+
+void EncoderPipeline::run_front(const video::Frame& src, std::uint64_t f,
+                                FrameReport& report) {
+  Encoder& e = enc_;
+  const bool intra_frame = is_intra(f);
   report.intra = intra_frame;
+
+  front_parity_ = pipelined() ? static_cast<int>(f & 1) : 0;
+  front_frame_ = f;
+  e.front_ref_ = &e.recon_buf_[(f + 1) & 1];
+  e.me_field_ = &e.me_fields_[f & 1];
+  e.prev_me_field_ = &e.me_fields_[(f + 1) & 1];
+
+  // Reset IN PLACE: the MV fields, plan buffers and slice writers all reuse
+  // their previous allocations, so steady-state encoding does no per-frame
+  // heap traffic for them — measurable at HD sizes, byte-exact always.
+  e.me_field_->reset_for_picture(e.size_.width, e.size_.height);
+
+  if (!intra_frame) {
+    // Zero-copy reference: ME and motion compensation read the previous
+    // frame's reconstruction buffer directly. Under pipelining its lower
+    // rows may still be materialising — the row-readiness gate below keeps
+    // every read behind the publication frontier.
+    e.ref_half_.bind(&e.front_ref_->y());
+    front_gate_ = (pipelined() && f > 0) ? &ref_ready_[(f + 1) & 1] : nullptr;
+    front_wait_base_ =
+        f > 0 ? ((f - 1) >> 1) * static_cast<std::uint64_t>(e.mbs_y()) : 0;
+
+    util::Timer me_timer;
+    motion_stage(src, report);
+    report.me_stage_seconds = me_timer.seconds();
+    mode_stage(src);
+  }
+  report.me_field_smoothness = e.me_field_->smoothness_l1();
+
+  util::Timer plan_timer;
+  // No gate needed here even though plans read the reference: the ME
+  // wavefront's last row always waits for the complete reference (its
+  // search window extends past the picture bottom into the replicated
+  // border — see rows_needed), and intra-frame plans read no reference.
+  plan_stage(src, intra_frame);
+  report.plan_stage_seconds = plan_timer.seconds();
+}
+
+// ----------------------------------------------------------- back half (3)
+
+void EncoderPipeline::run_back(const video::Frame& src, std::uint64_t f,
+                               FrameReport& report,
+                               std::vector<std::uint8_t>* bytes_out) {
+  Encoder& e = enc_;
+  const bool intra_frame = is_intra(f);
+  back_parity_ = pipelined() ? static_cast<int>(f & 1) : 0;
+  e.recon_ = &e.recon_buf_[f & 1];
+  e.back_ref_ = &e.recon_buf_[(f + 1) & 1];
+  e.coded_field_.reset_for_picture(e.size_.width, e.size_.height);
+
+  // In-loop deblocking rewrites rows after entropy coding, so rows are only
+  // final per-frame; without it each reconstructed row is final the moment
+  // its macroblocks are, and publication is row-granular.
+  row_publish_ = pipelined() && !e.config_.deblock;
+  back_base_ = (f >> 1) * static_cast<std::uint64_t>(e.mbs_y());
+  if (row_publish_) {
+    row_done_.assign(static_cast<std::size_t>(e.mbs_y()), 0);
+    row_prefix_ = 0;
+  }
+
   const std::uint64_t frame_start_bits = e.writer_.bit_count();
+  // Frame 0's packet absorbs the sequence header so that concatenating the
+  // per-frame packets reproduces Encoder::finish() byte for byte.
+  const std::size_t stream_begin = f == 0 ? 0 : e.writer_.bytes().size();
 
   e.writer_.align();
   e.writer_.put_bits(kFrameSync, 16);
@@ -57,27 +259,9 @@ FrameReport EncoderPipeline::encode_frame(const video::Frame& src) {
   Encoder::MbBitCounters counters;
   counters.header = e.writer_.bit_count() - frame_start_bits;
 
-  // Per-frame state is reset IN PLACE: the reference snapshot, both MV
-  // fields and (below) the per-slice writers and plan buffers all reuse
-  // their previous frame's allocations, so steady-state encoding does no
-  // per-frame heap traffic for them — measurable at HD sizes, byte-exact
-  // always (the reset paths reproduce freshly-constructed state).
-  if (!intra_frame) {
-    e.ref_half_.reset(e.ref_.y());
-  }
-  e.me_field_.reset_for_picture(e.size_.width, e.size_.height);
-  e.coded_field_.reset_for_picture(e.size_.width, e.size_.height);
-
-  if (!intra_frame) {
-    motion_stage(src, report);
-    mode_stage(src);
-  }
-  util::Timer stage_timer;
-  plan_stage(src, intra_frame);
-  report.plan_stage_seconds = stage_timer.seconds();
-  stage_timer.restart();
+  util::Timer entropy_timer;
   entropy_stage(intra_frame, counters, report);
-  report.entropy_stage_seconds = stage_timer.seconds();
+  report.entropy_stage_seconds = entropy_timer.seconds();
 
   e.writer_.align();
 
@@ -91,19 +275,31 @@ FrameReport EncoderPipeline::encode_frame(const video::Frame& src) {
   report.header_bits = counters.header;
 
   if (e.config_.deblock) {
-    deblock_frame(e.recon_, e.config_.qp);
+    deblock_frame(*e.recon_, e.config_.qp);
   }
-  e.recon_.extend_borders();
-  report.psnr_y = video::psnr_luma(src, e.recon_);
-  report.psnr_yuv = video::psnr_yuv(src, e.recon_);
-  report.me_field_smoothness = e.me_field_.smoothness_l1();
+  if (!row_publish_) {
+    e.recon_->extend_borders();
+  }
+  // else: every row was border-extended strip by strip as it was published;
+  // re-extending here would rewrite (identical) border bytes under the next
+  // frame's gated readers.
+  if (pipelined()) {
+    // Whole frame final (covers the deblock path, and releases a waiter of
+    // any row in the non-deblock path that raced the last strip).
+    ref_ready_[back_parity_].publish(back_base_ +
+                                     static_cast<std::uint64_t>(e.mbs_y()));
+  }
+  report.psnr_y = video::psnr_luma(src, *e.recon_);
+  report.psnr_yuv = video::psnr_yuv(src, *e.recon_);
 
-  // Advance reference state.
-  e.ref_ = e.recon_;
-  e.ref_.extend_borders();
-  e.prev_me_field_ = e.me_field_;
-  ++e.frame_index_;
-  return report;
+  e.last_recon_ = e.recon_;
+  e.last_me_field_ = &e.me_fields_[f & 1];
+
+  if (bytes_out != nullptr) {
+    const std::span<const std::uint8_t> stream = e.writer_.bytes();
+    bytes_out->assign(stream.begin() + static_cast<std::ptrdiff_t>(stream_begin),
+                      stream.end());
+  }
 }
 
 // ------------------------------------------------------------ motion stage
@@ -125,30 +321,45 @@ me::EstimateResult EncoderPipeline::estimate_block(
   // wavefront-ordered entries, so the predictor is identical in serial and
   // parallel encodes. λ = 0 (default) makes cost ≡ SAD.
   ctx.cost = me::MotionCost(e.config_.me_lambda,
-                            e.me_field_.median_predictor(bx, by));
+                            e.me_field_->median_predictor(bx, by));
   ctx.half_pel = e.config_.half_pel;
-  ctx.cur_field = &e.me_field_;
-  ctx.prev_field = &e.prev_me_field_;
+  ctx.cur_field = e.me_field_;
+  ctx.prev_field = e.prev_me_field_;
   ctx.qp = e.config_.qp;
-  ctx.frame = e.frame_index_;
+  ctx.frame = static_cast<int>(front_frame_);
   return estimator.estimate(ctx);
+}
+
+std::uint64_t EncoderPipeline::rows_needed(int by) const {
+  const Encoder& e = enc_;
+  // Deepest reference row an ME read of block row `by` can touch: the block
+  // itself, displaced by up to +search_range (candidates are clamped to the
+  // search window), plus one sample row consumed by half-pel interpolation
+  // and one row of slack. Reads past the picture bottom resolve in the
+  // replicated border, which is only final once the last row's strip is —
+  // hence the clamp to "all rows".
+  const int bottom = by * kMb + (kMb - 1) + e.config_.search_range + 2;
+  if (bottom >= e.size_.height) {
+    return static_cast<std::uint64_t>(e.mbs_y());
+  }
+  return static_cast<std::uint64_t>(bottom / kMb + 1);
 }
 
 void EncoderPipeline::motion_stage(const video::Frame& src,
                                    FrameReport& report) {
-  const std::size_t mbs =
-      static_cast<std::size_t>(enc_.me_field_.mbs_x()) *
-      static_cast<std::size_t>(enc_.me_field_.mbs_y());
-  me_results_.assign(mbs, me::EstimateResult{});
+  std::vector<me::EstimateResult>& results = me_results_[front_parity_];
+  const std::size_t mbs = static_cast<std::size_t>(enc_.mbs_x()) *
+                          static_cast<std::size_t>(enc_.mbs_y());
+  results.assign(mbs, me::EstimateResult{});
 
-  if (pool_) {
+  if (active_pool_ != nullptr) {
     motion_stage_wavefront(src);
   } else {
     motion_stage_serial(src);
   }
 
   // Serial reduction keeps the report totals independent of scheduling.
-  for (const me::EstimateResult& er : me_results_) {
+  for (const me::EstimateResult& er : results) {
     report.me_positions += er.positions;
     if (er.used_full_search) {
       ++report.full_search_blocks;
@@ -158,14 +369,15 @@ void EncoderPipeline::motion_stage(const video::Frame& src,
 
 void EncoderPipeline::motion_stage_serial(const video::Frame& src) {
   Encoder& e = enc_;
-  const int mbs_x = e.me_field_.mbs_x();
-  const int mbs_y = e.me_field_.mbs_y();
+  std::vector<me::EstimateResult>& results = me_results_[front_parity_];
+  const int mbs_x = e.mbs_x();
+  const int mbs_y = e.mbs_y();
   for (int by = 0; by < mbs_y; ++by) {
     for (int bx = 0; bx < mbs_x; ++bx) {
       const std::size_t idx =
           static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) + bx;
-      me_results_[idx] = estimate_block(*e.estimator_, src, bx, by);
-      e.me_field_.set(bx, by, me_results_[idx].mv);
+      results[idx] = estimate_block(*e.estimator_, src, bx, by);
+      e.me_field_->set(bx, by, results[idx].mv);
     }
   }
 }
@@ -173,8 +385,9 @@ void EncoderPipeline::motion_stage_serial(const video::Frame& src) {
 void EncoderPipeline::motion_stage_wavefront(const video::Frame& src) {
   Encoder& e = enc_;
   ensure_workers();
-  const int mbs_x = e.me_field_.mbs_x();
-  const int mbs_y = e.me_field_.mbs_y();
+  std::vector<me::EstimateResult>& results = me_results_[front_parity_];
+  const int mbs_x = e.mbs_x();
+  const int mbs_y = e.mbs_y();
 
   // progress[by] = macroblocks of row `by` finished so far. Block (bx, by)
   // may start once row by−1 has finished through column bx+1 (its
@@ -186,14 +399,22 @@ void EncoderPipeline::motion_stage_wavefront(const video::Frame& src) {
   util::WavefrontProgress progress(mbs_y);
 
   for (int by = 0; by < mbs_y; ++by) {
-    // One task per row. The pool dispatches FIFO, so a row's predecessor is
+    // One task per row. The lane dispatches FIFO, so a row's predecessor is
     // always running or finished before the row starts: the dependency wait
     // below cannot deadlock.
-    pool_->submit([this, &src, &progress, by, mbs_x, &e] {
+    submit_stage_task(front_group_, [this, &src, &progress, by, mbs_x,
+                                     &results, &e] {
+      // Cross-frame gate first: park until the previous frame's entropy
+      // stage has published every reference row this row's search window
+      // can touch. The publisher (the back task, dispatched earlier on this
+      // lane) never parks on this frame, so the wait always resolves.
+      if (front_gate_ != nullptr) {
+        front_gate_->wait_for(front_wait_base_ + rows_needed(by));
+      }
       const int worker = util::ThreadPool::worker_index();
       assert(worker >= 0 && worker < static_cast<int>(workers_.size()));
-      me::MotionEstimator& estimator = *workers_[static_cast<std::size_t>(
-          worker)];
+      me::MotionEstimator& estimator =
+          *workers_[static_cast<std::size_t>(worker)];
       for (int bx = 0; bx < mbs_x; ++bx) {
         if (by > 0) {
           progress.wait_for(by - 1, std::min(bx + 2, mbs_x));
@@ -201,17 +422,18 @@ void EncoderPipeline::motion_stage_wavefront(const video::Frame& src) {
         const std::size_t idx =
             static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) +
             static_cast<std::size_t>(bx);
-        me_results_[idx] = estimate_block(estimator, src, bx, by);
-        e.me_field_.set(bx, by, me_results_[idx].mv);
+        results[idx] = estimate_block(estimator, src, bx, by);
+        e.me_field_->set(bx, by, results[idx].mv);
         progress.publish(by, bx + 1);
       }
     });
   }
-  pool_->wait_idle();
+  wait_stage(front_group_);
 
   // Drain every worker's statistics into the caller's estimator. Totals are
   // additive, so the result matches a serial run regardless of which worker
-  // processed which rows.
+  // processed which rows. Fronts serialise per session, so this never races
+  // with another frame of the same estimator.
   for (const auto& worker : workers_) {
     e.estimator_->merge_stats(*worker);
   }
@@ -222,7 +444,9 @@ void EncoderPipeline::motion_stage_wavefront(const video::Frame& src) {
 void EncoderPipeline::mode_stage_rows(const video::Frame& src, int row_begin,
                                       int row_end) {
   const Encoder& e = enc_;
-  const int mbs_x = e.me_field_.mbs_x();
+  const std::vector<me::EstimateResult>& results = me_results_[front_parity_];
+  std::vector<std::uint8_t>& use_intra_flags = use_intra_[front_parity_];
+  const int mbs_x = e.mbs_x();
   for (int by = row_begin; by < row_end; ++by) {
     for (int bx = 0; bx < mbs_x; ++bx) {
       const std::size_t idx =
@@ -233,16 +457,16 @@ void EncoderPipeline::mode_stage_rows(const video::Frame& src, int row_begin,
           me::intra_sad(src.y(), bx * kMb, by * kMb, kMb, kMb);
       const bool use_intra =
           static_cast<std::int64_t>(activity) + e.config_.intra_bias <
-          static_cast<std::int64_t>(me_results_[idx].sad);
-      use_intra_[idx] = use_intra ? 1 : 0;
+          static_cast<std::int64_t>(results[idx].sad);
+      use_intra_flags[idx] = use_intra ? 1 : 0;
     }
   }
 }
 
 void EncoderPipeline::mode_stage(const video::Frame& src) {
   const Encoder& e = enc_;
-  const int mbs_x = e.me_field_.mbs_x();
-  const int mbs_y = e.me_field_.mbs_y();
+  const int mbs_x = e.mbs_x();
+  const int mbs_y = e.mbs_y();
 
   if (e.config_.mode_decision == ModeDecision::kRateDistortion) {
     // RD decisions price MVD bits against the coded-field median predictor,
@@ -252,20 +476,20 @@ void EncoderPipeline::mode_stage(const video::Frame& src) {
     return;
   }
 
-  use_intra_.assign(
+  use_intra_[front_parity_].assign(
       static_cast<std::size_t>(mbs_x) * static_cast<std::size_t>(mbs_y), 0);
 
-  if (pool_) {
+  if (active_pool_ != nullptr) {
     // Independent per block — plain row slices, no wavefront needed.
     const int rows_per_task =
         std::max(1, (mbs_y + worker_count_ - 1) / worker_count_);
     for (int begin = 0; begin < mbs_y; begin += rows_per_task) {
       const int end = std::min(begin + rows_per_task, mbs_y);
-      pool_->submit([this, &src, begin, end] {
+      submit_stage_task(front_group_, [this, &src, begin, end] {
         mode_stage_rows(src, begin, end);
       });
     }
-    pool_->wait_idle();
+    wait_stage(front_group_);
   } else {
     mode_stage_rows(src, 0, mbs_y);
   }
@@ -277,39 +501,42 @@ void EncoderPipeline::plan_stage_rows(const video::Frame& src,
                                       bool intra_frame, int row_begin,
                                       int row_end) {
   const Encoder& e = enc_;
-  const int mbs_x = e.me_field_.mbs_x();
+  const std::vector<me::EstimateResult>& results = me_results_[front_parity_];
+  const std::vector<std::uint8_t>& use_intra_flags = use_intra_[front_parity_];
+  std::vector<Encoder::MbPlan>& plans = plans_[front_parity_];
+  const int mbs_x = e.mbs_x();
   const bool rd = e.config_.mode_decision == ModeDecision::kRateDistortion;
   for (int by = row_begin; by < row_end; ++by) {
     for (int bx = 0; bx < mbs_x; ++bx) {
       const std::size_t idx =
           static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) + bx;
-      const me::Mv mv = intra_frame ? me::Mv{} : me_results_[idx].mv;
+      const me::Mv mv = intra_frame ? me::Mv{} : results[idx].mv;
       // use_intra_ is only filled by the heuristic mode stage; RD plans
       // both candidates and lets stage 3 pick.
-      const bool use_intra = !intra_frame && !rd && use_intra_[idx] != 0;
-      e.plan_mb(src, bx, by, intra_frame, mv, use_intra, plans_[idx]);
+      const bool use_intra = !intra_frame && !rd && use_intra_flags[idx] != 0;
+      e.plan_mb(src, bx, by, intra_frame, mv, use_intra, plans[idx]);
     }
   }
 }
 
 void EncoderPipeline::plan_stage(const video::Frame& src, bool intra_frame) {
   Encoder& e = enc_;
-  const int mbs_x = e.me_field_.mbs_x();
-  const int mbs_y = e.me_field_.mbs_y();
-  plans_.resize(static_cast<std::size_t>(mbs_x) *
-                static_cast<std::size_t>(mbs_y));
+  const int mbs_x = e.mbs_x();
+  const int mbs_y = e.mbs_y();
+  plans_[front_parity_].resize(static_cast<std::size_t>(mbs_x) *
+                               static_cast<std::size_t>(mbs_y));
 
-  if (pool_) {
+  if (active_pool_ != nullptr) {
     // Independent per block — plain row slices, like the mode stage.
     const int rows_per_task =
         std::max(1, (mbs_y + worker_count_ - 1) / worker_count_);
     for (int begin = 0; begin < mbs_y; begin += rows_per_task) {
       const int end = std::min(begin + rows_per_task, mbs_y);
-      pool_->submit([this, &src, intra_frame, begin, end] {
+      submit_stage_task(front_group_, [this, &src, intra_frame, begin, end] {
         plan_stage_rows(src, intra_frame, begin, end);
       });
     }
-    pool_->wait_idle();
+    wait_stage(front_group_);
   } else {
     plan_stage_rows(src, intra_frame, 0, mbs_y);
   }
@@ -317,18 +544,47 @@ void EncoderPipeline::plan_stage(const video::Frame& src, bool intra_frame) {
 
 // ----------------------------------------------------------- entropy stage
 
+void EncoderPipeline::publish_back_row(int by) {
+  Encoder& e = enc_;
+  // Border-extend the strip first: a row is "published" only once every
+  // sample a gated reader may touch — including the replicated side/top/
+  // bottom bands — is final. Strips are row-disjoint, so concurrent slices
+  // extend without overlap.
+  e.recon_->extend_border_rows(by * kMb, (by + 1) * kMb);
+  std::uint64_t ready = 0;
+  {
+    const std::lock_guard<std::mutex> lock(publish_mutex_);
+    row_done_[static_cast<std::size_t>(by)] = 1;
+    // The counter is cumulative, so only the contiguous prefix publishes;
+    // out-of-order slice completions park here until the gap row lands.
+    while (row_prefix_ < e.mbs_y() &&
+           row_done_[static_cast<std::size_t>(row_prefix_)] != 0) {
+      ++row_prefix_;
+    }
+    ready = back_base_ + static_cast<std::uint64_t>(row_prefix_);
+  }
+  // publish() takes a running max, so two slices racing here can never
+  // regress the counter (the mutex orders the prefix computation; the
+  // publication order outside it does not matter).
+  ref_ready_[back_parity_].publish(ready);
+}
+
 void EncoderPipeline::entropy_slice(bool intra_frame,
                                     Encoder::SliceState& slice, int row_begin,
                                     int row_end) {
   Encoder& e = enc_;
+  const std::vector<Encoder::MbPlan>& plans = plans_[back_parity_];
   // Same stride source as the stages that filled me_results_/plans_.
-  const int mbs_x = e.me_field_.mbs_x();
+  const int mbs_x = e.mbs_x();
 
   for (int by = row_begin; by < row_end; ++by) {
     for (int bx = 0; bx < mbs_x; ++bx) {
       const std::size_t idx =
           static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) + bx;
-      e.write_mb_from_plan(intra_frame, plans_[idx], bx, by, slice);
+      e.write_mb_from_plan(intra_frame, plans[idx], bx, by, slice);
+    }
+    if (row_publish_) {
+      publish_back_row(by);
     }
   }
 }
@@ -348,7 +604,7 @@ void EncoderPipeline::entropy_stage(bool intra_frame,
                                     Encoder::MbBitCounters& counters,
                                     FrameReport& report) {
   Encoder& e = enc_;
-  const int mbs_y = e.me_field_.mbs_y();
+  const int mbs_y = e.mbs_y();
   const int slice_count = e.slices_;  // clamped to [1, mbs_y] at construction
 
   if (slice_count == 1) {
@@ -385,15 +641,15 @@ void EncoderPipeline::entropy_stage(bool intra_frame,
                : mbs_y;
   };
 
-  if (pool_) {
+  if (active_pool_ != nullptr) {
     for (int s = 0; s < slice_count; ++s) {
       Encoder::SliceState& slice = slices[static_cast<std::size_t>(s)];
       const int end = row_end(s);
-      pool_->submit([this, intra_frame, &slice, end] {
+      submit_stage_task(back_group_, [this, intra_frame, &slice, end] {
         entropy_slice(intra_frame, slice, slice.first_mb_row, end);
       });
     }
-    pool_->wait_idle();
+    wait_stage(back_group_);
   } else {
     for (int s = 0; s < slice_count; ++s) {
       Encoder::SliceState& slice = slices[static_cast<std::size_t>(s)];

@@ -30,32 +30,53 @@
 //                           candidate reconstructions/SSDs in RD mode).
 //                           Every input — me_results_, use_intra_, source,
 //                           reference — is fixed before the stage starts,
-//                           so it is row-parallel with no dependencies;
-//                           this is where the transform work that used to
-//                           serialise inside the entropy loop now runs.
+//                           so it is row-parallel with no dependencies.
 //   3. entropy stage      — MVD coding + bit writing + reconstruction from
 //                           the precomputed plans; the only work left here
 //                           is what genuinely chains through the
 //                           coded-field MV predictor. With
 //                           EncoderConfig::slices == 1 this is the legacy
 //                           serial raster scan straight into the stream
-//                           writer (differential MV coding chains the whole
-//                           frame). With slices == N the frame's macroblock
-//                           rows split into N independently-predicted
-//                           slices: MV prediction resets at each slice's
-//                           first row, every slice entropy-codes into its
-//                           own util::BitWriter (in parallel on the pool
-//                           when one exists), and the byte-aligned payloads
-//                           are concatenated behind ACV2 slice headers in
-//                           slice order. Reconstruction is per-macroblock
-//                           independent (it reads only the previous frame's
-//                           reference), so it rides along inside each
-//                           slice's task.
+//                           writer; with slices == N the frame's macroblock
+//                           rows split into N independently-predicted ACV2
+//                           slices coded in parallel (see entropy_stage).
+//
+// FRAME-LEVEL PIPELINING (the service mode, built on the staging above):
+// stages 1–2.5 read only the *previous* frame's reconstruction, stage 3
+// writes the *current* one — so with the reference double-buffered
+// (Encoder::recon_buf_), frame t+1's front half (motion/mode/plan) can run
+// while frame t's back half (entropy + reconstruction) is still coding:
+//
+//      frame t   : [ME t   | mode | plan] [entropy+recon t  ]
+//      frame t+1 :                  [ME t+1 | mode | plan] [entropy t+1]
+//                                      ▲ row-readiness waits
+//
+// The handoff is row-granular, not whole-frame: stage 3 publishes each
+// reconstructed macroblock row (border-extended) through a monotonic
+// util::ReadyCounter, and frame t+1's ME row `by` parks until the rows its
+// clamped search window can touch — ±search_range plus the half-pel
+// interpolation sample — are published (rows_needed()). Everything an ME /
+// plan read can observe is final before the read, so pipelined streams are
+// byte-identical to the sequential path. In-loop deblocking is frame-global
+// and rewrites rows after entropy, so with deblock enabled the pipeline
+// degrades to whole-frame publication (still overlapped with the next
+// frame's submission, just not row-granular).
+//
+// Admission rules (pump_locked) keep at most one front and one back in
+// flight per session: front(f) needs front(f−1) done (fronts serialise: the
+// estimator state, ME-field parity and ref binding are per-session
+// singletons) and back(f−2) done (parity f&1 buffers free); back(f) needs
+// front(f) done and back(f−1) done (the bitstream writer is strictly
+// ordered). Backs are enqueued before fronts on the session's FIFO lane, so
+// a task that parks on a reference row is always dispatched after the task
+// that publishes it — the same dispatch-order argument that keeps the
+// intra-frame wavefront deadlock-free, one level up.
 //
 // Determinism: every stage consumes only inputs that are fixed before the
-// stage starts or ordered by the wavefront dependency, so serial and
-// N-thread encodes of the same sequence produce byte-identical ACV1
-// bitstreams. tests/codec_parallel_test.cpp holds that invariant.
+// stage starts or ordered by a wavefront/readiness dependency, so serial,
+// N-thread and frame-pipelined encodes of the same sequence produce
+// byte-identical ACV1/ACV2 bitstreams. tests/codec_parallel_test.cpp and
+// tests/codec_service_test.cpp hold that invariant.
 //
 // One deliberate semantic change from the pre-pipeline encoder: the
 // rate-aware ME cost predictor (EncoderConfig::me_lambda > 0) is now the
@@ -64,60 +85,125 @@
 // me_lambda = 0 (the paper's pure-SAD search) the cost ignores the
 // predictor entirely and bitstreams are unchanged.
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "codec/encoder.hpp"
 #include "me/types.hpp"
-
-namespace acbm::util {
-class ThreadPool;
-}
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace acbm::codec {
 
 /// @brief The staged per-frame encoder described above; owned by
-/// codec::Encoder and driven once per encode_frame call.
+/// codec::Encoder and driven once per encode_frame / submit_frame call.
 ///
 /// The ME stage's SAD arithmetic routes through the runtime-dispatched
 /// kernel table (simd/dispatch.hpp); every worker reads the same table, so
-/// the (kernel × thread-count) grid is one bitstream equivalence class.
+/// the (kernel × thread-count × pipelining) grid is one bitstream
+/// equivalence class.
 class EncoderPipeline {
  public:
-  /// @brief Binds the pipeline to its encoder and sizes the worker pool.
+  /// @brief Standalone mode: binds the pipeline to its encoder and sizes a
+  /// private worker pool.
   /// @param encoder must outlive the pipeline (the Encoder owns it)
   /// @param parallel thread-count/determinism knobs; threads == 1 builds
   ///        no pool and runs every stage serially
   EncoderPipeline(Encoder& encoder, const ParallelConfig& parallel);
+
+  /// @brief Service mode: runs on one FIFO lane of `shared_pool` (which
+  /// fair-schedules across sessions) with frame-level pipelining enabled.
+  /// The pool must outlive the pipeline.
+  EncoderPipeline(Encoder& encoder, util::ThreadPool& shared_pool);
+
   ~EncoderPipeline();
 
   EncoderPipeline(const EncoderPipeline&) = delete;
   EncoderPipeline& operator=(const EncoderPipeline&) = delete;
 
-  /// @brief Runs the three stages for one frame.
-  /// @param src the source frame (any dimensions matching the encoder's
+  /// @brief Runs the stages for one frame, synchronously. In service mode
+  /// this routes through the async path and blocks on the result.
+  /// @param src the source frame (dimensions matching the encoder's
   ///        configured picture size)
   /// @return the frame's bit count, PSNR and per-mode macroblock tallies
   FrameReport encode_frame(const video::Frame& src);
 
+  /// @brief Service mode: enqueues a frame for pipelined encoding. Frames
+  /// complete in submission order; throws std::logic_error in standalone
+  /// mode.
+  std::future<EncodedFrame> submit_frame(video::Frame src);
+
+  /// @brief Blocks until every submitted frame has completed (no-op in
+  /// standalone mode).
+  void drain();
+
   /// @return number of ME workers (1 in serial mode).
   [[nodiscard]] int worker_count() const { return worker_count_; }
 
+  /// @return true in service mode (frame-level pipelining active).
+  [[nodiscard]] bool pipelined() const { return queue_ != nullptr; }
+
  private:
+  /// One submitted frame in flight: its source copy, its packet under
+  /// construction, and the promise the service caller holds.
+  struct FrameJob {
+    video::Frame src;
+    std::uint64_t index = 0;
+    EncodedFrame out;
+    std::promise<EncodedFrame> promise;
+    util::Timer wall;  ///< restarted when the front half starts
+  };
+
+  [[nodiscard]] bool is_intra(std::uint64_t frame) const;
+
+  /// Stages 1–2.5: motion, mode, plan — everything that reads only the
+  /// previous frame's reconstruction. Retargets the encoder's front role
+  /// pointers for frame `f` first.
+  void run_front(const video::Frame& src, std::uint64_t f,
+                 FrameReport& report);
+  /// Stage 3 + frame finalisation: header/entropy bits, reconstruction,
+  /// row publication, PSNR. `bytes_out`, when non-null, receives the
+  /// frame's byte range of the stream (the async packet payload).
+  void run_back(const video::Frame& src, std::uint64_t f, FrameReport& report,
+                std::vector<std::uint8_t>* bytes_out);
+
+  // --- async admission engine (service mode) ---
+  void pump_locked();
+  void finish_front();
+  void finish_back();
+
+  // --- helpers shared by both modes ---
+  /// Submits a stage task: onto the session lane tagged with `group` in
+  /// service mode, onto the private pool's default lane otherwise.
+  void submit_stage_task(util::TaskGroup& group, std::function<void()> task);
+  /// The matching barrier: group wait (helping) or wait_idle.
+  void wait_stage(util::TaskGroup& group);
+
   void motion_stage(const video::Frame& src, FrameReport& report);
   void motion_stage_serial(const video::Frame& src);
   void motion_stage_wavefront(const video::Frame& src);
   [[nodiscard]] me::EstimateResult estimate_block(
       me::MotionEstimator& estimator, const video::Frame& src, int bx,
       int by) const;
+  /// Reference rows (cumulative macroblock rows, frame-local) frame f's ME
+  /// row `by` may touch: the block rows themselves shifted by up to
+  /// ±search_range, one extra sample row for half-pel interpolation, and
+  /// one row of slack. Reads past the bottom edge resolve in the replicated
+  /// border, which is only final once the whole reference is — hence the
+  /// clamp to "all rows".
+  [[nodiscard]] std::uint64_t rows_needed(int by) const;
 
   void mode_stage(const video::Frame& src);
   void mode_stage_rows(const video::Frame& src, int row_begin, int row_end);
 
-  /// Stage 2.5: fills plans_ (one MbPlan per macroblock) on the pool. All
-  /// inputs are fixed before the stage starts, so rows split into plain
-  /// contiguous tasks — no wavefront.
+  /// Stage 2.5: fills the front parity's plans (one MbPlan per macroblock)
+  /// on the pool. All inputs are fixed before the stage starts, so rows
+  /// split into plain contiguous tasks — no wavefront.
   void plan_stage(const video::Frame& src, bool intra_frame);
   void plan_stage_rows(const video::Frame& src, bool intra_frame,
                        int row_begin, int row_end);
@@ -131,6 +217,10 @@ class EncoderPipeline {
   /// may run concurrently.
   void entropy_slice(bool intra_frame, Encoder::SliceState& slice,
                      int row_begin, int row_end);
+  /// Row-granular reference publication: border-extends the reconstructed
+  /// macroblock row `by` and advances this frame's contiguous ready prefix
+  /// on the parity's ReadyCounter. Safe from concurrent slices.
+  void publish_back_row(int by);
   /// Folds one finished slice's tallies into the frame totals (slice order
   /// keeps the report deterministic).
   static void fold_slice(const Encoder::SliceState& slice,
@@ -147,17 +237,56 @@ class EncoderPipeline {
   std::vector<std::unique_ptr<me::MotionEstimator>> workers_;
   // Declared after workers_ so destruction joins the pool threads before
   // the per-worker estimators they may still reference go away.
-  std::unique_ptr<util::ThreadPool> pool_;  ///< null in serial mode
+  std::unique_ptr<util::ThreadPool> pool_;  ///< owned pool, standalone mode
+  util::ThreadPool* active_pool_ = nullptr;  ///< owned or shared; null=serial
+  /// This session's FIFO lane of the shared pool; non-null IS the service
+  /// mode flag. Destroyed (draining the lane) before pool_ would be.
+  std::unique_ptr<util::ThreadPool::Queue> queue_;
+  util::TaskGroup front_group_;  ///< ME/mode/plan row tasks, current front
+  util::TaskGroup back_group_;   ///< entropy slice tasks, current back
 
-  // Per-frame stage outputs, indexed by by * mbs_x + bx. Sized once and
-  // reused across frames (geometry is fixed per encoder): plans_ in
-  // particular holds every InterPlan/IntraPlan prediction buffer inline, so
-  // re-sizing it per frame would be megabytes of allocator traffic at HD.
-  std::vector<me::EstimateResult> me_results_;
-  std::vector<std::uint8_t> use_intra_;  ///< heuristic mode decisions
-  std::vector<Encoder::MbPlan> plans_;   ///< plan-stage output (stage 2.5)
+  // Per-frame stage outputs, indexed by by * mbs_x + bx; two parities so a
+  // back half can read frame f's plans while the next front fills frame
+  // f+1's (standalone mode always uses parity 0). Sized once and reused
+  // across frames (geometry is fixed per encoder): plans_ in particular
+  // holds every InterPlan/IntraPlan prediction buffer inline, so re-sizing
+  // it per frame would be megabytes of allocator traffic at HD.
+  std::vector<me::EstimateResult> me_results_[2];
+  std::vector<std::uint8_t> use_intra_[2];  ///< heuristic mode decisions
+  std::vector<Encoder::MbPlan> plans_[2];   ///< plan-stage output (stage 2.5)
   /// ACV2 per-slice payload writers, reset (capacity kept) every frame.
   std::vector<util::BitWriter> slice_writers_;
+
+  // --- front-half state, owned by the (single) in-flight front task ---
+  int front_parity_ = 0;              ///< stage-buffer parity of this front
+  std::uint64_t front_frame_ = 0;     ///< frame index (BlockContext::frame)
+  util::ReadyCounter* front_gate_ = nullptr;  ///< null = reference complete
+  std::uint64_t front_wait_base_ = 0; ///< gate value where this ref starts
+
+  // --- back-half state, owned by the (single) in-flight back task ---
+  int back_parity_ = 0;
+  bool row_publish_ = false;     ///< row-granular publication this frame
+  std::uint64_t back_base_ = 0;  ///< counter value where this frame starts
+  std::mutex publish_mutex_;     ///< guards row_done_/row_prefix_
+  std::vector<std::uint8_t> row_done_;
+  int row_prefix_ = 0;  ///< contiguous published rows of the current back
+
+  /// Cumulative reconstructed-row counters, one per reconstruction parity.
+  /// Frame f's back publishes rows of recon_buf_[f&1] as
+  /// (f>>1)*mbs_y + row_prefix_; frame f+1's front waits on the same
+  /// parity's counter. 64-bit and never reset, so a counter value uniquely
+  /// identifies (frame, row) across the whole stream.
+  util::ReadyCounter ref_ready_[2];
+
+  // --- admission engine state (admit_mutex_) ---
+  std::mutex admit_mutex_;
+  std::condition_variable drained_;
+  std::deque<std::unique_ptr<FrameJob>> jobs_;  ///< front: index backs_done_
+  std::uint64_t submitted_ = 0;
+  std::uint64_t fronts_done_ = 0;
+  std::uint64_t backs_done_ = 0;
+  bool front_running_ = false;
+  bool back_running_ = false;
 };
 
 }  // namespace acbm::codec

@@ -1,0 +1,36 @@
+#include "codec/service.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace acbm::codec {
+
+EncodeSession::EncodeSession(EncoderService& service, video::PictureSize size,
+                             const EncoderConfig& config,
+                             std::unique_ptr<me::MotionEstimator> estimator)
+    : estimator_(std::move(estimator)) {
+  assert(estimator_ != nullptr);
+  encoder_ =
+      std::make_unique<Encoder>(size, config, *estimator_, service.pool());
+}
+
+EncodeSession::~EncodeSession() {
+  // The encoder's pipeline drains its own lane on destruction; draining
+  // here first just keeps the teardown path identical to finish().
+  if (encoder_) {
+    encoder_->drain();
+  }
+}
+
+std::future<Packet> EncodeSession::submit(video::Frame frame) {
+  return encoder_->submit_frame(std::move(frame));
+}
+
+void EncodeSession::drain() { encoder_->drain(); }
+
+std::vector<std::uint8_t> EncodeSession::finish() {
+  encoder_->drain();
+  return encoder_->finish();
+}
+
+}  // namespace acbm::codec

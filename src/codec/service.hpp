@@ -1,0 +1,124 @@
+#pragma once
+// Multi-session encoding service: many independent encodes sharing one
+// worker pool.
+//
+// The per-encoder pool model (one ThreadPool per codec::Encoder) breaks
+// down the moment a process runs more than a handful of encodes at once —
+// 64 sessions × 8 workers is 512 threads fighting over 8 cores, and each
+// pool's stage barriers serialise against its own session only, so a burst
+// on one session cannot soak up idle cycles another session leaves behind.
+//
+// EncoderService inverts the ownership: ONE pool, sized to the machine, and
+// one EncodeSession per concurrent stream. Each session's pipeline runs on
+// its own FIFO lane of the pool (util::ThreadPool::Queue); the dispatcher
+// round-robins across lanes that hold work, so
+//   * a saturating session cannot starve the others (fair scheduling),
+//   * an idle session costs nothing (no parked per-session threads), and
+//   * every session gets the frame-level pipelining of the shared-pool
+//     Encoder constructor — frame t+1's motion estimation overlaps frame
+//     t's entropy coding, row-readiness gated, bitstreams byte-identical
+//     to a standalone encode of the same sequence.
+//
+// Threading contract: one thread drives a session (submit/finish are not
+// self-synchronised), but different sessions may be driven from different
+// threads concurrently — the shared pool and the per-session lanes carry
+// all cross-session synchronisation. Packets resolve in submission order
+// per session; concatenating one session's packet bytes reproduces
+// Encoder::finish() for that stream byte for byte.
+//
+// bench/bench_service.cpp measures the aggregate-throughput and per-frame
+// latency behaviour of this layer; tests/codec_service_test.cpp holds the
+// byte-identity and TSan-cleanliness invariants.
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "codec/encoder.hpp"
+#include "me/estimator.hpp"
+#include "util/thread_pool.hpp"
+#include "video/frame.hpp"
+
+namespace acbm::codec {
+
+/// The unit a service caller receives per frame. (Alias of EncodedFrame:
+/// the async Encoder API and the service speak the same type.)
+using Packet = EncodedFrame;
+
+class EncoderService;
+
+/// One independent encode in flight on a shared EncoderService. Owns its
+/// estimator (sessions must not share one — estimators carry per-sequence
+/// adaptive state) and its Encoder, which runs on one lane of the service's
+/// pool with frame-level pipelining enabled.
+class EncodeSession {
+ public:
+  /// @param service must outlive the session
+  /// @param size picture dimensions (multiples of 16)
+  /// @param config encoder settings; config.parallel.threads is ignored —
+  ///        the service's pool size governs parallelism for every session
+  /// @param estimator the session's own estimator instance, e.g. from
+  ///        core::builtin_estimators().create(spec); must be non-null
+  EncodeSession(EncoderService& service, video::PictureSize size,
+                const EncoderConfig& config,
+                std::unique_ptr<me::MotionEstimator> estimator);
+
+  /// Drains any frames still in flight before tearing the encoder down.
+  ~EncodeSession();
+
+  EncodeSession(const EncodeSession&) = delete;
+  EncodeSession& operator=(const EncodeSession&) = delete;
+
+  /// Enqueues one frame; the future resolves when the frame's packet —
+  /// report plus its byte range of the session's bitstream — is complete.
+  /// Frames resolve in submission order.
+  std::future<Packet> submit(video::Frame frame);
+
+  /// Blocks until every submitted frame's packet has resolved.
+  void drain();
+
+  /// Drains and returns the session's complete bitstream (identical to the
+  /// concatenation of every packet's bytes). The session must not be used
+  /// afterwards.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  /// The session's estimator — read statistics here after encoding.
+  [[nodiscard]] me::MotionEstimator& estimator() { return *estimator_; }
+
+  [[nodiscard]] const Encoder& encoder() const { return *encoder_; }
+  [[nodiscard]] Encoder& encoder() { return *encoder_; }
+
+ private:
+  std::unique_ptr<me::MotionEstimator> estimator_;
+  std::unique_ptr<Encoder> encoder_;  ///< declared after the estimator it borrows
+};
+
+/// The shared pool. Construct one per process (or per core-partition),
+/// then as many EncodeSessions against it as there are concurrent streams.
+class EncoderService {
+ public:
+  /// @param threads pool size: 0 = one per hardware thread, N = exactly N
+  ///        (util::ThreadPool::resolve_thread_count semantics)
+  explicit EncoderService(int threads = 0)
+      : pool_(util::ThreadPool::resolve_thread_count(threads)) {}
+
+  EncoderService(const EncoderService&) = delete;
+  EncoderService& operator=(const EncoderService&) = delete;
+
+  /// Worker threads shared by every session.
+  [[nodiscard]] int threads() const { return pool_.size(); }
+
+  /// Convenience spelling of session.submit(frame): submits `frame` to
+  /// `session`, which must have been created against this service.
+  std::future<Packet> submit(EncodeSession& session, video::Frame frame) {
+    return session.submit(std::move(frame));
+  }
+
+  /// The underlying pool (sessions bind their pipeline lane to it).
+  [[nodiscard]] util::ThreadPool& pool() { return pool_; }
+
+ private:
+  util::ThreadPool pool_;
+};
+
+}  // namespace acbm::codec

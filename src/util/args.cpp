@@ -99,6 +99,10 @@ std::string ArgParser::usage(const std::string& program) const {
 }
 
 std::vector<std::string> split_csv_list(const std::string& text) {
+  return split_list(text, ',');
+}
+
+std::vector<std::string> split_list(const std::string& text, char sep) {
   std::vector<std::string> out;
   std::string current;
   auto flush = [&] {
@@ -111,7 +115,7 @@ std::vector<std::string> split_csv_list(const std::string& text) {
     current.clear();
   };
   for (char c : text) {
-    if (c == ',') {
+    if (c == sep) {
       flush();
     } else {
       current += c;

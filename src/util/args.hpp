@@ -51,4 +51,8 @@ class ArgParser {
 /// Splits "a,b,c" into trimmed tokens; empty tokens are dropped.
 std::vector<std::string> split_csv_list(const std::string& text);
 
+/// Same, with a caller-chosen separator — ';' for lists whose items embed
+/// commas themselves (estimator specs: "ACBM:alpha=500,beta=8;FSBM").
+std::vector<std::string> split_list(const std::string& text, char sep);
+
 }  // namespace acbm::util

@@ -1,15 +1,39 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace acbm::util {
 
 namespace {
 thread_local int tls_worker_index = -1;
+/// Identity of the pool the calling thread belongs to. worker_index() alone
+/// is not enough for the helping wait: a worker of pool A calling into pool
+/// B must park, not help (B's lanes are not its responsibility, and B's
+/// per-worker state is indexed by B's thread indices).
+thread_local ThreadPool* tls_worker_pool = nullptr;
 }  // namespace
 
+ThreadPool::Queue::Queue(ThreadPool& pool) : pool_(pool) {
+  const std::lock_guard<std::mutex> lock(pool_.mutex_);
+  pool_.queues_.push_back(this);
+}
+
+ThreadPool::Queue::~Queue() {
+  std::unique_lock<std::mutex> lock(pool_.mutex_);
+  // Drain this lane before unregistering: a session tearing down must not
+  // leave its tasks running against freed state.
+  pool_.all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  auto& queues = pool_.queues_;
+  queues.erase(std::find(queues.begin(), queues.end(), this));
+  if (pool_.rr_next_ >= queues.size()) {
+    pool_.rr_next_ = 0;
+  }
+}
+
 ThreadPool::ThreadPool(int threads) {
+  default_queue_ = std::make_unique<Queue>(*this);
   const int n = std::max(1, threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -26,13 +50,28 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) {
     worker.join();
   }
+  // Workers drained every lane before exiting; ~Queue of the default lane
+  // returns immediately.
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  submit(*default_queue_, std::move(task), nullptr);
+}
+
+void ThreadPool::submit(Queue& queue, std::function<void()> task,
+                        TaskGroup* group) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue.jobs_.push_back(Job{std::move(task), group, &queue});
+    ++queue.in_flight_;
+    ++queued_total_;
     ++in_flight_;
+    if (group != nullptr) {
+      ++group->pending_;
+      // Wake a helping waiter of this group; notified under the mutex so the
+      // group cannot be destroyed between the count update and the notify.
+      group->done_or_work_.notify_all();
+    }
   }
   work_available_.notify_one();
 }
@@ -40,6 +79,47 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::wait(TaskGroup& group) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool may_help = (tls_worker_pool == this);
+  for (;;) {
+    if (group.pending_ == 0) {
+      return;
+    }
+    if (may_help) {
+      // Run a queued task of this group instead of parking the worker.
+      // Lanes are scanned in dispatch order and each lane front-to-back, so
+      // group-relative FIFO (the wavefront's ordering contract) holds for
+      // helped tasks too.
+      Job job;
+      bool found = false;
+      for (Queue* queue : queues_) {
+        auto it = std::find_if(queue->jobs_.begin(), queue->jobs_.end(),
+                               [&group](const Job& j) {
+                                 return j.group == &group;
+                               });
+        if (it != queue->jobs_.end()) {
+          job = std::move(*it);
+          queue->jobs_.erase(it);
+          --queued_total_;
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        lock.unlock();
+        job.fn();
+        lock.lock();
+        finish_job_locked(job);
+        continue;
+      }
+      // Every task of the group is already running on some other thread;
+      // park until one finishes (or a new group task arrives to help with).
+    }
+    group.done_or_work_.wait(lock);
+  }
 }
 
 int ThreadPool::worker_index() { return tls_worker_index; }
@@ -55,27 +135,52 @@ int ThreadPool::resolve_thread_count(int requested) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+ThreadPool::Job ThreadPool::pop_next_locked() {
+  assert(queued_total_ > 0);
+  const std::size_t lanes = queues_.size();
+  const std::size_t start = rr_next_ < lanes ? rr_next_ : 0;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    Queue* queue = queues_[(start + i) % lanes];
+    if (!queue->jobs_.empty()) {
+      // Advance the cursor past the served lane: strict round-robin across
+      // lanes that hold work, FIFO within each lane.
+      rr_next_ = (start + i + 1) % lanes;
+      Job job = std::move(queue->jobs_.front());
+      queue->jobs_.pop_front();
+      --queued_total_;
+      return job;
+    }
+  }
+  assert(false && "queued_total_ > 0 but no lane holds a job");
+  return Job{};
+}
+
+void ThreadPool::finish_job_locked(const Job& job) {
+  --in_flight_;
+  --job.queue->in_flight_;
+  if (job.group != nullptr && --job.group->pending_ == 0) {
+    job.group->done_or_work_.notify_all();
+  }
+  if (in_flight_ == 0 || job.queue->in_flight_ == 0) {
+    all_idle_.notify_all();
+  }
+}
+
 void ThreadPool::worker_loop(int index) {
   tls_worker_index = index;
+  tls_worker_pool = this;
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        return;  // stopping_ and drained
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    work_available_.wait(lock,
+                         [this] { return stopping_ || queued_total_ > 0; });
+    if (queued_total_ == 0) {
+      return;  // stopping_ and drained
     }
-    task();
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) {
-        all_idle_.notify_all();
-      }
-    }
+    Job job = pop_next_locked();
+    lock.unlock();
+    job.fn();
+    lock.lock();
+    finish_job_locked(job);
   }
 }
 
@@ -121,6 +226,32 @@ void WavefrontProgress::wait_for(int row, int need) {
 int WavefrontProgress::progress(int row) const {
   return rows_[static_cast<std::size_t>(row)]->done.load(
       std::memory_order_acquire);
+}
+
+void ReadyCounter::publish(std::uint64_t value) {
+  // Running maximum with the same seq_cst store/waiters-load handshake as
+  // WavefrontProgress::publish (see the comment there).
+  std::uint64_t cur = value_.load();
+  while (cur < value && !value_.compare_exchange_weak(cur, value)) {
+  }
+  if (waiters_.load() > 0) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    advanced_.notify_all();
+  }
+}
+
+void ReadyCounter::wait_for(std::uint64_t value) {
+  for (int spin = 0; spin < 64; ++spin) {
+    if (value_.load(std::memory_order_acquire) >= value) {
+      return;
+    }
+  }
+  waiters_.fetch_add(1);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    advanced_.wait(lock, [this, value] { return value_.load() >= value; });
+  }
+  waiters_.fetch_sub(1);
 }
 
 }  // namespace acbm::util

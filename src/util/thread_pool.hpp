@@ -6,12 +6,19 @@
 //      (worker_index()), so callers can give each worker private state — the
 //      encoding pipeline hands each worker its own cloned MotionEstimator
 //      and merges statistics afterwards.
-//   2. FIFO dispatch: tasks start in submission order. The wavefront
-//      scheduler in codec::EncoderPipeline relies on this to guarantee that
-//      a macroblock row's predecessor row is always running or finished
-//      before the row itself starts (no deadlock in the dependency waits).
-//   3. No task futures or result plumbing — callers use wait_idle() as the
-//      stage barrier and write results into pre-sized arrays.
+//   2. FIFO dispatch *per lane*: tasks of one Queue start in submission
+//      order. The wavefront scheduler in codec::EncoderPipeline relies on
+//      this to guarantee that a macroblock row's predecessor row is always
+//      running or finished before the row itself starts (no deadlock in the
+//      dependency waits), and the frame pipeline relies on it to guarantee
+//      that the task publishing a reference row is dispatched before any
+//      task that parks on it.
+//   3. Fair multi-session scheduling: when several Queues hold work (one
+//      per concurrent encode/decode session), the dispatcher round-robins
+//      across them, so one saturating session cannot starve the others.
+//   4. No task futures or result plumbing — callers use wait_idle() or a
+//      TaskGroup wait as the stage barrier and write results into pre-sized
+//      arrays.
 //
 // Tasks must not throw: an exception escaping a task would terminate the
 // process (std::terminate via the worker thread). The pipeline's tasks are
@@ -20,6 +27,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -29,12 +37,66 @@
 
 namespace acbm::util {
 
+class ThreadPool;
+
+/// Completion tracker for a batch of tasks submitted to a ThreadPool.
+///
+/// Unlike wait_idle(), a TaskGroup barrier covers only the tasks submitted
+/// with it, so independent batches — the stages of two different frames, or
+/// two sessions sharing one pool — can wait without observing each other.
+/// A group belongs to one pool at a time; reuse is fine once a wait has
+/// returned (the pending count is back to zero).
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+ private:
+  friend class ThreadPool;
+  std::size_t pending_ = 0;  ///< guarded by the owning pool's mutex
+  /// Woken (under the pool mutex) when pending_ drops to zero or a new task
+  /// joins the group — the latter lets a helping waiter pick it up.
+  std::condition_variable done_or_work_;
+};
+
 class ThreadPool {
  public:
+  class Queue;
+
+ private:
+  /// One unit of queued work plus its bookkeeping tags.
+  struct Job {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+    Queue* queue = nullptr;
+  };
+
+ public:
+  /// An independent FIFO lane of the pool — one per encode/decode session.
+  /// Jobs within a lane start in submission order; the dispatcher
+  /// round-robins across lanes that hold work. The destructor blocks until
+  /// every job submitted to the lane has finished, then unregisters it, so
+  /// a Queue may simply be destroyed together with its session. Must not
+  /// outlive the pool.
+  class Queue {
+   public:
+    explicit Queue(ThreadPool& pool);
+    ~Queue();
+    Queue(const Queue&) = delete;
+    Queue& operator=(const Queue&) = delete;
+
+   private:
+    friend class ThreadPool;
+    ThreadPool& pool_;
+    std::deque<Job> jobs_;       ///< guarded by pool_.mutex_
+    std::size_t in_flight_ = 0;  ///< queued + running jobs of this lane
+  };
+
   /// Spawns `threads` workers. `threads` < 1 is clamped to 1.
   explicit ThreadPool(int threads);
 
-  /// Drains the queue (runs every submitted task) and joins the workers.
+  /// Drains every lane (runs every submitted task) and joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -43,11 +105,25 @@ class ThreadPool {
   /// Number of worker threads.
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues a task. Tasks start in FIFO order.
+  /// Enqueues a task on the pool's default lane. Tasks start in FIFO order
+  /// relative to other default-lane tasks.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Enqueues a task on `queue`, optionally tagged with `group` so a
+  /// wait(group) barrier covers it.
+  void submit(Queue& queue, std::function<void()> task,
+              TaskGroup* group = nullptr);
+
+  /// Blocks until every submitted task (all lanes) has finished.
   void wait_idle();
+
+  /// Blocks until every task tagged with `group` has finished. When called
+  /// from one of this pool's own workers the wait HELPS: it runs queued
+  /// tasks of that group (in lane order) instead of parking, so a task may
+  /// submit subtasks and wait for them without deadlocking the pool. Only
+  /// the waited group's tasks are helped — stealing unrelated work could
+  /// park this worker on a dependency that is itself queued behind it.
+  void wait(TaskGroup& group);
 
   /// 0-based index of the calling pool thread, or -1 when called from a
   /// thread that does not belong to any ThreadPool.
@@ -59,14 +135,26 @@ class ThreadPool {
 
  private:
   void worker_loop(int index);
+  /// Pops the next job round-robin across lanes. Requires queued_total_ > 0
+  /// and the pool mutex held.
+  Job pop_next_locked();
+  /// Post-run bookkeeping: counters, group completion, idle/drain wakeups.
+  /// Requires the pool mutex held.
+  void finish_job_locked(const Job& job);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
+  /// Woken when the pool goes idle or a lane drains (Queue::~Queue waits).
   std::condition_variable all_idle_;
-  std::size_t in_flight_ = 0;  ///< queued + currently running tasks
+  std::vector<Queue*> queues_;    ///< registered lanes; [0] is the default
+  std::size_t rr_next_ = 0;       ///< round-robin cursor into queues_
+  std::size_t queued_total_ = 0;  ///< jobs queued across all lanes
+  std::size_t in_flight_ = 0;     ///< queued + currently running tasks
   bool stopping_ = false;
+  /// Default lane for the two-argument submit(); declared after the
+  /// bookkeeping it registers into.
+  std::unique_ptr<Queue> default_queue_;
 };
 
 /// Per-row completion counters for wavefront-ordered parallel loops.
@@ -107,6 +195,31 @@ class WavefrontProgress {
   };
   // unique_ptr keeps Row's non-movable members happy inside the vector.
   std::vector<std::unique_ptr<Row>> rows_;
+};
+
+/// A single monotonic progress counter with parked waiters — the cross-frame
+/// sibling of WavefrontProgress. The frame pipeline publishes cumulative
+/// reconstructed-row counts through one of these (a 64-bit value never wraps
+/// over a stream, so the counter needs no per-frame reset and a stale waiter
+/// can never be released early by a later frame reusing small values).
+/// publish() takes the running maximum, so callers may publish out of order.
+class ReadyCounter {
+ public:
+  /// Raises the counter to at least `value` and wakes parked waiters.
+  void publish(std::uint64_t value);
+
+  /// Blocks until the counter reaches at least `value`.
+  void wait_for(std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+  std::atomic<int> waiters_{0};  ///< parked (or parking) consumers
+  std::mutex mutex_;
+  std::condition_variable advanced_;
 };
 
 }  // namespace acbm::util

@@ -53,6 +53,17 @@ class Frame {
     cr_.extend_border();
   }
 
+  /// Partial extend_borders() over luma rows [y0, y1) and the matching
+  /// chroma rows (y0/y1 must be even; 4:2:0). See Plane::extend_border_rows
+  /// for the strip semantics — covering every strip of the frame is
+  /// sample-identical to one extend_borders().
+  void extend_border_rows(int y0, int y1) {
+    assert(y0 % 2 == 0 && y1 % 2 == 0);
+    y_.extend_border_rows(y0, y1);
+    cb_.extend_border_rows(y0 / 2, y1 / 2);
+    cr_.extend_border_rows(y0 / 2, y1 / 2);
+  }
+
   /// Fills Y with `luma` and both chroma planes with the neutral value 128.
   void fill(std::uint8_t luma) {
     y_.fill(luma);

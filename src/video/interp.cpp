@@ -29,7 +29,7 @@ void HalfpelPlanes::ensure_interpolated() const {
   if (interp_built_.load(std::memory_order_relaxed)) {
     return;
   }
-  const Plane& src = integer_;
+  const Plane& src = integer_plane();
   const int w = src.width();
   const int h = src.height();
   // One sample is consumed on the +x/+y side for interpolation, so the

@@ -60,6 +60,19 @@ class HalfpelPlanes {
   /// barrier provides that exclusion).
   void reset(const Plane& src) {
     integer_ = src;
+    borrowed_ = nullptr;
+    interp_built_.store(false, std::memory_order_release);
+  }
+
+  /// BORROWS `src` instead of snapshotting it: integer_plane() serves *src
+  /// directly (zero copies) until the next bind()/reset(). The caller owns
+  /// the aliasing discipline — `src` must outlive the binding and every
+  /// sample a reader touches (including the replicated border) must be
+  /// final before it is read. The frame pipeline uses this to point ME at
+  /// the previous frame's reconstruction buffer while stage 3 is still
+  /// filling its lower rows, with a row-readiness counter gating the reads.
+  void bind(const Plane* src) {
+    borrowed_ = src;
     interp_built_.store(false, std::memory_order_release);
   }
 
@@ -78,16 +91,19 @@ class HalfpelPlanes {
     return *this;
   }
 
-  /// The integer-pel reference (the constructor's source picture). This is
-  /// what the fused interpolate+SAD kernels and on-the-fly motion
-  /// compensation read; it never triggers interpolation.
-  [[nodiscard]] const Plane& integer_plane() const { return integer_; }
+  /// The integer-pel reference (the constructor's snapshot, or the bound
+  /// plane after bind()). This is what the fused interpolate+SAD kernels
+  /// and on-the-fly motion compensation read; it never triggers
+  /// interpolation.
+  [[nodiscard]] const Plane& integer_plane() const {
+    return borrowed_ != nullptr ? *borrowed_ : integer_;
+  }
 
   /// phase_h, phase_v in {0,1}. Requesting any interpolated phase
   /// materialises all three on first use (safe from concurrent callers).
   [[nodiscard]] const Plane& plane(int phase_h, int phase_v) const {
     if (phase_h == 0 && phase_v == 0) {
-      return integer_;
+      return integer_plane();
     }
     ensure_interpolated();
     return interp_[phase_v * 2 + phase_h - 1];
@@ -96,10 +112,10 @@ class HalfpelPlanes {
   /// Convenience: one sample at half-pel coordinates, computed directly
   /// from the integer plane (never triggers the lazy build).
   [[nodiscard]] std::uint8_t at(int hx, int hy) const {
-    return sample_halfpel(integer_, hx, hy);
+    return sample_halfpel(integer_plane(), hx, hy);
   }
 
-  [[nodiscard]] bool empty() const { return integer_.empty(); }
+  [[nodiscard]] bool empty() const { return integer_plane().empty(); }
 
  private:
   /// Builds the H, V and HV phase planes from integer_ on first demand.
@@ -109,6 +125,7 @@ class HalfpelPlanes {
 
   void copy_from(const HalfpelPlanes& other) {
     integer_ = other.integer_;
+    borrowed_ = other.borrowed_;
     const bool built = other.interp_built_.load(std::memory_order_acquire);
     for (int i = 0; i < 3; ++i) {
       interp_[i] = built ? other.interp_[i] : Plane();
@@ -117,6 +134,8 @@ class HalfpelPlanes {
   }
   void move_from(HalfpelPlanes& other) noexcept {
     integer_ = std::move(other.integer_);
+    borrowed_ = other.borrowed_;
+    other.borrowed_ = nullptr;
     const bool built = other.interp_built_.load(std::memory_order_acquire);
     for (int i = 0; i < 3; ++i) {
       interp_[i] = built ? std::move(other.interp_[i]) : Plane();
@@ -125,7 +144,8 @@ class HalfpelPlanes {
     other.interp_built_.store(false, std::memory_order_release);
   }
 
-  Plane integer_;
+  Plane integer_;  ///< owned snapshot; unused while borrowed_ is set
+  const Plane* borrowed_ = nullptr;  ///< bind() target, not owned
   mutable Plane interp_[3];  ///< H, V, HV — empty until first plane() ask
   mutable std::atomic<bool> interp_built_{false};
   mutable std::mutex interp_mutex_;

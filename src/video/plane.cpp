@@ -45,6 +45,34 @@ void Plane::extend_border() {
   }
 }
 
+void Plane::extend_border_rows(int y0, int y1) {
+  if (empty() || border_ == 0 || y0 >= y1) {
+    return;
+  }
+  assert(y0 >= 0 && y1 <= height_);
+  for (int y = y0; y < y1; ++y) {
+    std::uint8_t* r = row(y);
+    std::memset(r - border_, r[0], static_cast<std::size_t>(border_));
+    std::memset(r + width_, r[width_ - 1], static_cast<std::size_t>(border_));
+  }
+  // The top/bottom bands replicate the full padded edge row, so they can
+  // only be produced together with the strip that owns that edge row (whose
+  // horizontal extension just ran above).
+  const std::size_t full = static_cast<std::size_t>(stride_);
+  if (y0 == 0) {
+    const std::uint8_t* top = row(0) - border_;
+    for (int y = 1; y <= border_; ++y) {
+      std::memcpy(row(-y) - border_, top, full);
+    }
+  }
+  if (y1 == height_) {
+    const std::uint8_t* bottom = row(height_ - 1) - border_;
+    for (int y = 1; y <= border_; ++y) {
+      std::memcpy(row(height_ - 1 + y) - border_, bottom, full);
+    }
+  }
+}
+
 void Plane::fill(std::uint8_t value) {
   for (int y = 0; y < height_; ++y) {
     std::memset(row(y), value, static_cast<std::size_t>(width_));

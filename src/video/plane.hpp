@@ -50,6 +50,14 @@ class Plane {
   /// Call after any bulk write to the visible area.
   void extend_border();
 
+  /// Partial extend_border(): replicates the left/right border of visible
+  /// rows [y0, y1) only, plus the top border band when y0 == 0 and the
+  /// bottom band when y1 == height(). Lets a producer publish a picture in
+  /// horizontal strips with each strip's border valid the moment the strip
+  /// is — calling it over every strip of a picture is sample-identical to
+  /// one extend_border(). Disjoint strips may be extended concurrently.
+  void extend_border_rows(int y0, int y1);
+
   /// Fills the visible area with a constant value (border untouched).
   void fill(std::uint8_t value);
 

@@ -107,6 +107,163 @@ TEST(ThreadPool, ResolveThreadCount) {
   EXPECT_EQ(ThreadPool::resolve_thread_count(-2), 1);  // degrade to serial
 }
 
+TEST(ThreadPool, QueueLanesPreserveFifoWithinALane) {
+  // Two lanes on one worker: within each lane, completion order must equal
+  // submission order regardless of how the dispatcher interleaves lanes.
+  ThreadPool pool(1);
+  ThreadPool::Queue a(pool);
+  ThreadPool::Queue b(pool);
+  std::mutex m;
+  std::vector<std::pair<int, int>> order;  // (lane, seq)
+  for (int i = 0; i < 20; ++i) {
+    pool.submit(a, [&, i] {
+      const std::lock_guard<std::mutex> lock(m);
+      order.emplace_back(0, i);
+    });
+    pool.submit(b, [&, i] {
+      const std::lock_guard<std::mutex> lock(m);
+      order.emplace_back(1, i);
+    });
+  }
+  pool.wait_idle();
+  int next[2] = {0, 0};
+  for (const auto& [lane, seq] : order) {
+    EXPECT_EQ(seq, next[lane]) << "lane " << lane;
+    ++next[lane];
+  }
+  EXPECT_EQ(next[0], 20);
+  EXPECT_EQ(next[1], 20);
+}
+
+TEST(ThreadPool, RoundRobinSharesWorkersAcrossSaturatingLanes) {
+  // Fair scheduling: a lane that enqueues a burst of work must not monopolise
+  // the single worker while another lane holds queued tasks — with both
+  // lanes full, dispatch alternates. Verify no lane ever gets more than one
+  // task ahead while the other still has work queued (strict alternation on
+  // one worker once both backlogs exist).
+  ThreadPool pool(1);
+  ThreadPool::Queue greedy(pool);
+  ThreadPool::Queue modest(pool);
+  std::mutex m;
+  std::vector<int> order;
+  // Stall the worker so both lanes build a backlog before dispatch starts.
+  std::atomic<bool> go{false};
+  pool.submit(greedy, [&] {
+    while (!go.load()) {
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit(greedy, [&] {
+      const std::lock_guard<std::mutex> lock(m);
+      order.push_back(0);
+    });
+  }
+  for (int i = 0; i < 10; ++i) {
+    pool.submit(modest, [&] {
+      const std::lock_guard<std::mutex> lock(m);
+      order.push_back(1);
+    });
+  }
+  go.store(true);
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 60u);
+  // The modest lane's 10 tasks must all complete within the first ~20
+  // dispatches (alternation), not after the greedy lane's 50.
+  int modest_done = 0;
+  for (std::size_t i = 0; i < 21 && i < order.size(); ++i) {
+    modest_done += order[i] == 1 ? 1 : 0;
+  }
+  EXPECT_EQ(modest_done, 10)
+      << "round-robin should interleave the modest lane's tasks";
+}
+
+TEST(ThreadPool, TaskGroupWaitCoversOnlyItsOwnTasks) {
+  ThreadPool pool(2);
+  ThreadPool::Queue lane(pool);
+  TaskGroup mine;
+  std::atomic<bool> blocker_running{false};
+  std::atomic<bool> release_blocker{false};
+  std::atomic<int> mine_done{0};
+  // An unrelated long-running task (no group): wait(mine) must not wait for
+  // it.
+  pool.submit(lane, [&] {
+    blocker_running.store(true);
+    while (!release_blocker.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!blocker_running.load()) {
+    std::this_thread::yield();
+  }
+  for (int i = 0; i < 8; ++i) {
+    pool.submit(lane, [&] { mine_done.fetch_add(1); }, &mine);
+  }
+  pool.wait(mine);
+  EXPECT_EQ(mine_done.load(), 8);
+  EXPECT_FALSE(release_blocker.load());  // returned while the blocker runs
+  release_blocker.store(true);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, WorkerWaitingOnGroupHelpsItsTasks) {
+  // A pool task that submits subtasks and waits for them must make progress
+  // even when every other worker is busy — the wait helps. One worker makes
+  // this deadlock-or-help: parking would hang forever.
+  ThreadPool pool(1);
+  ThreadPool::Queue lane(pool);
+  std::atomic<int> subtasks_done{0};
+  std::atomic<bool> parent_done{false};
+  pool.submit(lane, [&] {
+    TaskGroup group;
+    for (int i = 0; i < 4; ++i) {
+      pool.submit(lane, [&] { subtasks_done.fetch_add(1); }, &group);
+    }
+    pool.wait(group);
+    parent_done.store(true);
+  });
+  pool.wait_idle();
+  EXPECT_EQ(subtasks_done.load(), 4);
+  EXPECT_TRUE(parent_done.load());
+}
+
+TEST(ThreadPool, QueueDestructorDrainsItsLane) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    ThreadPool::Queue lane(pool);
+    for (int i = 0; i < 40; ++i) {
+      pool.submit(lane, [&count] { count.fetch_add(1); });
+    }
+    // No barrier: ~Queue must block until the lane is empty.
+  }
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ReadyCounter, PublishIsARunningMax) {
+  ReadyCounter counter;
+  counter.publish(5);
+  counter.publish(3);  // out-of-order publication must not regress
+  EXPECT_EQ(counter.value(), 5u);
+  counter.wait_for(4);  // already satisfied: must not block
+  counter.publish(9);
+  EXPECT_EQ(counter.value(), 9u);
+}
+
+TEST(ReadyCounter, ParkedWaiterWakesAtThreshold) {
+  ReadyCounter counter;
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    counter.wait_for(10);
+    released.store(true);
+  });
+  counter.publish(9);
+  EXPECT_FALSE(released.load());
+  counter.publish(10);
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
 TEST(WavefrontProgress, SatisfiedWaitReturnsImmediately) {
   WavefrontProgress progress(2);
   progress.publish(0, 5);
