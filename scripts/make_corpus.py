@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Regenerate the decoder fuzzing seed corpus (tests/fuzz/corpus).
+
+Drives the acbm_enc example binary over a small grid of encoder
+configurations — both wire formats (ACV1/ACV2), both mode decisions,
+deblocking, intra refresh, QP extremes, full-pel, multi-session — so the
+coverage-guided fuzzer (and the fuzz_corpus_regression replay test) starts
+from inputs that already reach every decoder code path. A few derived
+truncation edge cases ride along to seed the error paths.
+
+Inputs are deterministic: a tiny 48x32 procedural clip written as headerless
+I420 (keeps every seed file small, which keeps the in-fuzzer RefDecoder
+differential cheap) plus one QCIF synthetic clip for geometry diversity.
+Re-running the script reproduces the corpus byte-for-byte for a given
+encoder build.
+
+Usage:
+    cmake -B build -S . && cmake --build build -j --target acbm_enc
+    python3 scripts/make_corpus.py [--acbm-enc build/acbm_enc]
+                                   [--out-dir tests/fuzz/corpus]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+TINY_W, TINY_H, TINY_FRAMES = 48, 32, 4
+
+
+def write_tiny_clip(path: pathlib.Path) -> None:
+    """Deterministic moving-gradient clip, headerless I420."""
+    data = bytearray()
+    for t in range(TINY_FRAMES):
+        for y in range(TINY_H):  # luma: diagonal gradient drifting with t
+            for x in range(TINY_W):
+                data.append((x * 3 + y * 5 + t * 7) & 0xFF)
+        for y in range(TINY_H // 2):  # cb
+            for x in range(TINY_W // 2):
+                data.append((128 + ((x + t) % 17) * 4) & 0xFF)
+        for y in range(TINY_H // 2):  # cr
+            for x in range(TINY_W // 2):
+                data.append((128 - ((y + 2 * t) % 13) * 5) & 0xFF)
+    path.write_bytes(bytes(data))
+
+
+# (seed name, acbm_enc arguments). Names describe the configuration so a
+# crashing input's provenance is readable straight from the fuzzer output.
+def seed_grid(tiny_yuv: pathlib.Path) -> list[tuple[str, list[str]]]:
+    tiny = [
+        "--input", str(tiny_yuv),
+        "--width", str(TINY_W), "--height", str(TINY_H),
+        "--frames", str(TINY_FRAMES),
+    ]
+    grid: list[tuple[str, list[str]]] = []
+    for kernel in ("scalar", "auto"):
+        for slices in (1, 4):
+            grid.append((
+                f"tiny-{kernel}-s{slices}-qp14",
+                tiny + ["--kernel", kernel, "--qp", "14",
+                        "--config", f"slices={slices}"],
+            ))
+    grid += [
+        ("tiny-rd-s2-qp12",
+         tiny + ["--qp", "12", "--config", "mode=rd,slices=2"]),
+        ("tiny-deblock-s1-qp20",
+         tiny + ["--qp", "20", "--config", "deblock=1"]),
+        ("tiny-intra2-s4-qp16",
+         tiny + ["--qp", "16", "--intra-period", "2",
+                 "--config", "slices=4"]),
+        ("tiny-qp4-s1", tiny + ["--qp", "4"]),
+        ("tiny-qp31-s4", tiny + ["--qp", "31", "--config", "slices=4"]),
+        ("tiny-fullpel-noskip-s1-qp16",
+         tiny + ["--qp", "16", "--config", "halfpel=0,skip=0"]),
+        ("tiny-sessions2-s2-qp18",
+         tiny + ["--qp", "18", "--sessions", "2", "--config", "slices=2"]),
+        ("qcif-foreman-s3-qp18",
+         ["--synthetic", "foreman", "--frames", "3", "--qp", "18",
+          "--config", "slices=3,deblock=1"]),
+    ]
+    return grid
+
+
+def derived_edges(streams: dict[str, bytes]) -> dict[str, bytes]:
+    """Truncation edge cases sliced out of the generated streams."""
+    v1 = streams["tiny-scalar-s1-qp14"]
+    v2 = streams["tiny-scalar-s4-qp14"]
+    return {
+        "edge-header-only": v1[:12],
+        "edge-v1-first-frame-cut": v1[: len(v1) // 3],
+        "edge-v2-mid-directory": v2[:20],
+        "edge-v2-last-byte-cut": v2[:-1],
+    }
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--acbm-enc", default=str(root / "build" / "acbm_enc"),
+                    help="path to the acbm_enc binary")
+    ap.add_argument("--out-dir", default=str(root / "tests" / "fuzz" / "corpus"),
+                    help="corpus directory to (re)populate")
+    args = ap.parse_args()
+
+    enc = pathlib.Path(args.acbm_enc)
+    if not enc.is_file():
+        print(f"acbm_enc not found at {enc}; build it first "
+              "(cmake --build build --target acbm_enc)", file=sys.stderr)
+        return 2
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    streams: dict[str, bytes] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = pathlib.Path(tmp)
+        tiny_yuv = tmp_path / "tiny.yuv"
+        write_tiny_clip(tiny_yuv)
+        for name, enc_args in seed_grid(tiny_yuv):
+            out = tmp_path / f"{name}.acv"
+            cmd = [str(enc), *enc_args, "--out", str(out)]
+            result = subprocess.run(cmd, capture_output=True, text=True)
+            if result.returncode != 0:
+                print(f"{name}: acbm_enc failed\n{result.stderr}",
+                      file=sys.stderr)
+                return 1
+            streams[name] = out.read_bytes()
+
+    streams.update(derived_edges(streams))
+    for name, data in sorted(streams.items()):
+        (out_dir / f"{name}.acv").write_bytes(data)
+        print(f"{name}.acv: {len(data)} bytes")
+    print(f"wrote {len(streams)} seed(s) to {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

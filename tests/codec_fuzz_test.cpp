@@ -227,6 +227,82 @@ TEST(DecoderFuzz, CorruptSlicePayloadIsConcealedAndResynchronised) {
   EXPECT_GE(decoder.concealed_slices(), 1u);
 }
 
+TEST(DecoderFuzz, SliceDirectoryTargetedCorruption) {
+  // Random flips mostly land in payloads; this walk aims every shot at the
+  // slice directory itself — sync word, index, first_row, payload length —
+  // of every slice header in every frame, where a single byte can redirect
+  // the resynchronisation machinery rather than just garble coefficients.
+  const auto stream = valid_stream(3, /*slices=*/3);
+  std::vector<std::size_t> headers;
+  std::size_t pos = 12;  // sequence header
+  while (pos + 4 <= stream.size()) {
+    pos += 3;  // 23-bit frame header, byte-aligned
+    const std::size_t slice_count = stream[pos++];
+    for (std::size_t s = 0; s < slice_count && pos + 9 <= stream.size();
+         ++s) {
+      headers.push_back(pos);
+      const std::size_t payload = (std::size_t{stream[pos + 5]} << 24) |
+                                  (std::size_t{stream[pos + 6]} << 16) |
+                                  (std::size_t{stream[pos + 7]} << 8) |
+                                  std::size_t{stream[pos + 8]};
+      pos += 9 + payload;
+    }
+  }
+  ASSERT_EQ(headers.size(), 9u);  // 3 frames x 3 slices: the walk is sound
+  util::Rng rng(7);
+  for (const std::size_t header : headers) {
+    for (std::size_t field = 0; field < 9; ++field) {
+      const auto random_byte =
+          static_cast<std::uint8_t>(rng.next_below(256));
+      for (const std::uint8_t value :
+           {std::uint8_t{0x00}, std::uint8_t{0xFF}, random_byte}) {
+        auto corrupted = stream;
+        corrupted[header + field] = value;
+        expect_survives(corrupted);
+      }
+    }
+  }
+}
+
+TEST(DecoderFuzz, TruncatedDecodeIsAPrefixOfTheFullDecode) {
+  // Stronger than surviving truncation: because a truncated stream is a bit
+  // prefix of the original and every emitted frame must have consumed only
+  // bits that were actually present (slice payload lengths are validated
+  // against the remaining buffer; V1 latches reader exhaustion), every
+  // frame a truncated decode produces must be sample-identical to the
+  // corresponding frame of the full decode — truncation can shorten the
+  // output, never alter it.
+  for (const int slices : {1, 3}) {
+    const auto stream = valid_stream(4, slices);
+    const auto reference = [&] {
+      Decoder d(stream);
+      return d.decode_all();
+    }();
+    ASSERT_EQ(reference.size(), 4u);
+    for (std::size_t len = 12; len < stream.size(); ++len) {
+      const std::vector<std::uint8_t> truncated(
+          stream.begin(), stream.begin() + static_cast<long>(len));
+      std::vector<video::Frame> decoded;
+      try {
+        Decoder decoder(truncated);
+        while (auto frame = decoder.decode_frame()) {
+          decoded.push_back(std::move(*frame));
+        }
+      } catch (const DecodeError&) {
+        // the cut landed mid-frame — the partial frame must not be emitted
+      }
+      ASSERT_LE(decoded.size(), reference.size())
+          << slices << " slices, len " << len;
+      for (std::size_t i = 0; i < decoded.size(); ++i) {
+        ASSERT_TRUE(decoded[i].y().visible_equals(reference[i].y()))
+            << slices << " slices, len " << len << ", frame " << i;
+        ASSERT_TRUE(decoded[i].cb().visible_equals(reference[i].cb()));
+        ASSERT_TRUE(decoded[i].cr().visible_equals(reference[i].cr()));
+      }
+    }
+  }
+}
+
 TEST(DecoderFuzz, SliceHeaderCorruptionIsRejected) {
   const auto stream = valid_stream(2, /*slices=*/3);
   // Byte 16 is the first slice header's sync word ("SL"): smashing it must

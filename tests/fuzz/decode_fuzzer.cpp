@@ -1,0 +1,131 @@
+// libFuzzer entry point for the decoder — the frontier layer of the
+// verification pyramid (docs/TESTING.md).
+//
+// Two properties are enforced on every input:
+//   1. Robustness: codec::Decoder must either decode or throw DecodeError.
+//      Any other escape (crash, sanitizer report, uncaught exception) is a
+//      finding.
+//   2. Differential correctness: on small inputs the naive RefDecoder must
+//      reach the same outcome — same frame count, same samples, same
+//      concealment count, or an error on both sides. The reference decoder
+//      is orders of magnitude slower, so the differential check is gated on
+//      input/geometry size to keep fuzzing throughput useful; the optimized
+//      decoder still runs (under sanitizers) on every input.
+//
+// Build: cmake -DACBM_BUILD_FUZZERS=ON with a clang toolchain, then run
+// build/decode_fuzzer tests/fuzz/corpus. Without clang the same entry point
+// links into decode_fuzzer_driver, which replays a corpus directory and
+// backs the fuzz_corpus_regression ctest (see tests/fuzz/fuzz_driver_main.cpp
+// and scripts/make_corpus.py).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "codec/decoder.hpp"
+#include "codec/ref_decoder.hpp"
+
+namespace {
+
+constexpr std::size_t kDifferentialMaxBytes = 1 << 16;
+constexpr int kDifferentialMaxDimension = 352;
+
+struct Outcome {
+  bool error = false;
+  std::size_t frames = 0;
+  std::uint64_t concealed = 0;
+  std::uint64_t digest = 0;
+};
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+}
+
+[[noreturn]] void differential_failure(const char* what, const Outcome& opt,
+                                       const Outcome& ref) {
+  std::fprintf(stderr,
+               "decoder disagreement (%s): optimized{error=%d frames=%zu "
+               "concealed=%llu digest=%llx} reference{error=%d frames=%zu "
+               "concealed=%llu digest=%llx}\n",
+               what, opt.error, opt.frames,
+               static_cast<unsigned long long>(opt.concealed),
+               static_cast<unsigned long long>(opt.digest), ref.error,
+               ref.frames, static_cast<unsigned long long>(ref.concealed),
+               static_cast<unsigned long long>(ref.digest));
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> input(data, size);
+
+  Outcome opt;
+  try {
+    acbm::codec::Decoder decoder(input);
+    const bool small_geometry =
+        decoder.size().width <= kDifferentialMaxDimension &&
+        decoder.size().height <= kDifferentialMaxDimension;
+    if (!small_geometry || size > kDifferentialMaxBytes) {
+      // Too big to cross-check against the naive decoder at fuzzing speed;
+      // still exercise the optimized path fully (under the sanitizers).
+      try {
+        while (decoder.decode_frame()) {
+        }
+      } catch (const acbm::codec::DecodeError&) {
+      }
+      return 0;
+    }
+    while (auto frame = decoder.decode_frame()) {
+      ++opt.frames;
+      for (int y = 0; y < frame->height(); ++y) {
+        for (int x = 0; x < frame->width(); ++x) {
+          mix(opt.digest, frame->y().row(y)[x]);
+        }
+      }
+      for (int y = 0; y < frame->height() / 2; ++y) {
+        for (int x = 0; x < frame->width() / 2; ++x) {
+          mix(opt.digest, frame->cb().row(y)[x]);
+          mix(opt.digest, frame->cr().row(y)[x]);
+        }
+      }
+    }
+    opt.concealed = decoder.concealed_slices();
+  } catch (const acbm::codec::DecodeError&) {
+    opt.error = true;
+  }
+
+  // Reaching here means the stream is small enough to cross-check (or its
+  // sequence header was rejected, which the reference must reject too).
+  Outcome ref;
+  try {
+    acbm::codec::RefDecoder decoder(input);
+    while (auto frame = decoder.decode_frame()) {
+      ++ref.frames;
+      for (std::uint8_t s : frame->y) {
+        mix(ref.digest, s);
+      }
+      for (std::size_t i = 0; i < frame->cb.size(); ++i) {
+        mix(ref.digest, frame->cb[i]);
+        mix(ref.digest, frame->cr[i]);
+      }
+    }
+    ref.concealed = decoder.concealed_slices();
+  } catch (const acbm::codec::RefDecodeError&) {
+    ref.error = true;
+  }
+
+  if (ref.error != opt.error) {
+    differential_failure("error class", opt, ref);
+  }
+  if (!ref.error &&
+      (ref.frames != opt.frames || ref.concealed != opt.concealed ||
+       ref.digest != opt.digest)) {
+    differential_failure("decoded output", opt, ref);
+  }
+  return 0;
+}

@@ -5,13 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "codec/decoder.hpp"
 #include "codec/encoder.hpp"
 #include "codec/quant.hpp"
 #include "core/acbm.hpp"
+#include "core/builtin_estimators.hpp"
 #include "me/pbm.hpp"
+#include "me/spec.hpp"
 #include "me/window.hpp"
 #include "synth/sequences.hpp"
 #include "test_support.hpp"
@@ -234,6 +240,96 @@ TEST(DeterminismProperty, IdenticalRunsProduceIdenticalStreams) {
     return encoder.finish();
   };
   EXPECT_EQ(encode(), encode());
+}
+
+// ----------------------------------------- spec grammar round-trip property
+
+/// Random valid value for one knob, rendered as spec text.
+std::string random_param_text(const me::ParamDesc& desc, util::Rng& rng) {
+  switch (desc.type) {
+    case me::ParamDesc::Type::kBool:
+      return rng.next_below(2) == 0 ? "0" : "1";
+    case me::ParamDesc::Type::kEnum:
+      return desc.choices[rng.next_below(desc.choices.size())];
+    case me::ParamDesc::Type::kInt: {
+      const auto lo = static_cast<std::int64_t>(desc.min_value);
+      const auto hi = static_cast<std::int64_t>(desc.max_value);
+      // Huge declared ranges: sample near the bottom plus the endpoints.
+      const std::uint64_t span =
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(hi - lo), 1000);
+      std::int64_t v = lo + static_cast<std::int64_t>(rng.next_below(span + 1));
+      if (rng.next_below(8) == 0) {
+        v = rng.next_below(2) == 0 ? lo : hi;
+      }
+      return std::to_string(v);
+    }
+    case me::ParamDesc::Type::kDouble: {
+      const double lo = desc.min_value;
+      const double hi = desc.max_value;
+      const double t = static_cast<double>(rng.next_below(9)) / 8.0;
+      const double span = std::min(hi - lo, 4000.0);
+      std::ostringstream text;
+      text << lo + span * t;
+      return text.str();
+    }
+  }
+  return "0";
+}
+
+// canonical_spec() must be a *projection*: every spelling of a configuration
+// (any subset of keys, any key order) maps to one canonical string, and the
+// canonical string is a fixed point that parses back to the same estimator.
+TEST(SpecRoundTripProperty, CanonicalFormIsOrderInvariantAndIdempotent) {
+  const me::EstimatorRegistry& registry = core::builtin_estimators();
+  util::Rng rng(2026);
+  for (const std::string& name : registry.names()) {
+    const std::vector<me::ParamDesc>& descs = registry.params(name);
+    if (descs.empty()) {
+      // Knob-less estimators: the bare name is its own canonical form.
+      EXPECT_EQ(registry.canonical_spec(name), name);
+      continue;
+    }
+    for (int trial = 0; trial < 25; ++trial) {
+      // Random subset of knobs with random valid values...
+      std::vector<std::string> pairs;
+      for (const me::ParamDesc& desc : descs) {
+        if (rng.next_below(2) == 0) {
+          pairs.push_back(desc.key + "=" + random_param_text(desc, rng));
+        }
+      }
+      auto render = [&name](const std::vector<std::string>& kv) {
+        if (kv.empty()) {
+          return name;
+        }
+        std::string spec = name + ":";
+        for (std::size_t i = 0; i < kv.size(); ++i) {
+          spec += (i > 0 ? "," : "") + kv[i];
+        }
+        return spec;
+      };
+      const std::string spec = render(pairs);
+      const std::string canonical = registry.canonical_spec(spec);
+
+      // ...is idempotent under canonicalisation,
+      EXPECT_EQ(registry.canonical_spec(canonical), canonical) << spec;
+      // carries every declared knob exactly once,
+      const me::EstimatorSpec parsed = me::EstimatorSpec::parse(canonical);
+      EXPECT_EQ(parsed.name, name);
+      EXPECT_EQ(parsed.params.size(), descs.size()) << canonical;
+      // and is key-order independent: any permutation of the same pairs
+      // canonicalises identically.
+      for (int shuffle = 0; shuffle < 3 && pairs.size() > 1; ++shuffle) {
+        for (std::size_t i = pairs.size(); i > 1; --i) {
+          std::swap(pairs[i - 1], pairs[rng.next_below(i)]);
+        }
+        EXPECT_EQ(registry.canonical_spec(render(pairs)), canonical)
+            << render(pairs);
+      }
+      // Both spellings construct successfully.
+      EXPECT_NE(registry.create(spec), nullptr);
+      EXPECT_NE(registry.create(canonical), nullptr);
+    }
+  }
 }
 
 }  // namespace

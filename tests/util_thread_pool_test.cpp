@@ -8,6 +8,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -240,6 +244,36 @@ TEST(ThreadPool, QueueDestructorDrainsItsLane) {
   EXPECT_EQ(count.load(), 40);
 }
 
+TEST(ThreadPool, QueueDestructionBlocksWhileTasksArePark) {
+  // A session tears its Queue down while the frame pipeline's tasks are
+  // parked on a ReadyCounter (waiting for reference rows). ~Queue must
+  // block until those tasks are released and run to completion — returning
+  // early would free per-session state out from under live tasks.
+  ThreadPool pool(2);
+  ReadyCounter gate;
+  std::atomic<int> finished{0};
+  std::atomic<bool> destroyed{false};
+  auto lane = std::make_unique<ThreadPool::Queue>(pool);
+  for (int i = 0; i < 4; ++i) {
+    pool.submit(*lane, [&] {
+      gate.wait_for(1);
+      finished.fetch_add(1);
+    });
+  }
+  std::thread destroyer([&] {
+    lane.reset();
+    destroyed.store(true);
+  });
+  // Give the destructor ample time to (incorrectly) return while every
+  // worker is still parked on the gate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(destroyed.load());
+  gate.publish(1);
+  destroyer.join();
+  EXPECT_TRUE(destroyed.load());
+  EXPECT_EQ(finished.load(), 4);
+}
+
 TEST(ReadyCounter, PublishIsARunningMax) {
   ReadyCounter counter;
   counter.publish(5);
@@ -262,6 +296,58 @@ TEST(ReadyCounter, ParkedWaiterWakesAtThreshold) {
   counter.publish(10);
   waiter.join();
   EXPECT_TRUE(released.load());
+}
+
+TEST(ReadyCounter, HighBitValuesNeverRegressOrMiscompare) {
+  // The counter is cumulative over a whole stream, so the contract leans on
+  // u64 never wrapping — but the comparisons must stay correct arbitrarily
+  // close to the top of the range (a signed compare or a narrowing cast
+  // would break exactly here, releasing waiters early or parking forever).
+  ReadyCounter counter;
+  const std::uint64_t high = std::uint64_t{1} << 63;
+  counter.publish(high);
+  counter.wait_for(high - 1);  // satisfied: must not block
+  counter.publish(high - 1);   // late lower publish must not regress
+  EXPECT_EQ(counter.value(), high);
+
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    counter.wait_for(max);
+    released.store(true);
+  });
+  counter.publish(max - 1);
+  EXPECT_FALSE(released.load());
+  counter.publish(max);
+  waiter.join();
+  EXPECT_TRUE(released.load());
+  counter.publish(0);  // running max holds at the very top
+  EXPECT_EQ(counter.value(), max);
+}
+
+TEST(ReadyCounter, WaiterNeverWakesBelowItsThreshold) {
+  // Many waiters at distinct thresholds, released by single-step publishes:
+  // every waiter must observe its own threshold met at wake-up — a notify
+  // that releases the wrong (higher-threshold) waiter shows up here.
+  ReadyCounter counter;
+  std::atomic<int> early{0};
+  std::vector<std::thread> waiters;
+  for (std::uint64_t threshold = 1; threshold <= 16; ++threshold) {
+    waiters.emplace_back([&, threshold] {
+      counter.wait_for(threshold);
+      if (counter.value() < threshold) {
+        early.fetch_add(1);
+      }
+    });
+  }
+  for (std::uint64_t step = 1; step <= 16; ++step) {
+    counter.publish(step);
+  }
+  for (auto& t : waiters) {
+    t.join();
+  }
+  EXPECT_EQ(early.load(), 0);
+  EXPECT_EQ(counter.value(), 16u);
 }
 
 TEST(WavefrontProgress, SatisfiedWaitReturnsImmediately) {
