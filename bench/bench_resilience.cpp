@@ -1,0 +1,190 @@
+// Error-resilience sweep: concealment quality and decode throughput under a
+// seeded lossy channel (sim::Channel) as a function of loss rate, slice
+// count, and intra-refresh period.
+//
+// The experiment mirrors the paper's transmission setting: a slice-
+// structured ACV2 stream crosses a bursty channel (Gilbert-Elliott,
+// burst=8), the decoder runs with conceal=resync, and we measure how close
+// the concealed reconstruction stays to the clean decode. More slices per
+// frame shrink the blast radius of one lost unit; a shorter intra period
+// stops concealment error from propagating through the prediction chain —
+// both cost rate, which bench_slices/bench_fig5 quantify, so this bench
+// reports only the resilience side.
+//
+// Everything is deterministic: the channel is seeded (seed=7), the encoder
+// is bit-exact, and the decoder's concealment is normative
+// (docs/RESILIENCE.md), so concealment_psnr_db and concealed_slice_pct are
+// gateable counters, not noisy measurements. JSON rows
+// (BM_Resilience/gilbert/loss:L/slices:S/intra:P) carry
+// concealment_psnr_db / concealed_slice_pct / decode_fps; wall time of the
+// damaged decode is the row's real_time.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "codec/decoder.hpp"
+#include "codec/encoder.hpp"
+#include "sim/channel.hpp"
+#include "video/psnr.hpp"
+
+namespace {
+
+using namespace acbm;
+
+// PSNR cap for identical frames: psnr() returns +inf on zero MSE, which is
+// not representable in JSON, so rows clamp to 99 dB (same convention as the
+// RD sweeps' lossless corner).
+constexpr double kPsnrCap = 99.0;
+
+std::vector<std::uint8_t> encode_stream(const std::vector<video::Frame>& in,
+                                        const codec::EncoderConfig& config) {
+  const auto est = core::builtin_estimators().create("ACBM");
+  codec::Encoder encoder({in[0].width(), in[0].height()}, config, *est);
+  for (const video::Frame& frame : in) {
+    encoder.encode_frame(frame);
+  }
+  return encoder.finish();
+}
+
+struct ResilienceCell {
+  double psnr_db = 0.0;        ///< concealed decode vs clean decode, mean
+  double concealed_pct = 0.0;  ///< % of transmitted slices concealed
+  double decode_fps = 0.0;     ///< damaged-decode throughput
+  double wall_seconds = 0.0;
+  std::uint64_t frames = 0;    ///< frames the damaged decode emitted
+};
+
+/// Decodes `damaged` with conceal=resync and scores it against the clean
+/// reconstruction. Frames the resync path could not recover score 0 dB —
+/// losing a frame is the worst concealment outcome, and averaging over the
+/// clean frame count keeps cells comparable across loss rates.
+ResilienceCell run_cell(const std::vector<std::uint8_t>& damaged,
+                        const std::vector<video::Frame>& clean, int slices,
+                        int threads) {
+  codec::DecoderConfig config;
+  config.threads = threads;
+  config.conceal = codec::Concealment::kResync;
+
+  ResilienceCell cell;
+  std::vector<video::Frame> decoded;
+  util::Timer wall;
+  codec::Decoder decoder(damaged, config);
+  const codec::DecodeReport report = decoder.decode_stream(&decoded);
+  cell.wall_seconds = wall.seconds();
+  cell.frames = report.frames;
+
+  double psnr_sum = 0.0;
+  const std::size_t pairs = std::min(decoded.size(), clean.size());
+  for (std::size_t i = 0; i < pairs; ++i) {
+    psnr_sum += std::min(kPsnrCap, video::psnr_luma(decoded[i], clean[i]));
+  }
+  cell.psnr_db = clean.empty() ? 0.0
+                               : psnr_sum / static_cast<double>(clean.size());
+  const double transmitted =
+      static_cast<double>(clean.size()) * static_cast<double>(slices);
+  cell.concealed_pct =
+      transmitted > 0.0
+          ? 100.0 * static_cast<double>(report.concealed_slices) / transmitted
+          : 0.0;
+  cell.decode_fps = cell.wall_seconds > 0.0
+                        ? static_cast<double>(report.frames) /
+                              cell.wall_seconds
+                        : 0.0;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_bench_options(
+      argc, argv, "bench_resilience", /*supports_json=*/true);
+  util::Timer timer;
+
+  // Sweep grid. --quick keeps the slices=4/intra=8 column at every loss
+  // rate — the three rows CI gates (loss=0 pins the identity property, the
+  // lossy rows pin the deterministic concealment trajectory).
+  const std::vector<int> loss_pct = {0, 5, 10};
+  const std::vector<int> slice_counts =
+      options.quick ? std::vector<int>{4} : std::vector<int>{4, 8};
+  const std::vector<int> intra_periods =
+      options.quick ? std::vector<int>{8} : std::vector<int>{0, 8};
+
+  const auto frames = bench::qcif_sequence("foreman", options.frames, 30);
+  std::cout << "bench_resilience: " << frames.size()
+            << " foreman QCIF frames, qp=16, gilbert burst=8 seed=7, "
+            << "conceal=resync, "
+            << core::builtin_estimators().canonical_spec("ACBM")
+            << ", SAD kernel " << simd::active_kernel_name() << "\n\n";
+
+  bench::JsonBenchReport json(options.benchmark_out);
+  json.set_context("estimator_spec",
+                   core::builtin_estimators().canonical_spec("ACBM"));
+  json.set_context("channel_model", "gilbert burst=8 seed=7");
+
+  auto csv_stream = bench::open_csv(options.csv_prefix, "resilience");
+  util::CsvWriter csv(csv_stream);
+  csv.row({"loss_pct", "slices", "intra_period", "kbps", "psnr_db",
+           "concealed_slice_pct", "decode_fps"});
+
+  util::TablePrinter table({"loss %", "slices", "intra", "stream kbit/s",
+                            "conceal PSNR-Y dB", "concealed slices %",
+                            "decode fps"});
+  for (int slices : slice_counts) {
+    for (int intra : intra_periods) {
+      codec::EncoderConfig config;
+      config.qp = 16;
+      config.search_range = options.search_range;
+      config.slices = slices;
+      config.intra_period = intra;
+      const std::vector<std::uint8_t> stream = encode_stream(frames, config);
+      const double kbps = static_cast<double>(stream.size()) * 8.0 * 30.0 /
+                          static_cast<double>(frames.size()) / 1000.0;
+
+      // Clean reconstruction: the reference every lossy cell scores against.
+      std::vector<video::Frame> clean;
+      codec::Decoder clean_decoder(stream, codec::DecoderConfig{});
+      clean_decoder.decode_stream(&clean);
+
+      for (int loss : loss_pct) {
+        const std::string spec =
+            "gilbert:loss=" + util::format_double(loss / 100.0) +
+            ",burst=8,seed=7";
+        sim::Channel channel{std::string_view(spec)};
+        const std::vector<std::uint8_t> damaged = channel.apply(stream);
+        const ResilienceCell cell =
+            run_cell(damaged, clean, slices, options.threads);
+
+        table.add_row({std::to_string(loss), std::to_string(slices),
+                       std::to_string(intra), util::CsvWriter::num(kbps, 1),
+                       util::CsvWriter::num(cell.psnr_db, 2),
+                       util::CsvWriter::num(cell.concealed_pct, 2),
+                       util::CsvWriter::num(cell.decode_fps, 1)});
+        csv.row({std::to_string(loss), std::to_string(slices),
+                 std::to_string(intra), util::CsvWriter::num(kbps, 3),
+                 util::CsvWriter::num(cell.psnr_db, 3),
+                 util::CsvWriter::num(cell.concealed_pct, 3),
+                 util::CsvWriter::num(cell.decode_fps, 2)});
+        json.add_row("BM_Resilience/gilbert/loss:" + std::to_string(loss) +
+                         "/slices:" + std::to_string(slices) +
+                         "/intra:" + std::to_string(intra),
+                     cell.wall_seconds * 1e9,
+                     {{"concealment_psnr_db", cell.psnr_db},
+                      {"concealed_slice_pct", cell.concealed_pct},
+                      {"decode_fps", cell.decode_fps}});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n   shape: loss=0 rows must sit at the "
+            << util::CsvWriter::num(kPsnrCap, 0)
+            << " dB cap with 0% concealed (channel identity); at equal loss, "
+               "more slices and shorter intra periods should conceal better\n";
+
+  json.write("bench_resilience");
+  std::cout << "\n[done] in " << util::CsvWriter::num(timer.seconds(), 1)
+            << " s\n";
+  return 0;
+}

@@ -6,18 +6,62 @@
 // Examples:
 //   ./acbm_dec --input foreman.acv --out foreman_dec.y4m --threads 4
 //   ./acbm_dec --input clip.acv --expect "width=176,height=144,frames=60"
+//   ./acbm_dec --input clip.acv --channel "gilbert:loss=0.05,burst=8,seed=7"
+//       --config conceal=resync --summary
 //
-// --expect takes the project's key=value grammar, so CI round-trip checks
-// assert stream properties with the same spec syntax the encoder consumes.
+// Every spec flag uses the project's key=value grammar: --config is the
+// decoder-config spec (threads, conceal, expect_*; codec/config_map.hpp),
+// --channel a sim::Channel spec applied to the bitstream before decoding,
+// and --expect a shorthand that maps key=val to expect_key=val. --summary
+// prints the structured DecodeReport as one greppable line.
 
 #include <fstream>
 #include <iostream>
 #include <vector>
 
+#include "codec/config_map.hpp"
 #include "codec/decoder.hpp"
+#include "sim/channel.hpp"
 #include "util/args.hpp"
 #include "util/kv.hpp"
 #include "video/y4m_io.hpp"
+
+namespace {
+
+const char* error_class_name(acbm::codec::DecodeErrorClass error_class) {
+  using acbm::codec::DecodeErrorClass;
+  switch (error_class) {
+    case DecodeErrorClass::kNone:
+      return "none";
+    case DecodeErrorClass::kHeader:
+      return "header";
+    case DecodeErrorClass::kFrame:
+      return "frame";
+    case DecodeErrorClass::kDirectory:
+      return "directory";
+    case DecodeErrorClass::kPayload:
+      return "payload";
+  }
+  return "?";
+}
+
+void print_summary(const acbm::codec::DecodeReport& report) {
+  std::cout << "summary: frames=" << report.frames
+            << " concealed_slices=" << report.concealed_slices
+            << " resync_skips=" << report.resync_skips
+            << " error=" << error_class_name(report.error_class)
+            << " digest=" << std::hex << report.sample_digest << std::dec
+            << " channel="
+            << (report.channel_spec.empty() ? "-" : report.channel_spec)
+            << '\n';
+  std::cout << "concealed_per_frame:";
+  for (std::uint32_t concealed : report.concealed_per_frame) {
+    std::cout << ' ' << concealed;
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace acbm;
@@ -30,13 +74,26 @@ int main(int argc, char** argv) {
                     "1");
   parser.add_option("slices",
                     "expected slices per frame; fail if the stream differs "
-                    "(0 = accept any)",
+                    "(0 = accept any; shorthand for expect_slices)",
                     "0");
   parser.add_option("expect",
                     "key=value assertions on the decoded stream over "
                     "width,height,fps,frames,slices,version (e.g. "
                     "\"width=176,slices=4\"); any mismatch fails",
                     "");
+  parser.add_option("config",
+                    "decoder-config spec key=val,... applied after the "
+                    "individual flags (keys: threads, conceal=slice|resync|"
+                    "off, expect_width/height/fps/frames/slices/version)",
+                    "");
+  parser.add_option("channel",
+                    "lossy-channel spec applied to the bitstream before "
+                    "decoding, e.g. \"gilbert:loss=0.05,burst=8,seed=7\" "
+                    "(models: iid, gilbert, trunc; see docs/RESILIENCE.md)",
+                    "");
+  parser.add_flag("summary",
+                  "print the structured DecodeReport (frames, concealments, "
+                  "resync skips, error class, sample digest, channel echo)");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage("acbm_dec");
     return 2;
@@ -46,78 +103,73 @@ int main(int argc, char** argv) {
     return parser.help_requested() ? 0 : 2;
   }
 
+  // Flags build the base DecoderConfig; --config is applied on top through
+  // the same grammar, so everything stays expressible as one spec string.
+  codec::DecoderConfig config;
+  try {
+    config.threads = static_cast<int>(parser.get_int("threads"));
+    const auto expected_slices = parser.get_int("slices");
+    if (expected_slices > 0) {
+      config.expect_slices = expected_slices;
+    }
+    std::string expect_spec;
+    for (const auto& [key, value] :
+         util::parse_kv_list(parser.get("expect"))) {
+      if (!expect_spec.empty()) {
+        expect_spec += ',';
+      }
+      expect_spec += "expect_" + key + '=' + value;
+    }
+    config = codec::decoder_config_from_spec(expect_spec, config);
+    config = codec::decoder_config_from_spec(parser.get("config"), config);
+  } catch (const util::SpecError& e) {
+    std::cerr << "acbm_dec: bad spec: " << e.what() << '\n';
+    return 2;
+  }
+
   try {
     std::ifstream in(parser.get("input"), std::ios::binary);
     if (!in) {
       throw std::runtime_error("cannot open " + parser.get("input"));
     }
-    const std::vector<std::uint8_t> data(
-        (std::istreambuf_iterator<char>(in)),
-        std::istreambuf_iterator<char>());
+    std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
 
-    codec::Decoder decoder(data,
-                           static_cast<int>(parser.get_int("threads")));
+    std::string channel_echo;
+    if (!parser.get("channel").empty()) {
+      sim::Channel channel{std::string_view(parser.get("channel"))};
+      sim::ChannelReport channel_report;
+      data = channel.apply(data, &channel_report);
+      channel_echo = channel.spec();
+      std::cout << "channel " << channel_echo << ": " << channel_report.units
+                << " units, dropped " << channel_report.dropped
+                << ", flipped " << channel_report.flipped
+                << ", directory hits " << channel_report.directory_hits
+                << ", " << channel_report.bytes_in << " -> "
+                << channel_report.bytes_out << " bytes\n";
+    }
+
+    codec::Decoder decoder(data, config);
+    if (!channel_echo.empty()) {
+      decoder.note_channel_spec(channel_echo);
+    }
     video::Y4mVideo video;
     video.size = decoder.size();
     video.rate = decoder.rate();
 
-    // The slice count is carried per frame, so --slices checks every frame,
-    // not just the last one.
-    const auto expected_slices = parser.get_int("slices");
-    while (auto frame = decoder.decode_frame()) {
-      if (expected_slices > 0 &&
-          decoder.last_frame_slices() != expected_slices) {
-        std::cerr << "acbm_dec: frame " << video.frames.size() << " has "
-                  << decoder.last_frame_slices() << " slices, expected "
-                  << expected_slices << '\n';
-        return 1;
-      }
-      video.frames.push_back(std::move(*frame));
+    const codec::DecodeReport report = decoder.decode_stream(&video.frames);
+    if (parser.get_flag("summary")) {
+      print_summary(report);
     }
-    if (expected_slices > 0 && video.frames.empty()) {
-      std::cerr << "acbm_dec: stream has no frames to check --slices "
-                << "against\n";
+    if (report.error_class != codec::DecodeErrorClass::kNone) {
+      std::cerr << "acbm_dec: " << report.error_message << '\n';
       return 1;
     }
-
-    // --expect: spec-grammar assertions, all evaluated before reporting so
-    // one run surfaces every mismatch.
-    try {
-      int expect_failures = 0;
-      for (const auto& [key, value] : util::parse_kv_list(parser.get(
-               "expect"))) {
-        const std::int64_t want =
-            util::parse_int_strict(value, "expect key " + key);
-        std::int64_t have = 0;
-        if (key == "width") {
-          have = video.size.width;
-        } else if (key == "height") {
-          have = video.size.height;
-        } else if (key == "fps") {
-          have = static_cast<std::int64_t>(video.rate.fps());
-        } else if (key == "frames") {
-          have = static_cast<std::int64_t>(video.frames.size());
-        } else if (key == "slices") {
-          have = decoder.last_frame_slices();
-        } else if (key == "version") {
-          have = decoder.version();
-        } else {
-          throw util::SpecError(
-              "unknown --expect key \"" + key +
-              "\" (valid: width, height, fps, frames, slices, version)");
-        }
-        if (have != want) {
-          std::cerr << "acbm_dec: expect " << key << '=' << want
-                    << " but stream has " << have << '\n';
-          ++expect_failures;
-        }
+    if (!report.expectation_failures.empty()) {
+      for (const std::string& failure : report.expectation_failures) {
+        std::cerr << "acbm_dec: " << failure << '\n';
       }
-      if (expect_failures > 0) {
-        return 1;
-      }
-    } catch (const util::SpecError& e) {
-      std::cerr << "acbm_dec: bad --expect spec: " << e.what() << '\n';
-      return 2;
+      return 1;
     }
 
     video::write_y4m(parser.get("out"), video);
@@ -127,11 +179,14 @@ int main(int argc, char** argv) {
               << video.rate.fps() << " fps, ACV" << decoder.version()
               << ", " << decoder.last_frame_slices() << " slices/frame) -> "
               << parser.get("out") << '\n';
-    if (decoder.concealed_slices() > 0) {
-      std::cout << "warning: concealed " << decoder.concealed_slices()
+    if (report.concealed_slices > 0) {
+      std::cout << "warning: concealed " << report.concealed_slices
                 << " corrupt slice(s)\n";
     }
     return 0;
+  } catch (const util::SpecError& e) {
+    std::cerr << "acbm_dec: bad spec: " << e.what() << '\n';
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "acbm_dec: " << e.what() << '\n';
     return 1;

@@ -43,7 +43,13 @@ import os
 import statistics
 import sys
 
-DETERMINISTIC_COUNTERS = {"positions_per_mb": 1e-4}  # relative tolerance
+DETERMINISTIC_COUNTERS = {  # relative tolerance per counter
+    "positions_per_mb": 1e-4,
+    # bench_resilience: seeded channel + bit-exact codec + normative
+    # concealment make both resilience counters exactly reproducible.
+    "concealment_psnr_db": 1e-4,
+    "concealed_slice_pct": 1e-4,
+}
 
 
 def load_rows(path):

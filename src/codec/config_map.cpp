@@ -201,6 +201,161 @@ EncoderConfig encoder_config_from_spec(std::string_view spec,
   return config;
 }
 
+namespace {
+
+/// The decoder table mirrors the encoder's KeySpec shape, with `conceal`
+/// as the one enum-valued key (handled inline like the encoder's kMode).
+/// All expect_* keys share one int range: -1 (unchecked) .. 2^31.
+struct DecoderKeySpec {
+  enum class Kind { kInt, kConceal };
+
+  const char* name;
+  Kind kind;
+  std::int64_t min_value;
+  std::int64_t max_value;
+  const char* help;
+  std::int64_t (*get)(const DecoderConfig&);
+  void (*set)(DecoderConfig&, std::int64_t);
+};
+
+const std::vector<DecoderKeySpec>& decoder_key_table() {
+  constexpr std::int64_t kExpectMax = std::int64_t{1} << 31;
+  static const std::vector<DecoderKeySpec> keys = {
+      {"threads", DecoderKeySpec::Kind::kInt, 0, 4096,
+       "slice-decode worker threads (0 = all cores; output identical at "
+       "any count)",
+       [](const DecoderConfig& c) { return std::int64_t{c.threads}; },
+       [](DecoderConfig& c, std::int64_t v) {
+         c.threads = static_cast<int>(v);
+       }},
+      {"conceal", DecoderKeySpec::Kind::kConceal, 0, 0,
+       "concealment policy: slice (payload conceal, directory throws) | "
+       "resync (directory/frame-header recovery too) | off (strict)",
+       [](const DecoderConfig&) { return std::int64_t{0}; },
+       [](DecoderConfig&, std::int64_t) {}},
+      {"expect_width", DecoderKeySpec::Kind::kInt, -1, kExpectMax,
+       "assert luma width (-1 = unchecked)",
+       [](const DecoderConfig& c) { return c.expect_width; },
+       [](DecoderConfig& c, std::int64_t v) { c.expect_width = v; }},
+      {"expect_height", DecoderKeySpec::Kind::kInt, -1, kExpectMax,
+       "assert luma height (-1 = unchecked)",
+       [](const DecoderConfig& c) { return c.expect_height; },
+       [](DecoderConfig& c, std::int64_t v) { c.expect_height = v; }},
+      {"expect_fps", DecoderKeySpec::Kind::kInt, -1, kExpectMax,
+       "assert integer frame rate (-1 = unchecked)",
+       [](const DecoderConfig& c) { return c.expect_fps; },
+       [](DecoderConfig& c, std::int64_t v) { c.expect_fps = v; }},
+      {"expect_frames", DecoderKeySpec::Kind::kInt, -1, kExpectMax,
+       "assert total decoded frames at end of stream (-1 = unchecked)",
+       [](const DecoderConfig& c) { return c.expect_frames; },
+       [](DecoderConfig& c, std::int64_t v) { c.expect_frames = v; }},
+      {"expect_slices", DecoderKeySpec::Kind::kInt, -1, kExpectMax,
+       "assert slices per frame, every frame (-1 = unchecked)",
+       [](const DecoderConfig& c) { return c.expect_slices; },
+       [](DecoderConfig& c, std::int64_t v) { c.expect_slices = v; }},
+      {"expect_version", DecoderKeySpec::Kind::kInt, -1, kExpectMax,
+       "assert bitstream revision 1|2 (-1 = unchecked)",
+       [](const DecoderConfig& c) { return c.expect_version; },
+       [](DecoderConfig& c, std::int64_t v) { c.expect_version = v; }},
+  };
+  return keys;
+}
+
+const char* conceal_name(Concealment conceal) {
+  switch (conceal) {
+    case Concealment::kSlice:
+      return "slice";
+    case Concealment::kResync:
+      return "resync";
+    case Concealment::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string decoder_config_spec_usage() {
+  static const DecoderConfig defaults;
+  std::string out =
+      "decoder config grammar: key=val[,key=val...] over the keys\n";
+  for (const DecoderKeySpec& key : decoder_key_table()) {
+    out += "  ";
+    out += key.name;
+    out += '=';
+    if (key.kind == DecoderKeySpec::Kind::kConceal) {
+      out += conceal_name(defaults.conceal);
+      out += " (slice|resync|off)";
+    } else {
+      out += std::to_string(key.get(defaults));
+      out += " (" + std::to_string(key.min_value) + ".." +
+             std::to_string(key.max_value) + ")";
+    }
+    out += ": ";
+    out += key.help;
+    out += '\n';
+  }
+  return out;
+}
+
+DecoderConfig decoder_config_from_spec(std::string_view spec,
+                                       const DecoderConfig& base) {
+  DecoderConfig config = base;
+  for (const util::KeyValue& pair : util::parse_kv_list(spec)) {
+    const DecoderKeySpec* key = nullptr;
+    for (const DecoderKeySpec& candidate : decoder_key_table()) {
+      if (pair.first == candidate.name) {
+        key = &candidate;
+        break;
+      }
+    }
+    if (key == nullptr) {
+      throw util::SpecError("decoder config: unknown key \"" + pair.first +
+                            "\"; valid keys:\n" + decoder_config_spec_usage());
+    }
+    if (key->kind == DecoderKeySpec::Kind::kConceal) {
+      if (pair.second == "slice") {
+        config.conceal = Concealment::kSlice;
+      } else if (pair.second == "resync") {
+        config.conceal = Concealment::kResync;
+      } else if (pair.second == "off") {
+        config.conceal = Concealment::kOff;
+      } else {
+        throw util::SpecError("decoder config: conceal=" + pair.second +
+                              " is not one of {slice, resync, off}");
+      }
+      continue;
+    }
+    const std::int64_t value = util::parse_int_strict(
+        pair.second, "decoder config key " + pair.first);
+    if (value < key->min_value || value > key->max_value) {
+      throw util::SpecError(
+          "decoder config: " + pair.first + '=' + pair.second +
+          " out of range [" + std::to_string(key->min_value) + ", " +
+          std::to_string(key->max_value) + ']');
+    }
+    key->set(config, value);
+  }
+  return config;
+}
+
+std::string to_spec(const DecoderConfig& config) {
+  std::string out;
+  for (const DecoderKeySpec& key : decoder_key_table()) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += key.name;
+    out += '=';
+    if (key.kind == DecoderKeySpec::Kind::kConceal) {
+      out += conceal_name(config.conceal);
+    } else {
+      out += std::to_string(key.get(config));
+    }
+  }
+  return out;
+}
+
 std::string to_spec(const EncoderConfig& config) {
   std::string out;
   for (const KeySpec& key : key_table()) {

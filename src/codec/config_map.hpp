@@ -19,6 +19,7 @@
 #include <string>
 #include <string_view>
 
+#include "codec/decoder.hpp"
 #include "codec/encoder.hpp"
 
 namespace acbm::codec {
@@ -41,5 +42,21 @@ namespace acbm::codec {
 /// One line per key (key=default (range): help) — the table unknown-key
 /// errors embed and CLI --help prints.
 [[nodiscard]] std::string config_spec_usage();
+
+/// @brief Parses "key=val,key=val" into a DecoderConfig (the decoder half
+/// of the grammar: "threads=4,conceal=resync,expect_frames=60").
+/// Keys: threads, conceal (slice|resync|off), and the expect_* assertions
+/// (width, height, fps, frames, slices, version; -1 = unchecked) that
+/// absorb acbm_dec's --expect flag.
+/// @throws util::SpecError like encoder_config_from_spec
+[[nodiscard]] DecoderConfig decoder_config_from_spec(
+    std::string_view spec, const DecoderConfig& base = {});
+
+/// Canonical spec of `config`: every key in declaration order; round-trips
+/// through decoder_config_from_spec.
+[[nodiscard]] std::string to_spec(const DecoderConfig& config);
+
+/// The decoder key table for usage/error text.
+[[nodiscard]] std::string decoder_config_spec_usage();
 
 }  // namespace acbm::codec

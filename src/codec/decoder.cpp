@@ -1,5 +1,7 @@
 #include "codec/decoder.hpp"
 
+#include <algorithm>
+
 #include "codec/block_codec.hpp"
 #include "codec/coeff_coding.hpp"
 #include "codec/deblock.hpp"
@@ -21,15 +23,33 @@ constexpr std::uint32_t kMagicV1 = 0x41435631;  // "ACV1"
 constexpr std::uint32_t kMagicV2 = 0x41435632;  // "ACV2"
 constexpr std::uint32_t kSync = 0x7E5A;
 constexpr std::uint32_t kSliceSyncWord = 0x534C;  // "SL"
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_plane(const video::Plane& plane, int width, int height,
+               std::uint64_t& digest) {
+  for (int y = 0; y < height; ++y) {
+    const std::uint8_t* row = plane.row(y);
+    for (int x = 0; x < width; ++x) {
+      digest = (digest ^ row[x]) * kFnvPrime;
+    }
+  }
+}
 
 }  // namespace
 
-Decoder::Decoder(std::span<const std::uint8_t> data, int threads)
-    : data_(data.begin(), data.end()), reader_(data_), threads_(threads) {
+void Decoder::fail(DecodeErrorClass error_class, const std::string& message) {
+  report_.error_class = error_class;
+  report_.error_message = message;
+  throw DecodeError(message);
+}
+
+Decoder::Decoder(std::span<const std::uint8_t> data,
+                 const DecoderConfig& config)
+    : data_(data.begin(), data.end()), reader_(data_), config_(config) {
   const std::uint32_t magic =
       static_cast<std::uint32_t>(reader_.get_bits(32));
   if ((magic != kMagicV1 && magic != kMagicV2) || reader_.exhausted()) {
-    throw DecodeError("decoder: missing ACV1/ACV2 magic");
+    fail(DecodeErrorClass::kHeader, "decoder: missing ACV1/ACV2 magic");
   }
   version_ = magic == kMagicV2 ? 2 : 1;
   size_.width = static_cast<int>(reader_.get_bits(16));
@@ -42,36 +62,92 @@ Decoder::Decoder(std::span<const std::uint8_t> data, int threads)
   if (reader_.exhausted() || size_.width <= 0 || size_.height <= 0 ||
       size_.width % kMb != 0 || size_.height % kMb != 0 ||
       size_.width > kMaxDimension || size_.height > kMaxDimension) {
-    throw DecodeError("decoder: invalid sequence header");
+    fail(DecodeErrorClass::kHeader, "decoder: invalid sequence header");
   }
   ref_ = video::Frame(size_);
   coded_field_ = me::MvField::for_picture(size_.width, size_.height);
+
+  // Header-level expectations are decidable right here; mismatches are
+  // report entries, not exceptions (the stream still decodes fine).
+  const auto expect = [&](const char* key, std::int64_t want,
+                          std::int64_t have) {
+    if (want >= 0 && have != want) {
+      report_.expectation_failures.push_back(
+          std::string("expect ") + key + '=' + std::to_string(want) +
+          " but stream has " + std::to_string(have));
+    }
+  };
+  expect("width", config_.expect_width, size_.width);
+  expect("height", config_.expect_height, size_.height);
+  expect("fps", config_.expect_fps,
+         static_cast<std::int64_t>(rate_.fps()));
+  expect("version", config_.expect_version, version_);
 }
 
 Decoder::Decoder(std::span<const std::uint8_t> data,
-                 util::ThreadPool& shared_pool)
-    : Decoder(data, shared_pool.size()) {
+                 const DecoderConfig& config, util::ThreadPool& shared_pool)
+    : Decoder(data, config) {
   shared_pool_ = &shared_pool;
 }
+
+Decoder::Decoder(std::span<const std::uint8_t> data, int threads)
+    : Decoder(data, DecoderConfig{.threads = threads}) {}
+
+Decoder::Decoder(std::span<const std::uint8_t> data,
+                 util::ThreadPool& shared_pool)
+    : Decoder(data, DecoderConfig{.threads = shared_pool.size()},
+              shared_pool) {}
 
 Decoder::~Decoder() = default;
 
 std::optional<video::Frame> Decoder::decode_frame() {
+  const std::uint64_t concealed_before = report_.concealed_slices;
+  std::optional<video::Frame> out =
+      config_.conceal == Concealment::kResync && version_ == 2
+          ? decode_frame_resync()
+          : decode_frame_strict();
+  if (out.has_value()) {
+    account_frame(*out, concealed_before);
+  }
+  return out;
+}
+
+void Decoder::account_frame(const video::Frame& frame,
+                            std::uint64_t concealed_before) {
+  ++report_.frames;
+  report_.concealed_per_frame.push_back(static_cast<std::uint32_t>(
+      report_.concealed_slices - concealed_before));
+  fnv_plane(frame.y(), size_.width, size_.height, report_.sample_digest);
+  fnv_plane(frame.cb(), size_.width / 2, size_.height / 2,
+            report_.sample_digest);
+  fnv_plane(frame.cr(), size_.width / 2, size_.height / 2,
+            report_.sample_digest);
+  if (config_.expect_slices >= 0 && !slices_mismatch_recorded_ &&
+      last_frame_slices_ != config_.expect_slices) {
+    slices_mismatch_recorded_ = true;
+    report_.expectation_failures.push_back(
+        "expect slices=" + std::to_string(config_.expect_slices) +
+        " but frame " + std::to_string(report_.frames - 1) + " has " +
+        std::to_string(last_frame_slices_));
+  }
+}
+
+std::optional<video::Frame> Decoder::decode_frame_strict() {
   reader_.align();
   if (reader_.bits_left() < 16 + 1 + 5 + 1) {
     return std::nullopt;  // clean end of stream
   }
   if (reader_.get_bits(16) != kSync) {
-    throw DecodeError("decoder: lost frame sync");
+    fail(DecodeErrorClass::kFrame, "decoder: lost frame sync");
   }
   const bool inter_frame = reader_.get_bit();
   const int qp = static_cast<int>(reader_.get_bits(5));
   const bool deblock = reader_.get_bit();
   if (qp < kMinQp || qp > kMaxQp) {
-    throw DecodeError("decoder: qp out of range");
+    fail(DecodeErrorClass::kFrame, "decoder: qp out of range");
   }
   if (first_frame_ && inter_frame) {
-    throw DecodeError("decoder: first frame must be intra");
+    fail(DecodeErrorClass::kFrame, "decoder: first frame must be intra");
   }
 
   video::Frame out(size_);
@@ -96,6 +172,52 @@ std::optional<video::Frame> Decoder::decode_frame() {
   return out;
 }
 
+std::optional<video::Frame> Decoder::decode_frame_resync() {
+  // conceal=resync, V2 only: nothing after the sequence header throws.
+  // Frame-header damage emits no frame and scans forward; directory damage
+  // conceals the unreachable rows, emits the frame, then scans. The scan
+  // rules are normative (docs/RESILIENCE.md) — RefDecoder implements them
+  // independently and the two must stay outcome-identical.
+  while (true) {
+    reader_.align();
+    if (reader_.bits_left() < 16 + 1 + 5 + 1) {
+      return std::nullopt;  // clean end of stream
+    }
+    const std::size_t frame_start = reader_.bit_position() / 8;
+    const std::uint64_t sync = reader_.get_bits(16);
+    const bool inter_frame = reader_.get_bit();
+    const int qp = static_cast<int>(reader_.get_bits(5));
+    const bool deblock = reader_.get_bit();
+    if (sync != kSync || qp < kMinQp || qp > kMaxQp ||
+        (first_frame_ && inter_frame)) {
+      ++report_.resync_skips;
+      if (!seek_next_frame(frame_start + 1)) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    // The header validated, so this frame WILL be emitted (directory damage
+    // conceals, it does not abort). Clearing first_frame_ now lets a scan
+    // triggered inside decode_frame_slices_resync accept inter frame
+    // headers — the concealed frame is a legitimate prediction reference.
+    first_frame_ = false;
+
+    video::Frame out(size_);
+    coded_field_ = me::MvField::for_picture(size_.width, size_.height);
+    if (inter_frame) {
+      ref_half_ = video::HalfpelPlanes(ref_.y());
+    }
+    decode_frame_slices_resync(out, qp, inter_frame);
+    if (deblock) {
+      deblock_frame(out, qp);
+    }
+    out.extend_borders();
+    ref_ = out;
+    ref_.extend_borders();
+    return out;
+  }
+}
+
 void Decoder::decode_frame_v1(video::Frame& out, int qp, bool inter_frame) {
   const int mbs_y = size_.height / kMb;
   last_frame_slices_ = 1;
@@ -104,7 +226,7 @@ void Decoder::decode_frame_v1(video::Frame& out, int qp, bool inter_frame) {
   if (!decode_rows(reader_, out, qp, inter_frame, 0, mbs_y,
                    /*first_row=*/0) ||
       reader_.exhausted()) {
-    throw DecodeError("decoder: corrupt frame");
+    fail(DecodeErrorClass::kFrame, "decoder: corrupt frame");
   }
 }
 
@@ -114,20 +236,13 @@ void Decoder::decode_frame_slices(video::Frame& out, int qp,
   reader_.align();
   const int slice_count = static_cast<int>(reader_.get_bits(8));
   if (reader_.exhausted() || slice_count < 1 || slice_count > mbs_y) {
-    throw DecodeError("decoder: invalid slice count");
+    fail(DecodeErrorClass::kDirectory, "decoder: invalid slice count");
   }
 
   // Pass 1 — walk the slice directory. Payload lengths let us locate every
   // slice header without decoding any macroblock, which is both the
   // resynchronisation mechanism and what makes the payloads independently
   // decodable afterwards.
-  struct SliceEntry {
-    int first_row = 0;
-    int end_row = 0;
-    std::size_t offset = 0;  ///< payload start, bytes into data_
-    std::size_t bytes = 0;
-    bool ok = false;
-  };
   std::vector<SliceEntry> slices(static_cast<std::size_t>(slice_count));
   for (int s = 0; s < slice_count; ++s) {
     SliceEntry& entry = slices[static_cast<std::size_t>(s)];
@@ -138,16 +253,16 @@ void Decoder::decode_frame_slices(video::Frame& out, int qp,
     const int first_row = static_cast<int>(reader_.get_bits(16));
     const std::uint64_t payload_bytes = reader_.get_bits(32);
     if (reader_.exhausted() || sync != kSliceSyncWord || index != s) {
-      throw DecodeError("decoder: lost slice sync");
+      fail(DecodeErrorClass::kDirectory, "decoder: lost slice sync");
     }
     const int prev_first =
         s > 0 ? slices[static_cast<std::size_t>(s) - 1].first_row : 0;
     if (first_row >= mbs_y || (s == 0 ? first_row != 0
                                       : first_row <= prev_first)) {
-      throw DecodeError("decoder: invalid slice row layout");
+      fail(DecodeErrorClass::kDirectory, "decoder: invalid slice row layout");
     }
     if (payload_bytes > reader_.bits_left() / 8) {
-      throw DecodeError("decoder: truncated slice payload");
+      fail(DecodeErrorClass::kDirectory, "decoder: truncated slice payload");
     }
     entry.first_row = first_row;
     entry.offset = reader_.bit_position() / 8;  // aligned above
@@ -160,6 +275,99 @@ void Decoder::decode_frame_slices(video::Frame& out, int qp,
                             : mbs_y;
   }
 
+  decode_slice_payloads(slices, out, qp, inter_frame);
+  last_frame_slices_ = slice_count;
+}
+
+void Decoder::decode_frame_slices_resync(video::Frame& out, int qp,
+                                         bool inter_frame) {
+  const int mbs_y = size_.height / kMb;
+  reader_.align();
+  const std::size_t count_off = reader_.bit_position() / 8;
+  const int slice_count = static_cast<int>(reader_.get_bits(8));
+  if (reader_.exhausted() || slice_count < 1 || slice_count > mbs_y) {
+    // An unusable slice count leaves nothing navigable in this frame: the
+    // whole picture is concealed (counted as one concealment) and decoding
+    // scans on from the byte after the count.
+    conceal_rows(out, 0, mbs_y);
+    ++report_.concealed_slices;
+    last_frame_slices_ = 1;
+    ++report_.resync_skips;
+    seek_next_frame(count_off + 1);
+    return;
+  }
+
+  // Pass 1 with damage detection instead of throws: stop at the first
+  // entry that fails any directory invariant.
+  std::vector<SliceEntry> slices;
+  slices.reserve(static_cast<std::size_t>(slice_count));
+  int valid_entries = slice_count;
+  std::size_t damage_off = 0;
+  for (int s = 0; s < slice_count; ++s) {
+    reader_.align();
+    const std::size_t entry_off = reader_.bit_position() / 8;
+    const std::uint32_t sync =
+        static_cast<std::uint32_t>(reader_.get_bits(16));
+    const int index = static_cast<int>(reader_.get_bits(8));
+    const int first_row = static_cast<int>(reader_.get_bits(16));
+    const std::uint64_t payload_bytes = reader_.get_bits(32);
+    const int prev_first = s > 0 ? slices.back().first_row : 0;
+    if (reader_.exhausted() || sync != kSliceSyncWord || index != s ||
+        first_row >= mbs_y ||
+        (s == 0 ? first_row != 0 : first_row <= prev_first) ||
+        payload_bytes > reader_.bits_left() / 8) {
+      valid_entries = s;
+      damage_off = entry_off;
+      break;
+    }
+    SliceEntry entry;
+    entry.first_row = first_row;
+    entry.offset = reader_.bit_position() / 8;  // aligned above
+    entry.bytes = static_cast<std::size_t>(payload_bytes);
+    slices.push_back(entry);
+    reader_.skip_bits(entry.bytes * 8);
+  }
+
+  if (valid_entries == slice_count) {
+    // Intact directory — identical to the strict path from here on.
+    for (int s = 0; s < slice_count; ++s) {
+      slices[static_cast<std::size_t>(s)].end_row =
+          s + 1 < slice_count
+              ? slices[static_cast<std::size_t>(s) + 1].first_row
+              : mbs_y;
+    }
+    decode_slice_payloads(slices, out, qp, inter_frame);
+    last_frame_slices_ = slice_count;
+    return;
+  }
+
+  // Entry k is damaged. Entries 0..k-1 parsed, but entry k-1's extent
+  // depends on entry k's first row, so only slices 0..k-2 have known
+  // extents and decode; rows from entry k-1's first row down are concealed
+  // (all rows when k == 0), counted as the slices they replace.
+  const int k = valid_entries;
+  if (k >= 2) {
+    std::vector<SliceEntry> known(
+        slices.begin(), slices.begin() + static_cast<std::ptrdiff_t>(k - 1));
+    for (int s = 0; s + 1 < k; ++s) {
+      known[static_cast<std::size_t>(s)].end_row =
+          slices[static_cast<std::size_t>(s) + 1].first_row;
+    }
+    decode_slice_payloads(known, out, qp, inter_frame);
+  }
+  const int conceal_from =
+      k >= 1 ? slices[static_cast<std::size_t>(k) - 1].first_row : 0;
+  conceal_rows(out, conceal_from, mbs_y);
+  report_.concealed_slices +=
+      static_cast<std::uint64_t>(slice_count - std::max(0, k - 1));
+  last_frame_slices_ = slice_count;
+  ++report_.resync_skips;
+  seek_next_frame(damage_off + 1);
+}
+
+void Decoder::decode_slice_payloads(std::vector<SliceEntry>& slices,
+                                    video::Frame& out, int qp,
+                                    bool inter_frame) {
   // Pass 2 — decode the payloads, each from its own BitReader. Slices write
   // only row-disjoint regions of `out` and the coded field and predict
   // vectors strictly within their own rows, so they are independent; with a
@@ -175,9 +383,11 @@ void Decoder::decode_frame_slices(video::Frame& out, int qp,
                                     // leftover payload means the entropy
                                     // data desynchronised somewhere
   };
-  const int workers = shared_pool_ != nullptr
-                          ? shared_pool_->size()
-                          : util::ThreadPool::resolve_thread_count(threads_);
+  const int slice_count = static_cast<int>(slices.size());
+  const int workers =
+      shared_pool_ != nullptr
+          ? shared_pool_->size()
+          : util::ThreadPool::resolve_thread_count(config_.threads);
   if (workers > 1 && slice_count > 1) {
     util::ThreadPool* pool = shared_pool_;
     if (pool == nullptr) {
@@ -206,13 +416,80 @@ void Decoder::decode_frame_slices(video::Frame& out, int qp,
   // Pass 3 — conceal whatever failed. The slice's region is rewritten
   // wholesale (a corrupt payload may have deposited partial macroblocks
   // before the error was detected), which keeps the output deterministic.
+  // Under conceal=off the first failure is fatal instead.
   for (const SliceEntry& entry : slices) {
     if (!entry.ok) {
+      if (config_.conceal == Concealment::kOff) {
+        fail(DecodeErrorClass::kPayload, "decoder: corrupt slice payload");
+      }
       conceal_rows(out, entry.first_row, entry.end_row);
-      ++concealed_slices_;
+      ++report_.concealed_slices;
     }
   }
-  last_frame_slices_ = slice_count;
+}
+
+bool Decoder::seek_next_frame(std::size_t from_byte) {
+  // Resynchronisation scan (normative; docs/RESILIENCE.md): a byte offset
+  // is a valid restart point iff the frame sync word, frame header fields,
+  // slice count and the *entire* slice directory all validate — payload
+  // hops included — so a restart can never land on entropy data that
+  // merely looks like a sync word without paying for it structurally.
+  const int mbs_y = size_.height / kMb;
+  const auto u16 = [&](std::size_t at) {
+    return (static_cast<std::uint32_t>(data_[at]) << 8) |
+           static_cast<std::uint32_t>(data_[at + 1]);
+  };
+  for (std::size_t o = from_byte; o + 4 <= data_.size(); ++o) {
+    if (u16(o) != kSync) {
+      continue;
+    }
+    const std::uint8_t header = data_[o + 2];
+    const bool inter = (header & 0x80u) != 0;
+    const int qp = (header >> 2) & 0x1F;
+    if (qp < kMinQp || qp > kMaxQp) {
+      continue;
+    }
+    if (first_frame_ && inter) {
+      continue;  // a restart before any emitted frame must be intra
+    }
+    const int count = data_[o + 3];
+    if (count < 1 || count > mbs_y) {
+      continue;
+    }
+    std::size_t p = o + 4;
+    bool ok = true;
+    int prev_first = 0;
+    for (int s = 0; s < count; ++s) {
+      if (data_.size() - p < 9) {
+        ok = false;
+        break;
+      }
+      const int first_row = static_cast<int>(u16(p + 3));
+      const std::size_t payload =
+          (static_cast<std::size_t>(data_[p + 5]) << 24) |
+          (static_cast<std::size_t>(data_[p + 6]) << 16) |
+          (static_cast<std::size_t>(data_[p + 7]) << 8) |
+          static_cast<std::size_t>(data_[p + 8]);
+      if (u16(p) != kSliceSyncWord || data_[p + 2] != s ||
+          first_row >= mbs_y ||
+          (s == 0 ? first_row != 0 : first_row <= prev_first) ||
+          payload > data_.size() - (p + 9)) {
+        ok = false;
+        break;
+      }
+      prev_first = first_row;
+      p += 9 + payload;
+    }
+    if (!ok) {
+      continue;
+    }
+    reader_ = util::BitReader(data_);
+    reader_.skip_bits(o * 8);
+    return true;
+  }
+  reader_ = util::BitReader(data_);
+  reader_.skip_bits(data_.size() * 8);
+  return false;
 }
 
 bool Decoder::decode_rows(util::BitReader& br, video::Frame& out, int qp,
@@ -287,6 +564,30 @@ std::vector<video::Frame> Decoder::decode_all() {
     frames.push_back(std::move(*frame));
   }
   return frames;
+}
+
+DecodeReport Decoder::decode_stream(std::vector<video::Frame>* frames) {
+  try {
+    while (auto frame = decode_frame()) {
+      if (frames != nullptr) {
+        frames->push_back(std::move(*frame));
+      }
+    }
+  } catch (const DecodeError&) {
+    // Class and message were recorded by fail() before the throw.
+  }
+  if (config_.expect_frames >= 0 &&
+      report_.frames != static_cast<std::uint64_t>(config_.expect_frames)) {
+    report_.expectation_failures.push_back(
+        "expect frames=" + std::to_string(config_.expect_frames) +
+        " but stream has " + std::to_string(report_.frames));
+  }
+  if (config_.expect_slices >= 0 && report_.frames == 0) {
+    report_.expectation_failures.push_back(
+        "expect slices=" + std::to_string(config_.expect_slices) +
+        " but the stream has no frames to check against");
+  }
+  return report_;
 }
 
 bool Decoder::decode_intra_block_set(util::BitReader& br, video::Frame& out,

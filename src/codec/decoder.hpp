@@ -6,22 +6,38 @@
 // — decoder output bit-exact against Encoder::last_recon() — is the
 // strongest available correctness check on the whole codec substrate.
 //
-// ACV2 streams carry per-frame slice directories (see encoder.hpp for the
-// wire format). Slices are independently predicted and byte-aligned, so the
-// decoder parses the directory serially and then decodes the payloads
-// independently — in parallel on a util::ThreadPool when constructed with
-// threads != 1. A slice whose *payload* is corrupt is concealed (its
-// macroblocks copy the reference, its vectors read as zero) and decoding
-// resynchronises at the next slice header; corruption of the directory
-// itself — bad slice sync, out-of-order indices, payload lengths past the
-// end of the buffer — still throws DecodeError, because there is nothing
-// left to resynchronise on.
+// Construction takes a DecoderConfig (built from the kv spec grammar via
+// codec/config_map.hpp: "threads=4,conceal=resync,expect_frames=60"). The
+// config selects the concealment policy for damaged ACV2 streams:
+//
+//   conceal=slice   (default) A slice whose *payload* is corrupt is
+//                   concealed (its macroblocks copy the reference, its
+//                   vectors read as zero) and decoding resynchronises at
+//                   the next slice header; corruption of the slice
+//                   directory itself — bad slice sync, out-of-order
+//                   indices, payload lengths past the end of the buffer —
+//                   throws DecodeError.
+//   conceal=resync  Adds directory- and frame-header-level recovery: a
+//                   damaged directory entry conceals the frame's remaining
+//                   rows and decoding scans forward for the next
+//                   validating frame header (the normative rules live in
+//                   docs/RESILIENCE.md; codec::RefDecoder implements them
+//                   independently so the pair stays a differential oracle
+//                   under channel damage). V2 decoding never throws after
+//                   construction in this mode.
+//   conceal=off     Strict: even payload corruption throws.
+//
+// Progress and damage accounting stream into a structured DecodeReport
+// (frames, per-frame concealments, resync skips, error class, sample
+// digest) instead of hidden counters; decode_stream() runs a whole stream
+// to completion without throwing and returns the report.
 
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "me/mv_field.hpp"
@@ -39,22 +55,81 @@ class DecodeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Concealment policy for damaged ACV2 streams (see the header comment).
+enum class Concealment { kSlice, kResync, kOff };
+
+/// Which structural layer a DecodeError came from. kHeader errors are only
+/// observable as exceptions (the constructor throws before a report
+/// exists); the others are recorded in DecodeReport::error_class before the
+/// throw.
+enum class DecodeErrorClass {
+  kNone,       ///< no error
+  kHeader,     ///< sequence header (magic, dimensions)
+  kFrame,      ///< frame sync / frame header fields / V1 body corruption
+  kDirectory,  ///< ACV2 slice directory (sync, index, layout, lengths)
+  kPayload,    ///< slice payload under conceal=off
+};
+
+/// Decoder configuration, buildable from the kv spec grammar through
+/// decoder_config_from_spec() (codec/config_map.hpp). The expect_* fields
+/// absorb acbm_dec's --expect assertions: -1 means unchecked, any other
+/// value is compared against the stream and a mismatch is recorded in
+/// DecodeReport::expectation_failures (never thrown).
+struct DecoderConfig {
+  /// Worker threads for slice-parallel decoding of ACV2 frames: 1 = serial
+  /// (default), 0 = one worker per hardware thread, N = exactly N workers.
+  /// Output is identical at every thread count.
+  int threads = 1;
+  Concealment conceal = Concealment::kSlice;
+  std::int64_t expect_width = -1;
+  std::int64_t expect_height = -1;
+  std::int64_t expect_fps = -1;     ///< integer part of the header rate
+  std::int64_t expect_frames = -1;  ///< checked by decode_stream() at EOS
+  std::int64_t expect_slices = -1;  ///< checked against every frame
+  std::int64_t expect_version = -1;
+};
+
+/// Structured decode outcome. Filled incrementally as frames decode; read
+/// it via Decoder::report() at any point, or let decode_stream() run the
+/// stream to the end (capturing any DecodeError) and return it.
+struct DecodeReport {
+  std::uint64_t frames = 0;            ///< frames emitted
+  std::uint64_t concealed_slices = 0;  ///< total slices concealed
+  std::uint64_t resync_skips = 0;      ///< conceal=resync recovery events
+  std::vector<std::uint32_t> concealed_per_frame;  ///< one entry per frame
+  DecodeErrorClass error_class = DecodeErrorClass::kNone;
+  std::string error_message;  ///< the DecodeError text, when one was thrown
+  std::string channel_spec;   ///< echo of the sim::Channel spec, when known
+  std::vector<std::string> expectation_failures;  ///< expect_* mismatches
+  /// FNV-1a over every emitted frame's Y, Cb, Cr samples in raster order —
+  /// a cheap outcome fingerprint for differential tests and CI assertions.
+  std::uint64_t sample_digest = 0xcbf29ce484222325ull;
+};
+
 class Decoder {
  public:
   /// Parses the sequence header; throws DecodeError when the data is not an
   /// ACV1/ACV2 stream. The buffer is copied so the decoder owns its input.
-  /// `threads` drives slice-parallel decoding of ACV2 frames: 1 = serial
-  /// (default), 0 = one worker per hardware thread, N = exactly N workers.
-  /// Output is identical at every thread count.
-  explicit Decoder(std::span<const std::uint8_t> data, int threads = 1);
+  Decoder(std::span<const std::uint8_t> data, const DecoderConfig& config);
 
   /// Shared-pool variant: slice-parallel decoding runs on one FIFO lane of
   /// `shared_pool` (which must outlive the decoder) instead of a pool built
   /// per decoder instance — N concurrent decoders share the machine's
   /// workers fairly rather than oversubscribing it N-fold, and each
   /// decoder's stage barrier covers only its own tasks. Output is identical
-  /// to the own-pool constructor.
+  /// to the own-pool constructor. config.threads is ignored (the pool's
+  /// size applies).
+  Decoder(std::span<const std::uint8_t> data, const DecoderConfig& config,
+          util::ThreadPool& shared_pool);
+
+  /// Deprecated: thin wrapper over the DecoderConfig constructor, kept for
+  /// source compatibility (byte-/sample-identical to the old behaviour).
+  /// Prefer Decoder(data, DecoderConfig{.threads = n}).
+  explicit Decoder(std::span<const std::uint8_t> data, int threads = 1);
+
+  /// Deprecated: wrapper over the shared-pool DecoderConfig constructor.
   Decoder(std::span<const std::uint8_t> data, util::ThreadPool& shared_pool);
+
   ~Decoder();
 
   Decoder(const Decoder&) = delete;
@@ -64,12 +139,29 @@ class Decoder {
   [[nodiscard]] video::FrameRate rate() const { return rate_; }
 
   /// Decodes the next frame; std::nullopt at clean end-of-stream. Throws
-  /// DecodeError on corruption (for ACV2, on corruption the slice layer
-  /// cannot conceal — see the header comment).
+  /// DecodeError on unconcealable corruption for the configured policy
+  /// (never, for V2 streams under conceal=resync); the error class and
+  /// message are recorded in report() before the throw.
   std::optional<video::Frame> decode_frame();
 
-  /// Decodes every remaining frame.
+  /// Decodes every remaining frame; rethrows like decode_frame().
   std::vector<video::Frame> decode_all();
+
+  /// Runs the stream to the end without throwing: any DecodeError is
+  /// captured into the report's error class/message, end-of-stream
+  /// expectations (expect_frames, expect_slices on an empty stream) are
+  /// evaluated, and the final report is returned. Frames are appended to
+  /// `frames` when non-null.
+  DecodeReport decode_stream(std::vector<video::Frame>* frames = nullptr);
+
+  /// The accumulated report (see DecodeReport).
+  [[nodiscard]] const DecodeReport& report() const { return report_; }
+
+  /// Stamps the channel spec that damaged this stream into the report, so
+  /// artifacts carry the full provenance (acbm_dec --channel does this).
+  void note_channel_spec(std::string spec) {
+    report_.channel_spec = std::move(spec);
+  }
 
   /// Bitstream revision: 1 for ACV1, 2 for ACV2 (sliced frames).
   [[nodiscard]] int version() const { return version_; }
@@ -78,15 +170,49 @@ class Decoder {
   /// for every ACV1 frame).
   [[nodiscard]] int last_frame_slices() const { return last_frame_slices_; }
 
-  /// Total slices concealed so far (corrupt payload, resynchronised at the
-  /// next slice header).
+  /// Total slices concealed so far (= report().concealed_slices).
   [[nodiscard]] std::uint64_t concealed_slices() const {
-    return concealed_slices_;
+    return report_.concealed_slices;
   }
 
  private:
+  /// ACV2 slice-directory entry (pass 1 product; see decode_frame_slices).
+  struct SliceEntry {
+    int first_row = 0;
+    int end_row = 0;
+    std::size_t offset = 0;  ///< payload start, bytes into data_
+    std::size_t bytes = 0;
+    bool ok = false;
+  };
+
+  /// Records the class/message in report_ and throws DecodeError.
+  [[noreturn]] void fail(DecodeErrorClass error_class,
+                         const std::string& message);
+
+  std::optional<video::Frame> decode_frame_strict();
+  std::optional<video::Frame> decode_frame_resync();
   void decode_frame_v1(video::Frame& out, int qp, bool inter_frame);
   void decode_frame_slices(video::Frame& out, int qp, bool inter_frame);
+  void decode_frame_slices_resync(video::Frame& out, int qp,
+                                  bool inter_frame);
+
+  /// Passes 2+3 over a parsed directory: decode payloads (in parallel when
+  /// configured), then conceal failures — or, under conceal=off, throw on
+  /// the first bad payload.
+  void decode_slice_payloads(std::vector<SliceEntry>& slices,
+                             video::Frame& out, int qp, bool inter_frame);
+
+  /// conceal=resync: scans data_ from `from_byte` for the next byte offset
+  /// that validates as a complete frame header + slice directory
+  /// (docs/RESILIENCE.md "resynchronisation scan") and repositions the
+  /// reader there. Returns false — reader at end-of-stream — when no
+  /// candidate validates.
+  bool seek_next_frame(std::size_t from_byte);
+
+  /// Frame bookkeeping shared by both decode paths: frame count, per-frame
+  /// concealment, sample digest, expect_slices.
+  void account_frame(const video::Frame& frame,
+                     std::uint64_t concealed_before);
 
   /// Decodes macroblock rows [row_begin, row_end) from `br`, predicting
   /// vectors against `first_row` as the slice boundary. Returns false on
@@ -113,6 +239,8 @@ class Decoder {
 
   std::vector<std::uint8_t> data_;
   util::BitReader reader_;
+  DecoderConfig config_;
+  DecodeReport report_;
   video::PictureSize size_{};
   video::FrameRate rate_{};
   video::Frame ref_;
@@ -120,9 +248,8 @@ class Decoder {
   me::MvField coded_field_;
   int version_ = 1;
   bool first_frame_ = true;
-  int threads_ = 1;
   int last_frame_slices_ = 1;
-  std::uint64_t concealed_slices_ = 0;
+  bool slices_mismatch_recorded_ = false;
   std::unique_ptr<util::ThreadPool> pool_;  ///< created at first parallel use
   util::ThreadPool* shared_pool_ = nullptr;  ///< injected pool, not owned
   /// This decoder's FIFO lane of whichever pool is active; its TaskGroup

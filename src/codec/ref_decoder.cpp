@@ -329,8 +329,9 @@ void RefDecoder::BitCursor::skip_bits(std::size_t count) {
 
 // --- RefDecoder ------------------------------------------------------------
 
-RefDecoder::RefDecoder(std::span<const std::uint8_t> data)
-    : data_(data.begin(), data.end()) {
+RefDecoder::RefDecoder(std::span<const std::uint8_t> data,
+                       bool conceal_resync)
+    : data_(data.begin(), data.end()), conceal_resync_(conceal_resync) {
   reader_.data = data_.data();
   reader_.size = data_.size();
   const std::uint32_t magic =
@@ -358,6 +359,35 @@ RefDecoder::RefDecoder(std::span<const std::uint8_t> data)
 }
 
 std::optional<RefPicture> RefDecoder::decode_frame() {
+  if (conceal_resync_ && version_ == 2) {
+    return decode_frame_resync();
+  }
+  return decode_frame_strict();
+}
+
+RefPicture RefDecoder::fresh_picture() {
+  RefPicture out;
+  out.width = width_;
+  out.height = height_;
+  out.y.assign(static_cast<std::size_t>(width_) * height_, 0);
+  out.cb.assign(static_cast<std::size_t>(width_ / 2) * (height_ / 2), 0);
+  out.cr.assign(static_cast<std::size_t>(width_ / 2) * (height_ / 2), 0);
+  coded_mvx_.assign(static_cast<std::size_t>(mbs_x_) * mbs_y_, 0);
+  coded_mvy_.assign(static_cast<std::size_t>(mbs_x_) * mbs_y_, 0);
+  return out;
+}
+
+void RefDecoder::finish_frame(RefPicture& out, int qp, bool deblock) {
+  if (deblock) {
+    ref_deblock_plane(out.y, width_, height_, qp);
+    ref_deblock_plane(out.cb, width_ / 2, height_ / 2, qp);
+    ref_deblock_plane(out.cr, width_ / 2, height_ / 2, qp);
+  }
+  ref_ = out;
+  first_frame_ = false;
+}
+
+std::optional<RefPicture> RefDecoder::decode_frame_strict() {
   reader_.align();
   if (reader_.bits_left() < 16 + 1 + 5 + 1) {
     return std::nullopt;  // clean end of stream
@@ -375,29 +405,50 @@ std::optional<RefPicture> RefDecoder::decode_frame() {
     throw RefDecodeError("ref decoder: first frame must be intra");
   }
 
-  RefPicture out;
-  out.width = width_;
-  out.height = height_;
-  out.y.assign(static_cast<std::size_t>(width_) * height_, 0);
-  out.cb.assign(static_cast<std::size_t>(width_ / 2) * (height_ / 2), 0);
-  out.cr.assign(static_cast<std::size_t>(width_ / 2) * (height_ / 2), 0);
-  coded_mvx_.assign(static_cast<std::size_t>(mbs_x_) * mbs_y_, 0);
-  coded_mvy_.assign(static_cast<std::size_t>(mbs_x_) * mbs_y_, 0);
-
+  RefPicture out = fresh_picture();
   if (version_ == 2) {
     decode_frame_slices(out, qp, inter_frame);
   } else {
     decode_frame_v1(out, qp, inter_frame);
   }
-
-  if (deblock) {
-    ref_deblock_plane(out.y, width_, height_, qp);
-    ref_deblock_plane(out.cb, width_ / 2, height_ / 2, qp);
-    ref_deblock_plane(out.cr, width_ / 2, height_ / 2, qp);
-  }
-  ref_ = out;
-  first_frame_ = false;
+  finish_frame(out, qp, deblock);
   return out;
+}
+
+std::optional<RefPicture> RefDecoder::decode_frame_resync() {
+  // The normative recovery rules (docs/RESILIENCE.md), implemented here
+  // from the text and nowhere shared with codec::Decoder: a frame header
+  // that fails any check emits nothing and the cursor scans forward from
+  // the byte after the sync position; slice-directory damage is handled by
+  // decode_frame_slices_resync (which emits a partially concealed frame).
+  while (true) {
+    reader_.align();
+    if (reader_.bits_left() < 16 + 1 + 5 + 1) {
+      return std::nullopt;  // clean end of stream
+    }
+    const std::size_t frame_start = reader_.bit_pos / 8;
+    const std::uint32_t sync =
+        static_cast<std::uint32_t>(reader_.get_bits(16));
+    const bool inter_frame = reader_.get_bit();
+    const int qp = static_cast<int>(reader_.get_bits(5));
+    const bool deblock = reader_.get_bit();
+    if (sync != kRefFrameSync || qp < kRefMinQp || qp > kRefMaxQp ||
+        (first_frame_ && inter_frame)) {
+      ++resync_skips_;
+      if (!find_restart(frame_start + 1)) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    // Header validated ⇒ the frame will be emitted (directory damage only
+    // conceals), so it can serve as a reference: clear first_frame_ before
+    // any scan inside decode_frame_slices_resync rejects inter headers.
+    first_frame_ = false;
+    RefPicture out = fresh_picture();
+    decode_frame_slices_resync(out, qp, inter_frame);
+    finish_frame(out, qp, deblock);
+    return out;
+  }
 }
 
 std::vector<RefPicture> RefDecoder::decode_all() {
@@ -484,6 +535,149 @@ void RefDecoder::decode_frame_slices(RefPicture& out, int qp,
     }
   }
   last_frame_slices_ = slice_count;
+}
+
+void RefDecoder::decode_frame_slices_resync(RefPicture& out, int qp,
+                                            bool inter_frame) {
+  reader_.align();
+  const std::size_t count_pos = reader_.bit_pos / 8;
+  const int slice_count = static_cast<int>(reader_.get_bits(8));
+  if (reader_.exhausted || slice_count < 1 || slice_count > mbs_y_) {
+    // Unusable slice count: the whole picture is concealed (one
+    // concealment) and decoding scans on from the byte after the count.
+    conceal_rows(out, 0, mbs_y_);
+    concealed_slices_ += 1;
+    last_frame_slices_ = 1;
+    ++resync_skips_;
+    find_restart(count_pos + 1);
+    return;
+  }
+
+  // Walk the directory, stopping at the first entry that fails an
+  // invariant instead of throwing.
+  std::vector<int> first_rows;
+  std::vector<std::size_t> offsets;
+  std::vector<std::size_t> lengths;
+  int valid = slice_count;
+  std::size_t damage_pos = 0;
+  for (int s = 0; s < slice_count; ++s) {
+    reader_.align();
+    const std::size_t entry_pos = reader_.bit_pos / 8;
+    const std::uint32_t sync =
+        static_cast<std::uint32_t>(reader_.get_bits(16));
+    const int index = static_cast<int>(reader_.get_bits(8));
+    const int first_row = static_cast<int>(reader_.get_bits(16));
+    const std::uint64_t payload_bytes = reader_.get_bits(32);
+    const int prev_first = s > 0 ? first_rows.back() : 0;
+    if (reader_.exhausted || sync != kRefSliceSync || index != s ||
+        first_row >= mbs_y_ ||
+        (s == 0 ? first_row != 0 : first_row <= prev_first) ||
+        payload_bytes > reader_.bits_left() / 8) {
+      valid = s;
+      damage_pos = entry_pos;
+      break;
+    }
+    first_rows.push_back(first_row);
+    offsets.push_back(reader_.bit_pos / 8);
+    lengths.push_back(static_cast<std::size_t>(payload_bytes));
+    reader_.skip_bits(payload_bytes * 8);
+  }
+
+  // Decode every slice whose row extent is known: all of them when the
+  // directory is intact, the first valid-1 when entry `valid` is damaged
+  // (the last parsed entry's extent would depend on the damaged one).
+  const bool intact = valid == slice_count;
+  const int decodable = intact ? slice_count : std::max(0, valid - 1);
+  for (int s = 0; s < decodable; ++s) {
+    const int end_row = s + 1 < slice_count
+                            ? (s + 1 < static_cast<int>(first_rows.size())
+                                   ? first_rows[static_cast<std::size_t>(s) + 1]
+                                   : mbs_y_)
+                            : mbs_y_;
+    BitCursor bc;
+    bc.data = data_.data() + offsets[static_cast<std::size_t>(s)];
+    bc.size = lengths[static_cast<std::size_t>(s)];
+    const bool ok =
+        decode_rows(bc, out, qp, inter_frame,
+                    first_rows[static_cast<std::size_t>(s)], end_row,
+                    first_rows[static_cast<std::size_t>(s)]) &&
+        bc.bits_left() < 8;
+    if (!ok) {
+      conceal_rows(out, first_rows[static_cast<std::size_t>(s)], end_row);
+      ++concealed_slices_;
+    }
+  }
+  last_frame_slices_ = slice_count;
+  if (intact) {
+    return;
+  }
+  // Conceal the unreachable remainder — from the last parsed entry's first
+  // row (all rows when the very first entry is damaged) — counted as the
+  // slices it replaces, then scan from the byte after the damaged entry.
+  const int conceal_from = valid >= 1 ? first_rows.back() : 0;
+  conceal_rows(out, conceal_from, mbs_y_);
+  concealed_slices_ +=
+      static_cast<std::uint64_t>(slice_count - std::max(0, valid - 1));
+  ++resync_skips_;
+  find_restart(damage_pos + 1);
+}
+
+bool RefDecoder::find_restart(std::size_t from_byte) {
+  // Resynchronisation scan (normative, docs/RESILIENCE.md): an offset is a
+  // restart point iff the frame sync, header fields, slice count and the
+  // complete slice directory (hopping payload lengths) all validate.
+  for (std::size_t o = from_byte; o + 4 <= data_.size(); ++o) {
+    if (data_[o] != 0x7E || data_[o + 1] != 0x5A) {
+      continue;
+    }
+    const std::uint8_t fields = data_[o + 2];
+    const bool inter = (fields & 0x80u) != 0;
+    const int qp = (fields >> 2) & 0x1F;
+    if (qp < kRefMinQp || qp > kRefMaxQp) {
+      continue;
+    }
+    if (first_frame_ && inter) {
+      continue;  // before any emitted frame the restart must be intra
+    }
+    const int count = data_[o + 3];
+    if (count < 1 || count > mbs_y_) {
+      continue;
+    }
+    std::size_t p = o + 4;
+    bool ok = true;
+    int prev_first = 0;
+    for (int s = 0; s < count; ++s) {
+      if (data_.size() - p < 9) {
+        ok = false;
+        break;
+      }
+      const std::uint32_t sync =
+          (static_cast<std::uint32_t>(data_[p]) << 8) | data_[p + 1];
+      const int first_row =
+          (static_cast<int>(data_[p + 3]) << 8) | data_[p + 4];
+      const std::size_t len =
+          (static_cast<std::size_t>(data_[p + 5]) << 24) |
+          (static_cast<std::size_t>(data_[p + 6]) << 16) |
+          (static_cast<std::size_t>(data_[p + 7]) << 8) |
+          static_cast<std::size_t>(data_[p + 8]);
+      if (sync != kRefSliceSync || data_[p + 2] != s || first_row >= mbs_y_ ||
+          (s == 0 ? first_row != 0 : first_row <= prev_first) ||
+          len > data_.size() - (p + 9)) {
+        ok = false;
+        break;
+      }
+      prev_first = first_row;
+      p += 9 + len;
+    }
+    if (!ok) {
+      continue;
+    }
+    reader_.bit_pos = o * 8;
+    reader_.exhausted = false;
+    return true;
+  }
+  reader_.bit_pos = reader_.bit_size();
+  return false;
 }
 
 bool RefDecoder::decode_rows(BitCursor& bc, RefPicture& out, int qp,

@@ -56,12 +56,19 @@ struct RefPicture {
 class RefDecoder {
  public:
   /// Parses the sequence header; throws RefDecodeError when `data` is not an
-  /// ACV1/ACV2 stream. The buffer is copied.
-  explicit RefDecoder(std::span<const std::uint8_t> data);
+  /// ACV1/ACV2 stream. The buffer is copied. `conceal_resync` mirrors the
+  /// optimized decoder's conceal=resync policy: an independent
+  /// implementation of the normative recovery rules in docs/RESILIENCE.md
+  /// (directory damage conceals the frame's unreachable rows, frame-header
+  /// damage scans forward for the next validating frame header), so the
+  /// decoder pair stays a differential oracle under channel damage.
+  explicit RefDecoder(std::span<const std::uint8_t> data,
+                      bool conceal_resync = false);
 
   /// Decodes the next frame; std::nullopt at clean end-of-stream. Throws
   /// RefDecodeError on unconcealable corruption (same conditions as the
-  /// optimized decoder: anything before the slice payloads).
+  /// optimized decoder: anything before the slice payloads; for V2 streams
+  /// under conceal_resync, never).
   std::optional<RefPicture> decode_frame();
 
   /// Decodes every remaining frame.
@@ -81,6 +88,10 @@ class RefDecoder {
   [[nodiscard]] std::uint64_t concealed_slices() const {
     return concealed_slices_;
   }
+
+  /// conceal_resync recovery events so far (damaged directories or frame
+  /// headers skipped over; the optimized decoder's resync_skips analogue).
+  [[nodiscard]] std::uint64_t resync_skips() const { return resync_skips_; }
 
   /// MSB-first bit cursor with the wire format's exhaustion semantics:
   /// reads past the end deliver zero bits and latch `exhausted`. Public so
@@ -102,8 +113,17 @@ class RefDecoder {
   };
 
  private:
+  std::optional<RefPicture> decode_frame_strict();
+  std::optional<RefPicture> decode_frame_resync();
+  RefPicture fresh_picture();
+  void finish_frame(RefPicture& out, int qp, bool deblock);
   void decode_frame_v1(RefPicture& out, int qp, bool inter_frame);
   void decode_frame_slices(RefPicture& out, int qp, bool inter_frame);
+  void decode_frame_slices_resync(RefPicture& out, int qp, bool inter_frame);
+  /// Scans data_ from `from_byte` for the next byte offset validating as a
+  /// complete frame header + slice directory and repositions the cursor
+  /// there; false (cursor at end) when none does.
+  bool find_restart(std::size_t from_byte);
   bool decode_rows(BitCursor& bc, RefPicture& out, int qp, bool inter_frame,
                    int row_begin, int row_end, int first_row);
   void conceal_rows(RefPicture& out, int row_begin, int row_end);
@@ -124,8 +144,10 @@ class RefDecoder {
   int mbs_x_ = 0;
   int mbs_y_ = 0;
   bool first_frame_ = true;
+  bool conceal_resync_ = false;
   int last_frame_slices_ = 1;
   std::uint64_t concealed_slices_ = 0;
+  std::uint64_t resync_skips_ = 0;
   RefPicture ref_;              ///< previous reconstruction
   std::vector<int> coded_mvx_;  ///< per-MB coded vectors of the current frame
   std::vector<int> coded_mvy_;

@@ -156,5 +156,78 @@ TEST(SweepSpec, RejectsUnknownKeysAndBadQps) {
                util::SpecError);  // shared keys validate via the key table
 }
 
+// --- Decoder half of the grammar -------------------------------------------
+
+TEST(DecoderSpec, EmptySpecIsDefaults) {
+  const codec::DecoderConfig config = codec::decoder_config_from_spec("");
+  EXPECT_EQ(config.threads, 1);
+  EXPECT_EQ(config.conceal, codec::Concealment::kSlice);
+  EXPECT_EQ(config.expect_width, -1);
+  EXPECT_EQ(config.expect_slices, -1);
+}
+
+TEST(DecoderSpec, AppliesKeysOnTopOfBase) {
+  codec::DecoderConfig base;
+  base.threads = 4;
+  const codec::DecoderConfig config = codec::decoder_config_from_spec(
+      "conceal=resync,expect_frames=60,expect_slices=4", base);
+  EXPECT_EQ(config.threads, 4);  // base survives
+  EXPECT_EQ(config.conceal, codec::Concealment::kResync);
+  EXPECT_EQ(config.expect_frames, 60);
+  EXPECT_EQ(config.expect_slices, 4);
+  EXPECT_EQ(config.expect_width, -1);
+
+  const codec::DecoderConfig off =
+      codec::decoder_config_from_spec("conceal=off");
+  EXPECT_EQ(off.conceal, codec::Concealment::kOff);
+}
+
+TEST(DecoderSpec, ToSpecRoundTripsEveryField) {
+  codec::DecoderConfig config;
+  config.threads = 3;
+  config.conceal = codec::Concealment::kResync;
+  config.expect_width = 176;
+  config.expect_height = 144;
+  config.expect_fps = 30;
+  config.expect_frames = 60;
+  config.expect_slices = 4;
+  config.expect_version = 2;
+  const std::string spec = codec::to_spec(config);
+  const codec::DecoderConfig back = codec::decoder_config_from_spec(spec);
+  EXPECT_EQ(codec::to_spec(back), spec);
+  EXPECT_EQ(back.threads, 3);
+  EXPECT_EQ(back.conceal, codec::Concealment::kResync);
+  EXPECT_EQ(back.expect_width, 176);
+  EXPECT_EQ(back.expect_height, 144);
+  EXPECT_EQ(back.expect_fps, 30);
+  EXPECT_EQ(back.expect_frames, 60);
+  EXPECT_EQ(back.expect_slices, 4);
+  EXPECT_EQ(back.expect_version, 2);
+}
+
+TEST(DecoderSpec, ValidatesKeysValuesAndRanges) {
+  EXPECT_THROW((void)codec::decoder_config_from_spec("workers=4"),
+               util::SpecError);  // unknown key
+  EXPECT_THROW((void)codec::decoder_config_from_spec("conceal=maybe"),
+               util::SpecError);
+  EXPECT_THROW((void)codec::decoder_config_from_spec("threads=-1"),
+               util::SpecError);
+  EXPECT_THROW((void)codec::decoder_config_from_spec("expect_width=-2"),
+               util::SpecError);
+  EXPECT_THROW((void)codec::decoder_config_from_spec("expect_frames=abc"),
+               util::SpecError);
+}
+
+TEST(DecoderSpec, UnknownKeyErrorCarriesTheKeyTable) {
+  try {
+    (void)codec::decoder_config_from_spec("bogus=1");
+    FAIL() << "expected SpecError";
+  } catch (const util::SpecError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("conceal"), std::string::npos);
+    EXPECT_NE(message.find("expect_slices"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace acbm

@@ -20,6 +20,7 @@
 #include "codec/ref_decoder.hpp"
 #include "codec/service.hpp"
 #include "core/builtin_estimators.hpp"
+#include "sim/channel.hpp"
 #include "simd/dispatch.hpp"
 #include "synth/sequences.hpp"
 
@@ -258,6 +259,7 @@ struct Outcome {
   bool error = false;
   std::size_t frames = 0;
   std::uint64_t concealed = 0;
+  std::uint64_t resync_skips = 0;
   std::uint64_t digest = 0;
 };
 
@@ -266,10 +268,13 @@ void mix(std::uint64_t& h, std::uint64_t v) {
 }
 
 Outcome optimized_outcome(const std::vector<std::uint8_t>& stream,
-                          int threads) {
+                          int threads, bool resync = false) {
   Outcome out;
   try {
-    Decoder decoder(stream, threads);
+    DecoderConfig config;
+    config.threads = threads;
+    config.conceal = resync ? Concealment::kResync : Concealment::kSlice;
+    Decoder decoder(stream, config);
     while (auto frame = decoder.decode_frame()) {
       ++out.frames;
       for (int y = 0; y < frame->height(); ++y) {
@@ -285,16 +290,18 @@ Outcome optimized_outcome(const std::vector<std::uint8_t>& stream,
       }
     }
     out.concealed = decoder.concealed_slices();
+    out.resync_skips = decoder.report().resync_skips;
   } catch (const DecodeError&) {
     out.error = true;
   }
   return out;
 }
 
-Outcome reference_outcome(const std::vector<std::uint8_t>& stream) {
+Outcome reference_outcome(const std::vector<std::uint8_t>& stream,
+                          bool resync = false) {
   Outcome out;
   try {
-    RefDecoder decoder(stream);
+    RefDecoder decoder(stream, resync);
     while (auto frame = decoder.decode_frame()) {
       ++out.frames;
       for (std::uint8_t s : frame->y) {
@@ -306,6 +313,7 @@ Outcome reference_outcome(const std::vector<std::uint8_t>& stream) {
       }
     }
     out.concealed = decoder.concealed_slices();
+    out.resync_skips = decoder.resync_skips();
   } catch (const RefDecodeError&) {
     out.error = true;
   }
@@ -317,6 +325,7 @@ void expect_same_outcome(const Outcome& ref, const Outcome& opt,
   ASSERT_EQ(ref.error, opt.error) << context;
   ASSERT_EQ(ref.frames, opt.frames) << context;
   ASSERT_EQ(ref.concealed, opt.concealed) << context;
+  ASSERT_EQ(ref.resync_skips, opt.resync_skips) << context;
   ASSERT_EQ(ref.digest, opt.digest) << context;
 }
 
@@ -377,6 +386,89 @@ TEST(RefDecoderDifferential, ByteOverwritesAgree) {
     expect_same_outcome(reference_outcome(mutated),
                         optimized_outcome(mutated, /*threads=*/1),
                         "trial " + std::to_string(trial));
+  }
+}
+
+// --- Channel realizations (PR 8) -------------------------------------------
+//
+// The resilience contract: under any seeded sim::Channel realization the
+// decoder pair must stay outcome-identical — in the default (strict
+// directory) mode AND in conceal=resync mode, where both implement the
+// normative recovery rules of docs/RESILIENCE.md independently.
+
+TEST(RefDecoderDifferential, ChannelRealizationsAgreeOverCorpus) {
+  const std::vector<StreamCase> corpus = build_corpus();
+  const std::vector<std::string> specs = {
+      "gilbert:loss=0.05,burst=8,seed=7",
+      "gilbert:loss=0.2,burst=4,seed=9,hit=header",
+      "iid:loss=0.1,seed=3,hit=flip",
+      "iid:loss=0.3,seed=21,hit=drop",
+      "trunc:at=0.35",
+  };
+  for (const StreamCase& c : corpus) {
+    for (const std::string& spec : specs) {
+      const sim::Channel channel{std::string_view(spec)};
+      const std::vector<std::uint8_t> damaged = channel.apply(c.stream);
+      for (const bool resync : {false, true}) {
+        const std::string context =
+            c.name + " / " + spec + (resync ? " / resync" : " / strict");
+        expect_same_outcome(reference_outcome(damaged, resync),
+                            optimized_outcome(damaged, /*threads=*/2, resync),
+                            context);
+      }
+    }
+  }
+}
+
+TEST(RefDecoderDifferential, ResyncNeverErrorsOnV2ChannelDamage) {
+  // conceal=resync turns every post-header corruption into concealment or a
+  // forward scan: over many seeds of the nastiest mode (directory hits) the
+  // optimized decoder must neither throw nor disagree with the reference.
+  const std::vector<std::uint8_t> base = sliced_stream();
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const std::string spec =
+        "gilbert:loss=0.25,burst=3,seed=" + std::to_string(seed) +
+        ",hit=header";
+    const sim::Channel channel{std::string_view(spec)};
+    const std::vector<std::uint8_t> damaged = channel.apply(base);
+    const Outcome opt = optimized_outcome(damaged, /*threads=*/2, true);
+    EXPECT_FALSE(opt.error) << spec;
+    expect_same_outcome(reference_outcome(damaged, true), opt, spec);
+  }
+}
+
+TEST(RefDecoderDifferential, ResyncModeAgreesOnRandomMutations) {
+  // Resync differential over unstructured damage too — bit flips land in
+  // frame headers, directories and payloads alike, exercising every branch
+  // of the normative scan rules.
+  for (const auto& base : {sliced_stream(), legacy_stream()}) {
+    std::mt19937 rng(31);
+    std::uniform_int_distribution<std::size_t> pick_byte(0, base.size() - 1);
+    std::uniform_int_distribution<int> pick_bit(0, 7);
+    std::uniform_int_distribution<int> pick_count(1, 4);
+    for (int trial = 0; trial < 80; ++trial) {
+      std::vector<std::uint8_t> mutated = base;
+      const int flips = pick_count(rng);
+      for (int f = 0; f < flips; ++f) {
+        mutated[pick_byte(rng)] ^=
+            static_cast<std::uint8_t>(1u << pick_bit(rng));
+      }
+      const std::string context = "resync trial " + std::to_string(trial);
+      expect_same_outcome(reference_outcome(mutated, true),
+                          optimized_outcome(mutated, /*threads=*/2, true),
+                          context);
+    }
+  }
+}
+
+TEST(RefDecoderDifferential, ResyncTruncationAtEveryByteAgrees) {
+  const std::vector<std::uint8_t> base = sliced_stream();
+  for (std::size_t len = 0; len <= base.size(); ++len) {
+    std::vector<std::uint8_t> cut(base.begin(),
+                                  base.begin() + static_cast<long>(len));
+    expect_same_outcome(reference_outcome(cut, true),
+                        optimized_outcome(cut, /*threads=*/1, true),
+                        "resync length " + std::to_string(len));
   }
 }
 
