@@ -17,7 +17,12 @@
 //
 // JSON rows (BM_ServiceThroughput/sessions:N/threads:T) carry
 // aggregate_fps / per_session_fps / mean_ms / p99_ms counters for the CI
-// perf trajectory; wall time is the row's real_time.
+// perf trajectory; wall time is the row's real_time. The service health
+// counters ride along as accepted_frames / completed_frames / shed_frames —
+// deterministic (sessions x frames, same, 0: no overload policy, no fault
+// injection), so scripts/bench_gate.py pins them exactly and any run where
+// the service dropped or failed a frame fails the gate as a correctness
+// regression rather than slipping through as a perf blip.
 
 #include <algorithm>
 #include <chrono>
@@ -36,6 +41,7 @@ using Clock = std::chrono::steady_clock;
 struct ServicePoint {
   double wall_seconds = 0.0;
   std::vector<double> latencies_ms;  // every frame of every session
+  codec::ServiceStats stats;         // health counters, drained state
 };
 
 /// Nearest-rank percentile (q in [0,1]) of an unsorted sample set.
@@ -99,6 +105,7 @@ ServicePoint run_point(const std::vector<video::Frame>& frames, int sessions,
     t.join();
   }
   point.wall_seconds = wall.seconds();
+  point.stats = service.stats();
   for (const std::vector<double>& per_session : latencies) {
     point.latencies_ms.insert(point.latencies_ms.end(), per_session.begin(),
                               per_session.end());
@@ -167,7 +174,15 @@ int main(int argc, char** argv) {
                   {"per_session_fps",
                    aggregate_fps / static_cast<double>(sessions)},
                   {"mean_ms", mean_ms},
-                  {"p99_ms", p99_ms}});
+                  {"p99_ms", p99_ms},
+                  {"accepted_frames",
+                   static_cast<double>(point.stats.accepted)},
+                  {"completed_frames",
+                   static_cast<double>(point.stats.completed)},
+                  {"shed_frames",
+                   static_cast<double>(point.stats.rejected +
+                                       point.stats.timed_out +
+                                       point.stats.failed)}});
   }
   table.print(std::cout);
   if (single_session_fps > 0.0) {

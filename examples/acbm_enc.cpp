@@ -16,10 +16,16 @@
 // Estimator specs ("NAME:key=val,...") and --config key=value maps are
 // validated up front; any unknown name or key exits 2 with the full
 // grammar and per-estimator key tables — never a silent fallback.
+//
+// Exit codes: 0 success; 1 internal/environment error; 2 usage error or
+// malformed input (bad spec, bad .y4m/.yuv); 3 session failure — a frame's
+// encode failed (e.g. under --fault) and the structured error
+// ("session error: class=... frame=... site=...") was printed to stderr.
 
 #include <deque>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <thread>
 
 #include "codec/config_map.hpp"
@@ -31,8 +37,10 @@
 #include "synth/sequences.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
+#include "util/fault_injector.hpp"
 #include "util/kv.hpp"
 #include "util/timer.hpp"
+#include "video/io_error.hpp"
 #include "video/y4m_io.hpp"
 #include "video/yuv_io.hpp"
 
@@ -115,9 +123,21 @@ int main(int argc, char** argv) {
                     "Session 0's bitstream is written; every session's "
                     "bytes are identical. --kbps requires sessions=1",
                     "1");
+  parser.add_option("fault",
+                    "deterministic fault-injection spec, e.g. "
+                    "\"fault:site=encode_throw,p=0.01,seed=7\"; forces "
+                    "service mode; an injected fault surfaces as a "
+                    "structured session error (exit 3)",
+                    "");
+  parser.add_option("overload",
+                    "session overload policy, e.g. \"overload:queue=8,"
+                    "deadline_ms=40,degrade=ACBM:alpha=200\"; forces service "
+                    "mode; shed frames are dropped from the stream",
+                    "");
   parser.add_flag("summary",
-                  "print per-stage wall-clock totals (ME/plan/entropy) and "
-                  "mean per-frame latency after encoding");
+                  "print per-stage wall-clock totals (ME/plan/entropy), mean "
+                  "per-frame latency, and (in service mode) the service "
+                  "health counters after encoding");
   parser.add_option("out", "output bitstream path", "out.acv");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage("acbm_enc");
@@ -234,12 +254,41 @@ int main(int argc, char** argv) {
       std::cerr << "acbm_enc: --sessions must be >= 1\n";
       return 2;
     }
+
+    // --fault and --overload live in the service layer, so either flag
+    // routes even a single session through EncoderService.
+    util::FaultInjector fault;
+    if (!parser.get("fault").empty()) {
+      try {
+        fault = util::FaultInjector(parser.get("fault"));
+      } catch (const util::SpecError& e) {
+        std::cerr << "acbm_enc: bad --fault spec: " << e.what() << '\n';
+        return 2;
+      }
+    }
+    codec::OverloadPolicy overload;
+    if (!parser.get("overload").empty()) {
+      try {
+        overload = codec::overload_policy_from_spec(parser.get("overload"));
+        if (!overload.degrade.empty()) {
+          // Validate the degrade estimator spec before reading any input.
+          (void)core::builtin_estimators().create(overload.degrade);
+        }
+      } catch (const util::SpecError& e) {
+        std::cerr << "acbm_enc: bad --overload spec: " << e.what() << '\n';
+        return 2;
+      }
+    }
+    const bool use_service = sessions > 1 || fault.armed() ||
+                             !parser.get("overload").empty();
+
     const double kbps = parser.get_double("kbps");
-    if (kbps > 0.0 && sessions > 1) {
+    if (kbps > 0.0 && use_service) {
       // Rate control feeds each frame's bits back into the next frame's
       // quantiser — incompatible with frames in flight ahead of that
-      // feedback.
-      std::cerr << "acbm_enc: --kbps requires --sessions 1\n";
+      // feedback, and with frames being shed or failed under it.
+      std::cerr << "acbm_enc: --kbps requires --sessions 1 without "
+                   "--fault/--overload\n";
       return 2;
     }
 
@@ -251,8 +300,10 @@ int main(int argc, char** argv) {
     std::vector<std::uint8_t> stream;
     int effective_slices = 1;
     double wall_seconds = 0.0;
+    std::size_t encoded = frames.size();
+    std::optional<codec::ServiceStats> service_stats;
 
-    if (sessions == 1) {
+    if (!use_service) {
       codec::Encoder encoder({frames[0].width(), frames[0].height()}, cfg,
                              *estimator);
       std::unique_ptr<codec::RateController> rate;
@@ -283,10 +334,13 @@ int main(int argc, char** argv) {
     } else {
       // Service mode: N sessions of the same input on one shared pool, one
       // driver thread per session keeping a couple of frames in flight so
-      // each session's front/back halves overlap. Every session produces
-      // the same bytes; session 0's are written.
+      // each session's front/back halves overlap. Without --fault/--overload
+      // every session produces the same bytes; session 0's are written.
       codec::EncoderService service(
           static_cast<int>(parser.get_int("threads")));
+      if (fault.armed()) {
+        service.set_fault_injector(&fault);
+      }
       std::vector<std::unique_ptr<codec::EncodeSession>> sess;
       sess.reserve(static_cast<std::size_t>(sessions));
       for (int s = 0; s < sessions; ++s) {
@@ -294,8 +348,17 @@ int main(int argc, char** argv) {
             service,
             video::PictureSize{frames[0].width(), frames[0].height()}, cfg,
             core::builtin_estimators().create(estimator_spec)));
+        if (!parser.get("overload").empty()) {
+          sess.back()->configure_overload(
+              overload, overload.degrade.empty()
+                            ? nullptr
+                            : core::builtin_estimators().create(
+                                  overload.degrade));
+        }
       }
       std::vector<std::vector<codec::FrameReport>> reports(
+          static_cast<std::size_t>(sessions));
+      std::vector<std::optional<codec::SessionError>> failures(
           static_cast<std::size_t>(sessions));
       util::Timer wall;
       std::vector<std::thread> drivers;
@@ -305,18 +368,38 @@ int main(int argc, char** argv) {
           codec::EncodeSession& session = *sess[static_cast<std::size_t>(s)];
           std::vector<codec::FrameReport>& out =
               reports[static_cast<std::size_t>(s)];
+          std::optional<codec::SessionError>& failure =
+              failures[static_cast<std::size_t>(s)];
           std::deque<std::future<codec::Packet>> inflight;
+          auto reap = [&](std::future<codec::Packet>& f) {
+            try {
+              out.push_back(f.get().report);
+            } catch (const codec::SessionError& e) {
+              // Shed frames (deadline/queue) are the overload policy doing
+              // its job — count on the service stats and keep going. Any
+              // other class means the session is lost.
+              const bool shed =
+                  e.error_class() == codec::SessionErrorClass::kTimeout ||
+                  e.error_class() == codec::SessionErrorClass::kOverloaded;
+              if (!shed && !failure) {
+                failure = e;
+              }
+            }
+          };
           for (const auto& frame : frames) {
+            if (session.failed()) {
+              break;  // latched: further submits would only fail fast
+            }
             inflight.push_back(session.submit(frame));
             // Depth 2 covers the front/back overlap; deeper queues only add
             // latency (admission allows one front + one back in flight).
             while (inflight.size() > 2) {
-              out.push_back(inflight.front().get().report);
+              reap(inflight.front());
               inflight.pop_front();
             }
           }
           while (!inflight.empty()) {
-            out.push_back(inflight.front().get().report);
+            reap(inflight.front());
             inflight.pop_front();
           }
         });
@@ -325,6 +408,14 @@ int main(int argc, char** argv) {
         t.join();
       }
       wall_seconds = wall.seconds();
+      service_stats = service.stats();
+      for (const std::optional<codec::SessionError>& failure : failures) {
+        if (failure) {
+          std::cerr << "acbm_enc: " << failure->what() << '\n';
+          return 3;
+        }
+      }
+      encoded = reports[0].size();
       for (const codec::FrameReport& r : reports[0]) {
         bits += r.bits;
         positions += r.me_positions;
@@ -343,8 +434,21 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    const double n = static_cast<double>(frames.size());
-    std::cout << "encoded " << frames.size() << " frames ("
+    if (encoded == 0) {
+      std::cout << "encoded 0 frames (every frame was shed by the overload "
+                   "policy) -> " << parser.get("out") << '\n';
+      if (parser.get_flag("summary") && service_stats) {
+        const codec::ServiceStats& st = *service_stats;
+        std::cout << "  service stats: accepted " << st.accepted
+                  << ", completed " << st.completed << ", rejected "
+                  << st.rejected << ", timed out " << st.timed_out
+                  << ", failed " << st.failed << ", degraded " << st.degraded
+                  << ", peak queue " << st.peak_queue_depth << '\n';
+      }
+      return 0;
+    }
+    const double n = static_cast<double>(encoded);
+    std::cout << "encoded " << encoded << " frames ("
               << frames[0].width() << "x" << frames[0].height() << ") with "
               << estimator_spec << " (SAD kernel "
               << simd::active_kernel_name() << ")\n  config "
@@ -372,9 +476,24 @@ int main(int argc, char** argv) {
                 << " frames/s per session)\n";
     }
     if (parser.get_flag("summary")) {
-      totals.print(frames.size());
+      totals.print(encoded);
+      if (service_stats) {
+        const codec::ServiceStats& st = *service_stats;
+        std::cout << "  service stats: accepted " << st.accepted
+                  << ", completed " << st.completed << ", rejected "
+                  << st.rejected << ", timed out " << st.timed_out
+                  << ", failed " << st.failed << ", degraded " << st.degraded
+                  << ", peak queue " << st.peak_queue_depth << '\n';
+      }
     }
     return 0;
+  } catch (const video::IoError& e) {
+    // Malformed input is a caller problem, same exit class as a bad spec.
+    std::cerr << "acbm_enc: " << e.what() << '\n';
+    return 2;
+  } catch (const util::SpecError& e) {
+    std::cerr << "acbm_enc: " << e.what() << '\n';
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "acbm_enc: " << e.what() << '\n';
     return 1;

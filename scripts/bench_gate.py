@@ -49,6 +49,13 @@ DETERMINISTIC_COUNTERS = {  # relative tolerance per counter
     # concealment make both resilience counters exactly reproducible.
     "concealment_psnr_db": 1e-4,
     "concealed_slice_pct": 1e-4,
+    # bench_service health counters: with no overload policy and no fault
+    # injection armed, every submitted frame must be accepted and completed
+    # (accepted == completed == sessions * frames, shed == 0). Any drift is
+    # a dropped/failed frame — a correctness bug, not a perf regression.
+    "accepted_frames": 1e-4,
+    "completed_frames": 1e-4,
+    "shed_frames": 1e-4,
 }
 
 

@@ -138,7 +138,23 @@ std::future<EncodedFrame> Encoder::submit_frame(video::Frame src) {
   return pipeline_->submit_frame(std::move(src));
 }
 
+std::future<EncodedFrame> Encoder::submit_frame(video::Frame src,
+                                                const SubmitOptions& options) {
+  assert(!finished_);
+  assert(src.width() == size_.width && src.height() == size_.height);
+  return pipeline_->submit_frame(std::move(src), options);
+}
+
+std::optional<std::future<EncodedFrame>> Encoder::try_submit_frame(
+    video::Frame src, const SubmitOptions& options) {
+  assert(!finished_);
+  assert(src.width() == size_.width && src.height() == size_.height);
+  return pipeline_->try_submit_frame(std::move(src), options);
+}
+
 void Encoder::drain() { pipeline_->drain(); }
+
+bool Encoder::failed() const { return pipeline_->failed(); }
 
 // ---------------------------------------------------------------- planning
 

@@ -40,9 +40,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "codec/dct.hpp"
+#include "codec/session_error.hpp"
 #include "me/estimator.hpp"
 #include "me/mv_field.hpp"
 #include "util/bitstream.hpp"
@@ -50,6 +52,7 @@
 #include "video/interp.hpp"
 
 namespace acbm::util {
+class FaultInjector;
 class ThreadPool;
 }
 
@@ -162,6 +165,7 @@ struct EncodedFrame {
 };
 
 class EncoderPipeline;
+class ServiceStatsSink;
 
 /// Streaming one-reference hybrid encoder. Feed frames in display order;
 /// call finish() once to obtain the bitstream.
@@ -215,8 +219,47 @@ class Encoder {
   /// drives a session.
   std::future<EncodedFrame> submit_frame(video::Frame src);
 
-  /// Blocks until every submit_frame() has completed. No-op otherwise.
+  /// Service mode with admission controls (deadline / bounded queue /
+  /// degradation — see SubmitOptions). Admission rejections resolve the
+  /// returned future with a SessionError instead of throwing.
+  std::future<EncodedFrame> submit_frame(video::Frame src,
+                                         const SubmitOptions& options);
+
+  /// Like submit_frame(src, options), but an overload rejection returns
+  /// std::nullopt (poll-style backpressure) instead of an error future.
+  std::optional<std::future<EncodedFrame>> try_submit_frame(
+      video::Frame src, const SubmitOptions& options);
+
+  /// Blocks until every submit_frame() has resolved. No-op otherwise.
+  /// Returns normally on a failed session (the error already surfaced
+  /// through the per-frame futures).
   void drain();
+
+  /// True once a frame's stage threw and latched this (service-mode)
+  /// encoder failed: queued frames were resolved with kSessionFailed and
+  /// later submits fail fast. Always false in standalone mode.
+  [[nodiscard]] bool failed() const;
+
+  /// Installs the service's shared health counters; the pipeline bumps
+  /// them at every admission/resolution point. May be null (standalone).
+  void set_stats_sink(ServiceStatsSink* sink) { stats_sink_ = sink; }
+
+  /// Arms deterministic fault injection for this encoder's frames: the
+  /// injector is queried at front dispatch with (lane, submit_seq). The
+  /// injector is borrowed and must outlive the encoder; null disarms.
+  void set_fault_injector(const util::FaultInjector* injector,
+                          std::uint64_t lane) {
+    fault_ = injector;
+    fault_lane_ = lane;
+  }
+
+  /// Installs the overload (degraded) estimator: frames admitted with
+  /// SubmitOptions::degrade_on_overload past the queue limit run their
+  /// motion stage on clones of this estimator instead of being shed.
+  /// Install before the first encoded frame (worker clones are taken then).
+  void set_degraded_estimator(std::unique_ptr<me::MotionEstimator> estimator) {
+    degraded_estimator_ = std::move(estimator);
+  }
 
   /// Byte-aligns and returns the complete bitstream; the encoder must not
   /// be used afterwards.
@@ -408,6 +451,12 @@ class Encoder {
   me::MvField coded_field_;        ///< transmitted vectors, current frame
   int slices_ = 1;  ///< config.slices clamped to [1, min(mb rows, 255)]
   bool finished_ = false;
+  // Fault-tolerance wiring, read by the pipeline (friend): health counters,
+  // injection point, and the overload estimator. All optional.
+  ServiceStatsSink* stats_sink_ = nullptr;
+  const util::FaultInjector* fault_ = nullptr;
+  std::uint64_t fault_lane_ = 0;
+  std::unique_ptr<me::MotionEstimator> degraded_estimator_;
   std::unique_ptr<EncoderPipeline> pipeline_;  ///< constructed with *this
 };
 

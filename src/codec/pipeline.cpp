@@ -2,19 +2,53 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "codec/deblock.hpp"
+#include "codec/service_stats.hpp"
 #include "me/sad.hpp"
+#include "util/fault_injector.hpp"
 #include "video/psnr.hpp"
 
 namespace acbm::codec {
 
 namespace {
 constexpr int kMb = me::kBlockSize;  // 16
+
+std::exception_ptr session_error(SessionErrorClass cls, std::uint64_t seq,
+                                 const char* site, const std::string& detail) {
+  return std::make_exception_ptr(SessionError(cls, seq, site, detail));
+}
 }  // namespace
+
+void EncoderPipeline::FrameJob::resolve() {
+  if (resolved) {
+    return;
+  }
+  resolved = true;
+  if (error != nullptr) {
+    // Move the job's reference into the shared state so the last release of
+    // the exception object happens on the consumer side (future::get /
+    // catch), not in ~FrameJob on a pool worker.
+    promise.set_exception(std::exchange(error, nullptr));
+  } else {
+    promise.set_value(std::move(out));
+  }
+}
+
+EncoderPipeline::FrameJob::~FrameJob() {
+  // Broken-promise guard: a job destroyed unresolved (session torn down
+  // around it) rejects with kClosed so the consumer never sees
+  // std::future_error{broken_promise}.
+  if (!resolved) {
+    promise.set_exception(session_error(
+        SessionErrorClass::kClosed, submit_seq, "close",
+        "session destroyed with this frame unresolved"));
+  }
+}
 
 EncoderPipeline::EncoderPipeline(Encoder& encoder,
                                  const ParallelConfig& parallel)
@@ -42,12 +76,20 @@ EncoderPipeline::~EncoderPipeline() {
 }
 
 void EncoderPipeline::ensure_workers() {
-  if (active_pool_ == nullptr || !workers_.empty()) {
+  if (active_pool_ == nullptr) {
     return;
   }
-  workers_.reserve(static_cast<std::size_t>(worker_count_));
-  for (int i = 0; i < worker_count_; ++i) {
-    workers_.push_back(enc_.estimator_->clone());
+  if (workers_.empty()) {
+    workers_.reserve(static_cast<std::size_t>(worker_count_));
+    for (int i = 0; i < worker_count_; ++i) {
+      workers_.push_back(enc_.estimator_->clone());
+    }
+  }
+  if (enc_.degraded_estimator_ != nullptr && degraded_workers_.empty()) {
+    degraded_workers_.reserve(static_cast<std::size_t>(worker_count_));
+    for (int i = 0; i < worker_count_; ++i) {
+      degraded_workers_.push_back(enc_.degraded_estimator_->clone());
+    }
   }
 }
 
@@ -89,29 +131,96 @@ FrameReport EncoderPipeline::encode_frame(const video::Frame& src) {
   }
   FrameReport report;
   util::Timer wall;
-  const std::uint64_t frame = submitted_++;
-  run_front(src, frame, report);
-  ++fronts_done_;
+  const std::uint64_t frame = next_index_++;
+  run_front(src, frame, report, /*degraded=*/false);
   run_back(src, frame, report, nullptr);
-  ++backs_done_;
   report.frame_wall_seconds = wall.seconds();
   return report;
 }
 
 std::future<EncodedFrame> EncoderPipeline::submit_frame(video::Frame src) {
+  return submit_frame(std::move(src), SubmitOptions{});
+}
+
+std::future<EncodedFrame> EncoderPipeline::submit_frame(
+    video::Frame src, const SubmitOptions& options) {
+  return *enqueue(std::move(src), options, /*overload_as_error=*/true);
+}
+
+std::optional<std::future<EncodedFrame>> EncoderPipeline::try_submit_frame(
+    video::Frame src, const SubmitOptions& options) {
+  return enqueue(std::move(src), options, /*overload_as_error=*/false);
+}
+
+std::optional<std::future<EncodedFrame>> EncoderPipeline::enqueue(
+    video::Frame src, const SubmitOptions& options, bool overload_as_error) {
   if (!pipelined()) {
     throw std::logic_error(
         "Encoder::submit_frame requires a shared-pool (service) encoder");
   }
+  ServiceStatsSink* stats = enc_.stats_sink_;
   auto job = std::make_unique<FrameJob>();
   job->src = std::move(src);
+  job->deadline = options.deadline;
   std::future<EncodedFrame> future = job->promise.get_future();
+  Reap reap;
   {
     const std::lock_guard<std::mutex> lock(admit_mutex_);
-    job->index = submitted_++;
-    job->out.frame_index = job->index;
-    jobs_.push_back(std::move(job));
-    pump_locked();
+    const std::uint64_t seq = next_seq_++;
+    job->submit_seq = seq;
+    if (failed_.load(std::memory_order_relaxed)) {
+      // Fail fast: the session is latched; every further submit resolves
+      // immediately so a driver loop notices without blocking on drain().
+      job->error = session_error(SessionErrorClass::kSessionFailed, seq,
+                                 "submit", failure_message_);
+      if (stats != nullptr) {
+        stats->add_failed();
+      }
+    } else {
+      std::size_t pending = 0;
+      for (const auto& j : jobs_) {
+        if (j->stage == FrameJob::Stage::kPending) {
+          ++pending;
+        }
+      }
+      if (options.queue_limit > 0 &&
+          pending >= static_cast<std::size_t>(options.queue_limit)) {
+        if (options.degrade_on_overload &&
+            enc_.degraded_estimator_ != nullptr) {
+          // Degradation ladder: admit anyway, but flag the frame for the
+          // cheaper estimator instead of shedding it.
+          job->degraded = true;
+          if (stats != nullptr) {
+            stats->add_degraded();
+          }
+        } else {
+          if (stats != nullptr) {
+            stats->add_rejected();
+          }
+          if (!overload_as_error) {
+            return std::nullopt;  // ~FrameJob abandons the untouched future
+          }
+          job->error = session_error(
+              SessionErrorClass::kOverloaded, seq, "submit",
+              "admission queue full (queue_limit=" +
+                  std::to_string(options.queue_limit) + ")");
+        }
+      }
+      if (job != nullptr && job->error == nullptr) {
+        if (stats != nullptr) {
+          stats->add_accepted();
+          stats->note_queue_depth(pending + 1);
+        }
+        jobs_.push_back(std::move(job));
+        pump_locked(reap);
+      }
+    }
+  }
+  if (job != nullptr) {
+    job->resolve();  // rejected at admission; nobody waits on it yet
+  }
+  for (auto& shed : reap) {
+    shed->resolve();
   }
   return future;
 }
@@ -121,73 +230,218 @@ void EncoderPipeline::drain() {
     return;
   }
   std::unique_lock<std::mutex> lock(admit_mutex_);
-  drained_.wait(lock, [this] { return backs_done_ == submitted_; });
+  drained_.wait(lock, [this] {
+    return jobs_.empty() && !front_running_ && !back_running_;
+  });
 }
 
-void EncoderPipeline::pump_locked() {
+void EncoderPipeline::pump_locked(Reap& reap) {
+  if (failed_.load(std::memory_order_relaxed)) {
+    return;  // nothing dispatches on a latched session
+  }
+  ServiceStatsSink* stats = enc_.stats_sink_;
   // Admit the back BEFORE the front: both land on the same FIFO lane, so
   // back(f−1) is always dispatched before front(f) — the task that parks on
   // a reference row can never be scheduled ahead of the task that publishes
   // it, even on a one-worker pool.
-  if (!back_running_ && fronts_done_ > backs_done_) {
-    // jobs_ is popped as backs complete, so jobs_.front() is frame
-    // backs_done_ — exactly the next back.
+  if (!back_running_ && !jobs_.empty() &&
+      jobs_.front()->stage == FrameJob::Stage::kFrontDone) {
+    // In-flight jobs form the deque prefix in index order, so jobs_.front()
+    // is the lowest-index frame — exactly the next back (the bitstream
+    // writer is strictly ordered).
     FrameJob* job = jobs_.front().get();
+    job->stage = FrameJob::Stage::kBack;
     back_running_ = true;
     active_pool_->submit(*queue_, [this, job] {
-      run_back(job->src, job->index, job->out.report, &job->out.bytes);
-      job->out.report.frame_wall_seconds = job->wall.seconds();
-      finish_back();
+      std::exception_ptr error;
+      try {
+        run_back(job->src, job->index, job->out.report, &job->out.bytes);
+        job->out.report.frame_wall_seconds = job->wall.seconds();
+      } catch (...) {
+        error = std::current_exception();
+        release_back_waiters();
+      }
+      finish_back(job, error);
     });
   }
-  const std::uint64_t f = fronts_done_;
   // front(f) needs front(f−1) retired (fronts serialise on the estimator,
   // the ME-field parity and the ref binding) and back(f−2) retired (frame
-  // f's parity-(f&1) stage buffers and reconstruction target free).
-  if (!front_running_ && f < submitted_ && backs_done_ + 1 >= f) {
-    FrameJob* job = jobs_[static_cast<std::size_t>(f - backs_done_)].get();
-    front_running_ = true;
-    active_pool_->submit(*queue_, [this, job] {
-      job->wall.restart();
-      run_front(job->src, job->index, job->out.report);
-      finish_front();
-    });
+  // f's parity-(f&1) stage buffers and reconstruction target free): with
+  // in-flight jobs forming the deque prefix, both hold exactly when the
+  // first pending job sits at position <= 1. Deadline-expired frames met
+  // here are shed (kTimeout) WITHOUT consuming an encode index — the next
+  // pending frame takes their place.
+  if (!front_running_) {
+    for (;;) {
+      std::size_t k = 0;
+      while (k < jobs_.size() && jobs_[k]->stage != FrameJob::Stage::kPending) {
+        ++k;
+      }
+      if (k >= jobs_.size() || k > 1) {
+        break;
+      }
+      FrameJob* job = jobs_[k].get();
+      if (job->deadline &&
+          std::chrono::steady_clock::now() > *job->deadline) {
+        job->error =
+            session_error(SessionErrorClass::kTimeout, job->submit_seq,
+                          "dispatch", "deadline expired before dispatch");
+        if (stats != nullptr) {
+          stats->add_timed_out();
+        }
+        reap.push_back(extract_locked(job));
+        continue;
+      }
+      job->index = next_index_++;
+      job->out.frame_index = job->index;
+      job->stage = FrameJob::Stage::kFront;
+      front_running_ = true;
+      active_pool_->submit(*queue_, [this, job] {
+        std::exception_ptr error;
+        try {
+          job->wall.restart();
+          if (enc_.fault_ != nullptr && enc_.fault_->armed()) {
+            enc_.fault_->inject(enc_.fault_lane_, job->submit_seq);
+          }
+          run_front(job->src, job->index, job->out.report, job->degraded);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        finish_front(job, error);
+      });
+      break;
+    }
   }
 }
 
-void EncoderPipeline::finish_front() {
-  const std::lock_guard<std::mutex> lock(admit_mutex_);
-  ++fronts_done_;
-  front_running_ = false;
-  pump_locked();
-}
-
-void EncoderPipeline::finish_back() {
-  std::unique_ptr<FrameJob> job;
+void EncoderPipeline::finish_front(FrameJob* job, std::exception_ptr error) {
+  Reap reap;
   {
     const std::lock_guard<std::mutex> lock(admit_mutex_);
-    job = std::move(jobs_.front());
-    jobs_.pop_front();
-    ++backs_done_;
-    back_running_ = false;
-    pump_locked();
+    front_running_ = false;
+    if (error != nullptr) {
+      fail_locked(job, std::move(error), "front", reap);
+    } else if (failed_.load(std::memory_order_relaxed)) {
+      // The session latched while this front ran (its reference frame's
+      // back failed): the frame can never be entropy-coded.
+      job->error = session_error(SessionErrorClass::kSessionFailed,
+                                 job->submit_seq, "front", failure_message_);
+      if (enc_.stats_sink_ != nullptr) {
+        enc_.stats_sink_->add_failed();
+      }
+      reap.push_back(extract_locked(job));
+    } else {
+      job->stage = FrameJob::Stage::kFrontDone;
+      pump_locked(reap);
+    }
     drained_.notify_all();
   }
-  // Resolve the future outside the lock: the waiter may destroy the session
-  // (and try to drain this pipeline) the moment it observes the value.
-  job->promise.set_value(std::move(job->out));
+  for (auto& done : reap) {
+    done->resolve();
+  }
+}
+
+void EncoderPipeline::finish_back(FrameJob* job, std::exception_ptr error) {
+  Reap reap;
+  {
+    const std::lock_guard<std::mutex> lock(admit_mutex_);
+    back_running_ = false;
+    if (error != nullptr) {
+      fail_locked(job, std::move(error), "back", reap);
+    } else {
+      // Even if the session latched while this back ran (a newer frame's
+      // front failed), this frame's bytes precede the failure point — the
+      // packet is valid and resolves with its value.
+      if (enc_.stats_sink_ != nullptr) {
+        enc_.stats_sink_->add_completed();
+      }
+      reap.push_back(extract_locked(job));
+      pump_locked(reap);
+    }
+    drained_.notify_all();
+  }
+  // Resolve outside the lock: the waiter may destroy the session (and try
+  // to drain this pipeline) the moment it observes the result.
+  for (auto& done : reap) {
+    done->resolve();
+  }
+}
+
+void EncoderPipeline::fail_locked(FrameJob* job, std::exception_ptr cause,
+                                  const char* site, Reap& reap) {
+  SessionErrorClass cls = SessionErrorClass::kEncodeFailed;
+  std::string detail = "unknown exception";
+  try {
+    std::rethrow_exception(cause);
+  } catch (const std::bad_alloc&) {
+    cls = SessionErrorClass::kResource;
+    detail = "allocation failure";
+  } catch (const std::exception& e) {
+    detail = e.what();
+  } catch (...) {
+  }
+  failure_message_ = detail;
+  failed_.store(true, std::memory_order_release);
+
+  ServiceStatsSink* stats = enc_.stats_sink_;
+  job->error = session_error(cls, job->submit_seq, site, detail);
+  if (stats != nullptr) {
+    stats->add_failed();
+  }
+  reap.push_back(extract_locked(job));
+  // Collateral: every job that is not currently running resolves with
+  // kSessionFailed. A job still running (the overlapped front or back)
+  // stays — its own finish callback observes failed_ and resolves it.
+  std::vector<FrameJob*> collateral;
+  for (const auto& j : jobs_) {
+    if (j->stage == FrameJob::Stage::kPending ||
+        j->stage == FrameJob::Stage::kFrontDone) {
+      collateral.push_back(j.get());
+    }
+  }
+  for (FrameJob* j : collateral) {
+    j->error = session_error(SessionErrorClass::kSessionFailed, j->submit_seq,
+                             "shed", detail);
+    if (stats != nullptr) {
+      stats->add_failed();
+    }
+    reap.push_back(extract_locked(j));
+  }
+}
+
+std::unique_ptr<EncoderPipeline::FrameJob> EncoderPipeline::extract_locked(
+    FrameJob* job) {
+  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+    if (it->get() == job) {
+      std::unique_ptr<FrameJob> owner = std::move(*it);
+      jobs_.erase(it);
+      return owner;
+    }
+  }
+  assert(false && "extract_locked: job not in jobs_");
+  return nullptr;
+}
+
+void EncoderPipeline::release_back_waiters() {
+  // The failed back stopped writing before this publish (same-thread
+  // ordering through the catch), so released readers race with nothing —
+  // they read stale-but-allocated reference samples, and every result of
+  // this latched session is discarded anyway.
+  ref_ready_[back_parity_].publish(
+      back_base_ + static_cast<std::uint64_t>(enc_.mbs_y()));
 }
 
 // ------------------------------------------------------- front half (1–2.5)
 
 void EncoderPipeline::run_front(const video::Frame& src, std::uint64_t f,
-                                FrameReport& report) {
+                                FrameReport& report, bool degraded) {
   Encoder& e = enc_;
   const bool intra_frame = is_intra(f);
   report.intra = intra_frame;
 
   front_parity_ = pipelined() ? static_cast<int>(f & 1) : 0;
   front_frame_ = f;
+  front_degraded_ = degraded && e.degraded_estimator_ != nullptr;
   e.front_ref_ = &e.recon_buf_[(f + 1) & 1];
   e.me_field_ = &e.me_fields_[f & 1];
   e.prev_me_field_ = &e.me_fields_[(f + 1) & 1];
@@ -230,16 +484,19 @@ void EncoderPipeline::run_back(const video::Frame& src, std::uint64_t f,
                                std::vector<std::uint8_t>* bytes_out) {
   Encoder& e = enc_;
   const bool intra_frame = is_intra(f);
+  // Parity and counter base first, before anything that can throw:
+  // release_back_waiters reads them to unwedge the next frame's gated ME
+  // rows if this back fails.
   back_parity_ = pipelined() ? static_cast<int>(f & 1) : 0;
-  e.recon_ = &e.recon_buf_[f & 1];
-  e.back_ref_ = &e.recon_buf_[(f + 1) & 1];
-  e.coded_field_.reset_for_picture(e.size_.width, e.size_.height);
-
+  back_base_ = (f >> 1) * static_cast<std::uint64_t>(e.mbs_y());
   // In-loop deblocking rewrites rows after entropy coding, so rows are only
   // final per-frame; without it each reconstructed row is final the moment
   // its macroblocks are, and publication is row-granular.
   row_publish_ = pipelined() && !e.config_.deblock;
-  back_base_ = (f >> 1) * static_cast<std::uint64_t>(e.mbs_y());
+  e.recon_ = &e.recon_buf_[f & 1];
+  e.back_ref_ = &e.recon_buf_[(f + 1) & 1];
+  e.coded_field_.reset_for_picture(e.size_.width, e.size_.height);
+
   if (row_publish_) {
     row_done_.assign(static_cast<std::size_t>(e.mbs_y()), 0);
     row_prefix_ = 0;
@@ -370,13 +627,15 @@ void EncoderPipeline::motion_stage(const video::Frame& src,
 void EncoderPipeline::motion_stage_serial(const video::Frame& src) {
   Encoder& e = enc_;
   std::vector<me::EstimateResult>& results = me_results_[front_parity_];
+  me::MotionEstimator& estimator =
+      front_degraded_ ? *e.degraded_estimator_ : *e.estimator_;
   const int mbs_x = e.mbs_x();
   const int mbs_y = e.mbs_y();
   for (int by = 0; by < mbs_y; ++by) {
     for (int bx = 0; bx < mbs_x; ++bx) {
       const std::size_t idx =
           static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) + bx;
-      results[idx] = estimate_block(*e.estimator_, src, bx, by);
+      results[idx] = estimate_block(estimator, src, bx, by);
       e.me_field_->set(bx, by, results[idx].mv);
     }
   }
@@ -386,6 +645,8 @@ void EncoderPipeline::motion_stage_wavefront(const video::Frame& src) {
   Encoder& e = enc_;
   ensure_workers();
   std::vector<me::EstimateResult>& results = me_results_[front_parity_];
+  std::vector<std::unique_ptr<me::MotionEstimator>>& stage_workers =
+      front_degraded_ ? degraded_workers_ : workers_;
   const int mbs_x = e.mbs_x();
   const int mbs_y = e.mbs_y();
 
@@ -403,7 +664,7 @@ void EncoderPipeline::motion_stage_wavefront(const video::Frame& src) {
     // always running or finished before the row starts: the dependency wait
     // below cannot deadlock.
     submit_stage_task(front_group_, [this, &src, &progress, by, mbs_x,
-                                     &results, &e] {
+                                     &results, &stage_workers, &e] {
       // Cross-frame gate first: park until the previous frame's entropy
       // stage has published every reference row this row's search window
       // can touch. The publisher (the back task, dispatched earlier on this
@@ -412,19 +673,27 @@ void EncoderPipeline::motion_stage_wavefront(const video::Frame& src) {
         front_gate_->wait_for(front_wait_base_ + rows_needed(by));
       }
       const int worker = util::ThreadPool::worker_index();
-      assert(worker >= 0 && worker < static_cast<int>(workers_.size()));
+      assert(worker >= 0 && worker < static_cast<int>(stage_workers.size()));
       me::MotionEstimator& estimator =
-          *workers_[static_cast<std::size_t>(worker)];
-      for (int bx = 0; bx < mbs_x; ++bx) {
-        if (by > 0) {
-          progress.wait_for(by - 1, std::min(bx + 2, mbs_x));
+          *stage_workers[static_cast<std::size_t>(worker)];
+      try {
+        for (int bx = 0; bx < mbs_x; ++bx) {
+          if (by > 0) {
+            progress.wait_for(by - 1, std::min(bx + 2, mbs_x));
+          }
+          const std::size_t idx =
+              static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) +
+              static_cast<std::size_t>(bx);
+          results[idx] = estimate_block(estimator, src, bx, by);
+          e.me_field_->set(bx, by, results[idx].mv);
+          progress.publish(by, bx + 1);
         }
-        const std::size_t idx =
-            static_cast<std::size_t>(by) * static_cast<std::size_t>(mbs_x) +
-            static_cast<std::size_t>(bx);
-        results[idx] = estimate_block(estimator, src, bx, by);
-        e.me_field_->set(bx, by, results[idx].mv);
-        progress.publish(by, bx + 1);
+      } catch (...) {
+        // Mark the whole row complete before the pool captures the error:
+        // dependent rows park on this row's progress, and the stage barrier
+        // can only rethrow once every row task has finished.
+        progress.publish(by, mbs_x);
+        throw;
       }
     });
   }
@@ -434,8 +703,10 @@ void EncoderPipeline::motion_stage_wavefront(const video::Frame& src) {
   // additive, so the result matches a serial run regardless of which worker
   // processed which rows. Fronts serialise per session, so this never races
   // with another frame of the same estimator.
-  for (const auto& worker : workers_) {
-    e.estimator_->merge_stats(*worker);
+  me::MotionEstimator& primary =
+      front_degraded_ ? *e.degraded_estimator_ : *e.estimator_;
+  for (const auto& worker : stage_workers) {
+    primary.merge_stats(*worker);
   }
 }
 

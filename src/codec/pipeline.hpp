@@ -72,6 +72,32 @@
 // that publishes it — the same dispatch-order argument that keeps the
 // intra-frame wavefront deadlock-free, one level up.
 //
+// FAULT TOLERANCE (docs/FAULT_TOLERANCE.md is the contract):
+//   * Shedding. A frame whose SubmitOptions deadline expires before its
+//     front is dispatched, or that arrives past the admission queue_limit,
+//     is resolved with a kTimeout/kOverloaded SessionError and REMOVED —
+//     crucially, encode indices are assigned at front DISPATCH, not at
+//     submission, so a shed frame never consumes an index. (If it did, the
+//     encoder would reference frame f−2 where a decoder of the emitted
+//     stream references f−1 — silent drift.) The bitstream simply continues
+//     without the shed frame.
+//   * Failure latching. If a front or back stage throws, the session
+//     latches failed: the throwing frame's future resolves with the
+//     classified error (kResource for bad_alloc, else kEncodeFailed), every
+//     not-yet-running frame resolves with kSessionFailed, later submits
+//     fail fast, and drain() returns instead of hanging. A back that was
+//     already running when a newer frame's front failed completes and
+//     resolves with its packet (its bytes precede the failure point). Other
+//     sessions on the shared pool are untouched — all failure state is
+//     per-pipeline.
+//   * Unwedging. A failed back poison-publishes its full row range
+//     (release_back_waiters) so the next frame's ME rows parked on the
+//     reference gate wake up (they read stale-but-allocated samples; the
+//     session is latched and their results are discarded), and a throwing
+//     wavefront row publishes its row complete before rethrowing so sibling
+//     rows' dependency waits resolve. Both keep "a task that parks is
+//     always preceded by the task that publishes" true even on error paths.
+//
 // Determinism: every stage consumes only inputs that are fixed before the
 // stage starts or ordered by a wavefront/readiness dependency, so serial,
 // N-thread and frame-pipelined encodes of the same sequence produce
@@ -85,15 +111,21 @@
 // me_lambda = 0 (the paper's pure-SAD search) the cost ignores the
 // predictor entirely and bitstreams are unchanged.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "codec/encoder.hpp"
+#include "codec/session_error.hpp"
 #include "me/types.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -138,9 +170,29 @@ class EncoderPipeline {
   /// mode.
   std::future<EncodedFrame> submit_frame(video::Frame src);
 
-  /// @brief Blocks until every submitted frame has completed (no-op in
-  /// standalone mode).
+  /// @brief Service mode with admission controls: deadline, bounded queue
+  /// (shed with kOverloaded beyond it) and opt-in degradation. Never throws
+  /// for admission outcomes — rejections come back as already-resolved
+  /// error futures.
+  std::future<EncodedFrame> submit_frame(video::Frame src,
+                                         const SubmitOptions& options);
+
+  /// @brief Like submit_frame(src, options) but an overload rejection
+  /// returns std::nullopt instead of an error future (the caller keeps the
+  /// frame conceptually — poll-style backpressure). A failed session still
+  /// returns an engaged error future: that is terminal, not backpressure.
+  std::optional<std::future<EncodedFrame>> try_submit_frame(
+      video::Frame src, const SubmitOptions& options);
+
+  /// @brief Blocks until every submitted frame has resolved (no-op in
+  /// standalone mode). Returns normally on a failed session — the failure
+  /// already surfaced through the per-frame futures.
   void drain();
+
+  /// @return true once a frame's stage has thrown and latched the session.
+  [[nodiscard]] bool failed() const {
+    return failed_.load(std::memory_order_acquire);
+  }
 
   /// @return number of ME workers (1 in serial mode).
   [[nodiscard]] int worker_count() const { return worker_count_; }
@@ -149,23 +201,44 @@ class EncoderPipeline {
   [[nodiscard]] bool pipelined() const { return queue_ != nullptr; }
 
  private:
-  /// One submitted frame in flight: its source copy, its packet under
-  /// construction, and the promise the service caller holds.
+  /// One submitted frame: its source copy, its packet under construction,
+  /// and the promise the service caller holds. Lives in jobs_ from
+  /// admission until resolution; the destructor is the broken-promise
+  /// safety net (a job destroyed unresolved rejects with kClosed, so a
+  /// consumer blocked on the future sees a SessionError, never
+  /// std::future_error).
   struct FrameJob {
+    enum class Stage { kPending, kFront, kFrontDone, kBack };
+
     video::Frame src;
-    std::uint64_t index = 0;
+    std::uint64_t submit_seq = 0;  ///< submission number (error identity)
+    std::uint64_t index = 0;       ///< encode index, set at front dispatch
+    Stage stage = Stage::kPending;
+    bool degraded = false;  ///< encode with the degraded estimator
+    std::optional<std::chrono::steady_clock::time_point> deadline;
     EncodedFrame out;
+    std::exception_ptr error;  ///< set => resolve() rejects instead
+    bool resolved = false;
     std::promise<EncodedFrame> promise;
     util::Timer wall;  ///< restarted when the front half starts
+
+    /// Resolves the promise exactly once: with `error` if set, with the
+    /// packet otherwise. Call WITHOUT admit_mutex_ held — the waiter may
+    /// destroy the session the moment it observes the result.
+    void resolve();
+    ~FrameJob();
   };
+  /// Jobs extracted under admit_mutex_, resolved after it is released.
+  using Reap = std::vector<std::unique_ptr<FrameJob>>;
 
   [[nodiscard]] bool is_intra(std::uint64_t frame) const;
 
   /// Stages 1–2.5: motion, mode, plan — everything that reads only the
   /// previous frame's reconstruction. Retargets the encoder's front role
-  /// pointers for frame `f` first.
-  void run_front(const video::Frame& src, std::uint64_t f,
-                 FrameReport& report);
+  /// pointers for frame `f` first. `degraded` selects the overload
+  /// estimator for the motion stage.
+  void run_front(const video::Frame& src, std::uint64_t f, FrameReport& report,
+                 bool degraded);
   /// Stage 3 + frame finalisation: header/entropy bits, reconstruction,
   /// row publication, PSNR. `bytes_out`, when non-null, receives the
   /// frame's byte range of the stream (the async packet payload).
@@ -173,9 +246,25 @@ class EncoderPipeline {
                 std::vector<std::uint8_t>* bytes_out);
 
   // --- async admission engine (service mode) ---
-  void pump_locked();
-  void finish_front();
-  void finish_back();
+  /// Common body of submit_frame/try_submit_frame; nullopt only on an
+  /// overload rejection with `overload_as_error` false.
+  std::optional<std::future<EncodedFrame>> enqueue(video::Frame src,
+                                                   const SubmitOptions& options,
+                                                   bool overload_as_error);
+  /// Dispatches whatever the admission rules allow; sheds deadline-expired
+  /// frames it meets into `reap`. Requires admit_mutex_ held.
+  void pump_locked(Reap& reap);
+  void finish_front(FrameJob* job, std::exception_ptr error);
+  void finish_back(FrameJob* job, std::exception_ptr error);
+  /// Latches the session failed: classifies `cause` onto `job`, resolves
+  /// every not-yet-running job with kSessionFailed. Requires admit_mutex_.
+  void fail_locked(FrameJob* job, std::exception_ptr cause, const char* site,
+                   Reap& reap);
+  /// Removes `job` from jobs_ and returns its owner. Requires admit_mutex_.
+  std::unique_ptr<FrameJob> extract_locked(FrameJob* job);
+  /// Poison-publishes the failed back's full row range so gated ME rows of
+  /// the next frame wake up (see the header comment).
+  void release_back_waiters();
 
   // --- helpers shared by both modes ---
   /// Submits a stage task: onto the session lane tagged with `group` in
@@ -229,12 +318,15 @@ class EncoderPipeline {
 
   /// Clones the primary estimator once per worker (lazily, so callers may
   /// still configure the estimator between Encoder construction and the
-  /// first encoded frame).
+  /// first encoded frame); likewise the degraded estimator if one is set.
   void ensure_workers();
 
   Encoder& enc_;
   int worker_count_ = 1;
   std::vector<std::unique_ptr<me::MotionEstimator>> workers_;
+  /// Worker clones of the session's degraded (overload) estimator; frames
+  /// admitted with FrameJob::degraded run their motion stage on these.
+  std::vector<std::unique_ptr<me::MotionEstimator>> degraded_workers_;
   // Declared after workers_ so destruction joins the pool threads before
   // the per-worker estimators they may still reference go away.
   std::unique_ptr<util::ThreadPool> pool_;  ///< owned pool, standalone mode
@@ -260,6 +352,7 @@ class EncoderPipeline {
   // --- front-half state, owned by the (single) in-flight front task ---
   int front_parity_ = 0;              ///< stage-buffer parity of this front
   std::uint64_t front_frame_ = 0;     ///< frame index (BlockContext::frame)
+  bool front_degraded_ = false;       ///< this front uses degraded_workers_
   util::ReadyCounter* front_gate_ = nullptr;  ///< null = reference complete
   std::uint64_t front_wait_base_ = 0; ///< gate value where this ref starts
 
@@ -281,12 +374,17 @@ class EncoderPipeline {
   // --- admission engine state (admit_mutex_) ---
   std::mutex admit_mutex_;
   std::condition_variable drained_;
-  std::deque<std::unique_ptr<FrameJob>> jobs_;  ///< front: index backs_done_
-  std::uint64_t submitted_ = 0;
-  std::uint64_t fronts_done_ = 0;
-  std::uint64_t backs_done_ = 0;
+  /// Every unresolved job, submission order. In-flight jobs (stage !=
+  /// kPending) form a prefix of at most two; the front job is always the
+  /// lowest-index in-flight encode (backs retire strictly in order).
+  std::deque<std::unique_ptr<FrameJob>> jobs_;
+  std::uint64_t next_seq_ = 0;    ///< submission numbers (service mode)
+  std::uint64_t next_index_ = 0;  ///< encode indices; assigned at dispatch
   bool front_running_ = false;
   bool back_running_ = false;
+  /// Latched by fail_locked; read lock-free by failed() and the fast paths.
+  std::atomic<bool> failed_{false};
+  std::string failure_message_;  ///< what() of the latching error
 };
 
 }  // namespace acbm::codec

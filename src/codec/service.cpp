@@ -1,17 +1,100 @@
 #include "codec/service.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
+#include "util/kv.hpp"
+
 namespace acbm::codec {
+
+std::string overload_spec_usage() {
+  return
+      "overload spec grammar: overload:key=val[,key=val...] over the keys\n"
+      "  queue=0         admission queue limit in frames (0 = unbounded)\n"
+      "  deadline_ms=0   per-frame dispatch deadline from submit (0 = none)\n"
+      "  degrade=SPEC    estimator spec to encode with while overloaded\n"
+      "                  instead of shedding; must be the LAST key (the\n"
+      "                  rest of the spec is taken verbatim)\n";
+}
+
+OverloadPolicy overload_policy_from_spec(std::string_view spec) {
+  std::string_view name = spec;
+  std::string_view kv;
+  if (const std::size_t colon = spec.find(':');
+      colon != std::string_view::npos) {
+    name = spec.substr(0, colon);
+    kv = spec.substr(colon + 1);
+  }
+  while (!name.empty() && name.front() == ' ') {
+    name.remove_prefix(1);
+  }
+  while (!name.empty() && name.back() == ' ') {
+    name.remove_suffix(1);
+  }
+  if (name != "overload") {
+    throw util::SpecError("overload: spec must start with \"overload\", got \"" +
+                          std::string(name) + "\"; " + overload_spec_usage());
+  }
+
+  OverloadPolicy policy;
+  // degrade= swallows the remainder verbatim — estimator specs contain ':'
+  // and ',', so it cannot go through the kv splitter and must come last.
+  if (const std::size_t at = kv.find("degrade="); at != std::string_view::npos) {
+    if (at != 0 && kv[at - 1] != ',') {
+      throw util::SpecError("overload: malformed key before degrade=; " +
+                            overload_spec_usage());
+    }
+    policy.degrade = std::string(kv.substr(at + 8));
+    if (policy.degrade.empty()) {
+      throw util::SpecError("overload: degrade= needs an estimator spec");
+    }
+    kv = kv.substr(0, at == 0 ? 0 : at - 1);
+  }
+  for (const util::KeyValue& pair : util::parse_kv_list(kv)) {
+    const std::string what = "overload key " + pair.first;
+    if (pair.first == "queue") {
+      const std::int64_t value = util::parse_int_strict(pair.second, what);
+      if (value < 0 || value > 100000) {
+        throw util::SpecError("overload: queue=" + pair.second +
+                              " out of range [0, 100000]");
+      }
+      policy.queue_limit = static_cast<int>(value);
+    } else if (pair.first == "deadline_ms") {
+      const std::int64_t value = util::parse_int_strict(pair.second, what);
+      if (value < 0 || value > 3600000) {
+        throw util::SpecError("overload: deadline_ms=" + pair.second +
+                              " out of range [0, 3600000]");
+      }
+      policy.deadline_ms = static_cast<int>(value);
+    } else {
+      throw util::SpecError("overload: unknown key \"" + pair.first + "\"; " +
+                            overload_spec_usage());
+    }
+  }
+  return policy;
+}
+
+std::string to_spec(const OverloadPolicy& policy) {
+  std::string out = "overload:queue=" + std::to_string(policy.queue_limit);
+  out += ",deadline_ms=" + std::to_string(policy.deadline_ms);
+  if (!policy.degrade.empty()) {
+    out += ",degrade=" + policy.degrade;
+  }
+  return out;
+}
 
 EncodeSession::EncodeSession(EncoderService& service, video::PictureSize size,
                              const EncoderConfig& config,
                              std::unique_ptr<me::MotionEstimator> estimator)
-    : estimator_(std::move(estimator)) {
+    : estimator_(std::move(estimator)), id_(service.allocate_session_id()) {
   assert(estimator_ != nullptr);
   encoder_ =
       std::make_unique<Encoder>(size, config, *estimator_, service.pool());
+  encoder_->set_stats_sink(&service.stats_sink());
+  if (service.fault_ != nullptr) {
+    encoder_->set_fault_injector(service.fault_, id_);
+  }
 }
 
 EncodeSession::~EncodeSession() {
@@ -22,11 +105,48 @@ EncodeSession::~EncodeSession() {
   }
 }
 
+SubmitOptions EncodeSession::options_from_policy() const {
+  SubmitOptions options;
+  options.queue_limit = policy_.queue_limit;
+  options.degrade_on_overload = !policy_.degrade.empty();
+  if (policy_.deadline_ms > 0) {
+    options.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(policy_.deadline_ms);
+  }
+  return options;
+}
+
+void EncodeSession::configure_overload(
+    const OverloadPolicy& policy,
+    std::unique_ptr<me::MotionEstimator> degraded_estimator) {
+  policy_ = policy;
+  if (degraded_estimator != nullptr) {
+    encoder_->set_degraded_estimator(std::move(degraded_estimator));
+  }
+}
+
 std::future<Packet> EncodeSession::submit(video::Frame frame) {
-  return encoder_->submit_frame(std::move(frame));
+  return encoder_->submit_frame(std::move(frame), options_from_policy());
+}
+
+std::future<Packet> EncodeSession::submit(video::Frame frame,
+                                          const SubmitOptions& options) {
+  return encoder_->submit_frame(std::move(frame), options);
+}
+
+std::optional<std::future<Packet>> EncodeSession::try_submit(
+    video::Frame frame) {
+  return encoder_->try_submit_frame(std::move(frame), options_from_policy());
+}
+
+std::optional<std::future<Packet>> EncodeSession::try_submit(
+    video::Frame frame, const SubmitOptions& options) {
+  return encoder_->try_submit_frame(std::move(frame), options);
 }
 
 void EncodeSession::drain() { encoder_->drain(); }
+
+bool EncodeSession::failed() const { return encoder_->failed(); }
 
 std::vector<std::uint8_t> EncodeSession::finish() {
   encoder_->drain();

@@ -30,14 +30,25 @@
 // latency behaviour of this layer; tests/codec_service_test.cpp holds the
 // byte-identity and TSan-cleanliness invariants.
 
+#include <atomic>
+#include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "codec/encoder.hpp"
+#include "codec/service_stats.hpp"
+#include "codec/session_error.hpp"
 #include "me/estimator.hpp"
 #include "util/thread_pool.hpp"
 #include "video/frame.hpp"
+
+namespace acbm::util {
+class FaultInjector;
+}
 
 namespace acbm::codec {
 
@@ -46,6 +57,33 @@ namespace acbm::codec {
 using Packet = EncodedFrame;
 
 class EncoderService;
+
+/// A session-wide overload posture, settable from the kv spec grammar
+/// ("overload:queue=8,deadline_ms=40,degrade=ACBM:alpha=200"). submit()
+/// folds it into every frame's SubmitOptions; see docs/FAULT_TOLERANCE.md
+/// for the degradation-ladder semantics.
+struct OverloadPolicy {
+  int queue_limit = 0;  ///< frames awaiting dispatch; 0 = unbounded
+  int deadline_ms = 0;  ///< per-frame deadline from submit time; 0 = none
+  /// Estimator spec to swap to while overloaded instead of shedding
+  /// (empty = shed with kOverloaded). The session does not build the
+  /// estimator itself — pass one created from this spec to
+  /// EncodeSession::configure_overload (keeps codec/ free of the estimator
+  /// registry dependency).
+  std::string degrade;
+};
+
+/// Human-readable grammar description, embedded in SpecError messages.
+[[nodiscard]] std::string overload_spec_usage();
+
+/// Parses "overload:key=val,...". The "overload" prefix is mandatory;
+/// degrade=, when present, must be the LAST key — it consumes the rest of
+/// the spec verbatim (estimator specs contain ':' and ','). Throws
+/// util::SpecError on unknown keys or out-of-range values.
+[[nodiscard]] OverloadPolicy overload_policy_from_spec(std::string_view spec);
+
+/// Canonical round-trip render of `policy`.
+[[nodiscard]] std::string to_spec(const OverloadPolicy& policy);
 
 /// One independent encode in flight on a shared EncoderService. Owns its
 /// estimator (sessions must not share one — estimators carry per-sequence
@@ -71,11 +109,43 @@ class EncodeSession {
 
   /// Enqueues one frame; the future resolves when the frame's packet —
   /// report plus its byte range of the session's bitstream — is complete.
-  /// Frames resolve in submission order.
+  /// Frames resolve in submission order. The session's OverloadPolicy (if
+  /// configured) applies: the future may instead resolve with a
+  /// SessionError (kTimeout/kOverloaded for shed frames, kEncodeFailed/
+  /// kResource/kSessionFailed on a failed session).
   std::future<Packet> submit(video::Frame frame);
 
-  /// Blocks until every submitted frame's packet has resolved.
+  /// submit() with explicit per-frame admission controls (overrides the
+  /// session policy for this frame).
+  std::future<Packet> submit(video::Frame frame, const SubmitOptions& options);
+
+  /// Poll-style backpressure: like submit(), but returns std::nullopt when
+  /// the frame would be shed as kOverloaded — the caller may retry later.
+  /// A failed session still returns an engaged error future (terminal).
+  std::optional<std::future<Packet>> try_submit(video::Frame frame);
+  std::optional<std::future<Packet>> try_submit(video::Frame frame,
+                                                const SubmitOptions& options);
+
+  /// Installs the session's overload posture. `degraded_estimator`, when
+  /// non-null, should be built from policy.degrade — frames past the queue
+  /// limit then encode on it instead of being shed. Call before the first
+  /// submit (the pipeline clones estimator workers at the first frame).
+  void configure_overload(const OverloadPolicy& policy,
+                          std::unique_ptr<me::MotionEstimator>
+                              degraded_estimator = nullptr);
+
+  /// Blocks until every submitted frame's packet has resolved. Returns
+  /// normally on a failed session — the failure already surfaced through
+  /// the per-frame futures.
   void drain();
+
+  /// True once a frame's encode failed and latched this session; its
+  /// subsequent submits fail fast. Other sessions are unaffected.
+  [[nodiscard]] bool failed() const;
+
+  /// This session's id: its creation rank on the service, and the fault
+  /// injector lane its frames are keyed by.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
 
   /// Drains and returns the session's complete bitstream (identical to the
   /// concatenation of every packet's bytes). The session must not be used
@@ -89,8 +159,14 @@ class EncodeSession {
   [[nodiscard]] Encoder& encoder() { return *encoder_; }
 
  private:
+  /// The session policy rendered as SubmitOptions (deadline stamped per
+  /// frame at submit time).
+  [[nodiscard]] SubmitOptions options_from_policy() const;
+
   std::unique_ptr<me::MotionEstimator> estimator_;
   std::unique_ptr<Encoder> encoder_;  ///< declared after the estimator it borrows
+  OverloadPolicy policy_;             ///< default admission controls
+  std::uint64_t id_ = 0;
 };
 
 /// The shared pool. Construct one per process (or per core-partition),
@@ -114,11 +190,33 @@ class EncoderService {
     return session.submit(std::move(frame));
   }
 
+  /// Arms deterministic fault injection for sessions created AFTER this
+  /// call: each new session's frames are keyed by (session id, frame
+  /// submission number) on `injector`. The injector is borrowed and must
+  /// outlive the service; null disarms for subsequent sessions.
+  void set_fault_injector(const util::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
+  /// Aggregated health counters across every session of this service.
+  [[nodiscard]] ServiceStats stats() const { return stats_sink_.snapshot(); }
+
+  /// The shared mutable counter block (sessions bump it; benches snapshot).
+  [[nodiscard]] ServiceStatsSink& stats_sink() { return stats_sink_; }
+
   /// The underlying pool (sessions bind their pipeline lane to it).
   [[nodiscard]] util::ThreadPool& pool() { return pool_; }
 
  private:
+  friend class EncodeSession;
+  [[nodiscard]] std::uint64_t allocate_session_id() {
+    return next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   util::ThreadPool pool_;
+  ServiceStatsSink stats_sink_;
+  const util::FaultInjector* fault_ = nullptr;
+  std::atomic<std::uint64_t> next_session_id_{0};
 };
 
 }  // namespace acbm::codec

@@ -1,0 +1,75 @@
+#pragma once
+// Health accounting for the encoding service.
+//
+// ServiceStatsSink is the hot-path half: a handful of relaxed atomics the
+// pipeline bumps at admission/resolution points (no lock, no ordering
+// requirements — the counters are monotone and only read as a snapshot).
+// ServiceStats is the cold snapshot handed to callers: acbm_enc --summary
+// prints it, bench_service emits it as deterministic gateable counters.
+//
+// The counters form a conservation law a healthy run must satisfy:
+//   accepted == completed + timed_out + failed        (once drained)
+// and rejected counts frames that were never accepted at all (shed at
+// submit with kOverloaded). degraded counts frames that were accepted but
+// encoded with the overload estimator, so degraded <= accepted.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+namespace acbm::codec {
+
+/// Point-in-time snapshot of a service/session's health counters.
+struct ServiceStats {
+  std::uint64_t accepted = 0;          ///< frames admitted to a pipeline
+  std::uint64_t completed = 0;         ///< futures resolved with a Packet
+  std::uint64_t rejected = 0;          ///< shed at submit (kOverloaded)
+  std::uint64_t timed_out = 0;         ///< deadline expired before dispatch
+  std::uint64_t failed = 0;            ///< resolved with a fatal error
+  std::uint64_t degraded = 0;          ///< encoded with the degraded estimator
+  std::uint64_t peak_queue_depth = 0;  ///< max frames awaiting dispatch
+};
+
+/// Shared mutable counter block. One sink per EncoderService; every session
+/// pipeline on the service bumps the same sink, so the snapshot aggregates
+/// across sessions.
+class ServiceStatsSink {
+ public:
+  void add_accepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void add_completed() { completed_.fetch_add(1, std::memory_order_relaxed); }
+  void add_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void add_timed_out() { timed_out_.fetch_add(1, std::memory_order_relaxed); }
+  void add_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+  void add_degraded() { degraded_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Running max of the per-session admission queue depth.
+  void note_queue_depth(std::uint64_t depth) {
+    std::uint64_t seen = peak_queue_depth_.load(std::memory_order_relaxed);
+    while (depth > seen && !peak_queue_depth_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] ServiceStats snapshot() const {
+    ServiceStats s;
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.timed_out = timed_out_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.degraded = degraded_.load(std::memory_order_relaxed);
+    s.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> peak_queue_depth_{0};
+};
+
+}  // namespace acbm::codec

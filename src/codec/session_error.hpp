@@ -1,0 +1,118 @@
+#pragma once
+// Structured per-frame error taxonomy of the encoding service.
+//
+// Every way a submitted frame can fail to become a packet resolves its
+// std::future<Packet> with a SessionError carrying three machine-readable
+// fields — the error class, the frame's submission sequence number, and the
+// pipeline site that raised it — so a service frontend can shed, retry or
+// tear down per class instead of string-matching what() texts. The classes
+// split along the operational response they call for:
+//
+//   kEncodeFailed / kResource : the session is broken — the pipeline latches
+//       into a failed state, every queued frame resolves with
+//       kSessionFailed, and subsequent submit()s fail fast. Re-create the
+//       session; other sessions on the shared pool are unaffected.
+//   kTimeout / kOverloaded    : load shedding, not failure — the frame was
+//       dropped before it consumed an encode slot, the bitstream simply
+//       continues without it (a shed frame never occupies a frame index, so
+//       the reference chain and decoder stay in sync), and the session
+//       keeps accepting frames.
+//   kSessionFailed            : fail-fast echo of an earlier kEncodeFailed/
+//       kResource on the same session.
+//   kClosed                   : the session was destroyed while this frame
+//       was still unresolved (the broken-promise guard — consumers see this
+//       error, never std::future_error).
+//
+// docs/FAULT_TOLERANCE.md is the prose contract for all of this.
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace acbm::codec {
+
+/// Why a submitted frame's future resolved with an error.
+enum class SessionErrorClass {
+  kEncodeFailed,   ///< an encoder stage threw; the session is now failed
+  kResource,       ///< allocation failure (std::bad_alloc); session failed
+  kTimeout,        ///< deadline expired before the frame was dispatched
+  kOverloaded,     ///< admission queue full, frame shed at submit
+  kSessionFailed,  ///< an earlier frame already failed this session
+  kClosed,         ///< session destroyed with this frame unresolved
+};
+
+/// Canonical lower-snake name of `cls` (what acbm_enc prints as class=...).
+[[nodiscard]] constexpr const char* session_error_class_name(
+    SessionErrorClass cls) {
+  switch (cls) {
+    case SessionErrorClass::kEncodeFailed:
+      return "encode_failed";
+    case SessionErrorClass::kResource:
+      return "resource";
+    case SessionErrorClass::kTimeout:
+      return "timeout";
+    case SessionErrorClass::kOverloaded:
+      return "overloaded";
+    case SessionErrorClass::kSessionFailed:
+      return "session_failed";
+    case SessionErrorClass::kClosed:
+      return "closed";
+  }
+  return "?";
+}
+
+/// The structured error a frame's future resolves with. `frame_index()` is
+/// the frame's SUBMISSION sequence number on its session (shed frames never
+/// receive an encode index, so the submission number is the only identity
+/// every failure path has); `site()` names where the error was raised
+/// ("front", "back", "submit", "shed").
+class SessionError : public std::runtime_error {
+ public:
+  SessionError(SessionErrorClass cls, std::uint64_t frame_index,
+               std::string site, const std::string& detail)
+      : std::runtime_error("session error: class=" +
+                           std::string(session_error_class_name(cls)) +
+                           " frame=" + std::to_string(frame_index) +
+                           " site=" + site +
+                           (detail.empty() ? "" : ": " + detail)),
+        class_(cls),
+        frame_index_(frame_index),
+        site_(std::move(site)) {}
+
+  [[nodiscard]] SessionErrorClass error_class() const { return class_; }
+  [[nodiscard]] std::uint64_t frame_index() const { return frame_index_; }
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+  /// True for the classes that latch the session into the failed state.
+  [[nodiscard]] bool fatal() const {
+    return class_ == SessionErrorClass::kEncodeFailed ||
+           class_ == SessionErrorClass::kResource;
+  }
+
+ private:
+  SessionErrorClass class_;
+  std::uint64_t frame_index_;
+  std::string site_;
+};
+
+/// Per-submit admission controls (EncodeSession::submit / try_submit).
+/// Default-constructed options reproduce the historical behaviour exactly:
+/// no deadline, unbounded queue, no degradation.
+struct SubmitOptions {
+  /// Frames not yet dispatched when the deadline passes resolve with
+  /// kTimeout instead of encoding stale video. Checked at front admission
+  /// (a frame already being encoded is never aborted mid-stage).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Maximum frames waiting for dispatch (excluding the ones being
+  /// encoded); a submit beyond it is shed with kOverloaded (or nullopt from
+  /// try_submit). 0 = unbounded.
+  int queue_limit = 0;
+  /// With queue_limit exceeded AND a degraded estimator configured on the
+  /// session, admit the frame flagged for the cheaper estimator instead of
+  /// shedding it (the degradation ladder; see docs/FAULT_TOLERANCE.md).
+  bool degrade_on_overload = false;
+};
+
+}  // namespace acbm::codec

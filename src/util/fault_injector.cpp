@@ -1,0 +1,163 @@
+#include "util/fault_injector.hpp"
+
+#include <chrono>
+#include <new>
+#include <thread>
+
+#include "util/kv.hpp"
+
+namespace acbm::util {
+
+namespace {
+
+/// splitmix64 finalizer (the same mixer Rng uses for seeding). Three rounds
+/// over the packed (seed, site, lane, event) tuple give a uniform 64-bit
+/// hash; dividing by 2^64 yields the uniform variate compared against p.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAlloc:
+      return "alloc";
+    case FaultSite::kEncodeThrow:
+      return "encode_throw";
+    case FaultSite::kTaskDelay:
+      return "task_delay_ms";
+  }
+  return "?";
+}
+
+std::string fault_spec_usage() {
+  return
+      "fault spec grammar: fault:key=val[,key=val...] over the keys\n"
+      "  site=encode_throw    alloc | encode_throw | task_delay_ms\n"
+      "  p=0                  per-frame firing probability (0..1)\n"
+      "  seed=1               hash seed (>=0); same seed, same firings\n"
+      "  delay_ms=5           sleep length for site=task_delay_ms (1..10000)\n";
+}
+
+FaultConfig fault_config_from_spec(std::string_view spec) {
+  // "fault" or "fault:key=val,...". The prefix is mandatory for the same
+  // reason the channel grammar requires a model name: a bare key list does
+  // not say which subsystem interprets it.
+  std::string_view name = spec;
+  std::string_view kv;
+  if (const std::size_t colon = spec.find(':');
+      colon != std::string_view::npos) {
+    name = spec.substr(0, colon);
+    kv = spec.substr(colon + 1);
+  }
+  while (!name.empty() && name.front() == ' ') {
+    name.remove_prefix(1);
+  }
+  while (!name.empty() && name.back() == ' ') {
+    name.remove_suffix(1);
+  }
+  if (name != "fault") {
+    throw SpecError("fault: spec must start with \"fault\", got \"" +
+                    std::string(name) + "\"; " + fault_spec_usage());
+  }
+
+  FaultConfig config;
+  for (const KeyValue& pair : parse_kv_list(kv)) {
+    const std::string what = "fault key " + pair.first;
+    if (pair.first == "site") {
+      if (pair.second == "alloc") {
+        config.site = FaultSite::kAlloc;
+      } else if (pair.second == "encode_throw") {
+        config.site = FaultSite::kEncodeThrow;
+      } else if (pair.second == "task_delay_ms") {
+        config.site = FaultSite::kTaskDelay;
+      } else {
+        throw SpecError("fault: site=" + pair.second +
+                        " is not one of {alloc, encode_throw, task_delay_ms}");
+      }
+    } else if (pair.first == "p") {
+      config.p = parse_double_strict(pair.second, what);
+      if (!(config.p >= 0.0 && config.p <= 1.0)) {
+        throw SpecError("fault: p=" + pair.second + " out of range [0, 1]");
+      }
+    } else if (pair.first == "seed") {
+      const std::int64_t value = parse_int_strict(pair.second, what);
+      if (value < 0) {
+        throw SpecError("fault: seed must be >= 0");
+      }
+      config.seed = static_cast<std::uint64_t>(value);
+    } else if (pair.first == "delay_ms") {
+      const std::int64_t value = parse_int_strict(pair.second, what);
+      if (value < 1 || value > 10000) {
+        throw SpecError("fault: delay_ms=" + pair.second +
+                        " out of range [1, 10000]");
+      }
+      config.delay_ms = static_cast<int>(value);
+    } else {
+      throw SpecError("fault: unknown key \"" + pair.first + "\"; " +
+                      fault_spec_usage());
+    }
+  }
+  return config;
+}
+
+std::string to_spec(const FaultConfig& config) {
+  std::string out = "fault:site=";
+  out += fault_site_name(config.site);
+  out += ",p=" + format_double(config.p);
+  out += ",seed=" + std::to_string(config.seed);
+  if (config.site == FaultSite::kTaskDelay) {
+    out += ",delay_ms=" + std::to_string(config.delay_ms);
+  }
+  return out;
+}
+
+bool FaultInjector::should_fire(std::uint64_t lane,
+                                std::uint64_t event) const {
+  if (config_.p <= 0.0) {
+    return false;
+  }
+  if (config_.p >= 1.0) {
+    return true;
+  }
+  std::uint64_t h = mix64(config_.seed);
+  h = mix64(h ^ (static_cast<std::uint64_t>(config_.site) + 1));
+  h = mix64(h ^ lane);
+  h = mix64(h ^ event);
+  // 53-bit mantissa: exact double, uniform in [0, 1).
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return u < config_.p;
+}
+
+void FaultInjector::inject(std::uint64_t lane, std::uint64_t event) const {
+  if (!should_fire(lane, event)) {
+    return;
+  }
+  switch (config_.site) {
+    case FaultSite::kAlloc:
+      throw std::bad_alloc();
+    case FaultSite::kEncodeThrow:
+      throw InjectedFault("injected fault (lane " + std::to_string(lane) +
+                          ", event " + std::to_string(event) + ")");
+    case FaultSite::kTaskDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(config_.delay_ms));
+      return;
+  }
+}
+
+std::int64_t FaultInjector::first_fire(std::uint64_t lane, std::uint64_t from,
+                                       std::uint64_t count) const {
+  for (std::uint64_t e = from; e < from + count; ++e) {
+    if (should_fire(lane, e)) {
+      return static_cast<std::int64_t>(e);
+    }
+  }
+  return -1;
+}
+
+}  // namespace acbm::util

@@ -79,6 +79,11 @@ void ThreadPool::submit(Queue& queue, std::function<void()> task,
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::wait(TaskGroup& group) {
@@ -86,6 +91,11 @@ void ThreadPool::wait(TaskGroup& group) {
   const bool may_help = (tls_worker_pool == this);
   for (;;) {
     if (group.pending_ == 0) {
+      if (group.first_error_ != nullptr) {
+        std::exception_ptr error = std::exchange(group.first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+      }
       return;
     }
     if (may_help) {
@@ -110,8 +120,16 @@ void ThreadPool::wait(TaskGroup& group) {
       }
       if (found) {
         lock.unlock();
-        job.fn();
+        std::exception_ptr error;
+        try {
+          job.fn();
+        } catch (...) {
+          error = std::current_exception();
+        }
         lock.lock();
+        if (error != nullptr) {
+          record_error_locked(job, std::move(error));
+        }
         finish_job_locked(job);
         continue;
       }
@@ -155,6 +173,15 @@ ThreadPool::Job ThreadPool::pop_next_locked() {
   return Job{};
 }
 
+void ThreadPool::record_error_locked(const Job& job,
+                                     std::exception_ptr error) {
+  std::exception_ptr& slot =
+      job.group != nullptr ? job.group->first_error_ : first_error_;
+  if (slot == nullptr) {
+    slot = std::move(error);
+  }
+}
+
 void ThreadPool::finish_job_locked(const Job& job) {
   --in_flight_;
   --job.queue->in_flight_;
@@ -178,8 +205,16 @@ void ThreadPool::worker_loop(int index) {
     }
     Job job = pop_next_locked();
     lock.unlock();
-    job.fn();
+    std::exception_ptr error;
+    try {
+      job.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
     lock.lock();
+    if (error != nullptr) {
+      record_error_locked(job, std::move(error));
+    }
     finish_job_locked(job);
   }
 }

@@ -20,15 +20,21 @@
 //      TaskGroup wait as the stage barrier and write results into pre-sized
 //      arrays.
 //
-// Tasks must not throw: an exception escaping a task would terminate the
-// process (std::terminate via the worker thread). The pipeline's tasks are
-// arithmetic only; anything throwing there is already a bug.
+// Tasks may throw. An exception escaping a task is captured (never
+// std::terminate): the first error of a TaskGroup is latched on the group
+// and rethrown by the wait(group) barrier once the group's count drains;
+// ungrouped task errors latch on the pool and rethrow from wait_idle().
+// Later errors of the same batch are dropped — first error wins — and the
+// batch always runs to completion so barrier counting stays intact. It is
+// the caller's job (codec::EncoderPipeline does this) to make sure a task
+// that throws still publishes whatever progress its siblings park on.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -55,6 +61,9 @@ class TaskGroup {
  private:
   friend class ThreadPool;
   std::size_t pending_ = 0;  ///< guarded by the owning pool's mutex
+  /// First exception a task of this group threw; guarded by the pool mutex,
+  /// consumed (rethrown and cleared) by the wait(group) that drains it.
+  std::exception_ptr first_error_;
   /// Woken (under the pool mutex) when pending_ drops to zero or a new task
   /// joins the group — the latter lets a helping waiter pick it up.
   std::condition_variable done_or_work_;
@@ -114,10 +123,12 @@ class ThreadPool {
   void submit(Queue& queue, std::function<void()> task,
               TaskGroup* group = nullptr);
 
-  /// Blocks until every submitted task (all lanes) has finished.
+  /// Blocks until every submitted task (all lanes) has finished, then
+  /// rethrows (and clears) the first error an ungrouped task threw.
   void wait_idle();
 
-  /// Blocks until every task tagged with `group` has finished. When called
+  /// Blocks until every task tagged with `group` has finished, then rethrows
+  /// (and clears) the first error a task of the group threw. When called
   /// from one of this pool's own workers the wait HELPS: it runs queued
   /// tasks of that group (in lane order) instead of parking, so a task may
   /// submit subtasks and wait for them without deadlocking the pool. Only
@@ -141,6 +152,9 @@ class ThreadPool {
   /// Post-run bookkeeping: counters, group completion, idle/drain wakeups.
   /// Requires the pool mutex held.
   void finish_job_locked(const Job& job);
+  /// Latches `error` as the first error of the job's group (or of the pool
+  /// for ungrouped jobs). Requires the pool mutex held.
+  void record_error_locked(const Job& job, std::exception_ptr error);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -151,6 +165,8 @@ class ThreadPool {
   std::size_t rr_next_ = 0;       ///< round-robin cursor into queues_
   std::size_t queued_total_ = 0;  ///< jobs queued across all lanes
   std::size_t in_flight_ = 0;     ///< queued + currently running tasks
+  /// First exception an UNGROUPED task threw; consumed by wait_idle().
+  std::exception_ptr first_error_;
   bool stopping_ = false;
   /// Default lane for the two-argument submit(); declared after the
   /// bookkeeping it registers into.

@@ -1,0 +1,25 @@
+#pragma once
+// Typed error for malformed/truncated video input.
+//
+// The file readers (y4m_io, yuv_io) throw IoError for anything wrong with
+// the INPUT — bad magic, absurd dimensions, truncated frames — as opposed
+// to plain std::runtime_error for environment problems (file won't open).
+// The CLIs map IoError to exit code 2, the same "your input is wrong, not
+// our bug" contract util::SpecError has for flag specs.
+
+#include <stdexcept>
+#include <string>
+
+namespace acbm::video {
+
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Upper bound accepted for frame dimensions (16384 x 16384 covers 16K
+/// video; anything larger in a header is corruption, and rejecting it here
+/// keeps w*h arithmetic far from overflow).
+inline constexpr int kMaxDimension = 16384;
+
+}  // namespace acbm::video

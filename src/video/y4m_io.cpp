@@ -4,17 +4,65 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+
+#include "video/io_error.hpp"
 
 namespace acbm::video {
 
 namespace {
+
+// Longest header line we accept before declaring the stream malformed. Real
+// Y4M headers are well under 200 bytes; the cap keeps a corrupt file from
+// making getline slurp the whole stream into one std::string.
+constexpr std::size_t kMaxHeaderLine = 4096;
+
+/// getline with a length cap. Returns false on clean EOF at position zero.
+bool bounded_line(std::istream& in, std::string& line, const char* what) {
+  line.clear();
+  char c = 0;
+  while (in.get(c)) {
+    if (c == '\n') {
+      return true;
+    }
+    line.push_back(c);
+    if (line.size() > kMaxHeaderLine) {
+      throw IoError(std::string("y4m_io: ") + what + " exceeds " +
+                    std::to_string(kMaxHeaderLine) + " bytes");
+    }
+  }
+  if (!line.empty()) {
+    throw IoError(std::string("y4m_io: ") + what + " truncated (no newline)");
+  }
+  return false;
+}
+
+/// Strict decimal parse for header fields: digits only, bounded by `limit`.
+int parse_header_int(std::string_view text, int limit, const char* what) {
+  if (text.empty()) {
+    throw IoError(std::string("y4m_io: empty ") + what + " field");
+  }
+  long value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw IoError(std::string("y4m_io: malformed ") + what + " \"" +
+                    std::string(text) + "\"");
+    }
+    value = value * 10 + (c - '0');
+    if (value > limit) {
+      throw IoError(std::string("y4m_io: ") + what + " " + std::string(text) +
+                    " exceeds limit " + std::to_string(limit));
+    }
+  }
+  return static_cast<int>(value);
+}
 
 void read_plane(std::istream& in, Plane& plane) {
   std::vector<char> buffer(static_cast<std::size_t>(plane.width()));
   for (int y = 0; y < plane.height(); ++y) {
     in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
     if (!in) {
-      throw std::runtime_error("y4m_io: truncated frame");
+      throw IoError("y4m_io: truncated frame");
     }
     std::memcpy(plane.row(y), buffer.data(), buffer.size());
   }
@@ -28,11 +76,11 @@ Y4mVideo read_y4m(const std::string& path, std::size_t max_frames) {
     throw std::runtime_error("y4m_io: cannot open " + path);
   }
   std::string header;
-  if (!std::getline(in, header)) {
-    throw std::runtime_error("y4m_io: missing stream header");
+  if (!bounded_line(in, header, "stream header")) {
+    throw IoError("y4m_io: missing stream header");
   }
   if (header.rfind("YUV4MPEG2", 0) != 0) {
-    throw std::runtime_error("y4m_io: not a YUV4MPEG2 stream");
+    throw IoError("y4m_io: not a YUV4MPEG2 stream");
   }
   Y4mVideo video;
   std::istringstream tokens(header.substr(9));
@@ -41,25 +89,28 @@ Y4mVideo read_y4m(const std::string& path, std::size_t max_frames) {
     if (tok.empty()) {
       continue;
     }
+    const std::string_view value = std::string_view(tok).substr(1);
     switch (tok[0]) {
       case 'W':
-        video.size.width = std::stoi(tok.substr(1));
+        video.size.width = parse_header_int(value, kMaxDimension, "width");
         break;
       case 'H':
-        video.size.height = std::stoi(tok.substr(1));
+        video.size.height = parse_header_int(value, kMaxDimension, "height");
         break;
       case 'F': {
-        const auto colon = tok.find(':');
-        if (colon == std::string::npos) {
-          throw std::runtime_error("y4m_io: malformed frame rate");
+        const auto colon = value.find(':');
+        if (colon == std::string_view::npos) {
+          throw IoError("y4m_io: malformed frame rate \"" + tok + "\"");
         }
-        video.rate.num = std::stoi(tok.substr(1, colon - 1));
-        video.rate.den = std::stoi(tok.substr(colon + 1));
+        video.rate.num = parse_header_int(value.substr(0, colon), 1000000,
+                                          "frame-rate numerator");
+        video.rate.den = parse_header_int(value.substr(colon + 1), 1000000,
+                                          "frame-rate denominator");
         break;
       }
       case 'C':
         if (tok.rfind("C420", 0) != 0) {
-          throw std::runtime_error("y4m_io: only 4:2:0 chroma is supported");
+          throw IoError("y4m_io: only 4:2:0 chroma is supported, got " + tok);
         }
         break;
       default:
@@ -67,15 +118,25 @@ Y4mVideo read_y4m(const std::string& path, std::size_t max_frames) {
     }
   }
   if (video.size.width <= 0 || video.size.height <= 0) {
-    throw std::runtime_error("y4m_io: missing picture dimensions");
+    throw IoError("y4m_io: missing picture dimensions");
+  }
+  if (video.size.width % 2 != 0 || video.size.height % 2 != 0) {
+    throw IoError("y4m_io: 4:2:0 dimensions must be even, got " +
+                  std::to_string(video.size.width) + "x" +
+                  std::to_string(video.size.height));
+  }
+  if (video.rate.num <= 0 || video.rate.den <= 0) {
+    throw IoError("y4m_io: frame rate must be positive, got F" +
+                  std::to_string(video.rate.num) + ":" +
+                  std::to_string(video.rate.den));
   }
   while (max_frames == 0 || video.frames.size() < max_frames) {
     std::string frame_header;
-    if (!std::getline(in, frame_header)) {
+    if (!bounded_line(in, frame_header, "FRAME marker")) {
       break;  // clean EOF
     }
     if (frame_header.rfind("FRAME", 0) != 0) {
-      throw std::runtime_error("y4m_io: malformed FRAME marker");
+      throw IoError("y4m_io: malformed FRAME marker");
     }
     Frame frame(video.size);
     read_plane(in, frame.y());

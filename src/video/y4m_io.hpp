@@ -28,8 +28,11 @@ struct Y4mVideo {
   std::vector<Frame> frames;
 };
 
-/// Reads a 4:2:0 .y4m file. Throws std::runtime_error on malformed headers,
-/// unsupported chroma subsampling, or truncated frames.
+/// Reads a 4:2:0 .y4m file. Throws video::IoError (see video/io_error.hpp)
+/// on malformed headers, absurd or odd dimensions, unsupported chroma
+/// subsampling, or truncated frames; plain std::runtime_error when the file
+/// cannot be opened. Dimensions are capped at kMaxDimension per axis —
+/// a corrupt header can never trigger a multi-gigabyte allocation.
 Y4mVideo read_y4m(const std::string& path, std::size_t max_frames = 0);
 
 /// Writes frames as YUV4MPEG2 with C420jpeg chroma siting.

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "video/io_error.hpp"
+
 namespace acbm::video {
 
 namespace {
@@ -12,12 +14,35 @@ std::size_t frame_bytes(PictureSize size) {
   return static_cast<std::size_t>(size.width) * size.height * 3 / 2;
 }
 
+/// Headerless I420 carries no self-description, so the caller-supplied size
+/// is the only defence against a bogus allocation — validate it up front.
+void check_size(PictureSize size, const char* what) {
+  if (size.width <= 0 || size.height <= 0) {
+    throw IoError(std::string("yuv_io: ") + what +
+                  " requires positive dimensions, got " +
+                  std::to_string(size.width) + "x" +
+                  std::to_string(size.height));
+  }
+  if (size.width > kMaxDimension || size.height > kMaxDimension) {
+    throw IoError(std::string("yuv_io: ") + what + " dimensions " +
+                  std::to_string(size.width) + "x" +
+                  std::to_string(size.height) + " exceed limit " +
+                  std::to_string(kMaxDimension));
+  }
+  if (size.width % 2 != 0 || size.height % 2 != 0) {
+    throw IoError(std::string("yuv_io: ") + what +
+                  " 4:2:0 dimensions must be even, got " +
+                  std::to_string(size.width) + "x" +
+                  std::to_string(size.height));
+  }
+}
+
 void read_plane(std::istream& in, Plane& plane) {
   std::vector<char> buffer(static_cast<std::size_t>(plane.width()));
   for (int y = 0; y < plane.height(); ++y) {
     in.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
     if (!in) {
-      throw std::runtime_error("yuv_io: truncated frame");
+      throw IoError("yuv_io: truncated frame");
     }
     std::memcpy(plane.row(y), buffer.data(), buffer.size());
   }
@@ -33,6 +58,7 @@ void write_plane(std::ostream& out, const Plane& plane) {
 
 std::vector<Frame> read_yuv420(const std::string& path, PictureSize size,
                                std::size_t max_frames) {
+  check_size(size, "read_yuv420");
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("yuv_io: cannot open " + path);
@@ -84,8 +110,11 @@ std::vector<std::uint8_t> pack_i420(const Frame& frame) {
 }
 
 Frame unpack_i420(const std::vector<std::uint8_t>& bytes, PictureSize size) {
+  check_size(size, "unpack_i420");
   if (bytes.size() != frame_bytes(size)) {
-    throw std::runtime_error("yuv_io: byte count does not match frame size");
+    throw IoError("yuv_io: byte count " + std::to_string(bytes.size()) +
+                  " does not match frame size (want " +
+                  std::to_string(frame_bytes(size)) + ")");
   }
   Frame frame(size);
   const std::uint8_t* src = bytes.data();

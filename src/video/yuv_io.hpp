@@ -15,8 +15,9 @@
 namespace acbm::video {
 
 /// Reads up to `max_frames` I420 frames of the given size from `path`
-/// (0 = all). Throws std::runtime_error on open failure or on a truncated
-/// frame.
+/// (0 = all). Throws video::IoError on an invalid `size` (non-positive,
+/// odd, or above kMaxDimension) or on a truncated frame, and plain
+/// std::runtime_error on open failure.
 std::vector<Frame> read_yuv420(const std::string& path, PictureSize size,
                                std::size_t max_frames = 0);
 

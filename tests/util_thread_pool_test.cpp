@@ -14,6 +14,8 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -229,6 +231,129 @@ TEST(ThreadPool, WorkerWaitingOnGroupHelpsItsTasks) {
   pool.wait_idle();
   EXPECT_EQ(subtasks_done.load(), 4);
   EXPECT_TRUE(parent_done.load());
+}
+
+// ------------------------------------------------------- failure paths ---
+// Tasks may throw: the pool must capture the exception (never terminate),
+// run the rest of the batch so barrier counting stays intact, and rethrow
+// the first captured error from the matching wait. These are the primitives
+// the encoding pipeline's session-isolation guarantees stand on.
+
+TEST(ThreadPool, ThrowingTaskIsCapturedAndWaitIdleRethrows) {
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  pool.submit([] { throw std::runtime_error("ungrouped boom"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&survivors] { survivors.fetch_add(1); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle swallowed the task error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "ungrouped boom");
+  }
+  // The rest of the batch still ran, the error was consumed, and the pool
+  // is fully reusable.
+  EXPECT_EQ(survivors.load(), 8);
+  pool.submit([&survivors] { survivors.fetch_add(1); });
+  pool.wait_idle();  // must not rethrow again
+  EXPECT_EQ(survivors.load(), 9);
+}
+
+TEST(ThreadPool, WaitGroupRethrowsFirstErrorOfItsGroupOnly) {
+  // One worker makes "first" deterministic; a second group's error must not
+  // leak into the first group's wait.
+  ThreadPool pool(1);
+  ThreadPool::Queue lane(pool);
+  TaskGroup bad;
+  TaskGroup good;
+  std::atomic<int> done{0};
+  pool.submit(lane, [] { throw std::runtime_error("boom0"); }, &bad);
+  pool.submit(lane, [] { throw std::runtime_error("boom1"); }, &bad);
+  pool.submit(lane, [&done] { done.fetch_add(1); }, &good);
+  try {
+    pool.wait(bad);
+    FAIL() << "wait(group) swallowed the task error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom0") << "first captured error must win";
+  }
+  pool.wait(good);  // must return cleanly: its group had no error
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPool, ThrowInsideHelpingWaitIsCaptured) {
+  // A worker task waits on its own subtask group; with one worker the wait
+  // must help, which means the throwing subtask runs INSIDE wait(group) on
+  // the helping thread — the capture must work on that path too, and the
+  // error must surface to the parent task, not escape into the worker loop.
+  ThreadPool pool(1);
+  ThreadPool::Queue lane(pool);
+  std::atomic<bool> parent_saw_error{false};
+  std::atomic<int> siblings_done{0};
+  pool.submit(lane, [&] {
+    TaskGroup group;
+    pool.submit(lane, [] { throw std::runtime_error("subtask boom"); },
+                &group);
+    for (int i = 0; i < 3; ++i) {
+      pool.submit(lane, [&siblings_done] { siblings_done.fetch_add(1); },
+                  &group);
+    }
+    try {
+      pool.wait(group);
+    } catch (const std::runtime_error& e) {
+      parent_saw_error.store(std::string(e.what()) == "subtask boom");
+    }
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(parent_saw_error.load());
+  EXPECT_EQ(siblings_done.load(), 3) << "siblings must run despite the throw";
+}
+
+TEST(ThreadPool, ThrowAfterPublicationDoesNotStrandCounterWaiters) {
+  // The pipeline's wavefront rows publish their full row range before
+  // rethrowing, so a downstream row parked on the ReadyCounter is released
+  // and the error still reaches the group wait. Model exactly that shape.
+  ThreadPool pool(2);
+  ThreadPool::Queue lane(pool);
+  TaskGroup group;
+  ReadyCounter rows;
+  std::atomic<bool> downstream_ran{false};
+  pool.submit(lane, [&] {
+    rows.publish(1);  // poison-publish, then fail
+    throw std::runtime_error("row boom");
+  }, &group);
+  pool.submit(lane, [&] {
+    rows.wait_for(1);  // must be released by the publish above
+    downstream_ran.store(true);
+  }, &group);
+  try {
+    pool.wait(group);
+    FAIL() << "wait(group) swallowed the row error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "row boom");
+  }
+  EXPECT_TRUE(downstream_ran.load());
+}
+
+TEST(ThreadPool, DestructionDrainsPoisonedQueuedTasks) {
+  // A poisoned session's lane may still hold throwing tasks when the pool
+  // goes down; the destructor must run them all without terminating and
+  // without hanging (nobody is left to consume the latched error).
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    ThreadPool::Queue lane(pool);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit(lane, [&done, i] {
+        done.fetch_add(1);
+        if (i % 3 == 0) {
+          throw std::runtime_error("queued boom");
+        }
+      });
+    }
+    // No wait_idle: destruction races dispatch of the poisoned backlog.
+  }
+  EXPECT_EQ(done.load(), 16);
 }
 
 TEST(ThreadPool, QueueDestructorDrainsItsLane) {

@@ -1,4 +1,8 @@
-// Frame geometry plus raw-YUV and Y4M I/O round-trips.
+// Frame geometry plus raw-YUV and Y4M I/O round-trips — and the
+// malformed-input contract: a corrupt header or truncated stream must raise
+// a typed video::IoError (clean CLI exit 2), never read out of bounds,
+// allocate absurd buffers, or hand back silent garbage. The corpus of
+// hostile files lives in tests/data/malformed/.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +13,7 @@
 
 #include "test_support.hpp"
 #include "video/frame.hpp"
+#include "video/io_error.hpp"
 #include "video/y4m_io.hpp"
 #include "video/yuv_io.hpp"
 
@@ -148,6 +153,81 @@ TEST(Y4mIo, Rejects422Chroma) {
 TEST(Y4mIo, FrameRateFpsHelper) {
   const FrameRate r{30000, 1001};
   EXPECT_NEAR(r.fps(), 29.97, 0.001);
+}
+
+// ------------------------------------------------- malformed-input corpus ---
+
+TEST(MalformedCorpus, EveryHostileY4mRaisesTypedIoError) {
+  const std::filesystem::path dir =
+      std::filesystem::path(ACBM_TEST_DIR) / "data" / "malformed";
+  ASSERT_TRUE(std::filesystem::is_directory(dir))
+      << "corpus missing: " << dir;
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".y4m") {
+      continue;
+    }
+    ++files;
+    try {
+      (void)read_y4m(entry.path().string());
+      FAIL() << entry.path().filename()
+             << " parsed without error — hostile input accepted";
+    } catch (const IoError&) {
+      // the contract: typed, catchable, exit-2-mappable
+    }
+    // catch nothing else: any other exception type fails the test loudly
+  }
+  EXPECT_GE(files, 8) << "corpus unexpectedly small in " << dir;
+}
+
+TEST(Y4mIo, RejectsAbsurdDimensionsBeforeAllocating) {
+  const std::string path = temp_path("acbm_test_huge.y4m");
+  {
+    std::ofstream out(path);
+    out << "YUV4MPEG2 W1000000000 H1000000000 F30:1 C420\n";
+  }
+  // Must throw the typed error while parsing the header — not OOM trying
+  // to build a petabyte frame.
+  EXPECT_THROW(read_y4m(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Y4mIo, RejectsOddDimensionsFor420) {
+  const std::string path = temp_path("acbm_test_odd.y4m");
+  {
+    std::ofstream out(path);
+    out << "YUV4MPEG2 W17 H15 F30:1 C420\n";
+  }
+  EXPECT_THROW(read_y4m(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Y4mIo, RejectsNonNumericDimension) {
+  const std::string path = temp_path("acbm_test_nan.y4m");
+  {
+    std::ofstream out(path);
+    out << "YUV4MPEG2 W-16 H16 F30:1 C420\n";
+  }
+  EXPECT_THROW(read_y4m(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(YuvIo, RejectsAbsurdRequestedSize) {
+  // The size is caller-supplied for headerless input; it passes through the
+  // same bounds check, throwing before any allocation or read.
+  EXPECT_THROW(read_yuv420("/nonexistent.yuv", {100000, 100000}), IoError);
+  EXPECT_THROW(read_yuv420("/nonexistent.yuv", {0, 16}), IoError);
+  EXPECT_THROW(read_yuv420("/nonexistent.yuv", {17, 15}), IoError);
+}
+
+TEST(YuvIo, TruncationIsTypedIoError) {
+  const std::string path = temp_path("acbm_test_trunc_typed.yuv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << std::string(100, 'x');
+  }
+  EXPECT_THROW(read_yuv420(path, {16, 16}), IoError);
+  std::remove(path.c_str());
 }
 
 }  // namespace
