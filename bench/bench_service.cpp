@@ -28,10 +28,13 @@
 #include <chrono>
 #include <deque>
 #include <iostream>
+#include <optional>
 #include <thread>
 
 #include "bench_support.hpp"
 #include "codec/service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -42,7 +45,34 @@ struct ServicePoint {
   double wall_seconds = 0.0;
   std::vector<double> latencies_ms;  // every frame of every session
   codec::ServiceStats stats;         // health counters, drained state
+  /// Stage-latency histograms from the service's metrics registry
+  /// (enc.stage.* / enc.frame.wall), snapshotted after the drain.
+  std::vector<obs::Registry::HistogramRow> stage_rows;
 };
+
+/// Maps the registry's stage histograms onto JSON counter names the CI gate
+/// understands: <stage>_p50_us / <stage>_p99_us (bench_gate.py treats the
+/// _p50_us/_p99_us suffixes as loosely-gated latency counters).
+void add_latency_counters(
+    std::vector<std::pair<std::string, double>>& counters,
+    const std::vector<obs::Registry::HistogramRow>& rows) {
+  constexpr std::pair<const char*, const char*> kStages[] = {
+      {"enc.stage.me", "me"},
+      {"enc.stage.plan", "plan"},
+      {"enc.stage.entropy", "entropy"},
+      {"enc.frame.wall", "frame_wall"},
+  };
+  for (const auto& [hist_name, prefix] : kStages) {
+    for (const obs::Registry::HistogramRow& row : rows) {
+      if (row.name == hist_name && row.count > 0) {
+        counters.emplace_back(std::string(prefix) + "_p50_us",
+                              static_cast<double>(row.p50_ns) / 1000.0);
+        counters.emplace_back(std::string(prefix) + "_p99_us",
+                              static_cast<double>(row.p99_ns) / 1000.0);
+      }
+    }
+  }
+}
 
 /// Nearest-rank percentile (q in [0,1]) of an unsorted sample set.
 double percentile(std::vector<double> values, double q) {
@@ -106,6 +136,7 @@ ServicePoint run_point(const std::vector<video::Frame>& frames, int sessions,
   }
   point.wall_seconds = wall.seconds();
   point.stats = service.stats();
+  point.stage_rows = service.metrics().histogram_rows();
   for (const std::vector<double>& per_session : latencies) {
     point.latencies_ms.insert(point.latencies_ms.end(), per_session.begin(),
                               per_session.end());
@@ -117,8 +148,15 @@ ServicePoint run_point(const std::vector<video::Frame>& frames, int sessions,
 
 int main(int argc, char** argv) {
   const auto options = bench::parse_bench_options(
-      argc, argv, "bench_service", /*supports_json=*/true);
+      argc, argv, "bench_service", /*supports_json=*/true,
+      /*supports_trace=*/true);
   util::Timer timer;
+
+  std::optional<obs::Tracer> tracer;
+  if (!options.trace_out.empty()) {
+    tracer.emplace();
+    tracer->install();
+  }
 
   // Pool size: --threads (0 = all cores). The paper's encoder is the
   // workload; the service layer under test is what shares it.
@@ -167,22 +205,20 @@ int main(int argc, char** argv) {
                        aggregate_fps / static_cast<double>(sessions), 1),
                    util::CsvWriter::num(mean_ms, 2),
                    util::CsvWriter::num(p99_ms, 2)});
+    std::vector<std::pair<std::string, double>> counters = {
+        {"aggregate_fps", aggregate_fps},
+        {"per_session_fps", aggregate_fps / static_cast<double>(sessions)},
+        {"mean_ms", mean_ms},
+        {"p99_ms", p99_ms},
+        {"accepted_frames", static_cast<double>(point.stats.accepted)},
+        {"completed_frames", static_cast<double>(point.stats.completed)},
+        {"shed_frames", static_cast<double>(point.stats.rejected +
+                                            point.stats.timed_out +
+                                            point.stats.failed)}};
+    add_latency_counters(counters, point.stage_rows);
     json.add_row("BM_ServiceThroughput/sessions:" + std::to_string(sessions) +
                      "/threads:" + std::to_string(threads),
-                 point.wall_seconds * 1e9,
-                 {{"aggregate_fps", aggregate_fps},
-                  {"per_session_fps",
-                   aggregate_fps / static_cast<double>(sessions)},
-                  {"mean_ms", mean_ms},
-                  {"p99_ms", p99_ms},
-                  {"accepted_frames",
-                   static_cast<double>(point.stats.accepted)},
-                  {"completed_frames",
-                   static_cast<double>(point.stats.completed)},
-                  {"shed_frames",
-                   static_cast<double>(point.stats.rejected +
-                                       point.stats.timed_out +
-                                       point.stats.failed)}});
+                 point.wall_seconds * 1e9, std::move(counters));
   }
   table.print(std::cout);
   if (single_session_fps > 0.0) {
@@ -190,6 +226,14 @@ int main(int argc, char** argv) {
                  "1-session rate on pools of 4+ threads; per-session fps "
                  "decays as the pool saturates while p99 tracks the "
                  "round-robin fairness of the lane dispatcher\n";
+  }
+
+  if (tracer) {
+    // Every run_point's service (and pool) is destroyed on return, so the
+    // rings are quiescent here.
+    obs::Tracer::uninstall();
+    tracer->write_chrome_json_file(options.trace_out);
+    std::cout << "[trace] " << options.trace_out << '\n';
   }
 
   json.write("bench_service");

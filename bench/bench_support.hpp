@@ -42,6 +42,9 @@ struct BenchOptions {
                                 ///< selection; every variant is bit-exact)
   std::string benchmark_out;    ///< when set, also write a
                                 ///< google-benchmark-style JSON report here
+  std::string trace_out;        ///< when set, write a Chrome trace-event
+                                ///< JSON of the bench run here (benches that
+                                ///< pass supports_trace only)
   /// Sweep-config spec (key=val,... — see analysis::SweepConfig::from_spec)
   /// applied on top of the individual flags by sweep_config(); lets one
   /// string reconfigure a bench ("mode=rd,deblock=1,qps=16:22").
@@ -93,7 +96,8 @@ inline std::string kernel_names_for_usage() {
 /// writing nothing.
 inline BenchOptions parse_bench_options(int argc, const char* const* argv,
                                         const std::string& name,
-                                        bool supports_json = false) {
+                                        bool supports_json = false,
+                                        bool supports_trace = false) {
   util::ArgParser parser;
   parser.add_option("frames", "frames per sequence", "40");
   parser.add_option("search-range", "FSBM search range p", "15");
@@ -129,6 +133,11 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
                     "';'-separated estimator specs (NAME or "
                     "\"NAME:key=val,...\") replacing the bench's default "
                     "roster, e.g. \"ACBM;ACBM:alpha=500,beta=8;FSBM\"",
+                    "");
+  parser.add_option("trace",
+                    "write a Chrome trace-event JSON of the bench run "
+                    "(Perfetto-loadable); the traced run's numbers are "
+                    "reported as usual but a trace adds a little overhead",
                     "");
   parser.add_flag("quick", "reduced workload (fewer frames and Qp values)");
   if (!parser.parse(argc, argv)) {
@@ -173,6 +182,12 @@ inline BenchOptions parse_bench_options(int argc, const char* const* argv,
               << "--benchmark_format/--benchmark_out or use "
               << "bench_table1_complexity / bench_fig5_rd_qcif30 / "
               << "bench_fig6_rd_qcif10 / bench_kernels\n";
+    std::exit(2);
+  }
+  options.trace_out = parser.get("trace");
+  if (!supports_trace && !options.trace_out.empty()) {
+    std::cerr << name << " does not emit traces; drop --trace or use "
+              << "bench_service\n";
     std::exit(2);
   }
   options.kernel = parser.get("kernel");

@@ -17,10 +17,12 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "codec/config_map.hpp"
 #include "codec/decoder.hpp"
+#include "obs/trace.hpp"
 #include "sim/channel.hpp"
 #include "util/args.hpp"
 #include "util/kv.hpp"
@@ -94,6 +96,11 @@ int main(int argc, char** argv) {
   parser.add_flag("summary",
                   "print the structured DecodeReport (frames, concealments, "
                   "resync skips, error class, sample digest, channel echo)");
+  parser.add_option("trace",
+                    "write a Chrome trace-event JSON file of the decode "
+                    "(loads in Perfetto / chrome://tracing); tracing never "
+                    "changes the decoded samples",
+                    "");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage("acbm_dec");
     return 2;
@@ -149,15 +156,34 @@ int main(int argc, char** argv) {
                 << channel_report.bytes_out << " bytes\n";
     }
 
-    codec::Decoder decoder(data, config);
-    if (!channel_echo.empty()) {
-      decoder.note_channel_spec(channel_echo);
+    std::optional<obs::Tracer> tracer;
+    if (!parser.get("trace").empty()) {
+      tracer.emplace();
+      tracer->install();
     }
-    video::Y4mVideo video;
-    video.size = decoder.size();
-    video.rate = decoder.rate();
 
-    const codec::DecodeReport report = decoder.decode_stream(&video.frames);
+    video::Y4mVideo video;
+    codec::DecodeReport report;
+    int version = 0;
+    int frame_slices = 0;
+    {
+      codec::Decoder decoder(data, config);
+      if (!channel_echo.empty()) {
+        decoder.note_channel_spec(channel_echo);
+      }
+      video.size = decoder.size();
+      video.rate = decoder.rate();
+      report = decoder.decode_stream(&video.frames);
+      version = decoder.version();
+      frame_slices = decoder.last_frame_slices();
+    }
+
+    if (tracer) {
+      // The decoder (and its worker pool) is gone: rings are quiescent.
+      obs::Tracer::uninstall();
+      tracer->write_chrome_json_file(parser.get("trace"));
+    }
+
     if (parser.get_flag("summary")) {
       print_summary(report);
     }
@@ -176,8 +202,8 @@ int main(int argc, char** argv) {
 
     std::cout << "decoded " << video.frames.size() << " frames ("
               << video.size.width << "x" << video.size.height << " @ "
-              << video.rate.fps() << " fps, ACV" << decoder.version()
-              << ", " << decoder.last_frame_slices() << " slices/frame) -> "
+              << video.rate.fps() << " fps, ACV" << version
+              << ", " << frame_slices << " slices/frame) -> "
               << parser.get("out") << '\n';
     if (report.concealed_slices > 0) {
       std::cout << "warning: concealed " << report.concealed_slices

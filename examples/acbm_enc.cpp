@@ -33,6 +33,8 @@
 #include "codec/rate_control.hpp"
 #include "codec/service.hpp"
 #include "core/builtin_estimators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "simd/dispatch.hpp"
 #include "synth/sequences.hpp"
 #include "util/args.hpp"
@@ -71,6 +73,50 @@ struct StageTotals {
               << util::CsvWriter::num(frame_wall / n * 1000.0, 2) << " ms\n";
   }
 };
+
+double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+/// Registry-backed per-stage latency table (--summary): the same
+/// measurements FrameReport's stage timers sum, but as percentiles over the
+/// sequence — one p50/p95/p99 row per stage histogram.
+void print_stage_table(
+    const std::vector<obs::Registry::HistogramRow>& rows) {
+  bool header = false;
+  for (const obs::Registry::HistogramRow& row : rows) {
+    if (row.count == 0) {
+      continue;
+    }
+    if (!header) {
+      header = true;
+      std::cout << "  stage latency ms (p50 / p95 / p99 / max) [frames]:\n";
+    }
+    std::cout << "    " << row.name << ": "
+              << util::CsvWriter::num(ms(row.p50_ns), 3) << " / "
+              << util::CsvWriter::num(ms(row.p95_ns), 3) << " / "
+              << util::CsvWriter::num(ms(row.p99_ns), 3) << " / "
+              << util::CsvWriter::num(ms(row.max_ns), 3) << " ["
+              << row.count << "]\n";
+  }
+}
+
+/// Full registry dump (--metrics): every counter, gauge, and histogram.
+void print_metrics(const std::vector<obs::Registry::CounterRow>& counters,
+                   const std::vector<obs::Registry::GaugeRow>& gauges,
+                   const std::vector<obs::Registry::HistogramRow>& hists) {
+  std::cout << "metrics:\n";
+  for (const obs::Registry::CounterRow& c : counters) {
+    std::cout << "  counter " << c.name << " = " << c.value << '\n';
+  }
+  for (const obs::Registry::GaugeRow& g : gauges) {
+    std::cout << "  gauge " << g.name << " = " << g.value << '\n';
+  }
+  for (const obs::Registry::HistogramRow& h : hists) {
+    std::cout << "  histogram " << h.name << ": count " << h.count << ", p50 "
+              << h.p50_ns << " ns, p95 " << h.p95_ns << " ns, p99 "
+              << h.p99_ns << " ns, max " << h.max_ns << " ns, mean "
+              << util::CsvWriter::num(h.mean_ns, 1) << " ns\n";
+  }
+}
 
 }  // namespace
 
@@ -135,9 +181,18 @@ int main(int argc, char** argv) {
                     "mode; shed frames are dropped from the stream",
                     "");
   parser.add_flag("summary",
-                  "print per-stage wall-clock totals (ME/plan/entropy), mean "
-                  "per-frame latency, and (in service mode) the service "
-                  "health counters after encoding");
+                  "print per-stage wall-clock totals (ME/plan/entropy), a "
+                  "p50/p95/p99 per-stage latency table, mean per-frame "
+                  "latency, and (in service mode) the service health "
+                  "counters after encoding");
+  parser.add_option("trace",
+                    "write a Chrome trace-event JSON file of the encode "
+                    "(loads in Perfetto / chrome://tracing); tracing never "
+                    "changes the encoded bytes",
+                    "");
+  parser.add_flag("metrics",
+                  "dump every metrics-registry counter, gauge, and "
+                  "histogram after encoding");
   parser.add_option("out", "output bitstream path", "out.acv");
   if (!parser.parse(argc, argv)) {
     std::cerr << parser.error() << '\n' << parser.usage("acbm_enc");
@@ -303,9 +358,23 @@ int main(int argc, char** argv) {
     std::size_t encoded = frames.size();
     std::optional<codec::ServiceStats> service_stats;
 
+    // Registry snapshots survive the encode scopes below (the encoder /
+    // service — and with them the worker pools — are destroyed at scope
+    // exit, which is also what makes the trace export quiescent).
+    std::vector<obs::Registry::CounterRow> counter_rows;
+    std::vector<obs::Registry::GaugeRow> gauge_rows;
+    std::vector<obs::Registry::HistogramRow> hist_rows;
+    std::optional<obs::Tracer> tracer;
+    if (!parser.get("trace").empty()) {
+      tracer.emplace();
+      tracer->install();
+    }
+
     if (!use_service) {
+      obs::Registry registry;
       codec::Encoder encoder({frames[0].width(), frames[0].height()}, cfg,
                              *estimator);
+      encoder.set_metrics(&registry);
       std::unique_ptr<codec::RateController> rate;
       if (kbps > 0.0) {
         codec::RateController::Config rc;
@@ -331,6 +400,9 @@ int main(int argc, char** argv) {
       wall_seconds = wall.seconds();
       stream = encoder.finish();
       effective_slices = encoder.slices();
+      counter_rows = registry.counter_rows();
+      gauge_rows = registry.gauge_rows();
+      hist_rows = registry.histogram_rows();
     } else {
       // Service mode: N sessions of the same input on one shared pool, one
       // driver thread per session keeping a couple of frames in flight so
@@ -424,6 +496,17 @@ int main(int argc, char** argv) {
       }
       stream = sess[0]->finish();
       effective_slices = sess[0]->encoder().slices();
+      counter_rows = service.metrics().counter_rows();
+      gauge_rows = service.metrics().gauge_rows();
+      hist_rows = service.metrics().histogram_rows();
+      sess.clear();  // sessions drain their pool lanes before the export
+    }
+
+    if (tracer) {
+      // Both encode scopes have closed: every pool is joined, so the rings
+      // are quiescent and the export sees complete spans.
+      obs::Tracer::uninstall();
+      tracer->write_chrome_json_file(parser.get("trace"));
     }
 
     std::ofstream out(parser.get("out"), std::ios::binary | std::ios::trunc);
@@ -444,6 +527,9 @@ int main(int argc, char** argv) {
                   << st.rejected << ", timed out " << st.timed_out
                   << ", failed " << st.failed << ", degraded " << st.degraded
                   << ", peak queue " << st.peak_queue_depth << '\n';
+      }
+      if (parser.get_flag("metrics")) {
+        print_metrics(counter_rows, gauge_rows, hist_rows);
       }
       return 0;
     }
@@ -477,6 +563,7 @@ int main(int argc, char** argv) {
     }
     if (parser.get_flag("summary")) {
       totals.print(encoded);
+      print_stage_table(hist_rows);
       if (service_stats) {
         const codec::ServiceStats& st = *service_stats;
         std::cout << "  service stats: accepted " << st.accepted
@@ -485,6 +572,9 @@ int main(int argc, char** argv) {
                   << ", failed " << st.failed << ", degraded " << st.degraded
                   << ", peak queue " << st.peak_queue_depth << '\n';
       }
+    }
+    if (parser.get_flag("metrics")) {
+      print_metrics(counter_rows, gauge_rows, hist_rows);
     }
     return 0;
   } catch (const video::IoError& e) {

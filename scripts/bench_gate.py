@@ -17,6 +17,11 @@ artifact, and compares it against the checked-in baseline
     (positions_per_mb) are compared directly with a tight tolerance —
     a change there is an algorithmic drift, not noise, and fails the gate
     at any magnitude above the tolerance regardless of timing.
+  * Latency counters — any counter named *_p50_us / *_p99_us, derived from
+    the obs::Registry stage histograms — are gated loosely: normalised by
+    the same machine-speed factor as the wall-clock rows, but with a much
+    wider allowance (--max-latency-regression, default 50%), because
+    percentiles over a handful of frames are noisy on shared runners.
 
 Intentional perf/algorithm changes: re-seed the baseline with
 --update-baseline and commit it, or set ACBM_BENCH_GATE=off in the
@@ -57,6 +62,11 @@ DETERMINISTIC_COUNTERS = {  # relative tolerance per counter
     "completed_frames": 1e-4,
     "shed_frames": 1e-4,
 }
+
+# Stage-latency percentile counters (bench_service derives them from the
+# obs::Registry histograms). Gated as machine-normalised ratios with a wide
+# threshold — see the module docstring.
+LATENCY_COUNTER_SUFFIXES = ("_p50_us", "_p99_us")
 
 
 def load_rows(path):
@@ -102,7 +112,7 @@ def to_ns(bench):
     return float(bench["real_time"]) * scale
 
 
-def gate(current, baseline_rows, max_regression):
+def gate(current, baseline_rows, max_regression, max_latency_regression=0.50):
     cur_rows = {b["name"]: b for b in current["benchmarks"]}
     common = sorted(set(cur_rows) & set(baseline_rows))
     missing = sorted(set(baseline_rows) - set(cur_rows))
@@ -146,6 +156,21 @@ def gate(current, baseline_rows, max_regression):
                     failures.append(
                         f"{name}: deterministic counter {counter} drifted "
                         f"{base} -> {cur}")
+
+        for counter, value in cur_rows[name].items():
+            if not counter.endswith(LATENCY_COUNTER_SUFFIXES):
+                continue
+            if counter not in baseline_rows[name]:
+                continue
+            base = float(baseline_rows[name][counter])
+            if base <= 0:
+                continue  # an empty-histogram baseline cannot form a ratio
+            norm = (float(value) / base) / machine_factor
+            if norm > 1.0 + max_latency_regression:
+                failures.append(
+                    f"{name}: latency counter {counter} {norm:.2f}x the "
+                    f"baseline after normalisation "
+                    f"(limit {1.0 + max_latency_regression:.2f}x)")
     return failures
 
 
@@ -159,6 +184,9 @@ def main():
                         default="bench/baselines/BENCH_baseline.json")
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="allowed normalised slowdown (0.20 = 20%%)")
+    parser.add_argument("--max-latency-regression", type=float, default=0.50,
+                        help="allowed normalised growth of *_p50_us/*_p99_us "
+                             "latency counters (0.50 = 50%%)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="write the merged report as the new baseline "
                              "instead of gating")
@@ -198,7 +226,8 @@ def main():
         return 1
 
     _, baseline_rows = load_rows(args.baseline)
-    failures = gate(merged, baseline_rows, args.max_regression)
+    failures = gate(merged, baseline_rows, args.max_regression,
+                    args.max_latency_regression)
 
     if failures:
         print("\nperf gate failures:")

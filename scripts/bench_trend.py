@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Cross-commit perf trend analytics over stamped BENCH_ci.json artifacts.
+
+scripts/bench_gate.py stamps every merged artifact with context.commit_sha
+and context.timestamp_utc. Point this script at a directory (or explicit
+list) of such artifacts and it renders the perf trajectory:
+
+  * TREND.md — one markdown table per benchmark: rows are commits in
+    timestamp order, columns are the row's wall time plus every numeric
+    counter, so "how did p99_ms move over the last ten commits" is one
+    glance.
+  * sparkline_<metric>.svg — a small SVG sparkline per metric, min/max
+    normalised, first..last commit left to right.
+  * A "flagged moves" section naming the FIRST commit at which each metric
+    moved more than --flag-threshold (default 10%) relative to the previous
+    commit — the bisection starting point for an unexplained drift.
+
+Artifacts without a timestamp stamp are tolerated with a warning and sorted
+before the stamped ones (they predate the stamping convention).
+
+Usage:
+  bench_trend.py --out-dir trend artifacts/
+  bench_trend.py --out-dir trend a/BENCH_ci.json b/BENCH_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+
+def slugify(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_")
+
+
+def discover(paths: list[str]) -> list[str]:
+    """Expands directories to the .json files inside them."""
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, f)
+                for f in sorted(os.listdir(path))
+                if f.endswith(".json")
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def load_artifacts(files: list[str]):
+    """Returns artifacts sorted by (timestamp_utc, commit, filename)."""
+    artifacts = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping {path}: {e}", file=sys.stderr)
+            continue
+        ctx = doc.get("context", {})
+        commit = ctx.get("commit_sha", "")
+        timestamp = ctx.get("timestamp_utc", "")
+        if not commit or not timestamp:
+            print(
+                f"warning: {path} is missing context.commit_sha/"
+                f"timestamp_utc (re-run bench_gate.py with --commit/"
+                f"--stamp-now); sorting it first",
+                file=sys.stderr,
+            )
+        metrics = {}
+        for bench in doc.get("benchmarks", []):
+            if bench.get("run_type", "iteration") != "iteration":
+                continue
+            name = bench["name"]
+            # cpu_time mirrors real_time in our single-iteration reports;
+            # keeping both would double every sparkline.
+            skip = {"name", "run_name", "run_type", "iterations",
+                    "time_unit", "repetitions", "repetition_index",
+                    "threads", "cpu_time", "family_index",
+                    "per_family_instance_index"}
+            for key, value in bench.items():
+                if key in skip or not isinstance(value, (int, float)):
+                    continue
+                metrics[f"{name}/{key}"] = float(value)
+        artifacts.append({
+            "path": path,
+            "commit": commit or "unstamped",
+            "timestamp": timestamp,
+            "metrics": metrics,
+        })
+    artifacts.sort(key=lambda a: (a["timestamp"], a["commit"], a["path"]))
+    return artifacts
+
+
+def metric_series(artifacts):
+    """{metric: [value-or-None per artifact]} over every metric seen."""
+    names = sorted({m for a in artifacts for m in a["metrics"]})
+    return {
+        name: [a["metrics"].get(name) for a in artifacts] for name in names
+    }
+
+
+def flag_moves(series, threshold):
+    """First commit index at which each metric moved > threshold.
+
+    Returns {metric: (index, previous, value)} comparing each artifact to
+    the previous one that actually carried the metric.
+    """
+    flagged = {}
+    for name, values in series.items():
+        prev = None
+        for i, value in enumerate(values):
+            if value is None:
+                continue
+            if prev is not None and abs(prev) > 1e-12:
+                if abs(value - prev) / abs(prev) > threshold:
+                    flagged[name] = (i, prev, value)
+                    break
+            prev = value
+    return flagged
+
+
+def sparkline_svg(values, width=240, height=40, pad=3):
+    """Min/max-normalised polyline; None gaps are skipped."""
+    points = [(i, v) for i, v in enumerate(values) if v is not None]
+    if not points:
+        return None
+    lo = min(v for _, v in points)
+    hi = max(v for _, v in points)
+    span_x = max(len(values) - 1, 1)
+    span_v = hi - lo
+    coords = []
+    for i, v in points:
+        x = pad + (width - 2 * pad) * i / span_x
+        y = (
+            height / 2
+            if span_v == 0
+            else pad + (height - 2 * pad) * (1 - (v - lo) / span_v)
+        )
+        coords.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+        f'<polyline fill="none" stroke="#2a7" stroke-width="1.5" '
+        f'points="{" ".join(coords)}"/></svg>\n'
+    )
+
+
+def short(commit: str) -> str:
+    return commit[:10] if re.fullmatch(r"[0-9a-f]{12,}", commit) else commit
+
+
+def fmt(value) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_markdown(artifacts, series, flagged, out_dir, sparklines):
+    lines = ["# Perf trend", ""]
+    lines.append(
+        f"{len(artifacts)} artifact(s), oldest to newest: "
+        + ", ".join(
+            f"{short(a['commit'])} ({a['timestamp'] or 'unstamped'})"
+            for a in artifacts
+        )
+    )
+    lines.append("")
+
+    if flagged:
+        lines.append("## Flagged moves (>{:.0f}% vs previous commit)".format(
+            100 * FLAG_THRESHOLD[0]))
+        lines.append("")
+        for name in sorted(flagged):
+            i, prev, value = flagged[name]
+            pct = 100.0 * (value - prev) / abs(prev)
+            lines.append(
+                f"- `{name}`: {fmt(prev)} -> {fmt(value)} ({pct:+.1f}%) "
+                f"first at commit {short(artifacts[i]['commit'])}"
+            )
+        lines.append("")
+    else:
+        lines.append("## Flagged moves")
+        lines.append("")
+        lines.append("none — every metric stayed within the threshold")
+        lines.append("")
+
+    by_bench = {}
+    for name in series:
+        bench, _, metric = name.rpartition("/")
+        by_bench.setdefault(bench, []).append((metric, name))
+
+    for bench in sorted(by_bench):
+        columns = by_bench[bench]
+        lines.append(f"## {bench}")
+        lines.append("")
+        header = ["commit"] + [metric for metric, _ in columns]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for i, artifact in enumerate(artifacts):
+            row = [short(artifact["commit"])]
+            for _, full in columns:
+                cell = fmt(series[full][i])
+                if full in flagged and flagged[full][0] == i:
+                    cell = f"**{cell}**"
+                row.append(cell)
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+        for metric, full in columns:
+            svg = sparklines.get(full)
+            if svg:
+                lines.append(f"![{full}]({svg})")
+        lines.append("")
+
+    path = os.path.join(out_dir, "TREND.md")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(lines))
+    return path
+
+
+# Mutable cell so render_markdown can show the threshold without threading
+# it through every call.
+FLAG_THRESHOLD = [0.10]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+",
+                        help="BENCH_ci.json artifacts, or directories of "
+                             "them")
+    parser.add_argument("--out-dir", default="trend",
+                        help="directory for TREND.md and the sparklines")
+    parser.add_argument("--flag-threshold", type=float, default=0.10,
+                        help="relative move vs the previous commit that "
+                             "flags a metric (0.10 = 10%%)")
+    args = parser.parse_args()
+    FLAG_THRESHOLD[0] = args.flag_threshold
+
+    artifacts = load_artifacts(discover(args.inputs))
+    if not artifacts:
+        print("error: no readable artifacts", file=sys.stderr)
+        return 1
+    if len(artifacts) < 2:
+        print("note: only one artifact — tables render but no trend or "
+              "flagging is possible yet")
+
+    series = metric_series(artifacts)
+    flagged = flag_moves(series, args.flag_threshold)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    sparklines = {}
+    for name, values in series.items():
+        svg = sparkline_svg(values)
+        if svg is None:
+            continue
+        filename = f"sparkline_{slugify(name)}.svg"
+        with open(os.path.join(args.out_dir, filename), "w",
+                  encoding="utf-8") as f:
+            f.write(svg)
+        sparklines[name] = filename
+
+    path = render_markdown(artifacts, series, flagged, args.out_dir,
+                           sparklines)
+    print(f"wrote {path} ({len(series)} metrics over {len(artifacts)} "
+          f"artifacts, {len(flagged)} flagged, {len(sparklines)} "
+          f"sparklines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Schema-check a Chrome trace-event JSON file produced by the obs tracer.
+
+Contract (docs/OBSERVABILITY.md): the exporter must only emit traces that
+
+  * are a JSON object with a "traceEvents" list,
+  * carry numeric pid/tid/ts on every non-metadata event,
+  * have non-decreasing timestamps per (pid, tid) in emission order,
+  * balance thread spans: B/E strictly nest per (pid, tid), every B has
+    its E, no E without an open B,
+  * balance async spans: every b has a matching e per (cat, id) and vice
+    versa, pairing chronologically,
+  * give counter events ("C") a numeric args.value,
+  * restrict phases to B/E/b/e/i/C/M.
+
+Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+Exit 0 when every file validates, 1 otherwise (one "file: problem" line per
+violation on stderr).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+ALLOWED_PHASES = {"B", "E", "b", "e", "i", "C", "M"}
+
+
+def validate_events(events) -> list[str]:
+    """Returns a list of violation descriptions (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+
+    last_ts: dict[tuple, float] = {}
+    open_spans: dict[tuple, list[str]] = {}
+    open_async: dict[tuple, int] = {}
+
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ALLOWED_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata: no timestamp ordering contract
+        name = ev.get("name", "?")
+        where = f"event {i} ({ph} {ev.get('cat', '?')}/{name})"
+        pid = ev.get("pid")
+        tid = ev.get("tid")
+        ts = ev.get("ts")
+        if not isinstance(pid, (int, float)) or not isinstance(
+            tid, (int, float)
+        ):
+            problems.append(f"{where}: non-numeric pid/tid")
+            continue
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: non-numeric ts")
+            continue
+        thread = (pid, tid)
+        if ts < last_ts.get(thread, float("-inf")):
+            problems.append(
+                f"{where}: ts {ts} goes backwards on pid={pid} tid={tid} "
+                f"(previous {last_ts[thread]})"
+            )
+        last_ts[thread] = ts
+
+        if ph == "B":
+            open_spans.setdefault(thread, []).append(name)
+        elif ph == "E":
+            stack = open_spans.get(thread, [])
+            if not stack:
+                problems.append(
+                    f"{where}: E with no open span on pid={pid} tid={tid}"
+                )
+            else:
+                stack.pop()
+        elif ph in ("b", "e"):
+            key = (ev.get("cat"), ev.get("id"))
+            if ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                if open_async.get(key, 0) <= 0:
+                    problems.append(
+                        f"{where}: async e with no open b for "
+                        f"cat={key[0]!r} id={key[1]!r}"
+                    )
+                else:
+                    open_async[key] -= 1
+        elif ph == "C":
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                problems.append(f"{where}: counter without numeric args.value")
+
+    for (pid, tid), stack in open_spans.items():
+        if stack:
+            problems.append(
+                f"pid={pid} tid={tid}: {len(stack)} span(s) never closed "
+                f"(innermost {stack[-1]!r})"
+            )
+    for (cat, span_id), count in open_async.items():
+        if count > 0:
+            problems.append(
+                f"async span cat={cat!r} id={span_id!r}: "
+                f"{count} begin(s) never ended"
+            )
+    return problems
+
+
+def validate_file(path: str) -> list[str]:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [str(e)]
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["missing traceEvents object"]
+    return validate_events(doc["traceEvents"])
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    status = 0
+    for path in argv[1:]:
+        problems = validate_file(path)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            with open(path, encoding="utf-8") as f:
+                n = len(json.load(f)["traceEvents"])
+            print(f"{path}: OK ({n} events)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,6 +9,7 @@
 #include "codec/mv_coding.hpp"
 #include "codec/quant.hpp"
 #include "me/types.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace acbm::codec {
@@ -101,6 +102,8 @@ Decoder::Decoder(std::span<const std::uint8_t> data,
 Decoder::~Decoder() = default;
 
 std::optional<video::Frame> Decoder::decode_frame() {
+  const obs::Span span("dec", "frame.decode", /*session=*/-1,
+                       static_cast<std::int32_t>(report_.frames));
   const std::uint64_t concealed_before = report_.concealed_slices;
   std::optional<video::Frame> out =
       config_.conceal == Concealment::kResync && version_ == 2
@@ -374,6 +377,9 @@ void Decoder::decode_slice_payloads(std::vector<SliceEntry>& slices,
   // worker pool they run concurrently and the output is identical either
   // way.
   const auto decode_one = [&](SliceEntry& entry) {
+    const obs::Span span("dec", "slice.decode", /*session=*/-1,
+                         static_cast<std::int32_t>(report_.frames),
+                         entry.first_row);
     util::BitReader br(
         std::span<const std::uint8_t>(data_).subspan(entry.offset,
                                                      entry.bytes));

@@ -11,6 +11,7 @@
 #include "codec/mc.hpp"
 #include "codec/mv_coding.hpp"
 #include "codec/pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "codec/quant.hpp"
 
 namespace acbm::codec {
@@ -114,6 +115,18 @@ Encoder::Encoder(video::PictureSize size, const EncoderConfig& config,
 }
 
 Encoder::~Encoder() = default;
+
+void Encoder::set_metrics(obs::Registry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    stage_metrics_ = StageMetrics{};
+    return;
+  }
+  stage_metrics_.me = &registry->histogram("enc.stage.me");
+  stage_metrics_.plan = &registry->histogram("enc.stage.plan");
+  stage_metrics_.entropy = &registry->histogram("enc.stage.entropy");
+  stage_metrics_.frame_wall = &registry->histogram("enc.frame.wall");
+}
 
 void Encoder::write_sequence_header() {
   // Single-slice streams keep the ACV1 magic (and stay byte-identical to

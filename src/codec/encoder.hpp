@@ -56,6 +56,11 @@ class FaultInjector;
 class ThreadPool;
 }
 
+namespace acbm::obs {
+class Histogram;
+class Registry;
+}
+
 namespace acbm::codec {
 
 /// Magic and sync constants of the ACV1 bitstream.
@@ -252,6 +257,18 @@ class Encoder {
     fault_ = injector;
     fault_lane_ = lane;
   }
+
+  /// Installs the metrics registry the pipeline records stage latencies
+  /// into ("enc.stage.me/plan/entropy", "enc.frame.wall" histograms, in
+  /// nanoseconds). Null disarms. The registry must outlive the encoder.
+  /// The per-frame FrameReport stage timers keep being filled either way —
+  /// they are now thin per-frame reads of the same measurements the
+  /// histograms aggregate.
+  void set_metrics(obs::Registry* registry);
+
+  /// Session id stamped into this encoder's trace spans and async
+  /// submit→resolve ids (obs::Span `session` arg). Defaults to 0.
+  void set_trace_session(std::uint64_t id) { trace_session_ = id; }
 
   /// Installs the overload (degraded) estimator: frames admitted with
   /// SubmitOptions::degrade_on_overload past the queue limit run their
@@ -456,6 +473,18 @@ class Encoder {
   ServiceStatsSink* stats_sink_ = nullptr;
   const util::FaultInjector* fault_ = nullptr;
   std::uint64_t fault_lane_ = 0;
+  // Observability wiring (obs/): stage-latency histograms cached off the
+  // registry at set_metrics time so the hot path never does a name lookup,
+  // and the session id trace spans are tagged with. All optional.
+  struct StageMetrics {
+    obs::Histogram* me = nullptr;
+    obs::Histogram* plan = nullptr;
+    obs::Histogram* entropy = nullptr;
+    obs::Histogram* frame_wall = nullptr;
+  };
+  obs::Registry* metrics_ = nullptr;
+  StageMetrics stage_metrics_;
+  std::uint64_t trace_session_ = 0;
   std::unique_ptr<me::MotionEstimator> degraded_estimator_;
   std::unique_ptr<EncoderPipeline> pipeline_;  ///< constructed with *this
 };

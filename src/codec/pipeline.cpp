@@ -10,6 +10,8 @@
 #include "codec/deblock.hpp"
 #include "codec/service_stats.hpp"
 #include "me/sad.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault_injector.hpp"
 #include "video/psnr.hpp"
 
@@ -22,6 +24,14 @@ std::exception_ptr session_error(SessionErrorClass cls, std::uint64_t seq,
                                  const char* site, const std::string& detail) {
   return std::make_exception_ptr(SessionError(cls, seq, site, detail));
 }
+
+std::int32_t trace_arg(std::uint64_t v) { return static_cast<std::int32_t>(v); }
+
+void record_latency(obs::Histogram* hist, double seconds) {
+  if (hist != nullptr) {
+    hist->record(static_cast<std::uint64_t>(seconds * 1e9));
+  }
+}
 }  // namespace
 
 void EncoderPipeline::FrameJob::resolve() {
@@ -29,6 +39,9 @@ void EncoderPipeline::FrameJob::resolve() {
     return;
   }
   resolved = true;
+  if (trace_id != 0) {
+    obs::async_end("svc", "frame", trace_id);
+  }
   if (error != nullptr) {
     // Move the job's reference into the shared state so the last release of
     // the exception object happens on the consumer side (future::get /
@@ -135,6 +148,7 @@ FrameReport EncoderPipeline::encode_frame(const video::Frame& src) {
   run_front(src, frame, report, /*degraded=*/false);
   run_back(src, frame, report, nullptr);
   report.frame_wall_seconds = wall.seconds();
+  record_latency(enc_.stage_metrics_.frame_wall, report.frame_wall_seconds);
   return report;
 }
 
@@ -190,10 +204,14 @@ std::optional<std::future<EncodedFrame>> EncoderPipeline::enqueue(
           // Degradation ladder: admit anyway, but flag the frame for the
           // cheaper estimator instead of shedding it.
           job->degraded = true;
+          obs::instant("svc", "degrade", trace_arg(enc_.trace_session_),
+                       trace_arg(seq));
           if (stats != nullptr) {
             stats->add_degraded();
           }
         } else {
+          obs::instant("svc", "shed.overload", trace_arg(enc_.trace_session_),
+                       trace_arg(seq));
           if (stats != nullptr) {
             stats->add_rejected();
           }
@@ -211,6 +229,12 @@ std::optional<std::future<EncodedFrame>> EncoderPipeline::enqueue(
           stats->add_accepted();
           stats->note_queue_depth(pending + 1);
         }
+        // Async submit→resolve span: id unique across sessions (the +1 on
+        // the session keeps the id non-zero, resolve()'s disarmed marker).
+        job->trace_id =
+            ((enc_.trace_session_ + 1) << 32) | (seq & 0xffffffffu);
+        obs::async_begin("svc", "frame", job->trace_id,
+                         trace_arg(enc_.trace_session_), trace_arg(seq));
         jobs_.push_back(std::move(job));
         pump_locked(reap);
       }
@@ -257,6 +281,8 @@ void EncoderPipeline::pump_locked(Reap& reap) {
       try {
         run_back(job->src, job->index, job->out.report, &job->out.bytes);
         job->out.report.frame_wall_seconds = job->wall.seconds();
+        record_latency(enc_.stage_metrics_.frame_wall,
+                       job->out.report.frame_wall_seconds);
       } catch (...) {
         error = std::current_exception();
         release_back_waiters();
@@ -286,6 +312,8 @@ void EncoderPipeline::pump_locked(Reap& reap) {
         job->error =
             session_error(SessionErrorClass::kTimeout, job->submit_seq,
                           "dispatch", "deadline expired before dispatch");
+        obs::instant("svc", "shed.timeout", trace_arg(enc_.trace_session_),
+                     trace_arg(job->submit_seq));
         if (stats != nullptr) {
           stats->add_timed_out();
         }
@@ -436,6 +464,9 @@ void EncoderPipeline::release_back_waiters() {
 void EncoderPipeline::run_front(const video::Frame& src, std::uint64_t f,
                                 FrameReport& report, bool degraded) {
   Encoder& e = enc_;
+  const std::int32_t tsess = trace_arg(e.trace_session_);
+  const std::int32_t tframe = trace_arg(f);
+  obs::Span frame_span("enc", "frame.front", tsess, tframe);
   const bool intra_frame = is_intra(f);
   report.intra = intra_frame;
 
@@ -462,19 +493,28 @@ void EncoderPipeline::run_front(const video::Frame& src, std::uint64_t f,
         f > 0 ? ((f - 1) >> 1) * static_cast<std::uint64_t>(e.mbs_y()) : 0;
 
     util::Timer me_timer;
-    motion_stage(src, report);
+    {
+      obs::Span me_span("enc", "stage.me", tsess, tframe);
+      motion_stage(src, report);
+    }
     report.me_stage_seconds = me_timer.seconds();
+    record_latency(e.stage_metrics_.me, report.me_stage_seconds);
+    obs::Span mode_span("enc", "stage.mode", tsess, tframe);
     mode_stage(src);
   }
   report.me_field_smoothness = e.me_field_->smoothness_l1();
 
   util::Timer plan_timer;
-  // No gate needed here even though plans read the reference: the ME
-  // wavefront's last row always waits for the complete reference (its
-  // search window extends past the picture bottom into the replicated
-  // border — see rows_needed), and intra-frame plans read no reference.
-  plan_stage(src, intra_frame);
+  {
+    obs::Span plan_span("enc", "stage.plan", tsess, tframe);
+    // No gate needed here even though plans read the reference: the ME
+    // wavefront's last row always waits for the complete reference (its
+    // search window extends past the picture bottom into the replicated
+    // border — see rows_needed), and intra-frame plans read no reference.
+    plan_stage(src, intra_frame);
+  }
   report.plan_stage_seconds = plan_timer.seconds();
+  record_latency(e.stage_metrics_.plan, report.plan_stage_seconds);
 }
 
 // ----------------------------------------------------------- back half (3)
@@ -483,11 +523,15 @@ void EncoderPipeline::run_back(const video::Frame& src, std::uint64_t f,
                                FrameReport& report,
                                std::vector<std::uint8_t>* bytes_out) {
   Encoder& e = enc_;
+  const std::int32_t tsess = trace_arg(e.trace_session_);
+  const std::int32_t tframe = trace_arg(f);
+  obs::Span frame_span("enc", "frame.back", tsess, tframe);
   const bool intra_frame = is_intra(f);
   // Parity and counter base first, before anything that can throw:
   // release_back_waiters reads them to unwedge the next frame's gated ME
   // rows if this back fails.
   back_parity_ = pipelined() ? static_cast<int>(f & 1) : 0;
+  back_frame_ = f;
   back_base_ = (f >> 1) * static_cast<std::uint64_t>(e.mbs_y());
   // In-loop deblocking rewrites rows after entropy coding, so rows are only
   // final per-frame; without it each reconstructed row is final the moment
@@ -517,8 +561,12 @@ void EncoderPipeline::run_back(const video::Frame& src, std::uint64_t f,
   counters.header = e.writer_.bit_count() - frame_start_bits;
 
   util::Timer entropy_timer;
-  entropy_stage(intra_frame, counters, report);
+  {
+    obs::Span entropy_span("enc", "stage.entropy", tsess, tframe);
+    entropy_stage(intra_frame, counters, report);
+  }
   report.entropy_stage_seconds = entropy_timer.seconds();
+  record_latency(e.stage_metrics_.entropy, report.entropy_stage_seconds);
 
   e.writer_.align();
 
@@ -665,13 +713,17 @@ void EncoderPipeline::motion_stage_wavefront(const video::Frame& src) {
     // below cannot deadlock.
     submit_stage_task(front_group_, [this, &src, &progress, by, mbs_x,
                                      &results, &stage_workers, &e] {
+      const std::int32_t tsess = trace_arg(e.trace_session_);
+      const std::int32_t tframe = trace_arg(front_frame_);
       // Cross-frame gate first: park until the previous frame's entropy
       // stage has published every reference row this row's search window
       // can touch. The publisher (the back task, dispatched earlier on this
       // lane) never parks on this frame, so the wait always resolves.
       if (front_gate_ != nullptr) {
+        obs::Span wait_span("enc", "wait.ref_rows", tsess, tframe, by);
         front_gate_->wait_for(front_wait_base_ + rows_needed(by));
       }
+      obs::Span row_span("enc", "me.row", tsess, tframe, by);
       const int worker = util::ThreadPool::worker_index();
       assert(worker >= 0 && worker < static_cast<int>(stage_workers.size()));
       me::MotionEstimator& estimator =
@@ -844,6 +896,8 @@ void EncoderPipeline::entropy_slice(bool intra_frame,
                                     Encoder::SliceState& slice, int row_begin,
                                     int row_end) {
   Encoder& e = enc_;
+  obs::Span span("enc", "entropy.slice", trace_arg(e.trace_session_),
+                 trace_arg(back_frame_), row_begin);
   const std::vector<Encoder::MbPlan>& plans = plans_[back_parity_];
   // Same stride source as the stages that filled me_results_/plans_.
   const int mbs_x = e.mbs_x();

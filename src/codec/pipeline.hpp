@@ -213,6 +213,10 @@ class EncoderPipeline {
     video::Frame src;
     std::uint64_t submit_seq = 0;  ///< submission number (error identity)
     std::uint64_t index = 0;       ///< encode index, set at front dispatch
+    /// Non-zero once admitted: the obs async-span id pairing this frame's
+    /// submit (async_begin at admission) with its resolution (async_end in
+    /// resolve()) — the submit→resolve latency band in a trace.
+    std::uint64_t trace_id = 0;
     Stage stage = Stage::kPending;
     bool degraded = false;  ///< encode with the degraded estimator
     std::optional<std::chrono::steady_clock::time_point> deadline;
@@ -358,6 +362,7 @@ class EncoderPipeline {
 
   // --- back-half state, owned by the (single) in-flight back task ---
   int back_parity_ = 0;
+  std::uint64_t back_frame_ = 0;  ///< frame index (trace span tagging)
   bool row_publish_ = false;     ///< row-granular publication this frame
   std::uint64_t back_base_ = 0;  ///< counter value where this frame starts
   std::mutex publish_mutex_;     ///< guards row_done_/row_prefix_

@@ -92,6 +92,8 @@ EncodeSession::EncodeSession(EncoderService& service, video::PictureSize size,
   encoder_ =
       std::make_unique<Encoder>(size, config, *estimator_, service.pool());
   encoder_->set_stats_sink(&service.stats_sink());
+  encoder_->set_metrics(&service.metrics());
+  encoder_->set_trace_session(id_);
   if (service.fault_ != nullptr) {
     encoder_->set_fault_injector(service.fault_, id_);
   }

@@ -43,6 +43,7 @@
 #include "codec/service_stats.hpp"
 #include "codec/session_error.hpp"
 #include "me/estimator.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "video/frame.hpp"
 
@@ -204,6 +205,13 @@ class EncoderService {
   /// The shared mutable counter block (sessions bump it; benches snapshot).
   [[nodiscard]] ServiceStatsSink& stats_sink() { return stats_sink_; }
 
+  /// The service-wide metrics registry: "svc.*" health counters (the
+  /// ServiceStatsSink storage) plus the "enc.stage.*" / "enc.frame.*"
+  /// latency histograms every session's pipeline records into. Snapshot
+  /// with counter_rows()/histogram_rows() for reporting.
+  [[nodiscard]] obs::Registry& metrics() { return registry_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return registry_; }
+
   /// The underlying pool (sessions bind their pipeline lane to it).
   [[nodiscard]] util::ThreadPool& pool() { return pool_; }
 
@@ -214,7 +222,8 @@ class EncoderService {
   }
 
   util::ThreadPool pool_;
-  ServiceStatsSink stats_sink_;
+  obs::Registry registry_;  ///< declared before the sink that binds into it
+  ServiceStatsSink stats_sink_{registry_};
   const util::FaultInjector* fault_ = nullptr;
   std::atomic<std::uint64_t> next_session_id_{0};
 };

@@ -1,11 +1,16 @@
 #pragma once
 // Health accounting for the encoding service.
 //
-// ServiceStatsSink is the hot-path half: a handful of relaxed atomics the
+// ServiceStatsSink is the hot-path half: a handful of relaxed counters the
 // pipeline bumps at admission/resolution points (no lock, no ordering
 // requirements — the counters are monotone and only read as a snapshot).
-// ServiceStats is the cold snapshot handed to callers: acbm_enc --summary
-// prints it, bench_service emits it as deterministic gateable counters.
+// Since PR 10 the storage lives in an obs::Registry under "svc.*" names, so
+// the same numbers surface through the unified metrics layer (acbm_enc
+// --metrics, bench_service counters) without a second accounting path; a
+// sink constructed standalone owns a private registry so existing call
+// sites keep working unchanged. ServiceStats is the cold snapshot handed to
+// callers: acbm_enc --summary prints it, bench_service emits it as
+// deterministic gateable counters.
 //
 // The counters form a conservation law a healthy run must satisfy:
 //   accepted == completed + timed_out + failed        (once drained)
@@ -13,9 +18,10 @@
 // submit with kOverloaded). degraded counts frames that were accepted but
 // encoded with the overload estimator, so degraded <= accepted.
 
-#include <algorithm>
-#include <atomic>
 #include <cstdint>
+#include <memory>
+
+#include "obs/metrics.hpp"
 
 namespace acbm::codec {
 
@@ -35,41 +41,60 @@ struct ServiceStats {
 /// across sessions.
 class ServiceStatsSink {
  public:
-  void add_accepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
-  void add_completed() { completed_.fetch_add(1, std::memory_order_relaxed); }
-  void add_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
-  void add_timed_out() { timed_out_.fetch_add(1, std::memory_order_relaxed); }
-  void add_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
-  void add_degraded() { degraded_.fetch_add(1, std::memory_order_relaxed); }
+  /// Standalone sink backed by a private registry (tests, ad-hoc use).
+  ServiceStatsSink() : owned_(std::make_unique<obs::Registry>()) {
+    bind(*owned_);
+  }
+  /// Sink whose counters live in (and are reported through) `registry`.
+  /// The registry must outlive the sink.
+  explicit ServiceStatsSink(obs::Registry& registry) { bind(registry); }
+
+  ServiceStatsSink(const ServiceStatsSink&) = delete;
+  ServiceStatsSink& operator=(const ServiceStatsSink&) = delete;
+
+  void add_accepted() { accepted_->add(); }
+  void add_completed() { completed_->add(); }
+  void add_rejected() { rejected_->add(); }
+  void add_timed_out() { timed_out_->add(); }
+  void add_failed() { failed_->add(); }
+  void add_degraded() { degraded_->add(); }
 
   /// Running max of the per-session admission queue depth.
   void note_queue_depth(std::uint64_t depth) {
-    std::uint64_t seen = peak_queue_depth_.load(std::memory_order_relaxed);
-    while (depth > seen && !peak_queue_depth_.compare_exchange_weak(
-                               seen, depth, std::memory_order_relaxed)) {
-    }
+    peak_queue_depth_->note_max(depth);
   }
 
   [[nodiscard]] ServiceStats snapshot() const {
     ServiceStats s;
-    s.accepted = accepted_.load(std::memory_order_relaxed);
-    s.completed = completed_.load(std::memory_order_relaxed);
-    s.rejected = rejected_.load(std::memory_order_relaxed);
-    s.timed_out = timed_out_.load(std::memory_order_relaxed);
-    s.failed = failed_.load(std::memory_order_relaxed);
-    s.degraded = degraded_.load(std::memory_order_relaxed);
-    s.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+    s.accepted = accepted_->value();
+    s.completed = completed_->value();
+    s.rejected = rejected_->value();
+    s.timed_out = timed_out_->value();
+    s.failed = failed_->value();
+    s.degraded = degraded_->value();
+    s.peak_queue_depth = peak_queue_depth_->value();
     return s;
   }
 
  private:
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> timed_out_{0};
-  std::atomic<std::uint64_t> failed_{0};
-  std::atomic<std::uint64_t> degraded_{0};
-  std::atomic<std::uint64_t> peak_queue_depth_{0};
+  void bind(obs::Registry& registry) {
+    accepted_ = &registry.counter("svc.accepted");
+    completed_ = &registry.counter("svc.completed");
+    rejected_ = &registry.counter("svc.rejected");
+    timed_out_ = &registry.counter("svc.timed_out");
+    failed_ = &registry.counter("svc.failed");
+    degraded_ = &registry.counter("svc.degraded");
+    peak_queue_depth_ = &registry.gauge("svc.peak_queue_depth");
+  }
+
+  std::unique_ptr<obs::Registry> owned_;  // only for the default constructor
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* timed_out_ = nullptr;
+  obs::Counter* failed_ = nullptr;
+  obs::Counter* degraded_ = nullptr;
+  obs::Gauge* peak_queue_depth_ = nullptr;
 };
 
 }  // namespace acbm::codec

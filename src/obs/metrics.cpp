@@ -1,0 +1,112 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+namespace acbm::obs {
+
+std::size_t Histogram::bucket_index(std::uint64_t v) {
+  if (v < (std::uint64_t{1} << kSubBits)) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBits;
+  const std::uint64_t sub = (v >> shift) & ((std::uint64_t{1} << kSubBits) - 1);
+  return static_cast<std::size_t>(
+      ((static_cast<std::size_t>(msb - kSubBits) + 1) << kSubBits) + sub);
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t index) {
+  const std::size_t octave = index >> kSubBits;
+  const std::size_t sub = index & ((std::size_t{1} << kSubBits) - 1);
+  if (octave <= 1) return static_cast<std::uint64_t>(index);
+  const int msb = static_cast<int>(octave) + kSubBits - 1;
+  return (std::uint64_t{1} << msb) +
+         (static_cast<std::uint64_t>(sub) << (msb - kSubBits));
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(clamped / 100.0 * static_cast<double>(n)));
+  rank = std::min(std::max<std::uint64_t>(rank, 1), n);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return bucket_lower(i);
+  }
+  return max_value();
+}
+
+namespace {
+
+template <typename T, typename Storage, typename Index>
+T& lookup_or_create(std::mutex& mutex, Storage& storage, Index& index,
+                    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = index.find(name);
+  if (it != index.end()) return *it->second;
+  storage.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                       std::forward_as_tuple());
+  T* created = &storage.back().second;
+  index.emplace(name, created);
+  return *created;
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  return lookup_or_create<Counter>(mutex_, counters_, counter_index_, name);
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return lookup_or_create<Gauge>(mutex_, gauges_, gauge_index_, name);
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  return lookup_or_create<Histogram>(mutex_, histograms_, histogram_index_,
+                                     name);
+}
+
+std::vector<Registry::CounterRow> Registry::counter_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterRow> rows;
+  rows.reserve(counter_index_.size());
+  for (const auto& [name, counter] : counter_index_) {
+    rows.push_back({name, counter->value()});
+  }
+  return rows;
+}
+
+std::vector<Registry::GaugeRow> Registry::gauge_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugeRow> rows;
+  rows.reserve(gauge_index_.size());
+  for (const auto& [name, gauge] : gauge_index_) {
+    rows.push_back({name, gauge->value()});
+  }
+  return rows;
+}
+
+std::vector<Registry::HistogramRow> Registry::histogram_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramRow> rows;
+  rows.reserve(histogram_index_.size());
+  for (const auto& [name, hist] : histogram_index_) {
+    HistogramRow row;
+    row.name = name;
+    row.count = hist->count();
+    row.p50_ns = hist->percentile(50.0);
+    row.p95_ns = hist->percentile(95.0);
+    row.p99_ns = hist->percentile(99.0);
+    row.max_ns = hist->max_value();
+    row.mean_ns = hist->mean();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace acbm::obs

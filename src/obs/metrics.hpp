@@ -1,0 +1,146 @@
+#pragma once
+// Metrics registry: named counters, max-gauges, and fixed-bucket latency
+// histograms with p50/p95/p99 extraction.
+//
+// Hot-path contract: registration (Registry::counter/gauge/histogram) takes
+// a mutex and may allocate; callers cache the returned reference once, after
+// which every update is a relaxed atomic op with zero allocation. Returned
+// references stay valid for the registry's lifetime (deque-backed storage —
+// atomics never move).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace acbm::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Running-maximum gauge (e.g. peak queue depth).
+class Gauge {
+ public:
+  void note_max(std::uint64_t v) {
+    std::uint64_t seen = value_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !value_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Log-spaced latency histogram over nanosecond values (HDR-style): each
+// power-of-two octave splits into 2^kSubBits sub-buckets, so any recorded
+// value lands in a bucket whose lower edge is within ~12.5% of it. Values
+// 0..15 are exact. Recording is a single relaxed fetch_add; percentiles are
+// nearest-rank over the bucket counts and return the bucket's lower edge,
+// which makes them exactly reproducible from a sorted list of quantized
+// samples (tests/obs_test.cpp holds this property).
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;
+  static constexpr std::size_t kBuckets = 496;  // covers the full u64 range
+
+  void record(std::uint64_t value_ns) {
+    buckets_[bucket_index(value_ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value_ns, std::memory_order_relaxed);
+    max_.note_max(value_ns);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_value() const { return max_.value(); }
+  [[nodiscard]] double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  // Nearest-rank percentile (p in [0,100]), reported as the lower edge of
+  // the bucket holding the rank'th smallest sample. 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v);
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t index);
+  // The value a recorded sample is reported as — reference for exactness
+  // tests.
+  [[nodiscard]] static std::uint64_t quantize(std::uint64_t v) {
+    return bucket_lower(bucket_index(v));
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  Gauge max_;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p95_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t max_ns = 0;
+    double mean_ns = 0.0;
+  };
+
+  // Snapshots sorted by name; values are relaxed reads, coherent enough for
+  // reporting (exact once writers have quiesced).
+  [[nodiscard]] std::vector<CounterRow> counter_rows() const;
+  [[nodiscard]] std::vector<GaugeRow> gauge_rows() const;
+  [[nodiscard]] std::vector<HistogramRow> histogram_rows() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+  std::map<std::string, Counter*> counter_index_;
+  std::map<std::string, Gauge*> gauge_index_;
+  std::map<std::string, Histogram*> histogram_index_;
+};
+
+}  // namespace acbm::obs

@@ -1,0 +1,305 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace acbm::obs {
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Thread-local (tracer, log) cache: one pointer compare on the hot path,
+// re-registration under the tracer mutex only when a new tracer appears.
+struct ThreadCache {
+  const void* owner = nullptr;
+  void* log = nullptr;
+};
+thread_local ThreadCache tls_cache;
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+struct ExportEvent {
+  Event ev;
+  int tid = 0;
+  std::uint64_t seq = 0;  // per-thread record index; preserves log order
+  bool emit = true;
+};
+
+void append_args(std::string& out, const Event& ev) {
+  out += "\"args\":{";
+  bool first = true;
+  auto field = [&](const char* key, std::int64_t value) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+  };
+  if (ev.session >= 0) field("session", ev.session);
+  if (ev.frame >= 0) field("frame", ev.frame);
+  if (ev.row >= 0) field("row", ev.row);
+  out += '}';
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t events_per_thread)
+    : capacity_(round_up_pow2(std::max<std::size_t>(events_per_thread, 8))) {}
+
+Tracer::~Tracer() {
+  if (current() == this) uninstall();
+}
+
+void Tracer::install() { g_current.store(this, std::memory_order_release); }
+
+void Tracer::uninstall() { g_current.store(nullptr, std::memory_order_release); }
+
+std::int64_t Tracer::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer::ThreadLog& Tracer::log_for_current_thread() {
+  if (tls_cache.owner != this) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    logs_.push_back(std::make_unique<ThreadLog>(capacity_));
+    logs_.back()->tid = static_cast<int>(logs_.size());
+    tls_cache.owner = this;
+    tls_cache.log = logs_.back().get();
+  }
+  return *static_cast<ThreadLog*>(tls_cache.log);
+}
+
+void Tracer::record(Phase phase, const char* category, const char* name,
+                    std::int32_t session, std::int32_t frame, std::int32_t row,
+                    std::uint64_t id) {
+  ThreadLog& log = log_for_current_thread();
+  const std::uint64_t n = log.count.load(std::memory_order_relaxed);
+  Event& slot = log.events[n & (capacity_ - 1)];
+  slot.ts_ns = now_ns();
+  slot.category = category;
+  slot.name = name;
+  slot.session = session;
+  slot.frame = frame;
+  slot.row = row;
+  slot.phase = phase;
+  slot.id = id;
+  log.count.store(n + 1, std::memory_order_release);
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& log : logs_) {
+    const std::uint64_t n = log->count.load(std::memory_order_acquire);
+    if (n > capacity_) total += n - capacity_;
+  }
+  return total;
+}
+
+std::size_t Tracer::thread_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return logs_.size();
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  std::vector<ExportEvent> events;
+  std::vector<int> tids;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& log : logs_) {
+      tids.push_back(log->tid);
+      const std::uint64_t count = log->count.load(std::memory_order_acquire);
+      const std::uint64_t first = count > capacity_ ? count - capacity_ : 0;
+      for (std::uint64_t k = first; k < count; ++k) {
+        ExportEvent ee;
+        ee.ev = log->events[k & (capacity_ - 1)];
+        ee.tid = log->tid;
+        ee.seq = k;
+        events.push_back(ee);
+      }
+    }
+  }
+
+  // Drop orphans so every emitted B has its E and every b its e.
+  // Thread spans pair in per-thread log order (a stack per tid) …
+  {
+    std::map<int, std::vector<ExportEvent*>> open;
+    std::stable_sort(events.begin(), events.end(),
+                     [](const ExportEvent& a, const ExportEvent& b) {
+                       return a.tid != b.tid ? a.tid < b.tid : a.seq < b.seq;
+                     });
+    for (ExportEvent& ee : events) {
+      if (ee.ev.phase == Phase::kBegin) {
+        open[ee.tid].push_back(&ee);
+      } else if (ee.ev.phase == Phase::kEnd) {
+        auto& stack = open[ee.tid];
+        if (stack.empty()) {
+          ee.emit = false;  // begin lost to ring wrap
+        } else {
+          stack.pop_back();
+        }
+      }
+    }
+    for (auto& [tid, stack] : open) {
+      for (ExportEvent* ee : stack) ee->emit = false;  // still open at export
+    }
+  }
+  // … async spans pair chronologically by (category, id) across threads.
+  {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const ExportEvent& a, const ExportEvent& b) {
+                       if (a.ev.ts_ns != b.ev.ts_ns) return a.ev.ts_ns < b.ev.ts_ns;
+                       if (a.tid != b.tid) return a.tid < b.tid;
+                       return a.seq < b.seq;
+                     });
+    std::map<std::pair<const char*, std::uint64_t>, std::deque<ExportEvent*>>
+        open;
+    for (ExportEvent& ee : events) {
+      if (ee.ev.phase == Phase::kAsyncBegin) {
+        open[{ee.ev.category, ee.ev.id}].push_back(&ee);
+      } else if (ee.ev.phase == Phase::kAsyncEnd) {
+        auto& queue = open[{ee.ev.category, ee.ev.id}];
+        if (queue.empty()) {
+          ee.emit = false;
+        } else {
+          queue.pop_front();
+        }
+      }
+    }
+    for (auto& [key, queue] : open) {
+      for (ExportEvent* ee : queue) ee->emit = false;
+    }
+  }
+
+  std::int64_t base_ts = 0;
+  for (const ExportEvent& ee : events) {
+    if (ee.emit && (base_ts == 0 || ee.ev.ts_ns < base_ts)) base_ts = ee.ev.ts_ns;
+  }
+
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto emit_line = [&](const std::string& line) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += line;
+  };
+
+  std::sort(tids.begin(), tids.end());
+  for (int tid : tids) {
+    std::string line = "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+                       ",\"ts\":0,\"name\":\"thread_name\",\"args\":{\"name\":"
+                       "\"thread-" +
+                       std::to_string(tid) + "\"}}";
+    emit_line(line);
+  }
+
+  char ts_buf[32];
+  for (const ExportEvent& ee : events) {
+    if (!ee.emit) continue;
+    const Event& ev = ee.ev;
+    std::snprintf(ts_buf, sizeof(ts_buf), "%.3f",
+                  static_cast<double>(ev.ts_ns - base_ts) / 1000.0);
+    std::string line = "{\"pid\":1,\"tid\":" + std::to_string(ee.tid) +
+                       ",\"ts\":" + ts_buf;
+    auto add_names = [&]() {
+      line += ",\"cat\":\"";
+      append_escaped(line, ev.category != nullptr ? ev.category : "");
+      line += "\",\"name\":\"";
+      append_escaped(line, ev.name != nullptr ? ev.name : "");
+      line += '"';
+    };
+    switch (ev.phase) {
+      case Phase::kBegin:
+        line += ",\"ph\":\"B\"";
+        add_names();
+        line += ',';
+        append_args(line, ev);
+        break;
+      case Phase::kEnd:
+        line += ",\"ph\":\"E\"";
+        break;
+      case Phase::kAsyncBegin:
+      case Phase::kAsyncEnd: {
+        line += ev.phase == Phase::kAsyncBegin ? ",\"ph\":\"b\"" : ",\"ph\":\"e\"";
+        add_names();
+        char id_buf[32];
+        std::snprintf(id_buf, sizeof(id_buf), "0x%" PRIx64, ev.id);
+        line += ",\"id\":\"";
+        line += id_buf;
+        line += "\",";
+        append_args(line, ev);
+        break;
+      }
+      case Phase::kInstant:
+        line += ",\"ph\":\"i\",\"s\":\"t\"";
+        add_names();
+        line += ',';
+        append_args(line, ev);
+        break;
+      case Phase::kCounter: {
+        line += ",\"ph\":\"C\",\"name\":\"";
+        append_escaped(line, ev.name != nullptr ? ev.name : "");
+        if (ev.row >= 0) {
+          line += '.';
+          line += std::to_string(ev.row);
+        }
+        line += "\",\"args\":{\"value\":" + std::to_string(ev.id) + '}';
+        break;
+      }
+    }
+    line += '}';
+    emit_line(line);
+  }
+  out += "\n]}\n";
+  os << out;
+}
+
+void Tracer::write_chrome_json_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("obs: cannot open trace output: " + path);
+  }
+  write_chrome_json(os);
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("obs: failed writing trace output: " + path);
+  }
+}
+
+}  // namespace acbm::obs

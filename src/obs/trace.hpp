@@ -1,0 +1,167 @@
+#pragma once
+// Span tracer: per-thread lock-free ring buffers of begin/end events,
+// exported as Chrome trace-event JSON (loads in Perfetto / chrome://tracing).
+//
+// Design contract (docs/OBSERVABILITY.md):
+//  - Disarmed (no tracer installed) every probe is one relaxed atomic load
+//    and a branch on nullptr — cheap enough to leave compiled into release
+//    hot paths, and incapable of changing encoded bytes.
+//  - Armed, each thread appends to its own fixed-capacity ring buffer with
+//    a single-writer monotonic index; no locks, no allocation after the
+//    thread's first event. When a ring wraps, the oldest events are
+//    overwritten and counted in dropped().
+//  - Export is quiescent-reader: call write_chrome_json() only after the
+//    recording threads have drained (pools parked or destroyed). Category
+//    and name must be string literals (or otherwise outlive the tracer) —
+//    the ring stores the pointers, not copies.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace acbm::obs {
+
+enum class Phase : std::uint8_t {
+  kBegin,       // span open ("B")
+  kEnd,         // span close ("E")
+  kAsyncBegin,  // async span open ("b"), paired across threads by id
+  kAsyncEnd,    // async span close ("e")
+  kInstant,     // point event ("i")
+  kCounter,     // sampled value ("C"); row = lane, id = value
+};
+
+struct Event {
+  std::int64_t ts_ns = 0;
+  const char* category = nullptr;
+  const char* name = nullptr;
+  std::int32_t session = -1;  // -1 = absent
+  std::int32_t frame = -1;
+  std::int32_t row = -1;
+  Phase phase = Phase::kInstant;
+  std::uint64_t id = 0;  // async pair id, or counter value
+};
+
+class Tracer {
+ public:
+  // events_per_thread is rounded up to a power of two; each slot is
+  // sizeof(Event) bytes, so the default keeps a thread's ring ~1.5 MiB.
+  explicit Tracer(std::size_t events_per_thread = std::size_t{1} << 15);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Makes this tracer the process-wide recording target. Only one tracer
+  // is armed at a time; installing replaces the previous one.
+  void install();
+  static void uninstall();
+
+  [[nodiscard]] static Tracer* current() {
+    return g_current.load(std::memory_order_relaxed);
+  }
+
+  void record(Phase phase, const char* category, const char* name,
+              std::int32_t session = -1, std::int32_t frame = -1,
+              std::int32_t row = -1, std::uint64_t id = 0);
+
+  [[nodiscard]] static std::int64_t now_ns();
+
+  // Chrome trace-event JSON ({"traceEvents":[...]}). Orphaned events —
+  // an E whose B was overwritten by ring wrap, a span still open at
+  // export, an async b/e without its partner — are dropped so the output
+  // always satisfies scripts/validate_trace.py's matched-pairs contract.
+  void write_chrome_json(std::ostream& os) const;
+  void write_chrome_json_file(const std::string& path) const;
+
+  // Events lost to ring wrap, summed over threads.
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t thread_count() const;
+
+ private:
+  struct ThreadLog {
+    explicit ThreadLog(std::size_t capacity) : events(capacity) {}
+    std::vector<Event> events;
+    std::atomic<std::uint64_t> count{0};  // writer releases, exporter acquires
+    int tid = 0;
+  };
+
+  ThreadLog& log_for_current_thread();
+
+  static inline std::atomic<Tracer*> g_current{nullptr};
+
+  const std::size_t capacity_;  // power of two
+  mutable std::mutex mutex_;    // guards logs_ (registration + export walk)
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+};
+
+// RAII thread span. Caches the tracer observed at construction so the end
+// event always pairs with its begin on the same tracer, even if another
+// tracer is installed mid-span.
+class Span {
+ public:
+  explicit Span(const char* category, const char* name,
+                std::int32_t session = -1, std::int32_t frame = -1,
+                std::int32_t row = -1)
+      : tracer_(Tracer::current()) {
+    if (tracer_ != nullptr) {
+      category_ = category;
+      name_ = name;
+      tracer_->record(Phase::kBegin, category, name, session, frame, row);
+    }
+  }
+  ~Span() {
+    if (tracer_ != nullptr) {
+      tracer_->record(Phase::kEnd, category_, name_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+};
+
+inline void instant(const char* category, const char* name,
+                    std::int32_t session = -1, std::int32_t frame = -1,
+                    std::int32_t row = -1) {
+  if (Tracer* t = Tracer::current()) {
+    t->record(Phase::kInstant, category, name, session, frame, row);
+  }
+}
+
+// Async spans pair begin/end across threads by (category, id) — used for
+// submit→resolve frame lifetimes that start on the caller thread and end
+// on a worker.
+inline void async_begin(const char* category, const char* name,
+                        std::uint64_t id, std::int32_t session = -1,
+                        std::int32_t frame = -1) {
+  if (Tracer* t = Tracer::current()) {
+    t->record(Phase::kAsyncBegin, category, name, session, frame, -1, id);
+  }
+}
+
+inline void async_end(const char* category, const char* name,
+                      std::uint64_t id, std::int32_t session = -1,
+                      std::int32_t frame = -1) {
+  if (Tracer* t = Tracer::current()) {
+    t->record(Phase::kAsyncEnd, category, name, session, frame, -1, id);
+  }
+}
+
+// Sampled counter series; rendered as "<name>.<lane>" counter tracks.
+inline void counter(const char* category, const char* name, std::int32_t lane,
+                    std::uint64_t value) {
+  if (Tracer* t = Tracer::current()) {
+    t->record(Phase::kCounter, category, name, -1, -1, lane, value);
+  }
+}
+
+}  // namespace acbm::obs

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace acbm::util {
 
 namespace {
@@ -15,8 +17,19 @@ thread_local int tls_worker_index = -1;
 thread_local ThreadPool* tls_worker_pool = nullptr;
 }  // namespace
 
+namespace {
+/// Publishes a lane's queue depth as a per-lane counter track
+/// ("lane.depth.<id>"). Disarmed this is one relaxed load + branch; callers
+/// hold the pool mutex, so the depth read is exact.
+void trace_lane_depth(std::size_t lane_id, std::size_t depth) {
+  obs::counter("pool", "lane.depth", static_cast<std::int32_t>(lane_id),
+               static_cast<std::uint64_t>(depth));
+}
+}  // namespace
+
 ThreadPool::Queue::Queue(ThreadPool& pool) : pool_(pool) {
   const std::lock_guard<std::mutex> lock(pool_.mutex_);
+  lane_id_ = pool_.next_lane_id_++;
   pool_.queues_.push_back(this);
 }
 
@@ -66,6 +79,7 @@ void ThreadPool::submit(Queue& queue, std::function<void()> task,
     ++queue.in_flight_;
     ++queued_total_;
     ++in_flight_;
+    trace_lane_depth(queue.lane_id_, queue.jobs_.size());
     if (group != nullptr) {
       ++group->pending_;
       // Wake a helping waiter of this group; notified under the mutex so the
@@ -114,6 +128,7 @@ void ThreadPool::wait(TaskGroup& group) {
           job = std::move(*it);
           queue->jobs_.erase(it);
           --queued_total_;
+          trace_lane_depth(queue->lane_id_, queue->jobs_.size());
           found = true;
           break;
         }
@@ -122,6 +137,7 @@ void ThreadPool::wait(TaskGroup& group) {
         lock.unlock();
         std::exception_ptr error;
         try {
+          obs::Span span("pool", "help");
           job.fn();
         } catch (...) {
           error = std::current_exception();
@@ -166,6 +182,7 @@ ThreadPool::Job ThreadPool::pop_next_locked() {
       Job job = std::move(queue->jobs_.front());
       queue->jobs_.pop_front();
       --queued_total_;
+      trace_lane_depth(queue->lane_id_, queue->jobs_.size());
       return job;
     }
   }
@@ -198,8 +215,14 @@ void ThreadPool::worker_loop(int index) {
   tls_worker_pool = this;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    work_available_.wait(lock,
-                         [this] { return stopping_ || queued_total_ > 0; });
+    {
+      // The park span measures idle-worker time; its end event pairs up
+      // inside the export only when the worker actually woke up again, so
+      // workers still parked at export simply drop the open span.
+      obs::Span park("pool", "park");
+      work_available_.wait(lock,
+                           [this] { return stopping_ || queued_total_ > 0; });
+    }
     if (queued_total_ == 0) {
       return;  // stopping_ and drained
     }
@@ -207,6 +230,7 @@ void ThreadPool::worker_loop(int index) {
     lock.unlock();
     std::exception_ptr error;
     try {
+      obs::Span span("pool", "task");
       job.fn();
     } catch (...) {
       error = std::current_exception();

@@ -100,6 +100,11 @@ class ThreadPool {
     ThreadPool& pool_;
     std::deque<Job> jobs_;       ///< guarded by pool_.mutex_
     std::size_t in_flight_ = 0;  ///< queued + running jobs of this lane
+    /// Stable id for observability: the "pool.lane.depth.<id>" counter
+    /// track this lane's queue depth is published under (obs/trace.hpp).
+    /// Monotone per pool, never reused, so a session's lane keeps one
+    /// identity across a trace even as other lanes come and go.
+    std::size_t lane_id_ = 0;
   };
 
   /// Spawns `threads` workers. `threads` < 1 is clamped to 1.
@@ -163,6 +168,7 @@ class ThreadPool {
   std::condition_variable all_idle_;
   std::vector<Queue*> queues_;    ///< registered lanes; [0] is the default
   std::size_t rr_next_ = 0;       ///< round-robin cursor into queues_
+  std::size_t next_lane_id_ = 0;  ///< observability lane ids (never reused)
   std::size_t queued_total_ = 0;  ///< jobs queued across all lanes
   std::size_t in_flight_ = 0;     ///< queued + currently running tasks
   /// First exception an UNGROUPED task threw; consumed by wait_idle().

@@ -120,6 +120,60 @@ class BenchGateTest(unittest.TestCase):
         self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
         self.assertIn("positions_per_mb", result.stdout)
 
+    # ---------------------------------------------- latency counter gating
+
+    def latency_rows(self, p99_us):
+        # Several timing rows keep the median machine factor at 1.0 so the
+        # latency ratio is what is actually under test.
+        rows = [bench_row(f"BM_{i}", 100.0) for i in range(4)]
+        rows.append(bench_row("BM_Svc", 100.0, {"me_p50_us": 400.0,
+                                                "me_p99_us": p99_us}))
+        return rows
+
+    def test_latency_counter_within_threshold_passes(self):
+        baseline = self.seed_baseline(self.latency_rows(800.0))
+        write_report(self.path("run.json"), self.latency_rows(1100.0))  # +37%
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_latency_counter_regression_fails(self):
+        baseline = self.seed_baseline(self.latency_rows(800.0))
+        write_report(self.path("run.json"), self.latency_rows(1300.0))  # +62%
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("me_p99_us", result.stdout)
+
+    def test_latency_threshold_is_configurable(self):
+        baseline = self.seed_baseline(self.latency_rows(800.0))
+        write_report(self.path("run.json"), self.latency_rows(1100.0))  # +37%
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"),
+                               "--max-latency-regression", "0.10")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("me_p99_us", result.stdout)
+
+    def test_latency_counter_normalised_by_machine_factor(self):
+        # Whole run 3x slower (machine factor 3): a 3x latency counter is
+        # machine speed, not a regression.
+        rows = [bench_row(f"BM_{i}", 100.0) for i in range(4)]
+        rows.append(bench_row("BM_Svc", 100.0, {"me_p99_us": 800.0}))
+        baseline = self.seed_baseline(rows)
+        slowed = [bench_row(f"BM_{i}", 300.0) for i in range(4)]
+        slowed.append(bench_row("BM_Svc", 300.0, {"me_p99_us": 2400.0}))
+        write_report(self.path("run.json"), slowed)
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_zero_latency_baseline_is_skipped(self):
+        baseline = self.seed_baseline(self.latency_rows(0.0))
+        write_report(self.path("run.json"), self.latency_rows(900.0))
+        result = self.run_gate("--baseline", baseline, "--out",
+                               self.path("out.json"), self.path("run.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
     def test_gate_off_env_demotes_failures(self):
         rows = [bench_row(f"BM_{i}", 100.0) for i in range(3)]
         baseline = self.seed_baseline(rows)

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_trend.py — cross-commit trend analytics.
+
+Exercises the contract the CI bench job relies on: stamped BENCH_ci.json
+artifacts sort by context.timestamp_utc, render one markdown table per
+benchmark plus an SVG sparkline per metric, and the first commit at which a
+metric moved more than the flag threshold is named in the report.
+
+Wired into ctest by CMakeLists.txt (test name: bench_trend_test); also
+runnable directly: python3 tests/bench_trend_test.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TREND = os.path.join(REPO_ROOT, "scripts", "bench_trend.py")
+
+
+def bench_row(name, ns, counters=None):
+    row = {"name": name, "run_name": name, "run_type": "iteration",
+           "real_time": ns, "cpu_time": ns, "time_unit": "ns"}
+    if counters:
+        row.update(counters)
+    return row
+
+
+def write_artifact(path, rows, commit=None, timestamp=None):
+    context = {}
+    if commit is not None:
+        context["commit_sha"] = commit
+    if timestamp is not None:
+        context["timestamp_utc"] = timestamp
+    with open(path, "w") as f:
+        json.dump({"context": context, "benchmarks": rows}, f)
+
+
+class BenchTrendTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = self.tmp.name
+        self.out_dir = os.path.join(self.dir, "trend")
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def path(self, name):
+        return os.path.join(self.dir, name)
+
+    def run_trend(self, *args):
+        return subprocess.run(
+            [sys.executable, TREND, "--out-dir", self.out_dir, *args],
+            capture_output=True, text=True, cwd=self.dir)
+
+    def read_trend_md(self):
+        with open(os.path.join(self.out_dir, "TREND.md")) as f:
+            return f.read()
+
+    def stamped_pair(self, second_p99=10.0):
+        """Two artifacts of the same benchmark, one day apart."""
+        write_artifact(
+            self.path("a.json"),
+            [bench_row("BM_Service/sessions:4", 1000.0,
+                       {"p99_ms": 10.0, "me_p50_us": 400.0})],
+            commit="aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+            timestamp="2026-08-01T00:00:00Z")
+        write_artifact(
+            self.path("b.json"),
+            [bench_row("BM_Service/sessions:4", 1050.0,
+                       {"p99_ms": second_p99, "me_p50_us": 404.0})],
+            commit="bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb",
+            timestamp="2026-08-02T00:00:00Z")
+        return self.path("a.json"), self.path("b.json")
+
+    # ----------------------------------------------------------- rendering
+
+    def test_two_stamped_artifacts_render_table(self):
+        a, b = self.stamped_pair()
+        result = self.run_trend(a, b)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        md = self.read_trend_md()
+        self.assertIn("## BM_Service/sessions:4", md)
+        # Chronological rows, short-sha'd.
+        self.assertLess(md.index("aaaaaaaaaa"), md.index("bbbbbbbbbb"))
+        self.assertIn("| commit | ", md)
+        for metric in ("real_time", "p99_ms", "me_p50_us"):
+            self.assertIn(metric, md)
+
+    def test_sorts_by_timestamp_not_filename(self):
+        # File named "a" carries the NEWER stamp; order must follow stamps.
+        write_artifact(self.path("a.json"), [bench_row("BM_X", 2000.0)],
+                       commit="new0000000000", timestamp="2026-08-05T00:00:00Z")
+        write_artifact(self.path("b.json"), [bench_row("BM_X", 1000.0)],
+                       commit="old0000000000", timestamp="2026-08-01T00:00:00Z")
+        result = self.run_trend(self.path("a.json"), self.path("b.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        md = self.read_trend_md()
+        self.assertLess(md.index("old0000000"), md.index("new0000000"))
+
+    def test_directory_input_is_discovered(self):
+        self.stamped_pair()
+        result = self.run_trend(self.dir)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("2 artifact(s)", self.read_trend_md())
+
+    def test_sparklines_written_per_metric(self):
+        a, b = self.stamped_pair()
+        result = self.run_trend(a, b)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        svgs = [f for f in os.listdir(self.out_dir)
+                if f.startswith("sparkline_") and f.endswith(".svg")]
+        # real_time + p99_ms + me_p50_us
+        self.assertEqual(len(svgs), 3, svgs)
+        with open(os.path.join(self.out_dir, svgs[0])) as f:
+            self.assertIn("<polyline", f.read())
+        md = self.read_trend_md()
+        for svg in svgs:
+            self.assertIn(svg, md)
+
+    # ------------------------------------------------------------ flagging
+
+    def test_flags_first_commit_of_large_move(self):
+        a, b = self.stamped_pair(second_p99=14.0)  # +40% > 10% threshold
+        result = self.run_trend(a, b)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        md = self.read_trend_md()
+        self.assertIn("Flagged moves", md)
+        self.assertIn("p99_ms", md.split("Flagged moves")[1].split("##")[0])
+        # The move is attributed to the SECOND commit (where it first shows).
+        self.assertIn("bbbbbbbbbb",
+                      md.split("Flagged moves")[1].split("##")[0])
+
+    def test_small_moves_not_flagged(self):
+        a, b = self.stamped_pair(second_p99=10.5)  # +5% < 10% threshold
+        result = self.run_trend(a, b)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        md = self.read_trend_md()
+        flagged_section = md.split("Flagged moves")[1].split("##")[0]
+        self.assertIn("none", flagged_section)
+
+    def test_flag_threshold_is_configurable(self):
+        a, b = self.stamped_pair(second_p99=10.5)  # +5%
+        result = self.run_trend("--flag-threshold", "0.02", a, b)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        flagged = self.read_trend_md().split("Flagged moves")[1].split("##")[0]
+        self.assertIn("p99_ms", flagged)
+
+    # ---------------------------------------------------------- tolerance
+
+    def test_unstamped_artifact_warns_but_renders(self):
+        write_artifact(self.path("old.json"), [bench_row("BM_X", 1000.0)])
+        write_artifact(self.path("new.json"), [bench_row("BM_X", 1100.0)],
+                       commit="cccccccccccc",
+                       timestamp="2026-08-03T00:00:00Z")
+        result = self.run_trend(self.path("old.json"), self.path("new.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("missing context.commit_sha", result.stderr)
+        md = self.read_trend_md()
+        self.assertIn("unstamped", md)
+        self.assertLess(md.index("unstamped"), md.index("cccccccccc"))
+
+    def test_no_artifacts_is_an_error(self):
+        result = self.run_trend(self.path("missing.json"))
+        self.assertEqual(result.returncode, 1)
+
+    def test_single_artifact_renders_with_note(self):
+        write_artifact(self.path("a.json"), [bench_row("BM_X", 1000.0)],
+                       commit="dddddddddddd",
+                       timestamp="2026-08-01T00:00:00Z")
+        result = self.run_trend(self.path("a.json"))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("only one artifact", result.stdout)
+        self.assertIn("BM_X", self.read_trend_md())
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,287 @@
+// Observability subsystem: histogram percentile exactness against a sorted
+// reference, ring-buffer wrap accounting, concurrent span recording (the
+// TSan target for the tracer), disarmed-tracer byte-identity of a pinned
+// stream, and registry counter conservation against the ServiceStats
+// snapshot.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codec/encoder.hpp"
+#include "codec/service.hpp"
+#include "me/pbm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "synth/sequences.hpp"
+
+namespace acbm {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Histogram, SmallValuesAreExact) {
+  obs::Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(obs::Histogram::quantize(v), v);
+  }
+}
+
+TEST(Histogram, BucketRoundTripIsMonotoneAndTight) {
+  std::uint64_t prev_lower = 0;
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 8ull, 15ull, 16ull, 17ull, 100ull,
+                          1000ull, 123456ull, 1ull << 31, 1ull << 62,
+                          ~0ull}) {
+    const std::size_t idx = obs::Histogram::bucket_index(v);
+    ASSERT_LT(idx, obs::Histogram::kBuckets);
+    const std::uint64_t lower = obs::Histogram::bucket_lower(idx);
+    EXPECT_LE(lower, v);
+    EXPECT_GE(lower, prev_lower);
+    // The bucket's lower edge is within one sub-bucket (~12.5%) of v.
+    EXPECT_GE(static_cast<double>(lower), static_cast<double>(v) / 1.126);
+    prev_lower = lower;
+  }
+}
+
+TEST(Histogram, PercentilesMatchSortedQuantizedReference) {
+  obs::Histogram h;
+  std::vector<std::uint64_t> values;
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 10000; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    // Mix magnitudes: microseconds to seconds in nanoseconds.
+    const std::uint64_t v = (lcg >> 20) % (std::uint64_t{1} << (10 + i % 21));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<double>(values.size());
+  for (double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0}) {
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(std::ceil(p / 100.0 * n));
+    rank = std::min<std::uint64_t>(std::max<std::uint64_t>(rank, 1),
+                                   values.size());
+    // Quantization is monotone, so the rank'th smallest quantized sample is
+    // the quantized rank'th smallest sample — the histogram must agree
+    // exactly.
+    EXPECT_EQ(h.percentile(p),
+              obs::Histogram::quantize(values[rank - 1]))
+        << "p=" << p;
+  }
+  EXPECT_EQ(h.count(), values.size());
+  EXPECT_EQ(h.max_value(), values.back());
+}
+
+TEST(Registry, ReferencesAreStableAndRowsSorted) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("b.second");
+  obs::Counter& b = registry.counter("a.first");
+  obs::Counter& a_again = registry.counter("b.second");
+  EXPECT_EQ(&a, &a_again);
+  a.add(3);
+  b.add();
+  // Force deque growth; earlier references must survive it.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler." + std::to_string(i));
+  }
+  a.add(4);
+  const auto rows = registry.counter_rows();
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "a.first");
+  EXPECT_EQ(rows[0].value, 1u);
+  EXPECT_EQ(rows[1].name, "b.second");
+  EXPECT_EQ(rows[1].value, 7u);
+  EXPECT_TRUE(std::is_sorted(
+      rows.begin(), rows.end(),
+      [](const auto& x, const auto& y) { return x.name < y.name; }));
+}
+
+// ----------------------------------------------------------------- tracer
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Tracer, RingWrapDropsOldestButExportStaysBalanced) {
+  obs::Tracer tracer(/*events_per_thread=*/16);
+  tracer.install();
+  for (int i = 0; i < 100; ++i) {
+    obs::Span span("test", "wrap", /*session=*/0, /*frame=*/i);
+  }
+  obs::Tracer::uninstall();
+  EXPECT_GT(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.thread_count(), 1u);
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  const std::string json = os.str();
+  const std::size_t begins = count_occurrences(json, "\"ph\":\"B\"");
+  const std::size_t ends = count_occurrences(json, "\"ph\":\"E\"");
+  EXPECT_EQ(begins, ends);
+  EXPECT_GT(begins, 0u);
+  EXPECT_LE(begins, 8u);  // at most capacity/2 whole spans survive the wrap
+}
+
+TEST(Tracer, ConcurrentRecordingBalancesAfterQuiesce) {
+  // The TSan-relevant test: many threads hammer their rings while counters
+  // and async spans interleave, then the export (after join) must pair
+  // every surviving event.
+  obs::Tracer tracer(/*events_per_thread=*/1 << 12);
+  tracer.install();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kIters; ++i) {
+        const auto id =
+            static_cast<std::uint64_t>(t) * kIters + static_cast<std::uint64_t>(i) + 1;
+        obs::async_begin("test", "job", id, t, i);
+        {
+          obs::Span outer("test", "outer", t, i);
+          obs::Span inner("test", "inner", t, i, i % 7);
+          obs::instant("test", "tick", t, i);
+          obs::counter("test", "depth", t, static_cast<std::uint64_t>(i));
+        }
+        obs::async_end("test", "job", id, t, i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  obs::Tracer::uninstall();
+  EXPECT_EQ(tracer.thread_count(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(tracer.dropped(), 0u);
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""),
+            static_cast<std::size_t>(2 * kThreads * kIters));
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""),
+            count_occurrences(json, "\"ph\":\"E\""));
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"b\""),
+            static_cast<std::size_t>(kThreads * kIters));
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"b\""),
+            count_occurrences(json, "\"ph\":\"e\""));
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""),
+            static_cast<std::size_t>(kThreads * kIters));
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""),
+            static_cast<std::size_t>(kThreads * kIters));
+}
+
+std::vector<std::uint8_t> encode_pinned_stream() {
+  synth::SequenceRequest req;
+  req.name = "foreman";
+  req.size = {64, 48};
+  req.frame_count = 6;
+  req.fps = 30;
+  const std::vector<video::Frame> frames = synth::make_sequence(req);
+  me::Pbm pbm;
+  codec::EncoderConfig cfg;
+  cfg.qp = 16;
+  cfg.slices = 2;
+  cfg.parallel.threads = 2;
+  codec::Encoder enc({64, 48}, cfg, pbm);
+  for (const video::Frame& frame : frames) {
+    enc.encode_frame(frame);
+  }
+  return enc.finish();
+}
+
+TEST(Tracer, DisarmedAndArmedStreamsAreByteIdentical) {
+  const std::vector<std::uint8_t> disarmed = encode_pinned_stream();
+  std::vector<std::uint8_t> armed;
+  {
+    obs::Tracer tracer;
+    tracer.install();
+    armed = encode_pinned_stream();
+    obs::Tracer::uninstall();
+  }
+  ASSERT_EQ(disarmed.size(), armed.size());
+  EXPECT_EQ(disarmed, armed);
+  const std::vector<std::uint8_t> disarmed_again = encode_pinned_stream();
+  EXPECT_EQ(disarmed, disarmed_again);
+}
+
+// --------------------------------------------------------------- service
+
+std::uint64_t counter_value(
+    const std::vector<obs::Registry::CounterRow>& rows,
+    const std::string& name) {
+  for (const obs::Registry::CounterRow& row : rows) {
+    if (row.name == name) {
+      return row.value;
+    }
+  }
+  ADD_FAILURE() << "counter " << name << " not registered";
+  return 0;
+}
+
+TEST(Registry, ServiceCountersMatchStatsSnapshot) {
+  synth::SequenceRequest req;
+  req.name = "foreman";
+  req.size = {64, 48};
+  req.frame_count = 5;
+  req.fps = 30;
+  const std::vector<video::Frame> frames = synth::make_sequence(req);
+
+  codec::EncoderService service(2);
+  codec::EncoderConfig cfg;
+  cfg.qp = 16;
+  {
+    codec::EncodeSession session(service, {64, 48}, cfg,
+                                 std::make_unique<me::Pbm>());
+    for (const video::Frame& frame : frames) {
+      session.submit(frame).get();
+    }
+    (void)session.finish();
+  }
+
+  const codec::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, frames.size());
+  // Conservation: every accepted frame resolves exactly once.
+  EXPECT_EQ(stats.accepted, stats.completed + stats.timed_out + stats.failed);
+
+  const auto rows = service.metrics().counter_rows();
+  EXPECT_EQ(counter_value(rows, "svc.accepted"), stats.accepted);
+  EXPECT_EQ(counter_value(rows, "svc.completed"), stats.completed);
+  EXPECT_EQ(counter_value(rows, "svc.rejected"), stats.rejected);
+  EXPECT_EQ(counter_value(rows, "svc.timed_out"), stats.timed_out);
+  EXPECT_EQ(counter_value(rows, "svc.failed"), stats.failed);
+  EXPECT_EQ(counter_value(rows, "svc.degraded"), stats.degraded);
+  const auto gauges = service.metrics().gauge_rows();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].name, "svc.peak_queue_depth");
+  EXPECT_EQ(gauges[0].value, stats.peak_queue_depth);
+
+  // The stage histograms absorbed every frame's timers.
+  bool saw_wall = false;
+  for (const obs::Registry::HistogramRow& row :
+       service.metrics().histogram_rows()) {
+    if (row.name == "enc.frame.wall") {
+      saw_wall = true;
+      EXPECT_EQ(row.count, frames.size());
+      EXPECT_GT(row.p50_ns, 0u);
+      EXPECT_GE(row.p99_ns, row.p50_ns);
+      EXPECT_GE(row.max_ns, row.p99_ns);
+    }
+  }
+  EXPECT_TRUE(saw_wall);
+}
+
+}  // namespace
+}  // namespace acbm
